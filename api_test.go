@@ -1,0 +1,133 @@
+package wsgossip_test
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wsgossip"
+	"wsgossip/internal/soap"
+)
+
+type apiPayload struct {
+	XMLName xml.Name `xml:"urn:apitest Event"`
+	Value   int      `xml:"Value"`
+}
+
+type apiApp struct {
+	mu     sync.Mutex
+	values []int
+}
+
+func (a *apiApp) HandleSOAP(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var p apiPayload
+	if err := req.Envelope.DecodeBody(&p); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.values = append(a.values, p.Value)
+	return nil, nil
+}
+
+func (a *apiApp) count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.values)
+}
+
+// TestPublicAPIEndToEnd drives a complete WS-Gossip deployment exclusively
+// through the public wsgossip package.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+
+	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(3)),
+		Params: func(n int) (int, int) {
+			_, hops := wsgossip.DefaultParamPolicy(n)
+			return 5, hops
+		},
+	})
+	bus.Register("mem://coordinator", coordinator.Handler())
+
+	const services = 24
+	apps := make([]*apiApp, services)
+	for i := 0; i < services; i++ {
+		addr := fmt.Sprintf("mem://svc%02d", i)
+		apps[i] = &apiApp{}
+		d, err := wsgossip.NewDisseminator(wsgossip.DisseminatorConfig{
+			Address: addr, Caller: bus, App: apps[i],
+			RNG: rand.New(rand.NewSource(int64(i) + 10)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, d.Handler())
+		if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", addr, wsgossip.RoleDisseminator); err != nil {
+			t.Fatal(err)
+		}
+	}
+	consumerApp := &apiApp{}
+	bus.Register("mem://consumer", wsgossip.NewConsumer(consumerApp).Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://consumer", wsgossip.RoleConsumer); err != nil {
+		t.Fatal(err)
+	}
+
+	initiator, err := wsgossip.NewInitiator(wsgossip.InitiatorConfig{
+		Address: "mem://init", Caller: bus, Activation: "mem://coordinator",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interaction, err := initiator.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const events = 5
+	for e := 0; e < events; e++ {
+		if _, _, err := initiator.Notify(ctx, interaction, apiPayload{Value: e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := 0
+	for _, app := range apps {
+		if app.count() == events {
+			full++
+		}
+	}
+	if full < services-2 {
+		t.Fatalf("only %d/%d services received the complete stream", full, services)
+	}
+	if consumerApp.count() < events {
+		t.Fatalf("consumer received %d/%d", consumerApp.count(), events)
+	}
+	if got := len(coordinator.Subscribers()); got != services+1 {
+		t.Fatalf("subscribers = %d", got)
+	}
+}
+
+func TestEpidemicHelpers(t *testing.T) {
+	cov, err := wsgossip.ExpectedCoverage(1000, 3, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.9 || cov > 1 {
+		t.Fatalf("coverage = %v", cov)
+	}
+	r, err := wsgossip.RoundsForCoverage(1000, 4, 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 4 || r > 30 {
+		t.Fatalf("rounds = %d", r)
+	}
+	f, h := wsgossip.DefaultParamPolicy(256)
+	if f != 3 || h != 10 {
+		t.Fatalf("policy = (%d, %d)", f, h)
+	}
+}

@@ -1,0 +1,247 @@
+// Benchmarks regenerating every experiment of DESIGN.md §4 — one bench per
+// table/figure (E0–E8, A1, A2) — plus micro-benchmarks of the hot paths.
+// The experiment benches run the same code as cmd/wsgossip-bench in quick
+// mode and report headline metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the shape of every result.
+package wsgossip_test
+
+import (
+	"context"
+	"encoding/xml"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wsgossip/internal/experiments"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/simnet"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/transport"
+	"wsgossip/internal/wsa"
+)
+
+func runExperiment(b *testing.B, run func(experiments.Options) ([]experiments.Table, error)) []experiments.Table {
+	b.Helper()
+	var tables []experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = run(experiments.Options{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+func cellMetric(b *testing.B, t experiments.Table, row, col int, name string) {
+	b.Helper()
+	if row < 0 {
+		row += len(t.Rows)
+	}
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(t.Rows[row][col], "%"), 64)
+	if err != nil {
+		return
+	}
+	b.ReportMetric(v, name)
+}
+
+// BenchmarkE0_Figure1Flow regenerates the paper's Figure 1 dissemination.
+func BenchmarkE0_Figure1Flow(b *testing.B) {
+	tables := runExperiment(b, experiments.E0Figure1)
+	_ = tables
+}
+
+// BenchmarkE1_Scalability regenerates the latency/rounds-vs-N table.
+func BenchmarkE1_Scalability(b *testing.B) {
+	tables := runExperiment(b, experiments.E1Scalability)
+	cellMetric(b, tables[0], -1, 2, "rounds@maxN")
+	cellMetric(b, tables[0], -1, 6, "msgs/node@maxN")
+}
+
+// BenchmarkE2_FanoutCoverage regenerates the coverage-vs-fanout table.
+func BenchmarkE2_FanoutCoverage(b *testing.B) {
+	tables := runExperiment(b, experiments.E2FanoutCoverage)
+	cellMetric(b, tables[0], 2, 1, "coverage@f3")
+	cellMetric(b, tables[0], -1, 1, "coverage@f8")
+}
+
+// BenchmarkE3_Resilience regenerates the crash/loss resilience tables.
+func BenchmarkE3_Resilience(b *testing.B) {
+	tables := runExperiment(b, experiments.E3Resilience)
+	cellMetric(b, tables[0], -1, 1, "push-cov@50pct-crash")
+	cellMetric(b, tables[1], -1, 2, "pushpull-cov@40pct-loss")
+}
+
+// BenchmarkE4_Throughput regenerates the perturbation-throughput table.
+func BenchmarkE4_Throughput(b *testing.B) {
+	tables := runExperiment(b, experiments.E4Throughput)
+	cellMetric(b, tables[0], -1, 1, "pbcast-msg/s@25pct")
+	cellMetric(b, tables[0], -1, 3, "ackmc-msg/s@25pct")
+}
+
+// BenchmarkE5_Load regenerates the per-node load table.
+func BenchmarkE5_Load(b *testing.B) {
+	tables := runExperiment(b, experiments.E5Load)
+	cellMetric(b, tables[0], -1, 1, "gossip-sends/node@maxN")
+}
+
+// BenchmarkE6_ParameterTable regenerates the (f, r) configuration grid.
+func BenchmarkE6_ParameterTable(b *testing.B) {
+	tables := runExperiment(b, experiments.E6ParameterTable)
+	cellMetric(b, tables[0], -1, 4, "model-error@last-cell")
+}
+
+// BenchmarkE7_Overhead regenerates the middleware-overhead table.
+func BenchmarkE7_Overhead(b *testing.B) {
+	tables := runExperiment(b, experiments.E7Overhead)
+	cellMetric(b, tables[0], 0, 1, "encode-ns")
+	cellMetric(b, tables[0], 1, 1, "decode-ns")
+}
+
+// BenchmarkE8_DistCoordinator regenerates the distributed-coordinator table.
+func BenchmarkE8_DistCoordinator(b *testing.B) {
+	tables := runExperiment(b, experiments.E8DistributedCoordinator)
+	cellMetric(b, tables[0], -1, 5, "replications@k8")
+}
+
+// BenchmarkA1_Styles regenerates the gossip-style ablation.
+func BenchmarkA1_Styles(b *testing.B) {
+	tables := runExperiment(b, experiments.A1Styles)
+	cellMetric(b, tables[0], 0, 1, "push-coverage")
+}
+
+// BenchmarkA2_Dedup regenerates the seen-cache sizing ablation.
+func BenchmarkA2_Dedup(b *testing.B) {
+	tables := runExperiment(b, experiments.A2DedupCache)
+	cellMetric(b, tables[0], 0, 1, "redeliveries@cache16")
+}
+
+// ---- Micro-benchmarks of hot paths ----
+
+type benchBody struct {
+	XMLName xml.Name `xml:"urn:bench Payload"`
+	Data    string   `xml:"Data"`
+}
+
+func benchEnvelope(b *testing.B) *soap.Envelope {
+	b.Helper()
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To: "mem://x", Action: "urn:bench:op", MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.SetBody(benchBody{Data: strings.Repeat("x", 1024)}); err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkSOAPEncode measures envelope serialization (1 KiB body).
+func BenchmarkSOAPEncode(b *testing.B) {
+	env := benchEnvelope(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSOAPDecode measures envelope parsing (1 KiB body).
+func BenchmarkSOAPDecode(b *testing.B) {
+	env := benchEnvelope(b)
+	data, err := env.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := soap.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePublish measures one rumor publish + full dissemination
+// over a 64-node simulated cluster (per-op cost of a whole epidemic).
+func BenchmarkEnginePublish(b *testing.B) {
+	const n = 64
+	net := simnet.New(simnet.DefaultConfig(1))
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "n" + strconv.Itoa(i)
+	}
+	peers := gossip.NewStaticPeers(addrs)
+	engines := make([]*gossip.Engine, n)
+	for i := range addrs {
+		eng, err := gossip.New(gossip.Config{
+			Style: gossip.StylePush, Fanout: 3, Hops: 8,
+			Endpoint: net.Node(addrs[i]), Peers: peers,
+			RNG: rand.New(rand.NewSource(int64(i))),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mux := transport.NewMux()
+		eng.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		engines[i] = eng
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engines[i%n].Publish(ctx, []byte("payload")); err != nil {
+			b.Fatal(err)
+		}
+		net.Run()
+	}
+}
+
+// BenchmarkSamplePeers measures peer sampling from a 1k-node view.
+func BenchmarkSamplePeers(b *testing.B) {
+	addrs := make([]string, 1000)
+	for i := range addrs {
+		addrs[i] = "n" + strconv.Itoa(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gossip.SamplePeers(rng, addrs, 4, "n0")
+	}
+}
+
+// BenchmarkSeenSet measures the dedup fast path.
+func BenchmarkSeenSet(b *testing.B) {
+	s := gossip.NewSeenSet(1 << 16)
+	ids := make([]string, 1024)
+	for i := range ids {
+		ids[i] = "id-" + strconv.Itoa(i)
+		s.Add(ids[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(ids[i%len(ids)])
+	}
+}
+
+// BenchmarkA3_Assignment regenerates the target-assignment ablation.
+func BenchmarkA3_Assignment(b *testing.B) {
+	tables := runExperiment(b, experiments.A3TargetAssignment)
+	cellMetric(b, tables[0], 0, 1, "balanced-delivery")
+}
+
+// BenchmarkE9_Churn regenerates the dissemination-under-churn table.
+func BenchmarkE9_Churn(b *testing.B) {
+	tables := runExperiment(b, experiments.E9Churn)
+	cellMetric(b, tables[0], 1, 2, "coverage@churn")
+}

@@ -1,0 +1,229 @@
+// Command wsgossip-node runs one WS-Gossip node over real SOAP 1.2 / HTTP in
+// any of the paper's four roles.
+//
+// A minimal cluster on one machine:
+//
+//	wsgossip-node -role coordinator -listen :8070 &
+//	wsgossip-node -role disseminator -listen :8071 -coordinator http://localhost:8070/ &
+//	wsgossip-node -role disseminator -listen :8072 -coordinator http://localhost:8070/ &
+//	wsgossip-node -role consumer     -listen :8073 -coordinator http://localhost:8070/ &
+//	wsgossip-node -role initiator -coordinator http://localhost:8070/ -message "hello gossip"
+//
+// Disseminators and consumers print every notification they deliver.
+package main
+
+import (
+	"context"
+	"encoding/xml"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+)
+
+// noteBody is the demonstration notification payload.
+type noteBody struct {
+	XMLName xml.Name `xml:"urn:wsgossip:demo Note"`
+	Text    string   `xml:"Text"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsgossip-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role        = flag.String("role", "", "coordinator | disseminator | consumer | initiator")
+		listen      = flag.String("listen", ":8070", "listen address (server roles)")
+		public      = flag.String("public", "", "public base URL of this node (default http://<listen>/)")
+		coordinator = flag.String("coordinator", "", "coordinator base URL (non-coordinator roles)")
+		message     = flag.String("message", "hello from wsgossip", "notification text (initiator)")
+		count       = flag.Int("count", 1, "notifications to send (initiator)")
+		style       = flag.String("style", "push", "dissemination style handed to registrants: push or lazypush (coordinator)")
+		repair      = flag.Duration("repair", 0, "anti-entropy digest interval, 0 disables (disseminator)")
+	)
+	flag.Parse()
+
+	client := soap.NewHTTPClient(&http.Client{Timeout: 10 * time.Second})
+	switch *role {
+	case "coordinator":
+		return runCoordinator(*listen, *public, *style)
+	case "disseminator", "consumer":
+		if *coordinator == "" {
+			return fmt.Errorf("-coordinator is required for role %s", *role)
+		}
+		return runSubscriber(*role, *listen, *public, *coordinator, *repair, client)
+	case "initiator":
+		if *coordinator == "" {
+			return fmt.Errorf("-coordinator is required for role initiator")
+		}
+		return runInitiator(*coordinator, *message, *count, client)
+	default:
+		return fmt.Errorf("unknown role %q (want coordinator, disseminator, consumer, or initiator)", *role)
+	}
+}
+
+func publicURL(public, listen string) string {
+	if public != "" {
+		return public
+	}
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	if err == nil {
+		return fmt.Sprintf("http://%s:%s/", host, port)
+	}
+	return "http://localhost" + listen + "/"
+}
+
+func serve(listen string, handler soap.Handler) error {
+	srv := &http.Server{
+		Addr:              listen,
+		Handler:           soap.NewHTTPServer(handler),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+func runCoordinator(listen, public, styleName string) error {
+	style, err := gossip.ParseStyle(styleName)
+	if err != nil {
+		return err
+	}
+	if style != gossip.StylePush && style != gossip.StyleLazyPush {
+		return fmt.Errorf("coordinator style must be push or lazypush, got %s", style)
+	}
+	addr := publicURL(public, listen)
+	coord := core.NewCoordinator(core.CoordinatorConfig{Address: addr, Style: style})
+	log.Printf("coordinator serving at %s (listen %s, style %s)", addr, listen, style)
+	return serve(listen, coord.Handler())
+}
+
+// printingApp logs every notification body.
+type printingApp struct {
+	role string
+}
+
+func (p *printingApp) HandleSOAP(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var note noteBody
+	if err := req.Envelope.DecodeBody(&note); err != nil {
+		log.Printf("[%s] notification with unreadable body: %v", p.role, err)
+		return nil, nil
+	}
+	log.Printf("[%s] delivered: %q (message %s)", p.role, note.Text, req.Addressing.MessageID)
+	return nil, nil
+}
+
+func runSubscriber(role, listen, public, coordinator string, repair time.Duration, client *soap.HTTPClient) error {
+	addr := publicURL(public, listen)
+	app := &printingApp{role: role}
+	var handler soap.Handler
+	subscribedRole := core.RoleConsumer
+	if role == "disseminator" {
+		d, err := core.NewDisseminator(core.DisseminatorConfig{
+			Address: addr,
+			Caller:  client,
+			App:     app,
+		})
+		if err != nil {
+			return err
+		}
+		handler = d.Handler()
+		subscribedRole = core.RoleDisseminator
+		if repair > 0 {
+			ticker := time.NewTicker(repair)
+			defer ticker.Stop()
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				for {
+					select {
+					case <-ticker.C:
+						d.TickRepair(context.Background())
+					case <-done:
+						return
+					}
+				}
+			}()
+			log.Printf("[%s] anti-entropy repair every %v", role, repair)
+		}
+	} else {
+		handler = core.NewConsumer(app).Handler()
+	}
+	// Subscribe once the server is up; retry briefly to tolerate start order.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for {
+			err := core.SubscribeClient(ctx, client, coordinator, addr, subscribedRole)
+			if err == nil {
+				log.Printf("[%s] subscribed %s at %s", role, addr, coordinator)
+				return
+			}
+			log.Printf("[%s] subscribe retry: %v", role, err)
+			select {
+			case <-ctx.Done():
+				log.Printf("[%s] subscription failed permanently", role)
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+	log.Printf("%s serving at %s (listen %s)", role, addr, listen)
+	return serve(listen, handler)
+}
+
+func runInitiator(coordinator, message string, count int, client *soap.HTTPClient) error {
+	init, err := core.NewInitiator(core.InitiatorConfig{
+		Address:    "urn:wsgossip:initiator",
+		Caller:     client,
+		Activation: coordinator,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	inter, err := init.StartInteraction(ctx)
+	if err != nil {
+		return err
+	}
+	log.Printf("interaction %s: fanout=%d hops=%d targets=%v",
+		inter.Context.Identifier, inter.Params.Fanout, inter.Params.Hops, inter.Params.Targets)
+	for i := 0; i < count; i++ {
+		text := message
+		if count > 1 {
+			text = fmt.Sprintf("%s [%d/%d]", message, i+1, count)
+		}
+		msgID, sent, err := init.Notify(ctx, inter, noteBody{Text: text})
+		if err != nil {
+			return err
+		}
+		log.Printf("notified %d targets (message %s)", sent, msgID)
+	}
+	return nil
+}

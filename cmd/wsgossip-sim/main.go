@@ -1,0 +1,178 @@
+// Command wsgossip-sim runs a single parameterized gossip dissemination on
+// the deterministic network simulator and reports coverage, latency, and
+// traffic. It is the exploratory companion to wsgossip-bench: sweep any
+// point of the (N, f, r, style, loss, crash) space by hand.
+//
+// Example:
+//
+//	wsgossip-sim -n 1024 -fanout 4 -hops 14 -style push -loss 0.2 -crash 0.1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"wsgossip/internal/epidemic"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/simnet"
+	"wsgossip/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsgossip-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 256, "number of nodes")
+		fanout    = flag.Int("fanout", 3, "gossip fanout f")
+		hops      = flag.Int("hops", 0, "hop budget r (0 = ceil(log2 n)+2)")
+		styleName = flag.String("style", "push", "gossip style: push, pull, pushpull, lazypush, flood")
+		loss      = flag.Float64("loss", 0, "message loss probability [0,1)")
+		crash     = flag.Float64("crash", 0, "crashed-node fraction [0,1)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		ticks     = flag.Int("ticks", 0, "anti-entropy rounds after the push phase (pull styles)")
+		events    = flag.Int("events", 1, "number of rumors published")
+	)
+	flag.Parse()
+
+	style, err := gossip.ParseStyle(*styleName)
+	if err != nil {
+		return err
+	}
+	if *hops == 0 {
+		h := 1
+		for size := 1; size < *n; size *= 2 {
+			h++
+		}
+		*hops = h + 1
+	}
+	if *loss < 0 || *loss >= 1 || *crash < 0 || *crash >= 1 {
+		return fmt.Errorf("loss and crash must be in [0,1)")
+	}
+
+	net := simnet.New(simnet.DefaultConfig(*seed))
+	addrs := make([]string, *n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("n%05d", i)
+	}
+	peers := gossip.NewStaticPeers(addrs)
+	engines := make([]*gossip.Engine, *n)
+	deliveries := make([]map[string]time.Duration, *n)
+	for i := range addrs {
+		i := i
+		deliveries[i] = make(map[string]time.Duration)
+		eng, err := gossip.New(gossip.Config{
+			Style:    style,
+			Fanout:   *fanout,
+			Hops:     *hops,
+			Endpoint: net.Node(addrs[i]),
+			Peers:    peers,
+			RNG:      rand.New(rand.NewSource(*seed*7919 + int64(i))),
+			Deliver: func(r gossip.Rumor) {
+				if _, ok := deliveries[i][r.ID]; !ok {
+					deliveries[i][r.ID] = net.Now()
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		mux := transport.NewMux()
+		eng.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		engines[i] = eng
+	}
+	net.SetLossRate(*loss)
+	rng := rand.New(rand.NewSource(*seed))
+	crashed := gossip.SamplePeers(rng, addrs, int(float64(*n)**crash), addrs[0])
+	for _, a := range crashed {
+		net.Crash(a)
+	}
+
+	ctx := context.Background()
+	ids := make([]string, 0, *events)
+	t0 := net.Now()
+	for e := 0; e < *events; e++ {
+		r, err := engines[e%*n].Publish(ctx, []byte("event"))
+		if err != nil {
+			return err
+		}
+		ids = append(ids, r.ID)
+	}
+	net.Run()
+	for t := 0; t < *ticks; t++ {
+		for i, eng := range engines {
+			if net.Crashed(addrs[i]) {
+				continue
+			}
+			eng.Tick(ctx)
+		}
+		net.RunFor(20 * time.Millisecond)
+	}
+
+	alive := *n - len(crashed)
+	var covSum float64
+	var times []float64
+	for _, id := range ids {
+		reached := 0
+		for i := range engines {
+			if net.Crashed(addrs[i]) {
+				continue
+			}
+			if at, ok := deliveries[i][id]; ok {
+				reached++
+				times = append(times, float64(at-t0)/float64(time.Millisecond))
+			}
+		}
+		covSum += float64(reached) / float64(alive)
+	}
+	sort.Float64s(times)
+	pct := func(q float64) float64 {
+		if len(times) == 0 {
+			return 0
+		}
+		idx := int(q*float64(len(times))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(times) {
+			idx = len(times) - 1
+		}
+		return times[idx]
+	}
+
+	var total gossip.Stats
+	for _, e := range engines {
+		s := e.Stats()
+		total.Forwarded += s.Forwarded
+		total.Duplicates += s.Duplicates
+		total.IHaveSent += s.IHaveSent
+		total.IWantSent += s.IWantSent
+		total.PullReqs += s.PullReqs
+		total.PullResps += s.PullResps
+	}
+	st := net.Stats()
+
+	fmt.Printf("wsgossip-sim: N=%d style=%s f=%d r=%d loss=%.2f crash=%.2f seed=%d events=%d\n",
+		*n, style, *fanout, *hops, *loss, *crash, *seed, *events)
+	fmt.Printf("  coverage (alive nodes):   %.4f\n", covSum/float64(len(ids)))
+	if predicted, err := epidemic.ExpectedCoverageLossy(alive, *fanout, *hops, *loss); err == nil && style == gossip.StylePush {
+		fmt.Printf("  analytic prediction:      %.4f\n", predicted)
+	}
+	fmt.Printf("  delivery latency ms:      p50=%.2f p99=%.2f max=%.2f\n", pct(0.50), pct(0.99), pct(1))
+	fmt.Printf("  payload forwards:         %d (%.2f per node)\n", total.Forwarded, float64(total.Forwarded)/float64(*n))
+	fmt.Printf("  duplicates suppressed:    %d\n", total.Duplicates)
+	fmt.Printf("  control msgs:             %d\n", total.IHaveSent+total.IWantSent+total.PullReqs+total.PullResps)
+	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
+	fmt.Printf("  virtual time:             %v\n", net.Now())
+	return nil
+}

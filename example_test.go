@@ -1,0 +1,103 @@
+package wsgossip_test
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+
+	"wsgossip"
+	"wsgossip/internal/soap"
+)
+
+type exampleEvent struct {
+	XMLName xml.Name `xml:"urn:example Event"`
+	Text    string   `xml:"Text"`
+}
+
+type exampleApp struct {
+	name string
+}
+
+func (a *exampleApp) HandleSOAP(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var ev exampleEvent
+	if err := req.Envelope.DecodeBody(&ev); err != nil {
+		return nil, err
+	}
+	fmt.Printf("%s received %q\n", a.name, ev.Text)
+	return nil, nil
+}
+
+// Example shows the paper's Figure 1 in miniature: a Coordinator, one
+// Disseminator, one unchanged Consumer, and an Initiator that issues a
+// single notification.
+func Example() {
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+
+	// Hops 0 keeps the example deterministic: the initiator reaches both
+	// subscribers directly and nobody re-forwards (the unchanged consumer
+	// has no duplicate suppression, so gossip redundancy would print
+	// duplicate lines here).
+	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(1)),
+		Params:  func(int) (int, int) { return 1, 0 },
+	})
+	bus.Register("mem://coordinator", coordinator.Handler())
+
+	disseminator, err := wsgossip.NewDisseminator(wsgossip.DisseminatorConfig{
+		Address: "mem://service",
+		Caller:  bus,
+		App:     &exampleApp{name: "service"},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	bus.Register("mem://service", disseminator.Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://service", wsgossip.RoleDisseminator); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	bus.Register("mem://viewer", wsgossip.NewConsumer(&exampleApp{name: "viewer"}).Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://viewer", wsgossip.RoleConsumer); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	initiator, err := wsgossip.NewInitiator(wsgossip.InitiatorConfig{
+		Address:    "mem://feed",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	interaction, err := initiator.StartInteraction(ctx)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, _, err := initiator.Notify(ctx, interaction, exampleEvent{Text: "hello"}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Unordered output:
+	// service received "hello"
+	// viewer received "hello"
+}
+
+// ExampleExpectedCoverage sizes gossip parameters from the analytic model,
+// the way a Coordinator's parameter policy does.
+func ExampleExpectedCoverage() {
+	cov, _ := wsgossip.ExpectedCoverage(1000, 3, 12)
+	fmt.Printf("f=3, r=12, N=1000: expected coverage %.2f\n", cov)
+	rounds, _ := wsgossip.RoundsForCoverage(1000, 6, 0.99, 100)
+	fmt.Printf("f=6 reaches 99%% in %d rounds\n", rounds)
+	// Output:
+	// f=3, r=12, N=1000: expected coverage 0.94
+	// f=6 reaches 99% in 6 rounds
+}

@@ -1,0 +1,191 @@
+// Httpcluster: a real SOAP-1.2-over-HTTP WS-Gossip deployment on localhost.
+// One coordinator, six disseminators, and one unchanged consumer run as
+// actual HTTP servers on ephemeral ports; an initiator activates a gossip
+// interaction and issues notifications that spread hop by hop over the wire.
+//
+//	go run ./examples/httpcluster
+package main
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"wsgossip"
+	"wsgossip/internal/soap"
+)
+
+type alert struct {
+	XMLName xml.Name `xml:"urn:example:alert Alert"`
+	Text    string   `xml:"Text"`
+}
+
+type recorder struct {
+	mu    sync.Mutex
+	name  string
+	texts []string
+}
+
+func (r *recorder) HandleSOAP(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var a alert
+	if err := req.Envelope.DecodeBody(&a); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.texts = append(r.texts, a.Text)
+	return nil, nil
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.texts)
+}
+
+// serveSOAP starts an HTTP server for the handler on an ephemeral port and
+// returns its base URL and a shutdown function.
+func serveSOAP(h soap.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: soap.NewHTTPServer(h), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	url := fmt.Sprintf("http://%s/", ln.Addr().String())
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return url, stop, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "httpcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := soap.NewHTTPClient(&http.Client{Timeout: 5 * time.Second})
+
+	// Coordinator, served over real HTTP. Its public address is only known
+	// after the listener binds, so construct it in two steps.
+	var coordinator *wsgossip.Coordinator
+	coordHandler := soap.HandlerFunc(func(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+		return coordinator.Handler().HandleSOAP(ctx, req)
+	})
+	coordURL, stopCoord, err := serveSOAP(coordHandler)
+	if err != nil {
+		return err
+	}
+	defer stopCoord()
+	coordinator = wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{Address: coordURL})
+	log.Printf("coordinator at %s", coordURL)
+
+	// Six disseminators.
+	const disseminators = 6
+	recorders := make([]*recorder, disseminators)
+	var stops []func()
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+	for i := 0; i < disseminators; i++ {
+		rec := &recorder{name: fmt.Sprintf("dissem%d", i)}
+		recorders[i] = rec
+		var d *wsgossip.Disseminator
+		handler := soap.HandlerFunc(func(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+			return d.Handler().HandleSOAP(ctx, req)
+		})
+		url, stop, err := serveSOAP(handler)
+		if err != nil {
+			return err
+		}
+		stops = append(stops, stop)
+		d, err = wsgossip.NewDisseminator(wsgossip.DisseminatorConfig{
+			Address: url,
+			Caller:  client,
+			App:     rec,
+		})
+		if err != nil {
+			return err
+		}
+		if err := wsgossip.Subscribe(ctx, client, coordURL, url, wsgossip.RoleDisseminator); err != nil {
+			return err
+		}
+		log.Printf("disseminator %d at %s", i, url)
+	}
+
+	// One unchanged consumer.
+	consumerRec := &recorder{name: "consumer"}
+	consumerURL, stopConsumer, err := serveSOAP(wsgossip.NewConsumer(consumerRec).Handler())
+	if err != nil {
+		return err
+	}
+	defer stopConsumer()
+	if err := wsgossip.Subscribe(ctx, client, coordURL, consumerURL, wsgossip.RoleConsumer); err != nil {
+		return err
+	}
+	log.Printf("consumer at %s", consumerURL)
+
+	// Initiator.
+	initiator, err := wsgossip.NewInitiator(wsgossip.InitiatorConfig{
+		Address:    "urn:wsgossip:httpcluster:initiator",
+		Caller:     client,
+		Activation: coordURL,
+	})
+	if err != nil {
+		return err
+	}
+	interaction, err := initiator.StartInteraction(ctx)
+	if err != nil {
+		return err
+	}
+	log.Printf("interaction %s: fanout=%d hops=%d",
+		interaction.Context.Identifier, interaction.Params.Fanout, interaction.Params.Hops)
+
+	const notifications = 3
+	for i := 1; i <= notifications; i++ {
+		if _, sent, err := initiator.Notify(ctx, interaction, alert{
+			Text: fmt.Sprintf("alert %d: breaker tripped", i),
+		}); err != nil {
+			return err
+		} else {
+			log.Printf("notification %d issued to %d targets", i, sent)
+		}
+	}
+
+	// HTTP dissemination is asynchronous one-way at each hop; give the
+	// epidemic a moment to complete.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := consumerRec.count() >= 1
+		for _, rec := range recorders {
+			if rec.count() < notifications {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	for i, rec := range recorders {
+		log.Printf("disseminator %d delivered %d/%d notifications", i, rec.count(), notifications)
+	}
+	log.Printf("unchanged consumer delivered %d copies", consumerRec.count())
+	return nil
+}

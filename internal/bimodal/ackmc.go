@@ -1,0 +1,158 @@
+package bimodal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"wsgossip/internal/transport"
+)
+
+type ackMsg struct {
+	Seq uint64 `json:"seq"`
+}
+
+// AckSender is the comparator protocol: a reliable multicast whose sender
+// multicasts one message, then blocks the stream until every group member
+// has acknowledged it (stop-and-wait group flow control, the behaviour
+// Birman et al. show collapsing under perturbation).
+type AckSender struct {
+	ep      transport.Endpoint
+	members []string
+
+	mu        sync.Mutex
+	seq       uint64
+	acked     map[uint64]map[string]struct{}
+	completed uint64
+	onDone    func(seq uint64)
+}
+
+// NewAckSender returns a sender for the given receiver set.
+func NewAckSender(ep transport.Endpoint, members []string) *AckSender {
+	cp := make([]string, len(members))
+	copy(cp, members)
+	return &AckSender{
+		ep:      ep,
+		members: cp,
+		acked:   make(map[uint64]map[string]struct{}),
+	}
+}
+
+// Register installs the ack action on the mux.
+func (s *AckSender) Register(mux *transport.Mux) {
+	mux.Handle(ActionAck, s.handleAck)
+}
+
+// SetOnComplete installs a callback fired when a message is fully acked.
+func (s *AckSender) SetOnComplete(fn func(seq uint64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onDone = fn
+}
+
+// Completed returns the count of fully acknowledged messages.
+func (s *AckSender) Completed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed
+}
+
+// InFlight reports whether a message is still awaiting acknowledgements.
+func (s *AckSender) InFlight() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.acked) > 0
+}
+
+// Multicast sends the next message to all members and begins tracking acks.
+// The caller enforces the stop-and-wait discipline by sending the next
+// message only from the completion callback.
+func (s *AckSender) Multicast(ctx context.Context, payload []byte) (uint64, error) {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	s.acked[seq] = make(map[string]struct{}, len(s.members))
+	members := s.members
+	s.mu.Unlock()
+	m := Message{Sender: s.ep.Addr(), Seq: seq, Payload: payload}
+	body, err := json.Marshal(batchMsg{Messages: []Message{m}})
+	if err != nil {
+		return 0, fmt.Errorf("bimodal: encode ack multicast: %w", err)
+	}
+	for _, p := range members {
+		_ = s.ep.Send(ctx, transport.Message{To: p, Action: ActionAckData, Body: body})
+	}
+	return seq, nil
+}
+
+func (s *AckSender) handleAck(_ context.Context, msg transport.Message) error {
+	var a ackMsg
+	if err := json.Unmarshal(msg.Body, &a); err != nil {
+		return fmt.Errorf("bimodal: decode ack: %w", err)
+	}
+	s.mu.Lock()
+	pending, ok := s.acked[a.Seq]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	pending[msg.From] = struct{}{}
+	var done func(uint64)
+	if len(pending) >= len(s.members) {
+		delete(s.acked, a.Seq)
+		s.completed++
+		done = s.onDone
+	}
+	s.mu.Unlock()
+	if done != nil {
+		done(a.Seq)
+	}
+	return nil
+}
+
+// AckReceiver is a group member of the ack-based protocol: it delivers each
+// message and acknowledges it to the sender.
+type AckReceiver struct {
+	ep transport.Endpoint
+
+	mu        sync.Mutex
+	delivered map[uint64]struct{}
+}
+
+// NewAckReceiver attaches a receiver to the endpoint.
+func NewAckReceiver(ep transport.Endpoint) *AckReceiver {
+	return &AckReceiver{ep: ep, delivered: make(map[uint64]struct{})}
+}
+
+// Register installs the data action on the mux.
+func (r *AckReceiver) Register(mux *transport.Mux) {
+	mux.Handle(ActionAckData, r.handleData)
+}
+
+// Delivered returns the number of unique messages received.
+func (r *AckReceiver) Delivered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.delivered)
+}
+
+func (r *AckReceiver) handleData(ctx context.Context, msg transport.Message) error {
+	var b batchMsg
+	if err := json.Unmarshal(msg.Body, &b); err != nil {
+		return fmt.Errorf("bimodal: decode ack data: %w", err)
+	}
+	for _, m := range b.Messages {
+		r.mu.Lock()
+		r.delivered[m.Seq] = struct{}{}
+		r.mu.Unlock()
+		body, err := json.Marshal(ackMsg{Seq: m.Seq})
+		if err != nil {
+			return err
+		}
+		if err := r.ep.Send(ctx, transport.Message{To: m.Sender, Action: ActionAck, Body: body}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

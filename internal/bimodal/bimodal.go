@@ -1,0 +1,314 @@
+// Package bimodal implements Bimodal Multicast (pbcast; Birman, Hayden,
+// Ozkasap, Xiao, Budiu, Minsky 1999), reference [2] of the paper and the
+// source of its "stable high throughput" claim. The protocol has two phases:
+// an unreliable best-effort multicast, followed by periodic anti-entropy
+// gossip in which nodes exchange digests of what they received and solicit
+// retransmissions of what they missed.
+//
+// The package also provides the comparator whose collapse motivates pbcast:
+// an ACK-based reliable multicast whose sender waits for every receiver
+// before sending the next message, so one perturbed (slow) receiver throttles
+// the whole group. Experiment E4 regenerates the paper's throughput-under-
+// perturbation shape from these two implementations.
+package bimodal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/transport"
+)
+
+// Wire actions.
+const (
+	ActionData       = "urn:wsgossip:pbcast:data"
+	ActionDigest     = "urn:wsgossip:pbcast:digest"
+	ActionSolicit    = "urn:wsgossip:pbcast:solicit"
+	ActionRetransmit = "urn:wsgossip:pbcast:retransmit"
+
+	ActionAckData = "urn:wsgossip:ackmc:data"
+	ActionAck     = "urn:wsgossip:ackmc:ack"
+)
+
+// Message is one multicast data message.
+type Message struct {
+	Sender  string `json:"sender"`
+	Seq     uint64 `json:"seq"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+type digestMsg struct {
+	// MaxSeq maps sender address to the highest sequence number known.
+	MaxSeq map[string]uint64 `json:"maxSeq"`
+}
+
+type solicitMsg struct {
+	// Want maps sender address to the missing sequence numbers.
+	Want map[string][]uint64 `json:"want"`
+}
+
+type batchMsg struct {
+	Messages []Message `json:"messages"`
+}
+
+// solicitCap bounds retransmission requests per exchange.
+const solicitCap = 64
+
+// NodeConfig configures a pbcast node.
+type NodeConfig struct {
+	// Endpoint attaches the node to the network. Required.
+	Endpoint transport.Endpoint
+	// Peers is the full group membership (pbcast gossips over the whole
+	// group). Required.
+	Peers *gossip.StaticPeers
+	// Fanout is the anti-entropy gossip fanout per round.
+	Fanout int
+	// RNG drives peer selection and perturbation. Required for
+	// reproducibility; nil falls back to a fixed seed.
+	RNG *rand.Rand
+	// DropRate is this node's probability of losing an incoming best-effort
+	// data message (models a perturbed process whose buffers overflow).
+	DropRate float64
+	// Deliver is invoked once per unique message. Optional.
+	Deliver func(Message)
+}
+
+// NodeStats counts pbcast activity at one node.
+type NodeStats struct {
+	Delivered   int64
+	Dropped     int64
+	Duplicates  int64
+	DigestsSent int64
+	Solicited   int64
+	Repaired    int64
+}
+
+// Node is one pbcast group member.
+type Node struct {
+	cfg NodeConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	received map[string]map[uint64]Message
+	maxSeq   map[string]uint64
+	seq      uint64
+	stats    NodeStats
+}
+
+// NewNode returns a pbcast node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Endpoint == nil || cfg.Peers == nil {
+		return nil, fmt.Errorf("bimodal: node config requires endpoint and peers")
+	}
+	if cfg.Fanout < 1 {
+		return nil, fmt.Errorf("bimodal: fanout must be >= 1, got %d", cfg.Fanout)
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Node{
+		cfg:      cfg,
+		rng:      rng,
+		received: make(map[string]map[uint64]Message),
+		maxSeq:   make(map[string]uint64),
+	}, nil
+}
+
+// Register installs the node's wire actions on the mux.
+func (n *Node) Register(mux *transport.Mux) {
+	mux.Handle(ActionData, n.handleData)
+	mux.Handle(ActionDigest, n.handleDigest)
+	mux.Handle(ActionSolicit, n.handleSolicit)
+	mux.Handle(ActionRetransmit, n.handleRetransmit)
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() string { return n.cfg.Endpoint.Addr() }
+
+// Stats returns a copy of the counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// DeliveredFrom returns how many unique messages from sender were delivered.
+func (n *Node) DeliveredFrom(sender string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.received[sender])
+}
+
+// Multicast originates a message: phase 1's unreliable multicast to the
+// whole group (the local copy is delivered directly).
+func (n *Node) Multicast(ctx context.Context, payload []byte) (Message, error) {
+	n.mu.Lock()
+	n.seq++
+	m := Message{Sender: n.Addr(), Seq: n.seq, Payload: payload}
+	n.storeLocked(m, false)
+	n.mu.Unlock()
+	body, err := json.Marshal(batchMsg{Messages: []Message{m}})
+	if err != nil {
+		return Message{}, fmt.Errorf("bimodal: encode multicast: %w", err)
+	}
+	for _, p := range n.cfg.Peers.Addrs() {
+		if p == n.Addr() {
+			continue
+		}
+		_ = n.cfg.Endpoint.Send(ctx, transport.Message{To: p, Action: ActionData, Body: body})
+	}
+	return m, nil
+}
+
+// storeLocked records m if new; returns whether it was new. viaRepair marks
+// anti-entropy retransmissions, which bypass the perturbation drop (they
+// arrive when the process has caught up).
+func (n *Node) storeLocked(m Message, viaRepair bool) bool {
+	bySender, ok := n.received[m.Sender]
+	if !ok {
+		bySender = make(map[uint64]Message)
+		n.received[m.Sender] = bySender
+	}
+	if _, dup := bySender[m.Seq]; dup {
+		n.stats.Duplicates++
+		return false
+	}
+	bySender[m.Seq] = m
+	if m.Seq > n.maxSeq[m.Sender] {
+		n.maxSeq[m.Sender] = m.Seq
+	}
+	n.stats.Delivered++
+	if n.cfg.Deliver != nil {
+		n.cfg.Deliver(m)
+	}
+	_ = viaRepair
+	return true
+}
+
+func (n *Node) handleData(_ context.Context, msg transport.Message) error {
+	var b batchMsg
+	if err := json.Unmarshal(msg.Body, &b); err != nil {
+		return fmt.Errorf("bimodal: decode data: %w", err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range b.Messages {
+		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+			// Perturbed process: the message reached the host but the
+			// process was asleep and its buffer overflowed. Track the max
+			// seq is NOT updated — the node genuinely missed it.
+			n.stats.Dropped++
+			continue
+		}
+		n.storeLocked(m, false)
+	}
+	return nil
+}
+
+// Tick runs one anti-entropy round: push a digest of known sequence numbers
+// to Fanout random peers.
+func (n *Node) Tick(ctx context.Context) {
+	n.mu.Lock()
+	digest := make(map[string]uint64, len(n.maxSeq))
+	for s, max := range n.maxSeq {
+		digest[s] = max
+	}
+	n.stats.DigestsSent++
+	n.mu.Unlock()
+	body, err := json.Marshal(digestMsg{MaxSeq: digest})
+	if err != nil {
+		return
+	}
+	targets := n.cfg.Peers.SelectPeers(n.rng, n.cfg.Fanout, n.Addr())
+	for _, p := range targets {
+		_ = n.cfg.Endpoint.Send(ctx, transport.Message{To: p, Action: ActionDigest, Body: body})
+	}
+}
+
+// handleDigest compares the peer's digest with local state and solicits the
+// messages this node is missing.
+func (n *Node) handleDigest(ctx context.Context, msg transport.Message) error {
+	var d digestMsg
+	if err := json.Unmarshal(msg.Body, &d); err != nil {
+		return fmt.Errorf("bimodal: decode digest: %w", err)
+	}
+	n.mu.Lock()
+	want := make(map[string][]uint64)
+	total := 0
+	for sender, theirMax := range d.MaxSeq {
+		bySender := n.received[sender]
+		for seq := uint64(1); seq <= theirMax && total < solicitCap; seq++ {
+			if _, ok := bySender[seq]; !ok {
+				want[sender] = append(want[sender], seq)
+				total++
+			}
+		}
+	}
+	if total > 0 {
+		n.stats.Solicited += int64(total)
+	}
+	n.mu.Unlock()
+	if total == 0 {
+		return nil
+	}
+	body, err := json.Marshal(solicitMsg{Want: want})
+	if err != nil {
+		return err
+	}
+	return n.cfg.Endpoint.Send(ctx, transport.Message{To: msg.From, Action: ActionSolicit, Body: body})
+}
+
+// handleSolicit retransmits the requested messages it holds.
+func (n *Node) handleSolicit(ctx context.Context, msg transport.Message) error {
+	var s solicitMsg
+	if err := json.Unmarshal(msg.Body, &s); err != nil {
+		return fmt.Errorf("bimodal: decode solicit: %w", err)
+	}
+	n.mu.Lock()
+	var out []Message
+	senders := make([]string, 0, len(s.Want))
+	for sender := range s.Want {
+		senders = append(senders, sender)
+	}
+	sort.Strings(senders)
+	for _, sender := range senders {
+		bySender := n.received[sender]
+		for _, seq := range s.Want[sender] {
+			if m, ok := bySender[seq]; ok {
+				out = append(out, m)
+			}
+		}
+	}
+	n.mu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(batchMsg{Messages: out})
+	if err != nil {
+		return err
+	}
+	return n.cfg.Endpoint.Send(ctx, transport.Message{To: msg.From, Action: ActionRetransmit, Body: body})
+}
+
+// handleRetransmit accepts repairs; repairs are never dropped by the
+// perturbation model (the process solicits only when it is scheduled).
+func (n *Node) handleRetransmit(_ context.Context, msg transport.Message) error {
+	var b batchMsg
+	if err := json.Unmarshal(msg.Body, &b); err != nil {
+		return fmt.Errorf("bimodal: decode retransmit: %w", err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, m := range b.Messages {
+		if n.storeLocked(m, true) {
+			n.stats.Repaired++
+		}
+	}
+	return nil
+}

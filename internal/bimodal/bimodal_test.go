@@ -1,0 +1,283 @@
+package bimodal
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/simnet"
+	"wsgossip/internal/transport"
+)
+
+type pbcastCluster struct {
+	net   *simnet.Network
+	nodes []*Node
+}
+
+func newPbcastCluster(t *testing.T, n int, seed int64, dropFor func(i int) float64) *pbcastCluster {
+	t.Helper()
+	net := simnet.New(simnet.DefaultConfig(seed))
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("p%03d", i)
+	}
+	peers := gossip.NewStaticPeers(addrs)
+	c := &pbcastCluster{net: net}
+	for i := range addrs {
+		drop := 0.0
+		if dropFor != nil {
+			drop = dropFor(i)
+		}
+		node, err := NewNode(NodeConfig{
+			Endpoint: net.Node(addrs[i]),
+			Peers:    peers,
+			Fanout:   2,
+			RNG:      rand.New(rand.NewSource(seed + int64(i))),
+			DropRate: drop,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := transport.NewMux()
+		node.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		c.nodes = append(c.nodes, node)
+	}
+	return c
+}
+
+func (c *pbcastCluster) gossipRounds(ctx context.Context, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, n := range c.nodes {
+			n.Tick(ctx)
+		}
+		c.net.RunFor(20 * time.Millisecond)
+	}
+}
+
+func TestMulticastReachesAllLossless(t *testing.T) {
+	c := newPbcastCluster(t, 16, 1, nil)
+	ctx := context.Background()
+	if _, err := c.nodes[0].Multicast(ctx, []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Run()
+	for i, n := range c.nodes {
+		if got := n.DeliveredFrom("p000"); got != 1 {
+			t.Fatalf("node %d delivered %d", i, got)
+		}
+	}
+}
+
+func TestAntiEntropyRepairsLinkLoss(t *testing.T) {
+	c := newPbcastCluster(t, 24, 2, nil)
+	ctx := context.Background()
+	c.net.SetLossRate(0.35)
+	for i := 0; i < 10; i++ {
+		if _, err := c.nodes[0].Multicast(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Run()
+	missingBefore := 0
+	for _, n := range c.nodes {
+		missingBefore += 10 - n.DeliveredFrom("p000")
+	}
+	if missingBefore == 0 {
+		t.Fatal("loss injection produced no gaps; test setup broken")
+	}
+	c.net.SetLossRate(0)
+	c.gossipRounds(ctx, 15)
+	for i, n := range c.nodes {
+		if got := n.DeliveredFrom("p000"); got != 10 {
+			t.Fatalf("node %d has %d/10 after repair", i, got)
+		}
+	}
+	var repaired int64
+	for _, n := range c.nodes {
+		repaired += n.Stats().Repaired
+	}
+	if repaired == 0 {
+		t.Fatal("repair path never exercised")
+	}
+}
+
+func TestPerturbedNodeCatchesUp(t *testing.T) {
+	// Node 5 drops 60% of best-effort traffic but repairs via gossip.
+	c := newPbcastCluster(t, 12, 3, func(i int) float64 {
+		if i == 5 {
+			return 0.6
+		}
+		return 0
+	})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := c.nodes[0].Multicast(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Run()
+	if got := c.nodes[5].DeliveredFrom("p000"); got == 20 {
+		t.Fatal("perturbed node dropped nothing; perturbation broken")
+	}
+	c.gossipRounds(ctx, 20)
+	if got := c.nodes[5].DeliveredFrom("p000"); got != 20 {
+		t.Fatalf("perturbed node has %d/20 after repair", got)
+	}
+	if c.nodes[5].Stats().Dropped == 0 {
+		t.Fatal("dropped counter not incremented")
+	}
+}
+
+func TestHealthyNodesUnaffectedByPerturbation(t *testing.T) {
+	// The bimodal property: healthy nodes' delivery does not depend on the
+	// perturbed minority.
+	c := newPbcastCluster(t, 16, 4, func(i int) float64 {
+		if i >= 12 {
+			return 0.9
+		}
+		return 0
+	})
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if _, err := c.nodes[0].Multicast(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.net.Run()
+	for i := 0; i < 12; i++ {
+		if got := c.nodes[i].DeliveredFrom("p000"); got != 30 {
+			t.Fatalf("healthy node %d delivered %d/30", i, got)
+		}
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(1))
+	peers := gossip.NewStaticPeers([]string{"a"})
+	if _, err := NewNode(NodeConfig{Peers: peers, Fanout: 1}); err == nil {
+		t.Fatal("missing endpoint accepted")
+	}
+	if _, err := NewNode(NodeConfig{Endpoint: net.Node("a"), Fanout: 1}); err == nil {
+		t.Fatal("missing peers accepted")
+	}
+	if _, err := NewNode(NodeConfig{Endpoint: net.Node("a"), Peers: peers, Fanout: 0}); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+}
+
+func TestDeliverCallbackOncePerMessage(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(5))
+	addrs := []string{"a", "b"}
+	peers := gossip.NewStaticPeers(addrs)
+	var deliveries []uint64
+	mk := func(addr string, deliver func(Message)) *Node {
+		n, err := NewNode(NodeConfig{
+			Endpoint: net.Node(addr), Peers: peers, Fanout: 1,
+			RNG: rand.New(rand.NewSource(1)), Deliver: deliver,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := transport.NewMux()
+		n.Register(mux)
+		mux.Bind(net.Node(addr))
+		return n
+	}
+	a := mk("a", nil)
+	mk("b", func(m Message) { deliveries = append(deliveries, m.Seq) })
+	ctx := context.Background()
+	if _, err := a.Multicast(ctx, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	// Gossip rounds must not re-deliver.
+	for i := 0; i < 5; i++ {
+		a.Tick(ctx)
+		net.Run()
+	}
+	if len(deliveries) != 1 || deliveries[0] != 1 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+}
+
+func TestAckMulticastStopAndWait(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(6))
+	members := []string{"r0", "r1", "r2"}
+	sender := NewAckSender(net.Node("s"), members)
+	smux := transport.NewMux()
+	sender.Register(smux)
+	smux.Bind(net.Node("s"))
+	for _, m := range members {
+		r := NewAckReceiver(net.Node(m))
+		mux := transport.NewMux()
+		r.Register(mux)
+		mux.Bind(net.Node(m))
+	}
+	ctx := context.Background()
+	const total = 10
+	sent := 1
+	sender.SetOnComplete(func(uint64) {
+		if sent < total {
+			sent++
+			if _, err := sender.Multicast(ctx, []byte("x")); err != nil {
+				t.Errorf("multicast: %v", err)
+			}
+		}
+	})
+	if _, err := sender.Multicast(ctx, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if got := sender.Completed(); got != total {
+		t.Fatalf("completed = %d, want %d", got, total)
+	}
+	if sender.InFlight() {
+		t.Fatal("messages still in flight after drain")
+	}
+}
+
+func TestAckMulticastThrottledBySlowReceiver(t *testing.T) {
+	// The E4 mechanism in miniature: one slow receiver bounds sender
+	// throughput because each message waits for all acks.
+	run := func(slow time.Duration) time.Duration {
+		net := simnet.New(simnet.Config{Seed: 7, MinLatency: time.Millisecond, MaxLatency: time.Millisecond})
+		members := []string{"r0", "r1", "r2"}
+		sender := NewAckSender(net.Node("s"), members)
+		smux := transport.NewMux()
+		sender.Register(smux)
+		smux.Bind(net.Node("s"))
+		for _, m := range members {
+			r := NewAckReceiver(net.Node(m))
+			mux := transport.NewMux()
+			r.Register(mux)
+			mux.Bind(net.Node(m))
+		}
+		if slow > 0 {
+			net.SetSlowdown("r2", slow)
+		}
+		ctx := context.Background()
+		const total = 20
+		sent := 1
+		sender.SetOnComplete(func(uint64) {
+			if sent < total {
+				sent++
+				_, _ = sender.Multicast(ctx, []byte("x"))
+			}
+		})
+		_, _ = sender.Multicast(ctx, []byte("x"))
+		net.Run()
+		if sender.Completed() != total {
+			t.Fatalf("completed = %d", sender.Completed())
+		}
+		return net.Now()
+	}
+	fast := run(0)
+	throttled := run(50 * time.Millisecond)
+	if throttled < 10*fast {
+		t.Fatalf("slow receiver did not throttle: fast=%v throttled=%v", fast, throttled)
+	}
+}

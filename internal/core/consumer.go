@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"wsgossip/internal/soap"
+)
+
+// Consumer is the paper's Consumer role: "completely unchanged and
+// unaffected by the introduction of gossip". It is nothing but the
+// application service routed by action — no gossip code runs here, and the
+// WS-Gossip and WS-Coordination header blocks pass through unexamined
+// (verified by experiment E7's consumer-unchanged test).
+type Consumer struct {
+	app soap.Handler
+}
+
+// NewConsumer wraps the application service.
+func NewConsumer(app soap.Handler) *Consumer {
+	return &Consumer{app: app}
+}
+
+// Handler returns the consumer's SOAP handler.
+func (c *Consumer) Handler() soap.Handler {
+	d := soap.NewDispatcher()
+	d.Register(ActionNotify, c.app)
+	return d
+}
+
+// CollectingApp is a test/example application service that records every
+// notification body it receives. It stands in for App1..App3 of Figure 1.
+type CollectingApp struct {
+	mu       sync.Mutex
+	received []string
+}
+
+var _ soap.Handler = (*CollectingApp)(nil)
+
+// NewCollectingApp returns an empty collector.
+func NewCollectingApp() *CollectingApp {
+	return &CollectingApp{}
+}
+
+// HandleSOAP records the notification body's first block, raw.
+func (a *CollectingApp) HandleSOAP(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(req.Envelope.Body.Blocks) > 0 {
+		a.received = append(a.received, string(req.Envelope.Body.Blocks[0].Raw))
+	} else {
+		a.received = append(a.received, "")
+	}
+	return nil, nil
+}
+
+// Received returns a copy of the recorded bodies.
+func (a *CollectingApp) Received() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.received))
+	copy(out, a.received)
+	return out
+}
+
+// Count returns the number of recorded notifications.
+func (a *CollectingApp) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.received)
+}

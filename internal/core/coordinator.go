@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wscoord"
+)
+
+// Subscription is one subscriber known to the Coordinator.
+type Subscription struct {
+	// Endpoint is the subscriber's notification address.
+	Endpoint string
+	// Role is RoleDisseminator or RoleConsumer.
+	Role string
+}
+
+// ParamPolicy maps the current subscriber count to gossip parameters. The
+// paper's Coordinator "is thus capable of providing adequate parameter
+// configurations" — this is that policy, pluggable per deployment.
+type ParamPolicy func(subscribers int) (fanout, hops int)
+
+// DefaultParamPolicy returns fanout 3 and hops ceil(log2 n)+2, the standard
+// epidemic sizing for near-certain full coverage (Eugster et al. 2004).
+func DefaultParamPolicy(subscribers int) (int, int) {
+	if subscribers < 2 {
+		return 1, 1
+	}
+	hops := int(math.Ceil(math.Log2(float64(subscribers)))) + 2
+	return 3, hops
+}
+
+// CoordinatorStats counts coordinator activity for the load experiments.
+type CoordinatorStats struct {
+	Subscribes    int64
+	Registrations int64
+	Activations   int64
+	Replications  int64
+}
+
+// TargetStrategy selects how the Coordinator assigns gossip targets to
+// registrants.
+type TargetStrategy int
+
+// Target assignment strategies.
+const (
+	// TargetBalanced (the default) hands out targets round-robin over the
+	// subscription list so every subscriber's in-degree is near-uniform.
+	// The Coordinator "knows the entire list of subscribers" (paper,
+	// Section 3), and exploiting that removes the low-in-degree tail that
+	// random assignment leaves behind.
+	TargetBalanced TargetStrategy = iota
+	// TargetRandom samples targets uniformly per registration (the classic
+	// decentralized behaviour; kept for the assignment ablation).
+	TargetRandom
+)
+
+// CoordinatorConfig configures a WS-Gossip Coordinator.
+type CoordinatorConfig struct {
+	// Address is the coordinator's endpoint address.
+	Address string
+	// Params decides (f, r) per registration; nil uses DefaultParamPolicy.
+	Params ParamPolicy
+	// TargetsPerRegistrant is how many peers a registration response
+	// carries; 0 means twice the fanout, so each forwarding decision
+	// samples fresh peers per message ("peers for each gossip round",
+	// paper Section 3) instead of re-hitting a fixed neighbour set.
+	TargetsPerRegistrant int
+	// RNG drives target sampling; nil falls back to a fixed seed.
+	RNG *rand.Rand
+	// Strategy selects target assignment (default TargetBalanced).
+	Strategy TargetStrategy
+	// Style selects the dissemination style participants are configured
+	// with (default push; lazy push trades payload traffic for an extra
+	// announce/fetch round-trip).
+	Style gossip.Style
+	// Caller and Replicas configure a distributed coordinator: every
+	// accepted subscription is replicated one-way to each replica address.
+	Caller   soap.Caller
+	Replicas []string
+}
+
+// Coordinator is the WS-Gossip Coordinator role: WS-Coordination Activation
+// and Registration services plus the subscription list.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	wc  *wscoord.Coordinator
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	subs   []Subscription
+	index  map[string]int // endpoint -> position in subs
+	order  []string       // shuffled assignment order (balanced strategy)
+	cursor int            // balanced-assignment rotation position
+	stats  CoordinatorStats
+}
+
+// NewCoordinator returns a coordinator serving at cfg.Address.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Params == nil {
+		cfg.Params = DefaultParamPolicy
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	c := &Coordinator{
+		cfg:   cfg,
+		rng:   rng,
+		index: make(map[string]int),
+	}
+	c.wc = wscoord.NewCoordinator(wscoord.Config{
+		Address:        cfg.Address,
+		SupportedTypes: []string{CoordinationTypeGossip},
+		Extension:      c.registrationExtension,
+		OnCreate: func(*wscoord.Activity) {
+			c.mu.Lock()
+			c.stats.Activations++
+			c.mu.Unlock()
+		},
+	})
+	return c
+}
+
+// Address returns the coordinator endpoint address.
+func (c *Coordinator) Address() string { return c.cfg.Address }
+
+// Handler returns the coordinator's SOAP handler: Activation, Registration,
+// Subscribe, and replica ingestion.
+func (c *Coordinator) Handler() soap.Handler {
+	d := soap.NewDispatcher()
+	c.wc.RegisterActions(d)
+	d.Register(ActionSubscribe, soap.HandlerFunc(c.handleSubscribe))
+	d.Register(ActionReplicate, soap.HandlerFunc(c.handleReplicate))
+	return d
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Coordinator) Stats() CoordinatorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Subscribers returns a snapshot of the subscription list.
+func (c *Coordinator) Subscribers() []Subscription {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Subscription, len(c.subs))
+	copy(out, c.subs)
+	return out
+}
+
+// SubscribeLocal records a subscription without a SOAP round-trip (used by
+// colocated deployments and tests; the SOAP path ends up here too).
+func (c *Coordinator) SubscribeLocal(ctx context.Context, endpoint, role string) error {
+	if err := c.addSubscription(endpoint, role, true); err != nil {
+		return err
+	}
+	c.replicate(ctx, endpoint, role)
+	return nil
+}
+
+func (c *Coordinator) addSubscription(endpoint, role string, countIt bool) error {
+	if endpoint == "" {
+		return fmt.Errorf("core: subscribe with empty endpoint")
+	}
+	if role != RoleDisseminator && role != RoleConsumer {
+		return fmt.Errorf("core: subscribe with unknown role %q", role)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.index[endpoint]; ok {
+		c.subs[i].Role = role
+		return nil
+	}
+	c.index[endpoint] = len(c.subs)
+	c.subs = append(c.subs, Subscription{Endpoint: endpoint, Role: role})
+	if countIt {
+		c.stats.Subscribes++
+	}
+	return nil
+}
+
+// Unsubscribe removes an endpoint from the subscription list.
+func (c *Coordinator) Unsubscribe(endpoint string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[endpoint]
+	if !ok {
+		return
+	}
+	last := len(c.subs) - 1
+	c.subs[i] = c.subs[last]
+	c.index[c.subs[i].Endpoint] = i
+	c.subs = c.subs[:last]
+	delete(c.index, endpoint)
+}
+
+func (c *Coordinator) replicate(ctx context.Context, endpoint, role string) {
+	if c.cfg.Caller == nil || len(c.cfg.Replicas) == 0 {
+		return
+	}
+	for _, replica := range c.cfg.Replicas {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(addressingFor(replica, ActionReplicate)); err != nil {
+			continue
+		}
+		if err := env.SetBody(ReplicateSubscription{Endpoint: endpoint, Role: role}); err != nil {
+			continue
+		}
+		// Replication is best-effort one-way; anti-entropy between
+		// coordinators would repair gaps in a long-lived deployment.
+		_ = c.cfg.Caller.Send(ctx, replica, env)
+	}
+}
+
+func (c *Coordinator) handleSubscribe(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var body SubscribeRequest
+	if err := req.Envelope.DecodeBody(&body); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed Subscribe: "+err.Error())
+	}
+	if err := c.addSubscription(body.Endpoint, body.Role, true); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, err.Error())
+	}
+	c.replicate(ctx, body.Endpoint, body.Role)
+	resp := soap.NewEnvelope()
+	if err := resp.SetAddressing(req.Addressing.Reply(ActionSubscribeResponse)); err != nil {
+		return nil, err
+	}
+	if err := resp.SetBody(SubscribeResponse{Accepted: true}); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Coordinator) handleReplicate(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var body ReplicateSubscription
+	if err := req.Envelope.DecodeBody(&body); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed ReplicateSubscription: "+err.Error())
+	}
+	if err := c.addSubscription(body.Endpoint, body.Role, false); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, err.Error())
+	}
+	c.mu.Lock()
+	c.stats.Replications++
+	c.mu.Unlock()
+	return nil, nil
+}
+
+// CreateActivity starts a gossip coordination activity (Activation service,
+// in-process form).
+func (c *Coordinator) CreateActivity() (wscoord.CoordinationContext, error) {
+	act, err := c.wc.CreateActivity(CoordinationTypeGossip, 0)
+	if err != nil {
+		return wscoord.CoordinationContext{}, err
+	}
+	return act.Context, nil
+}
+
+// registrationExtension builds the GossipParameters header for a
+// registration: parameters from the policy, targets sampled uniformly from
+// the subscription list excluding the registrant.
+func (c *Coordinator) registrationExtension(_ *wscoord.Activity, reg wscoord.Registrant) ([]any, error) {
+	if reg.Protocol != ProtocolPushGossip {
+		return nil, soap.NewFault(soap.CodeSender,
+			fmt.Sprintf("unsupported coordination protocol %q", reg.Protocol))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Registrations++
+	fanout, hops := c.cfg.Params(len(c.subs))
+	want := c.cfg.TargetsPerRegistrant
+	if want <= 0 {
+		want = 2 * fanout
+	}
+	var targets []string
+	if c.cfg.Strategy == TargetRandom {
+		addrs := make([]string, len(c.subs))
+		for i, s := range c.subs {
+			addrs[i] = s.Endpoint
+		}
+		sort.Strings(addrs)
+		targets = gossip.SamplePeers(c.rng, addrs, want, reg.Service)
+	} else {
+		targets = c.balancedTargetsLocked(want, reg.Service)
+	}
+	style := c.cfg.Style
+	if style == 0 {
+		style = gossip.StylePush
+	}
+	return []any{GossipParameters{
+		Fanout:  fanout,
+		Hops:    hops,
+		Style:   style.String(),
+		Targets: targets,
+	}}, nil
+}
+
+// balancedTargetsLocked hands out want targets by rotating a cursor over a
+// shuffled permutation of the subscriber list, skipping the registrant.
+// Across registrations every subscriber is assigned as a target equally
+// often (±1) — removing the low-in-degree tail that per-registration random
+// sampling produces — while consecutive chunks of a random permutation keep
+// the dissemination graph expander-like (contiguous chunks of the *sorted*
+// list would form a ring whose diameter exhausts the hop budget).
+func (c *Coordinator) balancedTargetsLocked(want int, exclude string) []string {
+	if len(c.order) != len(c.subs) {
+		c.order = make([]string, len(c.subs))
+		for i, s := range c.subs {
+			c.order[i] = s.Endpoint
+		}
+		sort.Strings(c.order) // deterministic base before the shuffle
+		c.rng.Shuffle(len(c.order), func(i, j int) {
+			c.order[i], c.order[j] = c.order[j], c.order[i]
+		})
+		c.cursor = 0
+	}
+	eligible := len(c.order)
+	if _, ok := c.index[exclude]; ok {
+		eligible--
+	}
+	if want > eligible {
+		want = eligible
+	}
+	if want <= 0 || len(c.order) == 0 {
+		return nil
+	}
+	out := make([]string, 0, want)
+	scanned := 0
+	i := c.cursor
+	for len(out) < want && scanned < len(c.order)+want {
+		a := c.order[i%len(c.order)]
+		i++
+		scanned++
+		if a == exclude {
+			continue
+		}
+		out = append(out, a)
+	}
+	c.cursor = i % len(c.order)
+	return out
+}

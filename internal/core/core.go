@@ -1,0 +1,157 @@
+// Package core implements the WS-Gossip framework itself: the four roles of
+// the paper's Figure 1 (Initiator, Disseminator, Consumer, Coordinator), the
+// gossip SOAP header that hop-bounds a disseminated notification, and the
+// GossipParameters registration extension through which the Coordinator
+// provides "adequate parameter configurations and peers for each gossip
+// round" (Section 3).
+//
+// The division of labour follows the paper exactly:
+//
+//   - The Initiator's application code is changed: it activates a gossip
+//     coordination context, registers, and issues a single notification.
+//   - A Disseminator's application code is oblivious to gossip; a handler in
+//     its middleware stack intercepts notifications, registers with the
+//     Registration service on first contact with an interaction, delivers
+//     the message locally, and re-routes copies to selected peers.
+//   - A Consumer is completely unchanged: the gossip header passes through
+//     its stack unexamined.
+//   - The Coordinator hosts Activation/Registration plus the subscription
+//     list.
+package core
+
+import (
+	"encoding/xml"
+	"errors"
+
+	"wsgossip/internal/soap"
+)
+
+// Namespace is the WS-Gossip extension namespace.
+const Namespace = "urn:wsgossip:2008"
+
+// Coordination protocol identifiers.
+const (
+	// CoordinationTypeGossip is the WS-Gossip coordination type URI used
+	// with WS-Coordination Activation.
+	CoordinationTypeGossip = Namespace + ":gossip"
+	// ProtocolPushGossip is the WS-PushGossip coordination protocol.
+	ProtocolPushGossip = Namespace + ":gossip:push"
+)
+
+// WS-Gossip action URIs.
+const (
+	// ActionNotify is the disseminated application operation ("op" in
+	// Figure 1).
+	ActionNotify = Namespace + ":notify"
+	// ActionIHave announces a notification's availability (lazy push).
+	ActionIHave = Namespace + ":ihave"
+	// ActionIWant requests an announced notification (lazy push).
+	ActionIWant = Namespace + ":iwant"
+	// ActionSubscribe registers interest with the Coordinator.
+	ActionSubscribe = Namespace + ":subscribe"
+	// ActionSubscribeResponse acknowledges a subscription.
+	ActionSubscribeResponse = Namespace + ":subscribeResponse"
+	// ActionReplicate propagates subscription records between the members
+	// of a distributed Coordinator.
+	ActionReplicate = Namespace + ":replicateSubscription"
+)
+
+// Subscriber roles.
+const (
+	// RoleDisseminator marks a subscriber running a compliant middleware
+	// stack that forwards notifications.
+	RoleDisseminator = "disseminator"
+	// RoleConsumer marks an unchanged subscriber that only consumes.
+	RoleConsumer = "consumer"
+)
+
+// ErrNoGossipHeader reports a notification without the WS-Gossip header.
+var ErrNoGossipHeader = errors.New("core: no gossip header")
+
+// GossipHeader is the SOAP header block that rides on every gossiped
+// notification: it names the interaction (the coordination activity), the
+// notification, and the remaining hop budget.
+type GossipHeader struct {
+	XMLName       xml.Name `xml:"urn:wsgossip:2008 Gossip"`
+	InteractionID string   `xml:"InteractionID"`
+	MessageID     string   `xml:"MessageID"`
+	Hops          int      `xml:"Hops"`
+}
+
+// SetGossipHeader writes gh into the envelope, replacing any existing gossip
+// header.
+func SetGossipHeader(env *soap.Envelope, gh GossipHeader) error {
+	env.RemoveHeader(Namespace, "Gossip")
+	return env.AddHeader(gh)
+}
+
+// GossipHeaderFrom extracts the gossip header, or ErrNoGossipHeader.
+func GossipHeaderFrom(env *soap.Envelope) (GossipHeader, error) {
+	var gh GossipHeader
+	if err := env.DecodeHeader(Namespace, "Gossip", &gh); err != nil {
+		if errors.Is(err, soap.ErrHeaderNotFound) {
+			return gh, ErrNoGossipHeader
+		}
+		return gh, err
+	}
+	return gh, nil
+}
+
+// GossipParameters is the registration-response extension through which the
+// Coordinator configures a participant: protocol parameters (the paper's f
+// and r) plus the peer targets for its gossip rounds.
+type GossipParameters struct {
+	XMLName xml.Name `xml:"urn:wsgossip:2008 GossipParameters"`
+	Fanout  int      `xml:"Fanout"`
+	Hops    int      `xml:"Hops"`
+	Style   string   `xml:"Style"`
+	Targets []string `xml:"Targets>Target"`
+}
+
+// GossipParametersFrom extracts the parameter extension header.
+func GossipParametersFrom(env *soap.Envelope) (GossipParameters, error) {
+	var gp GossipParameters
+	if err := env.DecodeHeader(Namespace, "GossipParameters", &gp); err != nil {
+		return gp, err
+	}
+	return gp, nil
+}
+
+// SubscribeRequest is the Subscribe operation body.
+type SubscribeRequest struct {
+	XMLName  xml.Name `xml:"urn:wsgossip:2008 Subscribe"`
+	Endpoint string   `xml:"Endpoint"`
+	Role     string   `xml:"Role"`
+}
+
+// SubscribeResponse acknowledges a Subscribe.
+type SubscribeResponse struct {
+	XMLName  xml.Name `xml:"urn:wsgossip:2008 SubscribeResponse"`
+	Accepted bool     `xml:"Accepted"`
+}
+
+// ReplicateSubscription propagates one subscription record inside a
+// distributed Coordinator.
+type ReplicateSubscription struct {
+	XMLName  xml.Name `xml:"urn:wsgossip:2008 ReplicateSubscription"`
+	Endpoint string   `xml:"Endpoint"`
+	Role     string   `xml:"Role"`
+}
+
+// Announce is the lazy-push IHAVE body: it names a notification without its
+// payload; unseen receivers fetch it with Fetch.
+type Announce struct {
+	XMLName       xml.Name `xml:"urn:wsgossip:2008 Announce"`
+	InteractionID string   `xml:"InteractionID"`
+	MessageID     string   `xml:"MessageID"`
+	Hops          int      `xml:"Hops"`
+	Holder        string   `xml:"Holder"`
+}
+
+// Fetch is the lazy-push IWANT body: a request for an announced
+// notification.
+type Fetch struct {
+	XMLName   xml.Name `xml:"urn:wsgossip:2008 Fetch"`
+	MessageID string   `xml:"MessageID"`
+	Requester string   `xml:"Requester"`
+}

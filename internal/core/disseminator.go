@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+	"wsgossip/internal/wscoord"
+)
+
+// DisseminatorStats counts the gossip layer's activity at one node.
+type DisseminatorStats struct {
+	// Received counts notifications that reached the gossip layer.
+	Received int64
+	// Delivered counts unique notifications handed to the application.
+	Delivered int64
+	// Duplicates counts suppressed re-receipts.
+	Duplicates int64
+	// Forwarded counts copies re-routed to peers.
+	Forwarded int64
+	// Registrations counts first-contact registrations with a Registration
+	// service.
+	Registrations int64
+	// SendErrors counts failed forwards (tolerated by redundancy).
+	SendErrors int64
+	// Announced counts lazy-push IHAVE messages sent.
+	Announced int64
+	// Fetched counts lazy-push IWANT requests issued.
+	Fetched int64
+	// Served counts stored notifications served to fetchers.
+	Served int64
+	// DigestsSent counts anti-entropy digests issued by TickRepair.
+	DigestsSent int64
+	// Repaired counts notifications retransmitted in response to digests.
+	Repaired int64
+}
+
+// DisseminatorConfig configures a Disseminator node.
+type DisseminatorConfig struct {
+	// Address is the node's endpoint address.
+	Address string
+	// Caller sends SOAP messages (forwards and registrations).
+	Caller soap.Caller
+	// App is the application service the gossip layer wraps. It receives
+	// each unique notification exactly once. May be nil for pure relays.
+	App soap.Handler
+	// RNG drives peer selection; nil falls back to a fixed seed.
+	RNG *rand.Rand
+	// SeenCacheSize bounds the duplicate-suppression cache (0 = default).
+	SeenCacheSize int
+	// StoreSize bounds the retained notification envelopes that serve
+	// lazy-push fetches (0 = 1024).
+	StoreSize int
+}
+
+// interactionState caches the parameters the Coordinator assigned for one
+// gossip interaction.
+type interactionState struct {
+	params GossipParameters
+}
+
+// Disseminator is the paper's Disseminator role: application code untouched,
+// but the middleware stack carries an extra handler — the gossip layer —
+// that intercepts notifications and re-routes them to selected destinations.
+type Disseminator struct {
+	cfg      DisseminatorConfig
+	register *wscoord.RegistrationClient
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	seen         *gossip.SeenSet
+	interactions map[string]*interactionState
+	store        *envelopeStore
+	requested    map[string]struct{}
+	stats        DisseminatorStats
+}
+
+// sampleTargets draws up to n targets from addrs, excluding exclude.
+func sampleTargets(rng *rand.Rand, addrs []string, n int, exclude string) []string {
+	return gossip.SamplePeers(rng, addrs, n, exclude)
+}
+
+// NewDisseminator returns a disseminator node.
+func NewDisseminator(cfg DisseminatorConfig) (*Disseminator, error) {
+	if cfg.Address == "" || cfg.Caller == nil {
+		return nil, fmt.Errorf("core: disseminator config requires address and caller")
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Disseminator{
+		cfg:          cfg,
+		register:     wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
+		rng:          rng,
+		seen:         gossip.NewSeenSet(cfg.SeenCacheSize),
+		interactions: make(map[string]*interactionState),
+		store:        newEnvelopeStore(cfg.StoreSize),
+		requested:    make(map[string]struct{}),
+	}, nil
+}
+
+// Address returns the node's endpoint address.
+func (d *Disseminator) Address() string { return d.cfg.Address }
+
+// Stats returns a copy of the gossip-layer counters.
+func (d *Disseminator) Stats() DisseminatorStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Handler returns the node's SOAP handler: the application service wrapped
+// by the gossip layer middleware on the notify action.
+func (d *Disseminator) Handler() soap.Handler {
+	dispatcher := soap.NewDispatcher()
+	dispatcher.Register(ActionNotify, soap.HandlerFunc(d.handleNotify))
+	dispatcher.Register(ActionIHave, soap.HandlerFunc(d.handleIHave))
+	dispatcher.Register(ActionIWant, soap.HandlerFunc(d.handleIWant))
+	dispatcher.Register(ActionDigest, soap.HandlerFunc(d.handleDigest))
+	return dispatcher
+}
+
+// Middleware returns the gossip layer as a reusable soap.Middleware, for
+// stacks that compose their own handler chains.
+func (d *Disseminator) Middleware() soap.Middleware {
+	return func(next soap.Handler) soap.Handler {
+		return soap.HandlerFunc(func(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+			return d.intercept(ctx, req, next)
+		})
+	}
+}
+
+func (d *Disseminator) handleNotify(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	return d.intercept(ctx, req, d.cfg.App)
+}
+
+// intercept implements the gossip layer: dedup, first-contact registration,
+// local delivery, and hop-bounded re-routing.
+func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soap.Handler) (*soap.Envelope, error) {
+	gh, err := GossipHeaderFrom(req.Envelope)
+	if err != nil {
+		// Not a gossiped message: hand it to the application untouched.
+		return d.deliver(ctx, req, app)
+	}
+	d.mu.Lock()
+	d.stats.Received++
+	if !d.seen.Add(gh.MessageID) {
+		d.stats.Duplicates++
+		d.mu.Unlock()
+		return nil, nil
+	}
+	delete(d.requested, gh.MessageID)
+	// Retain the envelope so lazy-push fetches can be served later.
+	d.store.Put(gh.MessageID, req.Envelope.Clone())
+	state, known := d.interactions[gh.InteractionID]
+	d.mu.Unlock()
+
+	if !known {
+		state, err = d.registerInteraction(ctx, req.Envelope, gh)
+		if err != nil {
+			// Without parameters the node still consumes the message; it
+			// just cannot forward. This degrades, not fails, matching the
+			// epidemic model's tolerance for non-cooperating nodes.
+			state = nil
+		}
+	}
+
+	d.mu.Lock()
+	d.stats.Delivered++
+	d.mu.Unlock()
+	resp, appErr := d.deliver(ctx, req, app)
+
+	if state != nil && gh.Hops > 0 {
+		if state.params.Style == gossip.StyleLazyPush.String() {
+			d.announce(ctx, gh, state)
+		} else {
+			d.forward(ctx, req.Envelope, gh, state)
+		}
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	// Gossiped notifications are one-way: suppress application responses on
+	// the gossip path.
+	_ = resp
+	return nil, nil
+}
+
+func (d *Disseminator) deliver(ctx context.Context, req *soap.Request, app soap.Handler) (*soap.Envelope, error) {
+	if app == nil {
+		return nil, nil
+	}
+	return app.HandleSOAP(ctx, req)
+}
+
+// registerInteraction performs the paper's first-contact handshake: "If
+// this is an unknown gossip interaction, it registers itself with the
+// Registration service, thus obtaining gossip targets to which it will
+// forward the message."
+func (d *Disseminator) registerInteraction(ctx context.Context, env *soap.Envelope, gh GossipHeader) (*interactionState, error) {
+	cctx, err := wscoord.ContextFrom(env)
+	if err != nil {
+		return nil, fmt.Errorf("core: gossiped message without coordination context: %w", err)
+	}
+	resp, err := d.register.Register(ctx, cctx, ProtocolPushGossip, d.cfg.Address)
+	if err != nil {
+		return nil, fmt.Errorf("core: register interaction %s: %w", gh.InteractionID, err)
+	}
+	params, err := GossipParametersFrom(resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: registration response without parameters: %w", err)
+	}
+	state := &interactionState{params: params}
+	d.mu.Lock()
+	d.interactions[gh.InteractionID] = state
+	d.stats.Registrations++
+	d.mu.Unlock()
+	return state, nil
+}
+
+// forward re-routes a copy of the notification to up to fanout targets with
+// a decremented hop budget.
+func (d *Disseminator) forward(ctx context.Context, env *soap.Envelope, gh GossipHeader, state *interactionState) {
+	d.mu.Lock()
+	targets := gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
+	d.mu.Unlock()
+	next := gh
+	next.Hops = gh.Hops - 1
+	for _, target := range targets {
+		copyEnv := env.Clone()
+		if err := SetGossipHeader(copyEnv, next); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := copyEnv.SetAddressing(wsa.Headers{
+			To:        target,
+			Action:    ActionNotify,
+			MessageID: wsa.MessageID(gh.MessageID),
+		}); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, target, copyEnv); err != nil {
+			d.addSendError()
+			continue
+		}
+		d.mu.Lock()
+		d.stats.Forwarded++
+		d.mu.Unlock()
+	}
+}
+
+func (d *Disseminator) addSendError() {
+	d.mu.Lock()
+	d.stats.SendErrors++
+	d.mu.Unlock()
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"wsgossip/internal/soap"
+)
+
+// lateBound lets us register a SOAP handler after the server URL is known
+// (role addresses are their public URLs).
+type lateBound struct {
+	mu sync.Mutex
+	h  soap.Handler
+}
+
+func (l *lateBound) set(h soap.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateBound) HandleSOAP(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		return nil, soap.NewFault(soap.CodeReceiver, "handler not ready")
+	}
+	return h.HandleSOAP(ctx, req)
+}
+
+// TestFigure1OverRealHTTP runs the full Figure 1 flow over actual SOAP 1.2 /
+// HTTP servers: coordinator, three disseminators, one unchanged consumer.
+func TestFigure1OverRealHTTP(t *testing.T) {
+	client := soap.NewHTTPClient(&http.Client{Timeout: 5 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	startServer := func() (*lateBound, string, func()) {
+		lb := &lateBound{}
+		srv := httptest.NewServer(soap.NewHTTPServer(lb))
+		return lb, srv.URL + "/", srv.Close
+	}
+
+	coordLB, coordURL, closeCoord := startServer()
+	defer closeCoord()
+	coord := NewCoordinator(CoordinatorConfig{
+		Address: coordURL,
+		RNG:     rand.New(rand.NewSource(1)),
+		Params:  func(int) (int, int) { return 3, 5 },
+	})
+	coordLB.set(coord.Handler())
+
+	const nDissem = 3
+	apps := make([]*CollectingApp, nDissem)
+	for i := 0; i < nDissem; i++ {
+		lb, url, closeSrv := startServer()
+		defer closeSrv()
+		apps[i] = NewCollectingApp()
+		d, err := NewDisseminator(DisseminatorConfig{
+			Address: url, Caller: client, App: apps[i],
+			RNG: rand.New(rand.NewSource(int64(i) + 5)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb.set(d.Handler())
+		if err := SubscribeClient(ctx, client, coordURL, url, RoleDisseminator); err != nil {
+			t.Fatalf("subscribe disseminator %d: %v", i, err)
+		}
+	}
+
+	consumerLB, consumerURL, closeConsumer := startServer()
+	defer closeConsumer()
+	consumerApp := NewCollectingApp()
+	consumerLB.set(NewConsumer(consumerApp).Handler())
+	if err := SubscribeClient(ctx, client, coordURL, consumerURL, RoleConsumer); err != nil {
+		t.Fatalf("subscribe consumer: %v", err)
+	}
+
+	init, err := NewInitiator(InitiatorConfig{
+		Address: "urn:test:initiator", Caller: client, Activation: coordURL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := init.StartInteraction(ctx)
+	if err != nil {
+		t.Fatalf("start interaction: %v", err)
+	}
+	if _, sent, err := init.Notify(ctx, inter, quoteBody{Symbol: "HTTP", Price: 9}); err != nil || sent == 0 {
+		t.Fatalf("notify: sent=%d err=%v", sent, err)
+	}
+
+	// HTTP hops are asynchronous; wait for the epidemic to complete.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := consumerApp.Count() >= 1
+		for _, app := range apps {
+			if app.Count() < 1 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, app := range apps {
+		if app.Count() != 1 {
+			t.Fatalf("disseminator %d deliveries = %d", i, app.Count())
+		}
+	}
+	if consumerApp.Count() < 1 {
+		t.Fatalf("consumer deliveries = %d", consumerApp.Count())
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+	"wsgossip/internal/wscoord"
+)
+
+// addressingFor builds one-way addressing headers for an outbound message.
+func addressingFor(to, action string) wsa.Headers {
+	return wsa.Headers{To: to, Action: action, MessageID: wsa.NewMessageID()}
+}
+
+// Interaction is one activated gossip dissemination: the coordination
+// context plus the parameters and targets the Coordinator assigned to the
+// initiator.
+type Interaction struct {
+	Context wscoord.CoordinationContext
+	Params  GossipParameters
+}
+
+// InitiatorConfig configures an Initiator.
+type InitiatorConfig struct {
+	// Address is the initiator's own endpoint address (used in addressing
+	// headers and as its registration participant address).
+	Address string
+	// Caller sends SOAP messages.
+	Caller soap.Caller
+	// Activation is the Coordinator's Activation service address.
+	Activation string
+}
+
+// Initiator is the one role whose application code changes (paper,
+// Section 3): it activates a gossip interaction, registers, and then issues
+// a single notification per data item; the middleware does the rest.
+type Initiator struct {
+	cfg        InitiatorConfig
+	activation *wscoord.ActivationClient
+	register   *wscoord.RegistrationClient
+}
+
+// NewInitiator returns an initiator.
+func NewInitiator(cfg InitiatorConfig) (*Initiator, error) {
+	if cfg.Address == "" || cfg.Caller == nil || cfg.Activation == "" {
+		return nil, fmt.Errorf("core: initiator config requires address, caller, and activation address")
+	}
+	return &Initiator{
+		cfg:        cfg,
+		activation: wscoord.NewActivationClient(cfg.Caller, cfg.Address),
+		register:   wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
+	}, nil
+}
+
+// StartInteraction activates a gossip coordination context and registers the
+// initiator for the push-gossip protocol, obtaining its parameters and
+// initial targets.
+func (i *Initiator) StartInteraction(ctx context.Context) (*Interaction, error) {
+	cctx, err := i.activation.Create(ctx, i.cfg.Activation, CoordinationTypeGossip)
+	if err != nil {
+		return nil, fmt.Errorf("core: activate gossip interaction: %w", err)
+	}
+	resp, err := i.register.Register(ctx, cctx, ProtocolPushGossip, i.cfg.Address)
+	if err != nil {
+		return nil, fmt.Errorf("core: register initiator: %w", err)
+	}
+	params, err := GossipParametersFrom(resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: registration response without gossip parameters: %w", err)
+	}
+	return &Interaction{Context: cctx, Params: params}, nil
+}
+
+// Notify issues a single notification carrying body, fanning it out to the
+// initiator's assigned targets with the interaction's full hop budget. It
+// returns the notification's message ID and the number of targets the send
+// succeeded to (gossip redundancy tolerates individual failures).
+func (i *Initiator) Notify(ctx context.Context, inter *Interaction, body any) (wsa.MessageID, int, error) {
+	if inter == nil {
+		return "", 0, fmt.Errorf("core: notify without an interaction")
+	}
+	msgID := wsa.NewMessageID()
+	sent := 0
+	for _, target := range inter.Params.Targets {
+		env, err := i.buildNotification(inter, msgID, target, body)
+		if err != nil {
+			return msgID, sent, err
+		}
+		if err := i.cfg.Caller.Send(ctx, target, env); err != nil {
+			continue
+		}
+		sent++
+	}
+	if len(inter.Params.Targets) > 0 && sent == 0 {
+		return msgID, 0, fmt.Errorf("core: notification reached none of %d targets", len(inter.Params.Targets))
+	}
+	return msgID, sent, nil
+}
+
+func (i *Initiator) buildNotification(inter *Interaction, msgID wsa.MessageID, to string, body any) (*soap.Envelope, error) {
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To:        to,
+		Action:    ActionNotify,
+		MessageID: msgID,
+	}); err != nil {
+		return nil, err
+	}
+	if err := wscoord.AttachContext(env, inter.Context); err != nil {
+		return nil, err
+	}
+	if err := SetGossipHeader(env, GossipHeader{
+		InteractionID: inter.Context.Identifier,
+		MessageID:     string(msgID),
+		Hops:          inter.Params.Hops,
+	}); err != nil {
+		return nil, err
+	}
+	if err := env.SetBody(body); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// SubscribeClient sends a Subscribe to a Coordinator on behalf of endpoint.
+func SubscribeClient(ctx context.Context, caller soap.Caller, coordinator, endpoint, role string) error {
+	env := soap.NewEnvelope()
+	from := wsa.NewEPR(endpoint)
+	if err := env.SetAddressing(wsa.Headers{
+		To:        coordinator,
+		Action:    ActionSubscribe,
+		MessageID: wsa.NewMessageID(),
+		ReplyTo:   &from,
+	}); err != nil {
+		return err
+	}
+	if err := env.SetBody(SubscribeRequest{Endpoint: endpoint, Role: role}); err != nil {
+		return err
+	}
+	resp, err := caller.Call(ctx, coordinator, env)
+	if err != nil {
+		return fmt.Errorf("core: subscribe %s at %s: %w", endpoint, coordinator, err)
+	}
+	var ack SubscribeResponse
+	if resp == nil {
+		return fmt.Errorf("core: subscribe %s: empty response", endpoint)
+	}
+	if err := resp.DecodeBody(&ack); err != nil {
+		return fmt.Errorf("core: subscribe %s: %w", endpoint, err)
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("core: subscribe %s: rejected", endpoint)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// envelopeStore retains recent notification envelopes so a lazy-push node
+// can serve Fetch requests. FIFO eviction, bounded.
+type envelopeStore struct {
+	cap   int
+	order *list.List
+	items map[string]*soap.Envelope
+}
+
+func newEnvelopeStore(capacity int) *envelopeStore {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &envelopeStore{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*soap.Envelope),
+	}
+}
+
+func (s *envelopeStore) Put(id string, env *soap.Envelope) {
+	if _, ok := s.items[id]; ok {
+		return
+	}
+	s.items[id] = env
+	s.order.PushFront(id)
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(string))
+	}
+}
+
+func (s *envelopeStore) Get(id string) (*soap.Envelope, bool) {
+	env, ok := s.items[id]
+	return env, ok
+}
+
+func (s *envelopeStore) Len() int { return s.order.Len() }
+
+// announce implements the lazy-push spread step: advertise the notification
+// to up to fanout targets; unseen receivers fetch the payload.
+func (d *Disseminator) announce(ctx context.Context, gh GossipHeader, state *interactionState) {
+	d.mu.Lock()
+	targets := sampleTargets(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
+	d.mu.Unlock()
+	body := Announce{
+		InteractionID: gh.InteractionID,
+		MessageID:     gh.MessageID,
+		Hops:          gh.Hops - 1,
+		Holder:        d.cfg.Address,
+	}
+	for _, target := range targets {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(wsa.Headers{
+			To:        target,
+			Action:    ActionIHave,
+			MessageID: wsa.NewMessageID(),
+		}); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := env.SetBody(body); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, target, env); err != nil {
+			d.addSendError()
+			continue
+		}
+		d.mu.Lock()
+		d.stats.Announced++
+		d.mu.Unlock()
+	}
+}
+
+// handleIHave requests the payload of an unseen announced notification.
+func (d *Disseminator) handleIHave(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var ann Announce
+	if err := req.Envelope.DecodeBody(&ann); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed Announce: "+err.Error())
+	}
+	d.mu.Lock()
+	if d.seen.Contains(ann.MessageID) {
+		d.stats.Duplicates++
+		d.mu.Unlock()
+		return nil, nil
+	}
+	if _, pending := d.requested[ann.MessageID]; pending {
+		d.mu.Unlock()
+		return nil, nil
+	}
+	d.requested[ann.MessageID] = struct{}{}
+	d.mu.Unlock()
+
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To:        ann.Holder,
+		Action:    ActionIWant,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		return nil, err
+	}
+	if err := env.SetBody(Fetch{MessageID: ann.MessageID, Requester: d.cfg.Address}); err != nil {
+		return nil, err
+	}
+	if err := d.cfg.Caller.Send(ctx, ann.Holder, env); err != nil {
+		d.mu.Lock()
+		// Allow a later announcer to retrigger the fetch.
+		delete(d.requested, ann.MessageID)
+		d.stats.SendErrors++
+		d.mu.Unlock()
+		return nil, nil
+	}
+	d.mu.Lock()
+	d.stats.Fetched++
+	d.mu.Unlock()
+	return nil, nil
+}
+
+// handleIWant serves a stored notification to the requester with a
+// decremented hop budget.
+func (d *Disseminator) handleIWant(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var fetch Fetch
+	if err := req.Envelope.DecodeBody(&fetch); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed Fetch: "+err.Error())
+	}
+	d.mu.Lock()
+	stored, ok := d.store.Get(fetch.MessageID)
+	d.mu.Unlock()
+	if !ok {
+		return nil, soap.NewFault(soap.CodeSender,
+			fmt.Sprintf("notification %q not held", fetch.MessageID))
+	}
+	gh, err := GossipHeaderFrom(stored)
+	if err != nil {
+		return nil, err
+	}
+	out := stored.Clone()
+	// The transfer consumes one hop, exactly as an eager forward would.
+	next := gh
+	if next.Hops > 0 {
+		next.Hops--
+	}
+	if err := SetGossipHeader(out, next); err != nil {
+		return nil, err
+	}
+	if err := out.SetAddressing(wsa.Headers{
+		To:        fetch.Requester,
+		Action:    ActionNotify,
+		MessageID: wsa.MessageID(gh.MessageID),
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.cfg.Caller.Send(ctx, fetch.Requester, out); err != nil {
+		d.addSendError()
+		return nil, nil
+	}
+	d.mu.Lock()
+	d.stats.Served++
+	d.mu.Unlock()
+	return nil, nil
+}

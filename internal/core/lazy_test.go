@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+)
+
+// lazyDeployment builds a WS-Gossip deployment whose Coordinator configures
+// participants for lazy push.
+func newLazyDeployment(t *testing.T, nDissem int, seed int64) (*soap.MemBus, *Initiator, []*Disseminator, []*CollectingApp) {
+	t.Helper()
+	bus := soap.NewMemBus()
+	coord := NewCoordinator(CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(seed)),
+		Params:  func(int) (int, int) { return 4, 8 },
+		Style:   gossip.StyleLazyPush,
+	})
+	bus.Register("mem://coordinator", coord.Handler())
+	ctx := context.Background()
+	dissems := make([]*Disseminator, nDissem)
+	apps := make([]*CollectingApp, nDissem)
+	for i := 0; i < nDissem; i++ {
+		addr := fmt.Sprintf("mem://lazy%02d", i)
+		apps[i] = NewCollectingApp()
+		d, err := NewDisseminator(DisseminatorConfig{
+			Address: addr, Caller: bus, App: apps[i],
+			RNG: rand.New(rand.NewSource(seed + int64(i) + 50)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dissems[i] = d
+		bus.Register(addr, d.Handler())
+		if err := SubscribeClient(ctx, bus, "mem://coordinator", addr, RoleDisseminator); err != nil {
+			t.Fatal(err)
+		}
+	}
+	init, err := NewInitiator(InitiatorConfig{
+		Address: "mem://init", Caller: bus, Activation: "mem://coordinator",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bus, init, dissems, apps
+}
+
+// TestLazyPushDissemination verifies the SOAP-level lazy-push style: full
+// coverage with announce/fetch traffic replacing most payload forwards.
+func TestLazyPushDissemination(t *testing.T) {
+	_, init, dissems, apps := newLazyDeployment(t, 20, 31)
+	ctx := context.Background()
+	inter, err := init.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Params.Style != gossip.StyleLazyPush.String() {
+		t.Fatalf("style = %q", inter.Params.Style)
+	}
+	if _, _, err := init.Notify(ctx, inter, quoteBody{Symbol: "LAZY", Price: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reached := 0
+	for _, app := range apps {
+		if app.Count() == 1 {
+			reached++
+		}
+	}
+	if reached < 18 {
+		t.Fatalf("lazy push reached %d/20", reached)
+	}
+	var announced, fetched, served, forwarded int64
+	for _, d := range dissems {
+		st := d.Stats()
+		announced += st.Announced
+		fetched += st.Fetched
+		served += st.Served
+		forwarded += st.Forwarded
+	}
+	if announced == 0 || fetched == 0 || served == 0 {
+		t.Fatalf("lazy machinery unused: announced=%d fetched=%d served=%d", announced, fetched, served)
+	}
+	if forwarded != 0 {
+		t.Fatalf("lazy deployment used eager forwards: %d", forwarded)
+	}
+	// Payload transfers (served) must not exceed unique deliveries, unlike
+	// eager push where payloads >> deliveries.
+	if served > int64(len(dissems)) {
+		t.Fatalf("served %d payloads for %d nodes", served, len(dissems))
+	}
+}
+
+// TestLazyPushPayloadSavings compares payload traffic against an eager
+// deployment of the same size and parameters.
+func TestLazyPushPayloadSavings(t *testing.T) {
+	ctx := context.Background()
+
+	_, lazyInit, lazyDissems, _ := newLazyDeployment(t, 20, 32)
+	inter, err := lazyInit.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lazyInit.Notify(ctx, inter, quoteBody{Symbol: "L", Price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var lazyPayloads int64
+	for _, d := range lazyDissems {
+		st := d.Stats()
+		lazyPayloads += st.Served + st.Forwarded
+	}
+
+	eager, err := newE0StyleDeployment(20, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerInter, err := eager.init.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eager.init.Notify(ctx, eagerInter, quoteBody{Symbol: "E", Price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var eagerPayloads int64
+	for _, d := range eager.dissems {
+		eagerPayloads += d.Stats().Forwarded
+	}
+	if lazyPayloads >= eagerPayloads {
+		t.Fatalf("lazy payloads (%d) not below eager (%d)", lazyPayloads, eagerPayloads)
+	}
+}
+
+// eagerDeployment mirrors newLazyDeployment with the default push style.
+type eagerDeployment struct {
+	init    *Initiator
+	dissems []*Disseminator
+}
+
+func newE0StyleDeployment(nDissem int, seed int64) (*eagerDeployment, error) {
+	bus := soap.NewMemBus()
+	coord := NewCoordinator(CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(seed)),
+		Params:  func(int) (int, int) { return 4, 8 },
+	})
+	bus.Register("mem://coordinator", coord.Handler())
+	ctx := context.Background()
+	d := &eagerDeployment{}
+	for i := 0; i < nDissem; i++ {
+		addr := fmt.Sprintf("mem://eager%02d", i)
+		dd, err := NewDisseminator(DisseminatorConfig{
+			Address: addr, Caller: bus, App: NewCollectingApp(),
+			RNG: rand.New(rand.NewSource(seed + int64(i) + 50)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.dissems = append(d.dissems, dd)
+		bus.Register(addr, dd.Handler())
+		if err := SubscribeClient(ctx, bus, "mem://coordinator", addr, RoleDisseminator); err != nil {
+			return nil, err
+		}
+	}
+	init, err := NewInitiator(InitiatorConfig{
+		Address: "mem://init", Caller: bus, Activation: "mem://coordinator",
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.init = init
+	return d, nil
+}
+
+func TestEnvelopeStore(t *testing.T) {
+	s := newEnvelopeStore(2)
+	mk := func(id string) *soap.Envelope {
+		env := soap.NewEnvelope()
+		_ = env.SetBody(quoteBody{Symbol: id})
+		return env
+	}
+	s.Put("a", mk("a"))
+	s.Put("b", mk("b"))
+	s.Put("a", mk("a2")) // idempotent, no duplicate entry
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Put("c", mk("c"))
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("oldest survived eviction")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("newest missing")
+	}
+	if s := newEnvelopeStore(0); s.cap != 1024 {
+		t.Fatalf("default cap = %d", s.cap)
+	}
+}
+
+func TestHandleIWantUnknownMessage(t *testing.T) {
+	bus := soap.NewMemBus()
+	d, err := NewDisseminator(DisseminatorConfig{Address: "mem://d", Caller: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("mem://d", d.Handler())
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(addressingFor("mem://d", ActionIWant)); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SetBody(Fetch{MessageID: "ghost", Requester: "mem://x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Call(context.Background(), "mem://d", env); err == nil {
+		t.Fatal("fetch of unknown message succeeded")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"encoding/xml"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// Anti-entropy repair: disseminators periodically exchange digests of the
+// notifications they hold and retransmit what peers are missing. This is the
+// WS-level analogue of Bimodal Multicast's phase 2 and of the engine's pull
+// styles — it closes the gaps that one-shot push dissemination leaves under
+// loss and churn.
+
+// ActionDigest is the anti-entropy digest exchange action.
+const ActionDigest = Namespace + ":digest"
+
+// digestCap bounds the message IDs advertised per digest and the envelopes
+// retransmitted per exchange.
+const digestCap = 128
+
+// Digest advertises the notifications a node holds.
+type Digest struct {
+	XMLName    xml.Name `xml:"urn:wsgossip:2008 Digest"`
+	Sender     string   `xml:"Sender"`
+	MessageIDs []string `xml:"MessageIDs>MessageID"`
+}
+
+// TickRepair runs one anti-entropy round: the node sends a digest of its
+// stored notifications to up to fanout peers drawn from every interaction it
+// participates in. Peers answer by retransmitting notifications absent from
+// the digest. Call it from a timer at the deployment's repair interval.
+func (d *Disseminator) TickRepair(ctx context.Context) {
+	d.mu.Lock()
+	ids := d.storedIDsLocked(digestCap)
+	targetSet := make(map[string]struct{})
+	for _, state := range d.interactions {
+		fanout := state.params.Fanout
+		for _, t := range sampleTargets(d.rng, state.params.Targets, fanout, d.cfg.Address) {
+			targetSet[t] = struct{}{}
+		}
+	}
+	d.mu.Unlock()
+	if len(targetSet) == 0 {
+		return
+	}
+	body := Digest{Sender: d.cfg.Address, MessageIDs: ids}
+	for target := range targetSet {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(wsa.Headers{
+			To:        target,
+			Action:    ActionDigest,
+			MessageID: wsa.NewMessageID(),
+		}); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := env.SetBody(body); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, target, env); err != nil {
+			d.addSendError()
+			continue
+		}
+		d.mu.Lock()
+		d.stats.DigestsSent++
+		d.mu.Unlock()
+	}
+}
+
+// storedIDsLocked lists up to n stored notification IDs, newest first.
+func (d *Disseminator) storedIDsLocked(n int) []string {
+	ids := make([]string, 0, n)
+	for el := d.store.order.Front(); el != nil && len(ids) < n; el = el.Next() {
+		ids = append(ids, el.Value.(string))
+	}
+	return ids
+}
+
+// handleDigest retransmits stored notifications the digest's sender lacks.
+// Retransmissions consume one hop, like any other transfer, so repaired
+// receivers can still contribute to the epidemic if budget remains.
+func (d *Disseminator) handleDigest(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var dig Digest
+	if err := req.Envelope.DecodeBody(&dig); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed Digest: "+err.Error())
+	}
+	if dig.Sender == "" {
+		return nil, soap.NewFault(soap.CodeSender, "digest without sender")
+	}
+	have := make(map[string]struct{}, len(dig.MessageIDs))
+	for _, id := range dig.MessageIDs {
+		have[id] = struct{}{}
+	}
+	d.mu.Lock()
+	var missing []*soap.Envelope
+	for el := d.store.order.Front(); el != nil && len(missing) < digestCap; el = el.Next() {
+		id := el.Value.(string)
+		if _, ok := have[id]; ok {
+			continue
+		}
+		if env, ok := d.store.Get(id); ok {
+			missing = append(missing, env.Clone())
+		}
+	}
+	d.mu.Unlock()
+	for _, env := range missing {
+		gh, err := GossipHeaderFrom(env)
+		if err != nil {
+			continue
+		}
+		next := gh
+		if next.Hops > 0 {
+			next.Hops--
+		}
+		if err := SetGossipHeader(env, next); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := env.SetAddressing(wsa.Headers{
+			To:        dig.Sender,
+			Action:    ActionNotify,
+			MessageID: wsa.MessageID(gh.MessageID),
+		}); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, dig.Sender, env); err != nil {
+			d.addSendError()
+			continue
+		}
+		d.mu.Lock()
+		d.stats.Repaired++
+		d.mu.Unlock()
+	}
+	return nil, nil
+}

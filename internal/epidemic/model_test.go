@@ -1,0 +1,183 @@
+package epidemic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedCoverageBasics(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, f, r int
+		min     float64
+		max     float64
+	}{
+		{"zero rounds is origin only", 100, 3, 0, 0.01, 0.011},
+		{"single node", 1, 3, 5, 1, 1},
+		{"f3 fixed point near 0.94", 10000, 3, 40, 0.92, 0.96},
+		{"f2 fixed point near 0.80", 10000, 2, 200, 0.76, 0.84},
+		{"f8 near total", 10000, 8, 40, 0.999, 1.0},
+		{"zero fanout never spreads", 100, 0, 10, 0.01, 0.011},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ExpectedCoverage(tt.n, tt.f, tt.r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < tt.min || got > tt.max {
+				t.Fatalf("coverage = %v, want in [%v, %v]", got, tt.min, tt.max)
+			}
+		})
+	}
+}
+
+func TestExpectedCoverageErrors(t *testing.T) {
+	for _, bad := range [][3]int{{0, 3, 3}, {-1, 3, 3}, {10, -1, 3}, {10, 3, -1}} {
+		if _, err := ExpectedCoverage(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("params %v accepted", bad)
+		}
+	}
+}
+
+func TestCoverageMonotoneInRounds(t *testing.T) {
+	prev := 0.0
+	for r := 0; r <= 30; r++ {
+		cov, err := ExpectedCoverage(1000, 2, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cov < prev {
+			t.Fatalf("coverage decreased at round %d: %v < %v", r, cov, prev)
+		}
+		prev = cov
+	}
+}
+
+func TestCoverageMonotoneInFanoutProperty(t *testing.T) {
+	f := func(nRaw uint16, fRaw, rRaw uint8) bool {
+		n := 2 + int(nRaw)%5000
+		fan := int(fRaw)%10 + 1
+		r := int(rRaw)%20 + 1
+		lo, err1 := ExpectedCoverage(n, fan, r)
+		hi, err2 := ExpectedCoverage(n, fan+1, r)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return hi >= lo-1e-12 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossyReducesCoverage(t *testing.T) {
+	clean, err := ExpectedCoverageLossy(1000, 3, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := ExpectedCoverageLossy(1000, 3, 15, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy >= clean {
+		t.Fatalf("lossy coverage %v >= clean %v", noisy, clean)
+	}
+	base, err := ExpectedCoverage(1000, 3, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != base {
+		t.Fatalf("zero loss (%v) differs from lossless model (%v)", clean, base)
+	}
+}
+
+func TestLossyErrors(t *testing.T) {
+	if _, err := ExpectedCoverageLossy(100, 3, 3, -0.1); err == nil {
+		t.Fatal("negative loss accepted")
+	}
+	if _, err := ExpectedCoverageLossy(100, 3, 3, 1); err == nil {
+		t.Fatal("loss=1 accepted")
+	}
+}
+
+func TestRoundsForCoverage(t *testing.T) {
+	r, err := RoundsForCoverage(1024, 3, 0.9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 5 || r > 15 {
+		t.Fatalf("rounds = %d, want O(log n)", r)
+	}
+	// Unreachable target returns cap+1.
+	r, err = RoundsForCoverage(1024, 0, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 11 {
+		t.Fatalf("unreachable rounds = %d, want 11", r)
+	}
+	if _, err := RoundsForCoverage(100, 3, 0, 10); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, err := RoundsForCoverage(100, 3, 1.5, 10); err == nil {
+		t.Fatal("target > 1 accepted")
+	}
+}
+
+func TestLogisticRounds(t *testing.T) {
+	r, err := LogisticRounds(1024, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 7 { // ceil(log4(1024)) + 2 = 5 + 2
+		t.Fatalf("rounds = %d, want 7", r)
+	}
+	if r, _ := LogisticRounds(1, 3, 2); r != 0 {
+		t.Fatalf("single node rounds = %d", r)
+	}
+	if _, err := LogisticRounds(0, 3, 2); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := LogisticRounds(10, 0, 2); err == nil {
+		t.Fatal("f=0 accepted")
+	}
+}
+
+func TestLogRoundsGrowth(t *testing.T) {
+	// Rounds to 99% coverage must grow sub-linearly (logarithmically) in n.
+	r256, err := RoundsForCoverage(256, 3, 0.9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4096, err := RoundsForCoverage(4096, 3, 0.9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4096 <= r256 {
+		t.Fatalf("rounds did not grow: %d vs %d", r256, r4096)
+	}
+	if r4096 > 3*r256 {
+		t.Fatalf("rounds grew too fast: %d vs %d", r256, r4096)
+	}
+}
+
+func TestAtomicityProbability(t *testing.T) {
+	lo, err := AtomicityProbability(1024, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := AtomicityProbability(1024, 12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("atomicity not increasing in fanout: %v vs %v", lo, hi)
+	}
+	if hi < 0.9 {
+		t.Fatalf("f=12 atomicity = %v, want near 1", hi)
+	}
+	if lo > 0.2 {
+		t.Fatalf("f=2 atomicity = %v, want near 0", lo)
+	}
+}

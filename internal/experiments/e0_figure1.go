@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/soap"
+)
+
+type e0Body struct {
+	XMLName xml.Name `xml:"urn:example:stock Quote"`
+	Symbol  string   `xml:"Symbol"`
+	Price   float64  `xml:"Price"`
+}
+
+// e0Deployment is a WS-Gossip deployment over the in-memory SOAP bus.
+type e0Deployment struct {
+	bus      *soap.MemBus
+	coord    *core.Coordinator
+	init     *core.Initiator
+	dissems  []*core.Disseminator
+	apps     []*core.CollectingApp
+	consumer *core.CollectingApp
+}
+
+// newE0Deployment builds a coordinator, an initiator, nDissem disseminators,
+// and one unchanged consumer, all subscribed — Figure 1 generalized.
+func newE0Deployment(nDissem int, seed int64, fanout, hops int) (*e0Deployment, error) {
+	return newE0DeploymentStrategy(nDissem, seed, fanout, hops, core.TargetBalanced)
+}
+
+// newE0DeploymentStrategy is newE0Deployment with an explicit target
+// assignment strategy (ablation A3).
+func newE0DeploymentStrategy(nDissem int, seed int64, fanout, hops int, strategy core.TargetStrategy) (*e0Deployment, error) {
+	bus := soap.NewMemBus()
+	d := &e0Deployment{bus: bus}
+	d.coord = core.NewCoordinator(core.CoordinatorConfig{
+		Address:              "mem://coordinator",
+		RNG:                  rand.New(rand.NewSource(seed)),
+		Params:               func(int) (int, int) { return fanout, hops },
+		TargetsPerRegistrant: fanout + 2,
+		Strategy:             strategy,
+	})
+	bus.Register("mem://coordinator", d.coord.Handler())
+
+	ctx := context.Background()
+	for i := 0; i < nDissem; i++ {
+		addr := fmt.Sprintf("mem://app%d", i+1)
+		app := core.NewCollectingApp()
+		dd, err := core.NewDisseminator(core.DisseminatorConfig{
+			Address: addr,
+			Caller:  bus,
+			App:     app,
+			RNG:     rand.New(rand.NewSource(seed + 100 + int64(i))),
+		})
+		if err != nil {
+			return nil, err
+		}
+		bus.Register(addr, dd.Handler())
+		d.dissems = append(d.dissems, dd)
+		d.apps = append(d.apps, app)
+		if err := core.SubscribeClient(ctx, bus, "mem://coordinator", addr, core.RoleDisseminator); err != nil {
+			return nil, err
+		}
+	}
+	d.consumer = core.NewCollectingApp()
+	bus.Register("mem://consumer", core.NewConsumer(d.consumer).Handler())
+	if err := core.SubscribeClient(ctx, bus, "mem://coordinator", "mem://consumer", core.RoleConsumer); err != nil {
+		return nil, err
+	}
+	var err error
+	d.init, err = core.NewInitiator(core.InitiatorConfig{
+		Address:    "mem://app0b",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// runE0 executes one full Figure 1 interaction and returns summary metrics.
+func (d *e0Deployment) run(notifications int) (map[string]int64, error) {
+	ctx := context.Background()
+	inter, err := d.init.StartInteraction(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < notifications; i++ {
+		if _, _, err := d.init.Notify(ctx, inter, e0Body{Symbol: "ACME", Price: 40 + float64(i)}); err != nil {
+			return nil, err
+		}
+	}
+	m := map[string]int64{
+		"notifications": int64(notifications),
+		"fanout":        int64(inter.Params.Fanout),
+		"hops":          int64(inter.Params.Hops),
+	}
+	reached := 0
+	for i, app := range d.apps {
+		if app.Count() >= notifications {
+			reached++
+		}
+		st := d.dissems[i].Stats()
+		m["dissem_received"] += st.Received
+		m["dissem_delivered"] += st.Delivered
+		m["dissem_duplicates"] += st.Duplicates
+		m["dissem_forwarded"] += st.Forwarded
+		m["dissem_registrations"] += st.Registrations
+	}
+	m["dissem_full_coverage"] = int64(reached)
+	m["dissem_total"] = int64(len(d.dissems))
+	m["consumer_copies"] = int64(d.consumer.Count())
+	cs := d.coord.Stats()
+	m["coord_activations"] = cs.Activations
+	m["coord_registrations"] = cs.Registrations
+	m["coord_subscribes"] = cs.Subscribes
+	return m, nil
+}
+
+// E0Figure1 reproduces the paper's Figure 1 message flow at the exact
+// four-application topology of the figure and at a 64-node scale-up,
+// over real SOAP envelopes (in-memory binding).
+func E0Figure1(opt Options) ([]Table, error) {
+	small, err := newE0Deployment(2, opt.Seed, 2, 4)
+	if err != nil {
+		return nil, err
+	}
+	smallM, err := small.run(1)
+	if err != nil {
+		return nil, err
+	}
+	bigN := opt.pick(63, 15)
+	big, err := newE0Deployment(bigN, opt.Seed+1, 3, defaultHops(bigN+1))
+	if err != nil {
+		return nil, err
+	}
+	bigM, err := big.run(1)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "E0",
+		Title:   "Figure 1 flow: Activation, Subscription, Registration, op dissemination (SOAP envelopes, in-memory binding)",
+		Columns: []string{"metric", "figure-1 (2 dissem + 1 consumer)", fmt.Sprintf("scale-up (%d dissem + 1 consumer)", bigN)},
+	}
+	rows := []string{
+		"fanout", "hops",
+		"coord_activations", "coord_subscribes", "coord_registrations",
+		"dissem_total", "dissem_full_coverage",
+		"dissem_delivered", "dissem_duplicates", "dissem_forwarded",
+		"consumer_copies",
+	}
+	for _, k := range rows {
+		t.AddRow(k, i642s(smallM[k]), i642s(bigM[k]))
+	}
+	t.Notes = "dissem_full_coverage == dissem_total means every disseminator's application received the op exactly once; " +
+		"consumer_copies >= 1 shows the unchanged consumer is reached (it may receive duplicates — it has no gossip layer to suppress them, by design)."
+	return []Table{t}, nil
+}

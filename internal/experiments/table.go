@@ -1,0 +1,92 @@
+// Package experiments regenerates every experiment in DESIGN.md §4: E0 (the
+// paper's Figure 1) plus the claim-validation experiments E1–E8 and the
+// ablations A1–A2. Each experiment returns printable tables; the same code
+// backs cmd/wsgossip-bench and the root testing.B benchmarks, so the numbers
+// in EXPERIMENTS.md are regenerable with one command.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment result table.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title describes what the table shows.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows are the data cells, as formatted strings.
+	Rows [][]string
+	// Notes holds interpretation guidance printed under the table.
+	Notes string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Options controls experiment sizing.
+type Options struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	Seed int64
+	// Quick shrinks problem sizes for CI and benchmarks.
+	Quick bool
+}
+
+// pick returns full unless Quick, in which case quick.
+func (o Options) pick(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func i2s(v int) string    { return fmt.Sprintf("%d", v) }
+func i642s(v int64) string {
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,124 @@
+package gossip
+
+import "container/list"
+
+// seenCache is a bounded LRU set of rumor IDs used for duplicate
+// suppression. Bounding it is what makes long-running disseminators safe;
+// ablation A2 measures the duplicate-delivery cost of undersizing it.
+type seenCache struct {
+	cap   int
+	order *list.List
+	items map[string]*list.Element
+}
+
+func newSeenCache(capacity int) *seenCache {
+	// The map grows on demand; preallocating the full capacity would cost
+	// megabytes per engine in large simulations.
+	hint := capacity
+	if hint > 1024 {
+		hint = 1024
+	}
+	return &seenCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, hint),
+	}
+}
+
+// Add inserts id and reports whether it was not already present.
+func (c *seenCache) Add(id string) bool {
+	if el, ok := c.items[id]; ok {
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.items[id] = c.order.PushFront(id)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(string))
+	}
+	return true
+}
+
+// Contains reports whether id is present without refreshing recency.
+func (c *seenCache) Contains(id string) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Len returns the number of cached IDs.
+func (c *seenCache) Len() int { return c.order.Len() }
+
+// rumorStore retains recent rumor bodies so the node can answer IWANT and
+// pull requests. It evicts in FIFO order.
+type rumorStore struct {
+	cap   int
+	order *list.List // of string (rumor IDs), front = newest
+	items map[string]Rumor
+}
+
+func newRumorStore(capacity int) *rumorStore {
+	hint := capacity
+	if hint > 1024 {
+		hint = 1024
+	}
+	return &rumorStore{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]Rumor, hint),
+	}
+}
+
+// Put stores r, replacing an existing entry with the same ID (keeping the
+// higher hop budget so repair is as strong as the freshest copy).
+func (s *rumorStore) Put(r Rumor) {
+	if old, ok := s.items[r.ID]; ok {
+		if r.Hops > old.Hops {
+			s.items[r.ID] = r
+		}
+		return
+	}
+	s.items[r.ID] = r
+	s.order.PushFront(r.ID)
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(string))
+	}
+}
+
+// Get returns the stored rumor by ID.
+func (s *rumorStore) Get(id string) (Rumor, bool) {
+	r, ok := s.items[id]
+	return r, ok
+}
+
+// Len returns the number of stored rumors.
+func (s *rumorStore) Len() int { return s.order.Len() }
+
+// RecentRefs returns up to n references to the most recent rumors.
+func (s *rumorStore) RecentRefs(n int) []RumorRef {
+	if n <= 0 || n > s.order.Len() {
+		n = s.order.Len()
+	}
+	refs := make([]RumorRef, 0, n)
+	for el := s.order.Front(); el != nil && len(refs) < n; el = el.Next() {
+		id := el.Value.(string)
+		refs = append(refs, RumorRef{ID: id, Hops: s.items[id].Hops})
+	}
+	return refs
+}
+
+// MissingFrom returns stored rumors whose IDs are absent from the given set,
+// newest first, capped at limit.
+func (s *rumorStore) MissingFrom(have map[string]struct{}, limit int) []Rumor {
+	var out []Rumor
+	for el := s.order.Front(); el != nil && len(out) < limit; el = el.Next() {
+		id := el.Value.(string)
+		if _, ok := have[id]; ok {
+			continue
+		}
+		out = append(out, s.items[id])
+	}
+	return out
+}

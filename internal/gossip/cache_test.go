@@ -1,0 +1,237 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeenCacheAddAndContains(t *testing.T) {
+	c := newSeenCache(4)
+	if !c.Add("a") {
+		t.Fatal("first add reported duplicate")
+	}
+	if c.Add("a") {
+		t.Fatal("second add reported new")
+	}
+	if !c.Contains("a") || c.Contains("b") {
+		t.Fatal("contains wrong")
+	}
+}
+
+func TestSeenCacheEviction(t *testing.T) {
+	c := newSeenCache(3)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		c.Add(id)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Contains("a") {
+		t.Fatal("oldest entry not evicted")
+	}
+	if !c.Contains("d") {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestSeenCacheLRURefresh(t *testing.T) {
+	c := newSeenCache(3)
+	c.Add("a")
+	c.Add("b")
+	c.Add("c")
+	c.Add("a") // refresh a
+	c.Add("d") // evicts b, not a
+	if !c.Contains("a") {
+		t.Fatal("refreshed entry evicted")
+	}
+	if c.Contains("b") {
+		t.Fatal("stale entry survived")
+	}
+}
+
+func TestSeenCacheCapacityProperty(t *testing.T) {
+	f := func(capRaw uint8, ids []string) bool {
+		capacity := 1 + int(capRaw)%32
+		c := newSeenCache(capacity)
+		for _, id := range ids {
+			c.Add(id)
+		}
+		return c.Len() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRumorStorePutGet(t *testing.T) {
+	s := newRumorStore(4)
+	s.Put(Rumor{ID: "r1", Hops: 3, Payload: []byte("x")})
+	got, ok := s.Get("r1")
+	if !ok || got.Hops != 3 {
+		t.Fatalf("get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing rumor found")
+	}
+}
+
+func TestRumorStoreKeepsHigherHops(t *testing.T) {
+	s := newRumorStore(4)
+	s.Put(Rumor{ID: "r1", Hops: 2})
+	s.Put(Rumor{ID: "r1", Hops: 5})
+	if got, _ := s.Get("r1"); got.Hops != 5 {
+		t.Fatalf("hops = %d, want 5", got.Hops)
+	}
+	s.Put(Rumor{ID: "r1", Hops: 1})
+	if got, _ := s.Get("r1"); got.Hops != 5 {
+		t.Fatalf("hops downgraded to %d", got.Hops)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestRumorStoreFIFOEviction(t *testing.T) {
+	s := newRumorStore(2)
+	s.Put(Rumor{ID: "a"})
+	s.Put(Rumor{ID: "b"})
+	s.Put(Rumor{ID: "c"})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("oldest rumor survived")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("newest rumor evicted")
+	}
+}
+
+func TestRumorStoreRecentRefs(t *testing.T) {
+	s := newRumorStore(8)
+	for i := 0; i < 5; i++ {
+		s.Put(Rumor{ID: fmt.Sprintf("r%d", i), Hops: i})
+	}
+	refs := s.RecentRefs(3)
+	if len(refs) != 3 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	if refs[0].ID != "r4" {
+		t.Fatalf("newest ref = %s", refs[0].ID)
+	}
+	all := s.RecentRefs(-1)
+	if len(all) != 5 {
+		t.Fatalf("all refs = %d", len(all))
+	}
+}
+
+func TestRumorStoreMissingFrom(t *testing.T) {
+	s := newRumorStore(8)
+	for i := 0; i < 4; i++ {
+		s.Put(Rumor{ID: fmt.Sprintf("r%d", i)})
+	}
+	have := map[string]struct{}{"r1": {}, "r3": {}}
+	missing := s.MissingFrom(have, 10)
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v", missing)
+	}
+	for _, m := range missing {
+		if m.ID == "r1" || m.ID == "r3" {
+			t.Fatalf("returned rumor the peer has: %s", m.ID)
+		}
+	}
+	capped := s.MissingFrom(map[string]struct{}{}, 1)
+	if len(capped) != 1 {
+		t.Fatalf("cap ignored: %d", len(capped))
+	}
+}
+
+func TestSeenSetConcurrent(t *testing.T) {
+	s := NewSeenSet(1024)
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 500; i++ {
+				s.Add(fmt.Sprintf("g%d-%d", g, i))
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if s.Len() != 1024 && s.Len() != 2000 {
+		// All 2000 unique adds, bounded at capacity 1024.
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Len() > 1024 {
+		t.Fatalf("len %d exceeds capacity", s.Len())
+	}
+}
+
+func TestSeenSetDefaultCapacity(t *testing.T) {
+	s := NewSeenSet(0)
+	if !s.Add("x") || s.Add("x") {
+		t.Fatal("basic add semantics broken")
+	}
+	if !s.Contains("x") {
+		t.Fatal("contains broken")
+	}
+}
+
+func TestSamplePeersProperties(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		k := int(kRaw) % 25
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("p%d", i)
+		}
+		rng := testRand(seed)
+		got := SamplePeers(rng, addrs, k, "p0")
+		// Never returns the excluded element, never duplicates, never
+		// exceeds k or the eligible count.
+		if len(got) > k && k >= 0 {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, g := range got {
+			if g == "p0" || seen[g] {
+				return false
+			}
+			seen[g] = true
+		}
+		all := SamplePeers(rng, addrs, -1, "p0")
+		return len(all) == n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePeersDoesNotMutateInput(t *testing.T) {
+	addrs := []string{"a", "b", "c", "d"}
+	orig := append([]string(nil), addrs...)
+	SamplePeers(testRand(1), addrs, 2, "")
+	for i := range addrs {
+		if addrs[i] != orig[i] {
+			t.Fatal("input slice mutated")
+		}
+	}
+}
+
+func TestStaticPeersCopies(t *testing.T) {
+	in := []string{"a", "b"}
+	p := NewStaticPeers(in)
+	in[0] = "mutated"
+	if p.Addrs()[0] != "a" {
+		t.Fatal("constructor did not copy")
+	}
+	out := p.Addrs()
+	out[0] = "mutated"
+	if p.Addrs()[0] != "a" {
+		t.Fatal("accessor did not copy")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}

@@ -1,0 +1,492 @@
+package gossip
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"wsgossip/internal/transport"
+)
+
+// Default engine sizing.
+const (
+	DefaultSeenCacheSize  = 1 << 16
+	DefaultStoreSize      = 1 << 12
+	DefaultPullDigestSize = 128
+	DefaultPullBatchSize  = 64
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Style selects the dissemination strategy. Required.
+	Style Style
+	// Fanout is the paper's f: targets selected per forwarding decision.
+	Fanout int
+	// Hops is the paper's rounds r: forwarding budget per rumor.
+	Hops int
+	// Endpoint attaches the engine to a network. Required.
+	Endpoint transport.Endpoint
+	// Peers supplies gossip targets. Required.
+	Peers PeerProvider
+	// Deliver is invoked exactly once per unique rumor (never for
+	// duplicates). Optional.
+	Deliver func(Rumor)
+	// RNG drives peer selection and rumor IDs. Required for reproducible
+	// experiments; nil falls back to a fixed-seed source.
+	RNG *rand.Rand
+	// SeenCacheSize bounds the duplicate-suppression cache (0 = default).
+	SeenCacheSize int
+	// StoreSize bounds the rumor bodies retained for lazy-push and pull
+	// repair (0 = default).
+	StoreSize int
+	// PullDigestSize bounds the IDs advertised per pull request (0 = default).
+	PullDigestSize int
+	// PullBatchSize bounds the rumors returned per pull response (0 = default).
+	PullBatchSize int
+	// CounterK is the quiescence threshold for StyleCounter: a node stops
+	// re-forwarding a rumor after hearing it this many times beyond the
+	// first (0 = 2).
+	CounterK int
+}
+
+func (c *Config) validate() error {
+	if c.Endpoint == nil {
+		return errors.New("gossip: config requires an endpoint")
+	}
+	if c.Peers == nil {
+		return errors.New("gossip: config requires a peer provider")
+	}
+	if c.Style < StylePush || c.Style > StyleCounter {
+		return fmt.Errorf("gossip: invalid style %d", int(c.Style))
+	}
+	if c.Fanout < 1 && c.Style != StyleFlood {
+		return fmt.Errorf("gossip: fanout must be >= 1, got %d", c.Fanout)
+	}
+	if c.Hops < 0 {
+		return fmt.Errorf("gossip: hops must be >= 0, got %d", c.Hops)
+	}
+	return nil
+}
+
+// Stats counts engine activity. Counter semantics:
+// Delivered counts unique rumors handed to the application; Duplicates
+// counts suppressed re-receipts; Forwarded counts payload transmissions to
+// individual peers.
+type Stats struct {
+	Published  int64
+	Delivered  int64
+	Duplicates int64
+	Forwarded  int64
+	IHaveSent  int64
+	IWantSent  int64
+	PullReqs   int64
+	PullResps  int64
+	SendErrors int64
+}
+
+// Engine is one node's gossip protocol instance. It is safe for concurrent
+// use; in the simulator all calls arrive from the event loop.
+type Engine struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	seen      *seenCache
+	store     *rumorStore
+	requested map[string]struct{} // outstanding IWANTs
+	counters  map[string]int      // StyleCounter: duplicates heard per active rumor
+	stats     Stats
+}
+
+// New validates cfg and returns an engine. The caller must route the
+// engine's wire actions to it, normally via Register on a transport.Mux.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SeenCacheSize <= 0 {
+		cfg.SeenCacheSize = DefaultSeenCacheSize
+	}
+	if cfg.StoreSize <= 0 {
+		cfg.StoreSize = DefaultStoreSize
+	}
+	if cfg.PullDigestSize <= 0 {
+		cfg.PullDigestSize = DefaultPullDigestSize
+	}
+	if cfg.PullBatchSize <= 0 {
+		cfg.PullBatchSize = DefaultPullBatchSize
+	}
+	if cfg.CounterK <= 0 {
+		cfg.CounterK = 2
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Engine{
+		cfg:       cfg,
+		rng:       rng,
+		seen:      newSeenCache(cfg.SeenCacheSize),
+		store:     newRumorStore(cfg.StoreSize),
+		requested: make(map[string]struct{}),
+		counters:  make(map[string]int),
+	}, nil
+}
+
+// Register installs the engine's wire actions on the mux.
+func (e *Engine) Register(mux *transport.Mux) {
+	mux.Handle(ActionPush, e.handlePush)
+	mux.Handle(ActionIHave, e.handleIHave)
+	mux.Handle(ActionIWant, e.handleIWant)
+	mux.Handle(ActionPullReq, e.handlePullReq)
+	mux.Handle(ActionPullResp, e.handlePullResp)
+}
+
+// Addr returns the engine's endpoint address.
+func (e *Engine) Addr() string { return e.cfg.Endpoint.Addr() }
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Style returns the configured dissemination style.
+func (e *Engine) Style() Style { return e.cfg.Style }
+
+// Publish originates a rumor with the engine's full hop budget, delivers it
+// locally, and starts dissemination per the configured style.
+func (e *Engine) Publish(ctx context.Context, payload []byte) (Rumor, error) {
+	e.mu.Lock()
+	r := Rumor{
+		ID:      NewRumorID(e.rng),
+		Origin:  e.cfg.Endpoint.Addr(),
+		Hops:    e.cfg.Hops,
+		Payload: payload,
+	}
+	e.stats.Published++
+	e.acceptLocked(ctx, r, false)
+	e.mu.Unlock()
+	return r, nil
+}
+
+// Inject processes an externally created rumor exactly as if it had been
+// received from a peer. WS-Gossip's Initiator role uses this to hand a
+// coordinator-assigned notification to the local engine.
+func (e *Engine) Inject(ctx context.Context, r Rumor) {
+	e.mu.Lock()
+	e.acceptLocked(ctx, r, false)
+	e.mu.Unlock()
+}
+
+// acceptLocked is the single entry point for new rumors. viaPull marks
+// rumors learned through anti-entropy, which are stored and delivered but
+// not eagerly re-forwarded (they spread through subsequent pulls).
+func (e *Engine) acceptLocked(ctx context.Context, r Rumor, viaPull bool) {
+	if !e.seen.Add(r.ID) {
+		e.stats.Duplicates++
+		if e.cfg.Style == StyleCounter && !viaPull {
+			e.duplicateFeedbackLocked(ctx, r)
+		}
+		return
+	}
+	delete(e.requested, r.ID)
+	e.store.Put(r)
+	e.stats.Delivered++
+	if e.cfg.Deliver != nil {
+		deliver := e.cfg.Deliver
+		// Deliver without holding the lock-protected state hostage to
+		// application work would require unlocking; the callback must not
+		// call back into the engine synchronously from another goroutine.
+		deliver(r)
+	}
+	if viaPull {
+		return
+	}
+	switch e.cfg.Style {
+	case StylePush, StylePushPull:
+		e.forwardLocked(ctx, r)
+	case StyleLazyPush:
+		e.announceLocked(ctx, r)
+	case StyleFlood:
+		e.floodLocked(ctx, r)
+	case StyleCounter:
+		// First receipt: start mongering. The rumor stays active until
+		// CounterK duplicates are heard; hop budgets are not used, so the
+		// forwarded copy keeps whatever budget it arrived with.
+		e.counters[r.ID] = 0
+		burst := r
+		if burst.Hops <= 0 {
+			burst.Hops = 1 // keep receivers eligible to monger too
+		}
+		e.mongerBurstLocked(ctx, burst)
+	case StylePull:
+		// Pull spreads only through Tick.
+	}
+}
+
+// duplicateFeedbackLocked implements counter mongering: each duplicate
+// receipt of a still-active rumor triggers one more burst; after CounterK
+// duplicates the node goes quiescent for that rumor.
+func (e *Engine) duplicateFeedbackLocked(ctx context.Context, r Rumor) {
+	count, active := e.counters[r.ID]
+	if !active {
+		return
+	}
+	count++
+	if count >= e.cfg.CounterK {
+		delete(e.counters, r.ID)
+		return
+	}
+	e.counters[r.ID] = count
+	if stored, ok := e.store.Get(r.ID); ok {
+		r = stored
+	}
+	if r.Hops <= 0 {
+		r.Hops = 1
+	}
+	e.mongerBurstLocked(ctx, r)
+}
+
+// mongerBurstLocked sends the rumor to f random peers without consuming a
+// hop budget (counter mongering terminates by feedback, not hops).
+func (e *Engine) mongerBurstLocked(ctx context.Context, r Rumor) {
+	peers := e.cfg.Peers.SelectPeers(e.rng, e.cfg.Fanout, e.cfg.Endpoint.Addr())
+	body, err := encodeWire(wireMsg{Rumors: []Rumor{r}})
+	if err != nil {
+		e.stats.SendErrors++
+		return
+	}
+	for _, p := range peers {
+		e.sendLocked(ctx, p, ActionPush, body)
+		e.stats.Forwarded++
+	}
+}
+
+// forwardLocked sends the payload to f random peers with a decremented hop
+// budget.
+func (e *Engine) forwardLocked(ctx context.Context, r Rumor) {
+	if r.Hops <= 0 {
+		return
+	}
+	next := r
+	next.Hops = r.Hops - 1
+	peers := e.cfg.Peers.SelectPeers(e.rng, e.cfg.Fanout, e.cfg.Endpoint.Addr())
+	body, err := encodeWire(wireMsg{Rumors: []Rumor{next}})
+	if err != nil {
+		e.stats.SendErrors++
+		return
+	}
+	for _, p := range peers {
+		e.sendLocked(ctx, p, ActionPush, body)
+		e.stats.Forwarded++
+	}
+}
+
+// floodLocked sends the payload to every known peer.
+func (e *Engine) floodLocked(ctx context.Context, r Rumor) {
+	if r.Hops <= 0 {
+		return
+	}
+	next := r
+	next.Hops = r.Hops - 1
+	peers := e.cfg.Peers.SelectPeers(e.rng, -1, e.cfg.Endpoint.Addr())
+	body, err := encodeWire(wireMsg{Rumors: []Rumor{next}})
+	if err != nil {
+		e.stats.SendErrors++
+		return
+	}
+	for _, p := range peers {
+		e.sendLocked(ctx, p, ActionPush, body)
+		e.stats.Forwarded++
+	}
+}
+
+// announceLocked advertises the rumor ID to f random peers (lazy push).
+func (e *Engine) announceLocked(ctx context.Context, r Rumor) {
+	if r.Hops <= 0 {
+		return
+	}
+	peers := e.cfg.Peers.SelectPeers(e.rng, e.cfg.Fanout, e.cfg.Endpoint.Addr())
+	body, err := encodeWire(wireMsg{Refs: []RumorRef{{ID: r.ID, Hops: r.Hops}}})
+	if err != nil {
+		e.stats.SendErrors++
+		return
+	}
+	for _, p := range peers {
+		e.sendLocked(ctx, p, ActionIHave, body)
+		e.stats.IHaveSent++
+	}
+}
+
+func (e *Engine) sendLocked(ctx context.Context, to, action string, body []byte) {
+	msg := transport.Message{To: to, Action: action, Body: body}
+	if err := e.cfg.Endpoint.Send(ctx, msg); err != nil {
+		e.stats.SendErrors++
+	}
+}
+
+// handlePush processes an inbound payload message.
+func (e *Engine) handlePush(ctx context.Context, msg transport.Message) error {
+	wm, err := decodeWire(msg.Body)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range wm.Rumors {
+		e.acceptLocked(ctx, r, false)
+	}
+	return nil
+}
+
+// handleIHave answers announcements by requesting unseen rumors.
+func (e *Engine) handleIHave(ctx context.Context, msg transport.Message) error {
+	wm, err := decodeWire(msg.Body)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var want []RumorRef
+	for _, ref := range wm.Refs {
+		if e.seen.Contains(ref.ID) {
+			e.stats.Duplicates++
+			continue
+		}
+		if _, pending := e.requested[ref.ID]; pending {
+			continue
+		}
+		e.requested[ref.ID] = struct{}{}
+		want = append(want, ref)
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	body, err := encodeWire(wireMsg{Refs: want})
+	if err != nil {
+		return err
+	}
+	e.sendLocked(ctx, msg.From, ActionIWant, body)
+	e.stats.IWantSent++
+	return nil
+}
+
+// handleIWant serves requested rumor bodies with decremented hop budgets.
+func (e *Engine) handleIWant(ctx context.Context, msg transport.Message) error {
+	wm, err := decodeWire(msg.Body)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Rumor
+	for _, ref := range wm.Refs {
+		r, ok := e.store.Get(ref.ID)
+		if !ok {
+			continue
+		}
+		if r.Hops > 0 {
+			r.Hops--
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	body, err := encodeWire(wireMsg{Rumors: out})
+	if err != nil {
+		return err
+	}
+	e.sendLocked(ctx, msg.From, ActionPush, body)
+	e.stats.Forwarded += int64(len(out))
+	return nil
+}
+
+// Tick runs one periodic round. For pull and push-pull styles it starts an
+// anti-entropy exchange with f random peers; for other styles it is a no-op,
+// letting callers drive every engine uniformly.
+func (e *Engine) Tick(ctx context.Context) {
+	if e.cfg.Style != StylePull && e.cfg.Style != StylePushPull {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	peers := e.cfg.Peers.SelectPeers(e.rng, e.cfg.Fanout, e.cfg.Endpoint.Addr())
+	if len(peers) == 0 {
+		return
+	}
+	refs := e.store.RecentRefs(e.cfg.PullDigestSize)
+	body, err := encodeWire(wireMsg{Refs: refs})
+	if err != nil {
+		e.stats.SendErrors++
+		return
+	}
+	for _, p := range peers {
+		e.sendLocked(ctx, p, ActionPullReq, body)
+		e.stats.PullReqs++
+	}
+}
+
+// handlePullReq answers a digest with the rumors the requester is missing.
+func (e *Engine) handlePullReq(ctx context.Context, msg transport.Message) error {
+	wm, err := decodeWire(msg.Body)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	have := make(map[string]struct{}, len(wm.Refs))
+	for _, ref := range wm.Refs {
+		have[ref.ID] = struct{}{}
+	}
+	missing := e.store.MissingFrom(have, e.cfg.PullBatchSize)
+	if len(missing) == 0 {
+		return nil
+	}
+	out := make([]Rumor, len(missing))
+	for i, r := range missing {
+		if r.Hops > 0 {
+			r.Hops--
+		}
+		out[i] = r
+	}
+	body, err := encodeWire(wireMsg{Rumors: out})
+	if err != nil {
+		return err
+	}
+	e.sendLocked(ctx, msg.From, ActionPullResp, body)
+	e.stats.PullResps++
+	return nil
+}
+
+// handlePullResp accepts repair rumors without eager re-forwarding.
+func (e *Engine) handlePullResp(ctx context.Context, msg transport.Message) error {
+	wm, err := decodeWire(msg.Body)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range wm.Rumors {
+		e.acceptLocked(ctx, r, true)
+	}
+	return nil
+}
+
+// Seen reports whether the engine has already processed the rumor ID.
+func (e *Engine) Seen(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seen.Contains(id)
+}
+
+// StoreLen reports the number of retained rumor bodies.
+func (e *Engine) StoreLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Len()
+}

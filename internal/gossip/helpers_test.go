@@ -1,0 +1,8 @@
+package gossip
+
+import "math/rand"
+
+// testRand returns a seeded random source for deterministic tests.
+func testRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

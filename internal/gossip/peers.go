@@ -1,0 +1,64 @@
+package gossip
+
+import "math/rand"
+
+// PeerProvider supplies gossip targets. In WS-Gossip the Coordinator's
+// Registration service plays this role ("capable of providing adequate
+// parameter configurations and peers for each gossip round", Section 3);
+// in fully decentralized deployments the membership service does.
+type PeerProvider interface {
+	// SelectPeers returns up to n distinct peer addresses, excluding the
+	// given address (normally the selecting node itself). n < 0 requests
+	// all known peers. The rng makes selection reproducible.
+	SelectPeers(rng *rand.Rand, n int, exclude string) []string
+}
+
+// StaticPeers is a fixed peer set, useful for tests and for disseminators
+// that received an explicit target list from the Coordinator.
+type StaticPeers struct {
+	addrs []string
+}
+
+var _ PeerProvider = (*StaticPeers)(nil)
+
+// NewStaticPeers copies addrs into a provider.
+func NewStaticPeers(addrs []string) *StaticPeers {
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return &StaticPeers{addrs: cp}
+}
+
+// Addrs returns a copy of the peer set.
+func (p *StaticPeers) Addrs() []string {
+	cp := make([]string, len(p.addrs))
+	copy(cp, p.addrs)
+	return cp
+}
+
+// Len returns the peer-set size.
+func (p *StaticPeers) Len() int { return len(p.addrs) }
+
+// SelectPeers draws up to n distinct peers uniformly without replacement.
+func (p *StaticPeers) SelectPeers(rng *rand.Rand, n int, exclude string) []string {
+	return SamplePeers(rng, p.addrs, n, exclude)
+}
+
+// SamplePeers draws up to n distinct addresses from addrs excluding exclude,
+// uniformly without replacement, via a partial Fisher-Yates shuffle. n < 0
+// returns all eligible addresses in shuffled order. addrs is not modified.
+func SamplePeers(rng *rand.Rand, addrs []string, n int, exclude string) []string {
+	eligible := make([]string, 0, len(addrs))
+	for _, a := range addrs {
+		if a != exclude {
+			eligible = append(eligible, a)
+		}
+	}
+	if n < 0 || n > len(eligible) {
+		n = len(eligible)
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(eligible)-i)
+		eligible[i], eligible[j] = eligible[j], eligible[i]
+	}
+	return eligible[:n]
+}

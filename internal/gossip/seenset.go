@@ -1,0 +1,41 @@
+package gossip
+
+import "sync"
+
+// SeenSet is a concurrency-safe bounded LRU set of message identifiers,
+// exported for higher layers: the WS-Gossip SOAP handler uses one to
+// deduplicate gossiped notifications by WS-Addressing MessageID.
+type SeenSet struct {
+	mu sync.Mutex
+	c  *seenCache
+}
+
+// NewSeenSet returns a set bounded to capacity entries (<=0 uses the
+// engine's default).
+func NewSeenSet(capacity int) *SeenSet {
+	if capacity <= 0 {
+		capacity = DefaultSeenCacheSize
+	}
+	return &SeenSet{c: newSeenCache(capacity)}
+}
+
+// Add inserts id and reports whether it was not already present.
+func (s *SeenSet) Add(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Add(id)
+}
+
+// Contains reports whether id is present.
+func (s *SeenSet) Contains(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Contains(id)
+}
+
+// Len returns the number of tracked identifiers.
+func (s *SeenSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Len()
+}

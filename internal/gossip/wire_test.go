@@ -1,0 +1,174 @@
+package gossip
+
+import (
+	"context"
+	"testing"
+
+	"wsgossip/internal/simnet"
+	"wsgossip/internal/transport"
+)
+
+// TestMalformedWireMessagesRejected: every engine handler must reject junk
+// bodies with an error and leave state untouched (a byzantine or buggy peer
+// must not crash or corrupt a node).
+func TestMalformedWireMessagesRejected(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(1))
+	eng, err := New(Config{
+		Style: StylePush, Fanout: 2, Hops: 4,
+		Endpoint: net.Node("a"),
+		Peers:    NewStaticPeers([]string{"a", "b"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := transport.Message{From: "evil", To: "a", Body: []byte("{not json")}
+	ctx := context.Background()
+	for name, h := range map[string]transport.Handler{
+		"push":     eng.handlePush,
+		"ihave":    eng.handleIHave,
+		"iwant":    eng.handleIWant,
+		"pullreq":  eng.handlePullReq,
+		"pullresp": eng.handlePullResp,
+	} {
+		if err := h(ctx, junk); err == nil {
+			t.Errorf("%s accepted junk", name)
+		}
+	}
+	st := eng.Stats()
+	if st.Delivered != 0 || st.Forwarded != 0 {
+		t.Fatalf("junk mutated stats: %+v", st)
+	}
+}
+
+// TestEmptyWireMessagesHarmless: structurally valid but empty messages are
+// no-ops.
+func TestEmptyWireMessagesHarmless(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(2))
+	eng, err := New(Config{
+		Style: StylePush, Fanout: 2, Hops: 4,
+		Endpoint: net.Node("a"),
+		Peers:    NewStaticPeers([]string{"a", "b"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := transport.Message{From: "peer", To: "a", Body: []byte("{}")}
+	ctx := context.Background()
+	for name, h := range map[string]transport.Handler{
+		"push":     eng.handlePush,
+		"ihave":    eng.handleIHave,
+		"iwant":    eng.handleIWant,
+		"pullreq":  eng.handlePullReq,
+		"pullresp": eng.handlePullResp,
+	} {
+		if err := h(ctx, empty); err != nil {
+			t.Errorf("%s rejected empty message: %v", name, err)
+		}
+	}
+}
+
+// TestIWantForUnknownRumorIgnored: requests for rumors not in the store get
+// no response rather than an error storm.
+func TestIWantForUnknownRumorIgnored(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(3))
+	sent := 0
+	net.Node("peer").SetHandler(func(context.Context, transport.Message) error {
+		sent++
+		return nil
+	})
+	eng, err := New(Config{
+		Style: StyleLazyPush, Fanout: 1, Hops: 2,
+		Endpoint: net.Node("a"),
+		Peers:    NewStaticPeers([]string{"a", "peer"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := encodeWire(wireMsg{Refs: []RumorRef{{ID: "ghost", Hops: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.handleIWant(context.Background(), transport.Message{From: "peer", To: "a", Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if sent != 0 {
+		t.Fatalf("responded %d times to unknown-rumor request", sent)
+	}
+}
+
+// TestIHaveDuplicateRequestSuppressed: two announcements of the same rumor
+// from different peers yield exactly one IWANT.
+func TestIHaveDuplicateRequestSuppressed(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(4))
+	requests := 0
+	for _, p := range []string{"p1", "p2"} {
+		net.Node(p).SetHandler(func(_ context.Context, msg transport.Message) error {
+			if msg.Action == ActionIWant {
+				requests++
+			}
+			return nil
+		})
+	}
+	eng, err := New(Config{
+		Style: StyleLazyPush, Fanout: 1, Hops: 2,
+		Endpoint: net.Node("a"),
+		Peers:    NewStaticPeers([]string{"a", "p1", "p2"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := encodeWire(wireMsg{Refs: []RumorRef{{ID: "r1", Hops: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := eng.handleIHave(ctx, transport.Message{From: "p1", To: "a", Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.handleIHave(ctx, transport.Message{From: "p2", To: "a", Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if requests != 1 {
+		t.Fatalf("IWANT requests = %d, want 1", requests)
+	}
+}
+
+// TestPullDigestCapRespected: pull requests advertise at most
+// PullDigestSize recent rumor IDs.
+func TestPullDigestCapRespected(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(5))
+	var lastDigestLen int
+	net.Node("peer").SetHandler(func(_ context.Context, msg transport.Message) error {
+		if msg.Action == ActionPullReq {
+			wm, err := decodeWire(msg.Body)
+			if err != nil {
+				return err
+			}
+			lastDigestLen = len(wm.Refs)
+		}
+		return nil
+	})
+	eng, err := New(Config{
+		Style: StylePull, Fanout: 1, Hops: 2,
+		Endpoint:       net.Node("a"),
+		Peers:          NewStaticPeers([]string{"a", "peer"}),
+		PullDigestSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := eng.Publish(ctx, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run()
+	eng.Tick(ctx)
+	net.Run()
+	if lastDigestLen != 8 {
+		t.Fatalf("digest length = %d, want 8", lastDigestLen)
+	}
+}

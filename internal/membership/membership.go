@@ -1,0 +1,378 @@
+// Package membership implements a WS-Membership-style service (Vogels & Re,
+// reference [10] of the paper): a gossip-based membership view with
+// heartbeat failure detection. The WS-Gossip Coordinator uses it to maintain
+// the subscriber list in a distributed fashion, and decentralized
+// deployments use it directly as the gossip engine's peer provider.
+//
+// The protocol is the classic epidemic membership scheme: each node keeps a
+// table of (address, heartbeat, last-refresh); every Tick it increments its
+// own heartbeat and pushes its table to a few random peers; receivers merge
+// entries with higher heartbeats. Entries not refreshed within SuspectAfter
+// become suspects, and within RemoveAfter are removed.
+package membership
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/transport"
+)
+
+// Wire actions.
+const (
+	ActionExchange = "urn:wsgossip:membership:exchange"
+	ActionLeave    = "urn:wsgossip:membership:leave"
+)
+
+// State classifies a member in the local view.
+type State int
+
+// Member states.
+const (
+	StateAlive State = iota + 1
+	StateSuspect
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Member is one entry in the local membership view.
+type Member struct {
+	Addr      string
+	Heartbeat uint64
+	State     State
+	// Refreshed is the local (virtual) time the heartbeat last advanced.
+	Refreshed time.Duration
+}
+
+// entry is the wire form of a member row.
+type entry struct {
+	Addr      string `json:"addr"`
+	Heartbeat uint64 `json:"hb"`
+	Left      bool   `json:"left,omitempty"`
+}
+
+type exchangeMsg struct {
+	Entries []entry `json:"entries"`
+}
+
+// Config configures a membership service.
+type Config struct {
+	// Endpoint attaches the service to the network. Required.
+	Endpoint transport.Endpoint
+	// Clock supplies time (virtual under simulation). Required.
+	Clock transport.Clock
+	// RNG drives peer selection. Required for reproducibility; nil falls
+	// back to a fixed seed.
+	RNG *rand.Rand
+	// Fanout is the number of peers the view is pushed to per Tick.
+	Fanout int
+	// SuspectAfter is how long a heartbeat may stall before the member is
+	// suspected.
+	SuspectAfter time.Duration
+	// RemoveAfter is how long before a stalled member is evicted. Must
+	// exceed SuspectAfter.
+	RemoveAfter time.Duration
+	// MaxView caps the local view size (0 = unbounded full view). With a
+	// cap the service behaves as a peer-sampling service: learning a new
+	// member beyond the cap evicts a uniformly random existing entry, so
+	// the union of partial views stays a well-mixed overlay while per-node
+	// state is O(MaxView) — the standard scalability device for very large
+	// memberships.
+	MaxView int
+}
+
+func (c *Config) validate() error {
+	if c.Endpoint == nil {
+		return errors.New("membership: config requires an endpoint")
+	}
+	if c.Clock == nil {
+		return errors.New("membership: config requires a clock")
+	}
+	if c.Fanout < 1 {
+		return fmt.Errorf("membership: fanout must be >= 1, got %d", c.Fanout)
+	}
+	if c.SuspectAfter <= 0 || c.RemoveAfter <= c.SuspectAfter {
+		return fmt.Errorf("membership: need 0 < SuspectAfter (%v) < RemoveAfter (%v)",
+			c.SuspectAfter, c.RemoveAfter)
+	}
+	return nil
+}
+
+// Service is one node's membership protocol instance.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	self    entry
+	members map[string]*Member
+	left    map[string]struct{} // explicit-leave tombstones
+	// dead maps an evicted member to the heartbeat it stalled at; stale
+	// gossip echoing that heartbeat cannot resurrect it, but a genuinely
+	// recovered node (whose heartbeat advances) is readmitted.
+	dead map[string]uint64
+}
+
+// New validates cfg and returns a service containing only the local node.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	s := &Service{
+		cfg:     cfg,
+		rng:     rng,
+		self:    entry{Addr: cfg.Endpoint.Addr(), Heartbeat: 1},
+		members: make(map[string]*Member),
+		left:    make(map[string]struct{}),
+		dead:    make(map[string]uint64),
+	}
+	return s, nil
+}
+
+// Register installs the service's wire actions on the mux.
+func (s *Service) Register(mux *transport.Mux) {
+	mux.Handle(ActionExchange, s.handleExchange)
+	mux.Handle(ActionLeave, s.handleLeave)
+}
+
+// Addr returns the local address.
+func (s *Service) Addr() string { return s.cfg.Endpoint.Addr() }
+
+// Join seeds the view with known addresses and immediately pushes the local
+// view to them so the join propagates.
+func (s *Service) Join(ctx context.Context, seeds []string) {
+	s.mu.Lock()
+	now := s.cfg.Clock.Now()
+	for _, a := range seeds {
+		if a == s.self.Addr {
+			continue
+		}
+		if _, ok := s.members[a]; !ok {
+			s.members[a] = &Member{Addr: a, Heartbeat: 0, State: StateAlive, Refreshed: now}
+		}
+	}
+	body, err := s.encodeViewLocked()
+	targets := append([]string(nil), seeds...)
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	for _, a := range targets {
+		if a == s.Addr() {
+			continue
+		}
+		_ = s.cfg.Endpoint.Send(ctx, transport.Message{To: a, Action: ActionExchange, Body: body})
+	}
+}
+
+// Tick advances the local heartbeat, ages the view, and pushes it to Fanout
+// random live peers.
+func (s *Service) Tick(ctx context.Context) {
+	s.mu.Lock()
+	s.self.Heartbeat++
+	now := s.cfg.Clock.Now()
+	for addr, m := range s.members {
+		age := now - m.Refreshed
+		switch {
+		case age >= s.cfg.RemoveAfter:
+			s.dead[addr] = m.Heartbeat
+			delete(s.members, addr)
+		case age >= s.cfg.SuspectAfter:
+			m.State = StateSuspect
+		}
+	}
+	peers := s.alivePeersLocked()
+	targets := gossip.SamplePeers(s.rng, peers, s.cfg.Fanout, s.self.Addr)
+	body, err := s.encodeViewLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	for _, p := range targets {
+		_ = s.cfg.Endpoint.Send(ctx, transport.Message{To: p, Action: ActionExchange, Body: body})
+	}
+}
+
+// Leave announces departure to Fanout peers; receivers tombstone the sender.
+func (s *Service) Leave(ctx context.Context) {
+	s.mu.Lock()
+	peers := s.alivePeersLocked()
+	targets := gossip.SamplePeers(s.rng, peers, s.cfg.Fanout, s.self.Addr)
+	body, err := json.Marshal(exchangeMsg{Entries: []entry{{Addr: s.self.Addr, Heartbeat: s.self.Heartbeat, Left: true}}})
+	s.mu.Unlock()
+	if err != nil {
+		return
+	}
+	for _, p := range targets {
+		_ = s.cfg.Endpoint.Send(ctx, transport.Message{To: p, Action: ActionLeave, Body: body})
+	}
+}
+
+func (s *Service) alivePeersLocked() []string {
+	out := make([]string, 0, len(s.members))
+	for addr, m := range s.members {
+		if m.State == StateAlive {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out) // deterministic iteration for reproducible sampling
+	return out
+}
+
+func (s *Service) encodeViewLocked() ([]byte, error) {
+	entries := make([]entry, 0, len(s.members)+1)
+	entries = append(entries, s.self)
+	for _, m := range s.members {
+		entries = append(entries, entry{Addr: m.Addr, Heartbeat: m.Heartbeat})
+	}
+	return json.Marshal(exchangeMsg{Entries: entries})
+}
+
+func (s *Service) handleExchange(ctx context.Context, msg transport.Message) error {
+	var em exchangeMsg
+	if err := json.Unmarshal(msg.Body, &em); err != nil {
+		return fmt.Errorf("membership: decode exchange: %w", err)
+	}
+	s.mu.Lock()
+	_, knewSender := s.members[msg.From]
+	now := s.cfg.Clock.Now()
+	for _, e := range em.Entries {
+		s.mergeLocked(e, now)
+	}
+	var reply []byte
+	if !knewSender && msg.From != s.self.Addr {
+		// A previously unknown sender is likely a newcomer whose view is
+		// still tiny (with capped views it may know only its seed). Answer
+		// with our view so it bootstraps immediately instead of waiting to
+		// be sampled — the pull half of a view exchange.
+		var err error
+		reply, err = s.encodeViewLocked()
+		if err != nil {
+			reply = nil
+		}
+	}
+	s.mu.Unlock()
+	if reply != nil {
+		_ = s.cfg.Endpoint.Send(ctx, transport.Message{To: msg.From, Action: ActionExchange, Body: reply})
+	}
+	return nil
+}
+
+func (s *Service) handleLeave(_ context.Context, msg transport.Message) error {
+	var em exchangeMsg
+	if err := json.Unmarshal(msg.Body, &em); err != nil {
+		return fmt.Errorf("membership: decode leave: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range em.Entries {
+		s.left[e.Addr] = struct{}{}
+		delete(s.members, e.Addr)
+	}
+	return nil
+}
+
+func (s *Service) mergeLocked(e entry, now time.Duration) {
+	if e.Addr == s.self.Addr {
+		// Another node may have a stale view of us; outrun it so we do not
+		// get suspected by our own propagated heartbeat.
+		if e.Heartbeat > s.self.Heartbeat {
+			s.self.Heartbeat = e.Heartbeat + 1
+		}
+		return
+	}
+	if _, gone := s.left[e.Addr]; gone {
+		return
+	}
+	if stalled, evicted := s.dead[e.Addr]; evicted {
+		if e.Heartbeat <= stalled {
+			return
+		}
+		delete(s.dead, e.Addr)
+	}
+	m, ok := s.members[e.Addr]
+	if !ok {
+		if s.cfg.MaxView > 0 && len(s.members) >= s.cfg.MaxView {
+			s.evictRandomLocked()
+		}
+		s.members[e.Addr] = &Member{Addr: e.Addr, Heartbeat: e.Heartbeat, State: StateAlive, Refreshed: now}
+		return
+	}
+	if e.Heartbeat > m.Heartbeat {
+		m.Heartbeat = e.Heartbeat
+		m.State = StateAlive
+		m.Refreshed = now
+	}
+}
+
+// evictRandomLocked removes one uniformly random view entry (peer-sampling
+// replacement). Sorted iteration keeps the choice deterministic per seed.
+func (s *Service) evictRandomLocked() {
+	if len(s.members) == 0 {
+		return
+	}
+	addrs := make([]string, 0, len(s.members))
+	for a := range s.members {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	victim := addrs[s.rng.Intn(len(addrs))]
+	delete(s.members, victim)
+}
+
+// Alive returns the addresses currently considered alive (excluding self).
+func (s *Service) Alive() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alivePeersLocked()
+}
+
+// Members returns a snapshot of the full view (excluding self).
+func (s *Service) Members() []Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Member, 0, len(s.members))
+	for _, m := range s.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Size returns the number of known members excluding self.
+func (s *Service) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.members)
+}
+
+var _ gossip.PeerProvider = (*Service)(nil)
+
+// SelectPeers implements gossip.PeerProvider over the live view.
+func (s *Service) SelectPeers(rng *rand.Rand, n int, exclude string) []string {
+	s.mu.Lock()
+	peers := s.alivePeersLocked()
+	s.mu.Unlock()
+	return gossip.SamplePeers(rng, peers, n, exclude)
+}

@@ -1,0 +1,352 @@
+package membership
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wsgossip/internal/simnet"
+	"wsgossip/internal/transport"
+)
+
+type memCluster struct {
+	net      *simnet.Network
+	services []*Service
+}
+
+func newMemCluster(t *testing.T, n int, seed int64) *memCluster {
+	t.Helper()
+	net := simnet.New(simnet.DefaultConfig(seed))
+	c := &memCluster{net: net}
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("m%03d", i)
+		svc, err := New(Config{
+			Endpoint:     net.Node(addr),
+			Clock:        net,
+			RNG:          rand.New(rand.NewSource(seed + int64(i))),
+			Fanout:       3,
+			SuspectAfter: 400 * time.Millisecond,
+			RemoveAfter:  time.Second,
+		})
+		if err != nil {
+			t.Fatalf("service %d: %v", i, err)
+		}
+		mux := transport.NewMux()
+		svc.Register(mux)
+		mux.Bind(net.Node(addr))
+		c.services = append(c.services, svc)
+	}
+	return c
+}
+
+// tick advances every service once and drains the network, spacing rounds
+// interval apart in virtual time.
+func (c *memCluster) tick(ctx context.Context, rounds int, interval time.Duration) {
+	for r := 0; r < rounds; r++ {
+		for _, s := range c.services {
+			s.Tick(ctx)
+		}
+		c.net.RunFor(interval)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(1))
+	ep := net.Node("a")
+	base := Config{
+		Endpoint: ep, Clock: net, Fanout: 2,
+		SuspectAfter: time.Second, RemoveAfter: 2 * time.Second,
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(c *Config){
+		func(c *Config) { c.Endpoint = nil },
+		func(c *Config) { c.Clock = nil },
+		func(c *Config) { c.Fanout = 0 },
+		func(c *Config) { c.SuspectAfter = 0 },
+		func(c *Config) { c.RemoveAfter = c.SuspectAfter },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestJoinPropagates(t *testing.T) {
+	c := newMemCluster(t, 8, 1)
+	ctx := context.Background()
+	// Everyone seeds from m000 only.
+	for i := 1; i < 8; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.net.Run()
+	c.tick(ctx, 10, 50*time.Millisecond)
+	for i, s := range c.services {
+		if got := s.Size(); got != 7 {
+			t.Fatalf("service %d view size = %d, want 7", i, got)
+		}
+	}
+}
+
+func TestAliveExcludesSelf(t *testing.T) {
+	c := newMemCluster(t, 4, 2)
+	ctx := context.Background()
+	for i := 1; i < 4; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.net.Run()
+	c.tick(ctx, 8, 50*time.Millisecond)
+	for i, s := range c.services {
+		for _, a := range s.Alive() {
+			if a == s.Addr() {
+				t.Fatalf("service %d lists itself", i)
+			}
+		}
+	}
+}
+
+func TestFailureDetection(t *testing.T) {
+	c := newMemCluster(t, 8, 3)
+	ctx := context.Background()
+	for i := 1; i < 8; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.tick(ctx, 10, 50*time.Millisecond)
+	// Crash m007: its heartbeat stops advancing.
+	c.net.Crash("m007")
+	c.tick(ctx, 30, 50*time.Millisecond)
+	for i := 0; i < 7; i++ {
+		for _, m := range c.services[i].Members() {
+			if m.Addr == "m007" {
+				t.Fatalf("service %d still lists crashed node (state %v)", i, m.State)
+			}
+		}
+	}
+}
+
+func TestSuspectBeforeRemoval(t *testing.T) {
+	c := newMemCluster(t, 4, 4)
+	ctx := context.Background()
+	for i := 1; i < 4; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.tick(ctx, 6, 50*time.Millisecond)
+	c.net.Crash("m003")
+	// Age past SuspectAfter (400ms) but not RemoveAfter (1s): ~10 rounds.
+	c.tick(ctx, 10, 50*time.Millisecond)
+	foundSuspect := false
+	for _, m := range c.services[0].Members() {
+		if m.Addr == "m003" && m.State == StateSuspect {
+			foundSuspect = true
+		}
+	}
+	if !foundSuspect {
+		t.Fatal("crashed node not suspected in the suspect window")
+	}
+}
+
+func TestLeaveTombstones(t *testing.T) {
+	c := newMemCluster(t, 6, 5)
+	ctx := context.Background()
+	for i := 1; i < 6; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.tick(ctx, 8, 50*time.Millisecond)
+	c.services[5].Leave(ctx)
+	c.net.Run()
+	// Leave reaches Fanout peers directly; they must drop the node at once.
+	dropped := 0
+	for i := 0; i < 5; i++ {
+		has := false
+		for _, m := range c.services[i].Members() {
+			if m.Addr == "m005" {
+				has = true
+			}
+		}
+		if !has {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no peer processed the leave")
+	}
+}
+
+func TestSelectPeersProvider(t *testing.T) {
+	c := newMemCluster(t, 8, 6)
+	ctx := context.Background()
+	for i := 1; i < 8; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.tick(ctx, 10, 50*time.Millisecond)
+	rng := rand.New(rand.NewSource(9))
+	peers := c.services[0].SelectPeers(rng, 3, c.services[0].Addr())
+	if len(peers) != 3 {
+		t.Fatalf("selected %d peers", len(peers))
+	}
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if p == "m000" || seen[p] {
+			t.Fatalf("bad selection %v", peers)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSelfHeartbeatOutrunsStaleEcho(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig(7))
+	mk := func(addr string) *Service {
+		svc, err := New(Config{
+			Endpoint: net.Node(addr), Clock: net,
+			RNG: rand.New(rand.NewSource(1)), Fanout: 1,
+			SuspectAfter: 100 * time.Millisecond, RemoveAfter: 300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := transport.NewMux()
+		svc.Register(mux)
+		mux.Bind(net.Node(addr))
+		return svc
+	}
+	a := mk("a")
+	b := mk("b")
+	ctx := context.Background()
+	b.Join(ctx, []string{"a"})
+	net.Run()
+	// b's view of a has heartbeat 1; a's own heartbeat is still 1. When b
+	// gossips back an inflated heartbeat for a, a must outrun it.
+	for i := 0; i < 5; i++ {
+		b.Tick(ctx)
+		net.Run()
+	}
+	a.Tick(ctx)
+	net.Run()
+	if a.self.Heartbeat == 0 {
+		t.Fatal("self heartbeat lost")
+	}
+	_ = a
+}
+
+func TestViewSizeNeverIncludesDuplicates(t *testing.T) {
+	c := newMemCluster(t, 10, 8)
+	ctx := context.Background()
+	all := make([]string, 10)
+	for i := range all {
+		all[i] = fmt.Sprintf("m%03d", i)
+	}
+	for _, s := range c.services {
+		s.Join(ctx, all)
+	}
+	c.tick(ctx, 10, 50*time.Millisecond)
+	for i, s := range c.services {
+		if got := s.Size(); got != 9 {
+			t.Fatalf("service %d size = %d", i, got)
+		}
+		seen := map[string]bool{}
+		for _, m := range s.Members() {
+			if seen[m.Addr] {
+				t.Fatalf("duplicate member %s", m.Addr)
+			}
+			seen[m.Addr] = true
+		}
+	}
+}
+
+func TestRecoveredNodeReadmitted(t *testing.T) {
+	c := newMemCluster(t, 5, 9)
+	ctx := context.Background()
+	for i := 1; i < 5; i++ {
+		c.services[i].Join(ctx, []string{"m000"})
+	}
+	c.tick(ctx, 8, 50*time.Millisecond)
+	c.net.Crash("m004")
+	c.tick(ctx, 30, 50*time.Millisecond) // well past RemoveAfter
+	for _, m := range c.services[0].Members() {
+		if m.Addr == "m004" {
+			t.Fatal("evicted node still present")
+		}
+	}
+	// Recovery: the node re-joins (both sides evicted each other, so a
+	// recovered process must announce itself); its heartbeat has advanced
+	// past the stall point recorded in the peers' tombstones, so they
+	// readmit it.
+	c.net.Recover("m004")
+	c.services[4].Join(ctx, []string{"m000"})
+	c.tick(ctx, 40, 50*time.Millisecond)
+	found := false
+	for _, m := range c.services[0].Members() {
+		if m.Addr == "m004" && m.State == StateAlive {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovered node not readmitted")
+	}
+}
+
+func TestMaxViewBoundsState(t *testing.T) {
+	// 30 nodes with 8-entry partial views: every view stays capped while
+	// dissemination over the sampled overlay still reaches everyone.
+	const n = 30
+	const maxView = 8
+	net := simnet.New(simnet.DefaultConfig(11))
+	services := make([]*Service, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = fmt.Sprintf("pv%03d", i)
+		// Partial views refresh each entry less often than full views, so
+		// failure-detection windows must scale up with n/MaxView; generous
+		// windows isolate the cap invariant under test.
+		svc, err := New(Config{
+			Endpoint:     net.Node(addrs[i]),
+			Clock:        net,
+			RNG:          rand.New(rand.NewSource(11 + int64(i))),
+			Fanout:       3,
+			SuspectAfter: 5 * time.Second,
+			RemoveAfter:  10 * time.Second,
+			MaxView:      maxView,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := transport.NewMux()
+		svc.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		services[i] = svc
+	}
+	ctx := context.Background()
+	for i := 1; i < n; i++ {
+		services[i].Join(ctx, []string{addrs[0]})
+	}
+	net.Run()
+	for round := 0; round < 20; round++ {
+		for _, s := range services {
+			s.Tick(ctx)
+		}
+		net.RunFor(50 * time.Millisecond)
+	}
+	union := map[string]bool{}
+	for i, s := range services {
+		if got := s.Size(); got > maxView {
+			t.Fatalf("service %d view size = %d exceeds cap %d", i, got, maxView)
+		}
+		if got := s.Size(); got < maxView/2 {
+			t.Fatalf("service %d view size = %d suspiciously small", i, got)
+		}
+		for _, m := range s.Members() {
+			union[m.Addr] = true
+		}
+	}
+	// The union of partial views must cover (almost) the whole membership —
+	// the overlay stays well mixed.
+	if len(union) < n-2 {
+		t.Fatalf("partial-view union covers only %d/%d nodes", len(union), n)
+	}
+}

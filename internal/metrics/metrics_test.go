@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	g.Add(-2)
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge = %d, want 40", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("mean = %v, want 3", got)
+	}
+	if got := h.Sum(); got != 15 {
+		t.Fatalf("sum = %v, want 15", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Observe(1)
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	h.Observe(9)
+	if got := h.Quantile(1); got != 9 {
+		t.Fatalf("max after re-observe = %v, want 9", got)
+	}
+}
+
+func TestHistogramStdDev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if got := h.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("count after reset = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Quantiles must be actual samples, ordered, and bounded.
+		q25, q50, q99 := h.Quantile(0.25), h.Quantile(0.5), h.Quantile(0.99)
+		if q25 > q50 || q50 > q99 {
+			return false
+		}
+		return h.Min() == sorted[0] && h.Max() == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sent").Add(3)
+	if got := r.Counter("sent").Value(); got != 3 {
+		t.Fatalf("counter reuse = %d, want 3", got)
+	}
+	r.Gauge("depth").Set(7)
+	if got := r.Gauge("depth").Value(); got != 7 {
+		t.Fatalf("gauge = %d", got)
+	}
+	r.Histogram("lat").Observe(1.5)
+	if got := r.Histogram("lat").Count(); got != 1 {
+		t.Fatalf("histogram count = %d", got)
+	}
+	snap := r.Snapshot()
+	if snap == "" {
+		t.Fatal("empty snapshot")
+	}
+}

@@ -1,0 +1,411 @@
+// Package simnet is a deterministic discrete-event network simulator. It
+// provides transport.Endpoint attachments for protocol nodes, a virtual
+// clock, and fault injection (message loss, crash faults, partitions,
+// per-node slowdown). All randomness flows from a single seeded source and
+// events are totally ordered by (time, sequence), so every experiment is
+// exactly reproducible.
+//
+// The WS-Gossip paper claims behaviour at "very large numbers of services";
+// simnet is the substitute for the testbed we do not have (see DESIGN.md §2):
+// the protocol code above the transport interface is identical to the code
+// that runs over SOAP/HTTP.
+package simnet
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wsgossip/internal/transport"
+)
+
+// Config controls link and node behaviour.
+type Config struct {
+	// Seed initializes the simulation RNG. Two runs with equal seeds and
+	// equal workloads produce identical event sequences.
+	Seed int64
+	// MinLatency and MaxLatency bound per-message link delay (uniform).
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// LossRate is the probability in [0,1] that any message is dropped.
+	LossRate float64
+	// ProcDelay is added to delivery time per message at the receiver,
+	// modeling service processing cost.
+	ProcDelay time.Duration
+}
+
+// DefaultConfig returns a LAN-like configuration: 1-5 ms links, no loss.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:       seed,
+		MinLatency: time.Millisecond,
+		MaxLatency: 5 * time.Millisecond,
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Stats aggregates network-level observations for an experiment run.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	Bytes     int64
+}
+
+// Network is the simulated fabric. It is safe for use from the single
+// goroutine that drives Run/Step; handlers execute inside that loop.
+// The mutex only guards cross-goroutine inspection of stats and topology.
+type Network struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu        sync.Mutex
+	now       time.Duration
+	seq       int64
+	queue     eventHeap
+	nodes     map[string]*Node
+	crashed   map[string]bool
+	slowdown  map[string]time.Duration
+	partition map[string]int // addr -> group id; absent means group 0
+	split     bool
+	lossRate  float64
+	stats     Stats
+}
+
+// New returns an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.MaxLatency < cfg.MinLatency {
+		cfg.MaxLatency = cfg.MinLatency
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nodes:     make(map[string]*Node),
+		crashed:   make(map[string]bool),
+		slowdown:  make(map[string]time.Duration),
+		partition: make(map[string]int),
+		lossRate:  cfg.LossRate,
+	}
+}
+
+var _ transport.Clock = (*Network)(nil)
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
+
+// AfterFunc schedules fn at now+d on the virtual clock.
+func (n *Network) AfterFunc(d time.Duration, fn func()) func() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ev := n.scheduleLocked(d, fn)
+	return func() bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if ev.fn == nil {
+			return false
+		}
+		ev.fn = nil
+		return true
+	}
+}
+
+func (n *Network) scheduleLocked(d time.Duration, fn func()) *event {
+	if d < 0 {
+		d = 0
+	}
+	n.seq++
+	ev := &event{at: n.now + d, seq: n.seq, fn: fn}
+	heap.Push(&n.queue, ev)
+	return ev
+}
+
+// Node returns the endpoint for addr, creating it on first use.
+func (n *Network) Node(addr string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node, ok := n.nodes[addr]; ok {
+		return node
+	}
+	node := &Node{net: n, addr: addr}
+	n.nodes[addr] = node
+	return node
+}
+
+// Addrs returns all node addresses (including crashed ones).
+func (n *Network) Addrs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Crash marks addr as crashed: its in-flight deliveries are dropped on
+// arrival and it cannot send.
+func (n *Network) Crash(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[addr] = true
+}
+
+// Recover clears the crash flag for addr.
+func (n *Network) Recover(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, addr)
+}
+
+// Crashed reports whether addr is currently crashed.
+func (n *Network) Crashed(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[addr]
+}
+
+// SetLossRate changes the global message loss probability.
+func (n *Network) SetLossRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = rate
+}
+
+// SetSlowdown adds extra per-message processing delay at addr, modeling the
+// perturbed ("slow") nodes of the Bimodal Multicast experiment.
+func (n *Network) SetSlowdown(addr string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.slowdown, addr)
+		return
+	}
+	n.slowdown[addr] = d
+}
+
+// Partition splits the network: nodes in group receive group id 1, all
+// others stay in group 0; messages cross groups only after Heal.
+func (n *Network) Partition(group []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int, len(group))
+	for _, a := range group {
+		n.partition[a] = 1
+	}
+	n.split = true
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.split = false
+	n.partition = make(map[string]int)
+}
+
+// Stats returns a copy of the aggregate counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the aggregate counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// Step executes the next pending event and reports whether one existed.
+func (n *Network) Step() bool {
+	n.mu.Lock()
+	var ev *event
+	for n.queue.Len() > 0 {
+		ev = heap.Pop(&n.queue).(*event)
+		if ev.fn != nil {
+			break
+		}
+		ev = nil
+	}
+	if ev == nil {
+		n.mu.Unlock()
+		return false
+	}
+	n.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	n.mu.Unlock()
+	fn()
+	return true
+}
+
+// Run drains all pending events (including ones scheduled while draining).
+func (n *Network) Run() {
+	for n.Step() {
+	}
+}
+
+// RunFor drains events with timestamps up to now+d, then advances the clock
+// to exactly now+d.
+func (n *Network) RunFor(d time.Duration) {
+	n.mu.Lock()
+	deadline := n.now + d
+	n.mu.Unlock()
+	n.RunUntil(deadline)
+}
+
+// RunUntil drains events with timestamps up to the absolute virtual time t,
+// then sets the clock to t.
+func (n *Network) RunUntil(t time.Duration) {
+	for {
+		n.mu.Lock()
+		var ev *event
+		for n.queue.Len() > 0 {
+			head := n.queue[0]
+			if head.fn == nil {
+				heap.Pop(&n.queue)
+				continue
+			}
+			if head.at > t {
+				break
+			}
+			ev = heap.Pop(&n.queue).(*event)
+			break
+		}
+		if ev == nil {
+			if n.now < t {
+				n.now = t
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		n.mu.Unlock()
+		fn()
+	}
+}
+
+// Pending reports the number of undelivered events (including cancelled
+// timer slots not yet popped).
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queue.Len()
+}
+
+func (n *Network) reachableLocked(from, to string) bool {
+	if !n.split {
+		return true
+	}
+	return n.partition[from] == n.partition[to]
+}
+
+// send implements the link model: loss, partition, crash, latency.
+func (n *Network) send(from string, msg transport.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed[from] {
+		return fmt.Errorf("%w: sender %s crashed", transport.ErrUnreachable, from)
+	}
+	dest, ok := n.nodes[msg.To]
+	if !ok {
+		n.stats.Dropped++
+		return fmt.Errorf("%w: %s", transport.ErrUnreachable, msg.To)
+	}
+	n.stats.Sent++
+	n.stats.Bytes += int64(len(msg.Body))
+	if !n.reachableLocked(from, msg.To) || n.rng.Float64() < n.lossRate {
+		n.stats.Dropped++
+		return nil
+	}
+	latency := n.cfg.MinLatency
+	if span := n.cfg.MaxLatency - n.cfg.MinLatency; span > 0 {
+		latency += time.Duration(n.rng.Int63n(int64(span) + 1))
+	}
+	latency += n.cfg.ProcDelay + n.slowdown[msg.To]
+	msg.From = from
+	n.scheduleLocked(latency, func() {
+		n.deliver(dest, msg)
+	})
+	return nil
+}
+
+func (n *Network) deliver(dest *Node, msg transport.Message) {
+	n.mu.Lock()
+	if n.crashed[dest.addr] {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return
+	}
+	h := dest.handler
+	n.stats.Delivered++
+	n.mu.Unlock()
+	if h == nil {
+		return
+	}
+	// Handler errors are protocol-level; the network, like UDP, ignores them.
+	_ = h(context.Background(), msg)
+}
+
+// Node is one simulated endpoint.
+type Node struct {
+	net     *Network
+	addr    string
+	handler transport.Handler
+}
+
+var _ transport.Endpoint = (*Node)(nil)
+
+// Addr returns the node's address.
+func (nd *Node) Addr() string { return nd.addr }
+
+// SetHandler installs the inbound handler.
+func (nd *Node) SetHandler(h transport.Handler) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	nd.handler = h
+}
+
+// Send transmits msg through the simulated fabric.
+func (nd *Node) Send(_ context.Context, msg transport.Message) error {
+	return nd.net.send(nd.addr, msg)
+}
+
+// RNG exposes the simulation's seeded random source so protocols share one
+// deterministic stream. Use only from the event loop goroutine.
+func (n *Network) RNG() *rand.Rand { return n.rng }

@@ -1,0 +1,327 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wsgossip/internal/transport"
+)
+
+func lossless(seed int64) Config {
+	return Config{Seed: seed, MinLatency: time.Millisecond, MaxLatency: 5 * time.Millisecond}
+}
+
+func TestDeliverySingleMessage(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	b := net.Node("b")
+	var got []string
+	b.SetHandler(func(_ context.Context, msg transport.Message) error {
+		got = append(got, string(msg.Body))
+		if msg.From != "a" {
+			t.Errorf("from = %q", msg.From)
+		}
+		return nil
+	})
+	if err := a.Send(context.Background(), transport.Message{To: "b", Action: "x", Body: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got = %v", got)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendToUnknownAddress(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	err := a.Send(context.Background(), transport.Message{To: "ghost", Action: "x"})
+	if err == nil {
+		t.Fatal("send to unknown address succeeded")
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: 10 * time.Millisecond, MaxLatency: 10 * time.Millisecond})
+	a := net.Node("a")
+	b := net.Node("b")
+	var at time.Duration
+	b.SetHandler(func(context.Context, transport.Message) error {
+		at = net.Now()
+		return nil
+	})
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	net.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("delivery time = %v, want 10ms", at)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func(seed int64) []string {
+		net := New(Config{Seed: seed, MinLatency: time.Millisecond, MaxLatency: 20 * time.Millisecond, LossRate: 0.2})
+		var order []string
+		mk := func(name string) *Node {
+			n := net.Node(name)
+			n.SetHandler(func(_ context.Context, msg transport.Message) error {
+				order = append(order, name+"<-"+msg.From)
+				return nil
+			})
+			return n
+		}
+		nodes := []*Node{mk("a"), mk("b"), mk("c"), mk("d")}
+		for i, from := range nodes {
+			for j := range nodes {
+				if i == j {
+					continue
+				}
+				_ = from.Send(context.Background(), transport.Message{To: nodes[j].Addr()})
+			}
+		}
+		net.Run()
+		return order
+	}
+	o1 := run(42)
+	o2 := run(42)
+	if len(o1) != len(o2) {
+		t.Fatalf("lengths differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("order diverges at %d: %q vs %q", i, o1[i], o2[i])
+		}
+	}
+	o3 := run(43)
+	same := len(o1) == len(o3)
+	if same {
+		for i := range o1 {
+			if o1[i] != o3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("different seeds produced identical orders (possible but unlikely)")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	net := New(Config{Seed: 7, MinLatency: time.Millisecond, MaxLatency: time.Millisecond, LossRate: 0.5})
+	a := net.Node("a")
+	b := net.Node("b")
+	delivered := 0
+	b.SetHandler(func(context.Context, transport.Message) error {
+		delivered++
+		return nil
+	})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		_ = a.Send(context.Background(), transport.Message{To: "b"})
+	}
+	net.Run()
+	frac := float64(delivered) / total
+	if frac < 0.44 || frac > 0.56 {
+		t.Fatalf("delivered fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestCrashDropsDeliveries(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	b := net.Node("b")
+	delivered := 0
+	b.SetHandler(func(context.Context, transport.Message) error {
+		delivered++
+		return nil
+	})
+	net.Crash("b")
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	net.Run()
+	if delivered != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	if err := a.Send(context.Background(), transport.Message{To: "b"}); err != nil {
+		t.Fatalf("send to crashed dest should be silent drop, got %v", err)
+	}
+	net.Run() // drain the in-flight message while b is still down
+	net.Recover("b")
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	net.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered after recover = %d", delivered)
+	}
+}
+
+func TestCrashedSenderCannotSend(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	net.Node("b")
+	net.Crash("a")
+	if err := a.Send(context.Background(), transport.Message{To: "b"}); err == nil {
+		t.Fatal("crashed sender could send")
+	}
+	if !net.Crashed("a") {
+		t.Fatal("crashed flag not reported")
+	}
+}
+
+func TestPartitionBlocksCrossGroupTraffic(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	b := net.Node("b")
+	c := net.Node("c")
+	counts := map[string]int{}
+	for _, n := range []*Node{a, b, c} {
+		n := n
+		n.SetHandler(func(context.Context, transport.Message) error {
+			counts[n.Addr()]++
+			return nil
+		})
+	}
+	net.Partition([]string{"c"}) // {a,b} | {c}
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	_ = a.Send(context.Background(), transport.Message{To: "c"})
+	net.Run()
+	if counts["b"] != 1 {
+		t.Fatalf("same-side delivery failed: %v", counts)
+	}
+	if counts["c"] != 0 {
+		t.Fatalf("cross-partition delivery occurred: %v", counts)
+	}
+	net.Heal()
+	_ = a.Send(context.Background(), transport.Message{To: "c"})
+	net.Run()
+	if counts["c"] != 1 {
+		t.Fatalf("post-heal delivery failed: %v", counts)
+	}
+}
+
+func TestAfterFuncOrderingAndCancel(t *testing.T) {
+	net := New(lossless(1))
+	var fired []string
+	net.AfterFunc(30*time.Millisecond, func() { fired = append(fired, "late") })
+	net.AfterFunc(10*time.Millisecond, func() { fired = append(fired, "early") })
+	stop := net.AfterFunc(20*time.Millisecond, func() { fired = append(fired, "cancelled") })
+	if !stop() {
+		t.Fatal("cancel failed")
+	}
+	if stop() {
+		t.Fatal("double cancel succeeded")
+	}
+	net.Run()
+	if len(fired) != 2 || fired[0] != "early" || fired[1] != "late" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunForStopsAtDeadline(t *testing.T) {
+	net := New(lossless(1))
+	var fired []string
+	net.AfterFunc(10*time.Millisecond, func() { fired = append(fired, "in") })
+	net.AfterFunc(100*time.Millisecond, func() { fired = append(fired, "out") })
+	net.RunFor(50 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != "in" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if net.Now() != 50*time.Millisecond {
+		t.Fatalf("now = %v, want 50ms", net.Now())
+	}
+	net.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired after full run = %v", fired)
+	}
+}
+
+func TestReentrantSendFromHandler(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	b := net.Node("b")
+	c := net.Node("c")
+	got := false
+	b.SetHandler(func(ctx context.Context, msg transport.Message) error {
+		return b.Send(ctx, transport.Message{To: "c", Body: msg.Body})
+	})
+	c.SetHandler(func(_ context.Context, msg transport.Message) error {
+		got = string(msg.Body) == "relay"
+		return nil
+	})
+	_ = a.Send(context.Background(), transport.Message{To: "b", Body: []byte("relay")})
+	net.Run()
+	if !got {
+		t.Fatal("relayed message not delivered")
+	}
+}
+
+func TestSlowdownDelaysDelivery(t *testing.T) {
+	net := New(Config{Seed: 1, MinLatency: time.Millisecond, MaxLatency: time.Millisecond})
+	a := net.Node("a")
+	b := net.Node("b")
+	var at time.Duration
+	b.SetHandler(func(context.Context, transport.Message) error {
+		at = net.Now()
+		return nil
+	})
+	net.SetSlowdown("b", 100*time.Millisecond)
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	net.Run()
+	if at != 101*time.Millisecond {
+		t.Fatalf("delivery at %v, want 101ms", at)
+	}
+	net.SetSlowdown("b", 0)
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	net.Run()
+	if at != 102*time.Millisecond {
+		t.Fatalf("delivery at %v, want 102ms", at)
+	}
+}
+
+// TestLatencyBoundsProperty: every delivery occurs within [min,max] of send.
+func TestLatencyBoundsProperty(t *testing.T) {
+	f := func(seed int64, minMs, spanMs uint8) bool {
+		min := time.Duration(minMs) * time.Millisecond
+		max := min + time.Duration(spanMs)*time.Millisecond
+		net := New(Config{Seed: seed, MinLatency: min, MaxLatency: max})
+		a := net.Node("a")
+		b := net.Node("b")
+		ok := true
+		var sentAt time.Duration
+		b.SetHandler(func(context.Context, transport.Message) error {
+			d := net.Now() - sentAt
+			if d < min || d > max {
+				ok = false
+			}
+			return nil
+		})
+		for i := 0; i < 20; i++ {
+			sentAt = net.Now()
+			_ = a.Send(context.Background(), transport.Message{To: "b"})
+			net.Run()
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsBytes(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	net.Node("b").SetHandler(func(context.Context, transport.Message) error { return nil })
+	_ = a.Send(context.Background(), transport.Message{To: "b", Body: make([]byte, 100)})
+	net.Run()
+	if st := net.Stats(); st.Bytes != 100 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	net.ResetStats()
+	if st := net.Stats(); st.Sent != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}

@@ -1,0 +1,361 @@
+// Package soap implements the SOAP 1.2 subset the WS-Gossip middleware is
+// built on: envelope encoding/decoding, faults, a server-side handler chain
+// (the interception point where the paper's gossip layer sits), an HTTP
+// binding, and an in-memory binding for large in-process deployments.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+
+	"wsgossip/internal/wsa"
+)
+
+// Namespace is the SOAP 1.2 envelope namespace.
+const Namespace = "http://www.w3.org/2003/05/soap-envelope"
+
+// ContentType is the SOAP 1.2 media type used by the HTTP binding.
+const ContentType = "application/soap+xml"
+
+// ErrEmptyBody reports an attempt to decode a body with no child element.
+var ErrEmptyBody = errors.New("soap: empty body")
+
+// ErrHeaderNotFound reports a missing header block.
+var ErrHeaderNotFound = errors.New("soap: header block not found")
+
+// Envelope is a SOAP 1.2 message.
+type Envelope struct {
+	XMLName xml.Name `xml:"http://www.w3.org/2003/05/soap-envelope Envelope"`
+	Header  *Header  `xml:"Header,omitempty"`
+	Body    Body     `xml:"Body"`
+}
+
+// Header is the SOAP header: an ordered sequence of extension blocks.
+type Header struct {
+	XMLName xml.Name `xml:"http://www.w3.org/2003/05/soap-envelope Header"`
+	Blocks  []Block  `xml:",any"`
+}
+
+// Body is the SOAP body. WS-Gossip messages carry exactly one child element.
+type Body struct {
+	XMLName xml.Name `xml:"http://www.w3.org/2003/05/soap-envelope Body"`
+	Blocks  []Block  `xml:",any"`
+}
+
+// Block is one XML element captured verbatim, preserving attributes and
+// children, so that header blocks a node does not understand pass through
+// untouched (the paper's Consumer role depends on this).
+type Block struct {
+	XMLName xml.Name
+	Raw     []byte
+}
+
+var (
+	_ xml.Unmarshaler = (*Block)(nil)
+	_ xml.Marshaler   = Block{}
+)
+
+// UnmarshalXML captures the complete element, including its start tag.
+func (b *Block) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	b.XMLName = start.Name
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	if err := enc.EncodeToken(start); err != nil {
+		return fmt.Errorf("soap: capture block start: %w", err)
+	}
+	depth := 1
+	for depth > 0 {
+		tok, err := d.Token()
+		if err != nil {
+			return fmt.Errorf("soap: capture block token: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+		}
+		if err := enc.EncodeToken(tok); err != nil {
+			return fmt.Errorf("soap: re-encode block token: %w", err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return fmt.Errorf("soap: flush block: %w", err)
+	}
+	b.Raw = buf.Bytes()
+	return nil
+}
+
+// MarshalXML replays the captured element verbatim.
+func (b Block) MarshalXML(e *xml.Encoder, _ xml.StartElement) error {
+	d := xml.NewDecoder(bytes.NewReader(b.Raw))
+	for {
+		tok, err := d.Token()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("soap: replay block: %w", err)
+		}
+		if err := e.EncodeToken(tok); err != nil {
+			return fmt.Errorf("soap: emit block token: %w", err)
+		}
+	}
+}
+
+// Decode decodes v from the captured element.
+func (b Block) Decode(v any) error {
+	if err := xml.Unmarshal(b.Raw, v); err != nil {
+		return fmt.Errorf("soap: decode block %s: %w", b.XMLName.Local, err)
+	}
+	return nil
+}
+
+// NewEnvelope returns an empty envelope.
+func NewEnvelope() *Envelope {
+	return &Envelope{}
+}
+
+// blockOf marshals v into a captured Block.
+func blockOf(v any) (Block, error) {
+	raw, err := xml.Marshal(v)
+	if err != nil {
+		return Block{}, fmt.Errorf("soap: marshal block: %w", err)
+	}
+	var probe struct {
+		XMLName xml.Name
+	}
+	if err := xml.Unmarshal(raw, &probe); err != nil {
+		return Block{}, fmt.Errorf("soap: probe block name: %w", err)
+	}
+	return Block{XMLName: probe.XMLName, Raw: raw}, nil
+}
+
+// AddHeader marshals v and appends it as a header block.
+func (e *Envelope) AddHeader(v any) error {
+	b, err := blockOf(v)
+	if err != nil {
+		return err
+	}
+	if e.Header == nil {
+		e.Header = &Header{}
+	}
+	e.Header.Blocks = append(e.Header.Blocks, b)
+	return nil
+}
+
+// HeaderBlock returns the first header block with the given name.
+func (e *Envelope) HeaderBlock(space, local string) (Block, bool) {
+	if e.Header == nil {
+		return Block{}, false
+	}
+	for _, b := range e.Header.Blocks {
+		if b.XMLName.Local == local && (space == "" || b.XMLName.Space == space) {
+			return b, true
+		}
+	}
+	return Block{}, false
+}
+
+// DecodeHeader decodes the named header block into v.
+func (e *Envelope) DecodeHeader(space, local string, v any) error {
+	b, ok := e.HeaderBlock(space, local)
+	if !ok {
+		return fmt.Errorf("%w: {%s}%s", ErrHeaderNotFound, space, local)
+	}
+	return b.Decode(v)
+}
+
+// RemoveHeader deletes all header blocks with the given name and reports
+// whether any were removed.
+func (e *Envelope) RemoveHeader(space, local string) bool {
+	if e.Header == nil {
+		return false
+	}
+	kept := e.Header.Blocks[:0]
+	removed := false
+	for _, b := range e.Header.Blocks {
+		if b.XMLName.Local == local && (space == "" || b.XMLName.Space == space) {
+			removed = true
+			continue
+		}
+		kept = append(kept, b)
+	}
+	e.Header.Blocks = kept
+	return removed
+}
+
+// SetBody replaces the body with the marshaled form of v.
+func (e *Envelope) SetBody(v any) error {
+	b, err := blockOf(v)
+	if err != nil {
+		return err
+	}
+	e.Body.Blocks = []Block{b}
+	return nil
+}
+
+// BodyName returns the qualified name of the first body child, or a zero
+// name for an empty body.
+func (e *Envelope) BodyName() xml.Name {
+	if len(e.Body.Blocks) == 0 {
+		return xml.Name{}
+	}
+	return e.Body.Blocks[0].XMLName
+}
+
+// DecodeBody decodes the first body child into v.
+func (e *Envelope) DecodeBody(v any) error {
+	if len(e.Body.Blocks) == 0 {
+		return ErrEmptyBody
+	}
+	return e.Body.Blocks[0].Decode(v)
+}
+
+// Encode serializes the envelope with an XML declaration.
+func (e *Envelope) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	if err := enc.Encode(e); err != nil {
+		return nil, fmt.Errorf("soap: encode envelope: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, fmt.Errorf("soap: flush envelope: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a serialized envelope.
+func Decode(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("soap: decode envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// Clone deep-copies the envelope; forwarding a notification to several peers
+// must not share mutable header state between sends.
+func (e *Envelope) Clone() *Envelope {
+	out := &Envelope{}
+	if e.Header != nil {
+		out.Header = &Header{Blocks: cloneBlocks(e.Header.Blocks)}
+	}
+	out.Body.Blocks = cloneBlocks(e.Body.Blocks)
+	return out
+}
+
+func cloneBlocks(in []Block) []Block {
+	out := make([]Block, len(in))
+	for i, b := range in {
+		raw := make([]byte, len(b.Raw))
+		copy(raw, b.Raw)
+		out[i] = Block{XMLName: b.XMLName, Raw: raw}
+	}
+	return out
+}
+
+// Addressing-header element shapes. WS-Addressing properties are individual
+// top-level header blocks.
+type (
+	toHeader struct {
+		XMLName xml.Name `xml:"http://www.w3.org/2005/08/addressing To"`
+		Value   string   `xml:",chardata"`
+	}
+	actionHeader struct {
+		XMLName xml.Name `xml:"http://www.w3.org/2005/08/addressing Action"`
+		Value   string   `xml:",chardata"`
+	}
+	messageIDHeader struct {
+		XMLName xml.Name `xml:"http://www.w3.org/2005/08/addressing MessageID"`
+		Value   string   `xml:",chardata"`
+	}
+	relatesToHeader struct {
+		XMLName xml.Name `xml:"http://www.w3.org/2005/08/addressing RelatesTo"`
+		Value   string   `xml:",chardata"`
+	}
+	replyToHeader struct {
+		XMLName xml.Name `xml:"http://www.w3.org/2005/08/addressing ReplyTo"`
+		Address string   `xml:"Address"`
+	}
+	fromHeader struct {
+		XMLName xml.Name `xml:"http://www.w3.org/2005/08/addressing From"`
+		Address string   `xml:"Address"`
+	}
+)
+
+// SetAddressing writes the WS-Addressing properties into the header,
+// replacing any existing addressing blocks.
+func (e *Envelope) SetAddressing(h wsa.Headers) error {
+	for _, local := range []string{"To", "Action", "MessageID", "RelatesTo", "ReplyTo", "From"} {
+		e.RemoveHeader(wsa.Namespace, local)
+	}
+	if h.To != "" {
+		if err := e.AddHeader(toHeader{Value: h.To}); err != nil {
+			return err
+		}
+	}
+	if h.Action != "" {
+		if err := e.AddHeader(actionHeader{Value: h.Action}); err != nil {
+			return err
+		}
+	}
+	if h.MessageID != "" {
+		if err := e.AddHeader(messageIDHeader{Value: string(h.MessageID)}); err != nil {
+			return err
+		}
+	}
+	if h.RelatesTo != "" {
+		if err := e.AddHeader(relatesToHeader{Value: string(h.RelatesTo)}); err != nil {
+			return err
+		}
+	}
+	if h.ReplyTo != nil {
+		if err := e.AddHeader(replyToHeader{Address: h.ReplyTo.Address}); err != nil {
+			return err
+		}
+	}
+	if h.From != nil {
+		if err := e.AddHeader(fromHeader{Address: h.From.Address}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Addressing extracts the WS-Addressing properties from the header. Missing
+// blocks yield zero fields; callers validate what they require.
+func (e *Envelope) Addressing() wsa.Headers {
+	var h wsa.Headers
+	var to toHeader
+	if err := e.DecodeHeader(wsa.Namespace, "To", &to); err == nil {
+		h.To = to.Value
+	}
+	var action actionHeader
+	if err := e.DecodeHeader(wsa.Namespace, "Action", &action); err == nil {
+		h.Action = action.Value
+	}
+	var mid messageIDHeader
+	if err := e.DecodeHeader(wsa.Namespace, "MessageID", &mid); err == nil {
+		h.MessageID = wsa.MessageID(mid.Value)
+	}
+	var rel relatesToHeader
+	if err := e.DecodeHeader(wsa.Namespace, "RelatesTo", &rel); err == nil {
+		h.RelatesTo = wsa.MessageID(rel.Value)
+	}
+	var reply replyToHeader
+	if err := e.DecodeHeader(wsa.Namespace, "ReplyTo", &reply); err == nil {
+		epr := wsa.NewEPR(reply.Address)
+		h.ReplyTo = &epr
+	}
+	var from fromHeader
+	if err := e.DecodeHeader(wsa.Namespace, "From", &from); err == nil {
+		epr := wsa.NewEPR(from.Address)
+		h.From = &epr
+	}
+	return h
+}

@@ -1,0 +1,79 @@
+package soap
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+)
+
+// SOAP 1.2 fault code values.
+const (
+	CodeSender   = "Sender"
+	CodeReceiver = "Receiver"
+)
+
+// Fault is a SOAP 1.2 fault body element.
+type Fault struct {
+	XMLName xml.Name    `xml:"http://www.w3.org/2003/05/soap-envelope Fault"`
+	Code    FaultCode   `xml:"Code"`
+	Reason  FaultReason `xml:"Reason"`
+	Detail  string      `xml:"Detail,omitempty"`
+}
+
+// FaultCode carries the machine-readable fault classification.
+type FaultCode struct {
+	Value string `xml:"Value"`
+}
+
+// FaultReason carries the human-readable fault explanation.
+type FaultReason struct {
+	Text string `xml:"Text"`
+}
+
+var _ error = (*Fault)(nil)
+
+// Error implements error so faults can flow through error returns.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault [%s]: %s", f.Code.Value, f.Reason.Text)
+}
+
+// NewFault constructs a fault with the given code value and reason.
+func NewFault(code, reason string) *Fault {
+	return &Fault{Code: FaultCode{Value: code}, Reason: FaultReason{Text: reason}}
+}
+
+// FaultEnvelope wraps a fault into a complete envelope.
+func FaultEnvelope(f *Fault) (*Envelope, error) {
+	env := NewEnvelope()
+	if err := env.SetBody(f); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// FaultFrom extracts a fault from the envelope body, or returns nil if the
+// body is not a fault.
+func FaultFrom(env *Envelope) *Fault {
+	if env == nil {
+		return nil
+	}
+	name := env.BodyName()
+	if name.Space != Namespace || name.Local != "Fault" {
+		return nil
+	}
+	var f Fault
+	if err := env.DecodeBody(&f); err != nil {
+		return nil
+	}
+	return &f
+}
+
+// AsFault converts err into a fault: an existing *Fault passes through,
+// anything else becomes a Receiver fault.
+func AsFault(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return NewFault(CodeReceiver, err.Error())
+}

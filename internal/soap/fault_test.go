@@ -1,0 +1,64 @@
+package soap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFaultError(t *testing.T) {
+	f := NewFault(CodeSender, "bad input")
+	if !strings.Contains(f.Error(), "Sender") || !strings.Contains(f.Error(), "bad input") {
+		t.Fatalf("fault error = %q", f.Error())
+	}
+}
+
+func TestFaultEnvelopeRoundTrip(t *testing.T) {
+	env, err := FaultEnvelope(NewFault(CodeReceiver, "boom"))
+	if err != nil {
+		t.Fatalf("fault envelope: %v", err)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FaultFrom(decoded)
+	if f == nil {
+		t.Fatal("fault not detected after round trip")
+	}
+	if f.Code.Value != CodeReceiver || f.Reason.Text != "boom" {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestFaultFromNonFault(t *testing.T) {
+	env := NewEnvelope()
+	if err := env.SetBody(testBody{Value: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if f := FaultFrom(env); f != nil {
+		t.Fatalf("non-fault detected as fault: %+v", f)
+	}
+	if f := FaultFrom(nil); f != nil {
+		t.Fatal("nil envelope produced a fault")
+	}
+}
+
+func TestAsFault(t *testing.T) {
+	orig := NewFault(CodeSender, "x")
+	if got := AsFault(orig); got != orig {
+		t.Fatal("existing fault not passed through")
+	}
+	wrapped := errors.Join(errors.New("outer"), orig)
+	if got := AsFault(wrapped); got != orig {
+		t.Fatal("wrapped fault not unwrapped")
+	}
+	plain := AsFault(errors.New("plain"))
+	if plain.Code.Value != CodeReceiver {
+		t.Fatalf("plain error fault code = %q", plain.Code.Value)
+	}
+}

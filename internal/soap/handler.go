@@ -1,0 +1,103 @@
+package soap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"wsgossip/internal/wsa"
+)
+
+// Request is an inbound SOAP message plus its decoded addressing properties.
+type Request struct {
+	// Addressing holds the WS-Addressing header properties.
+	Addressing wsa.Headers
+	// Envelope is the full inbound envelope (headers and body).
+	Envelope *Envelope
+	// Remote is the transport-level sender address, when known.
+	Remote string
+}
+
+// Handler processes one SOAP request. A nil response envelope means the
+// exchange is one-way (the HTTP binding answers 202 Accepted).
+type Handler interface {
+	HandleSOAP(ctx context.Context, req *Request) (*Envelope, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req *Request) (*Envelope, error)
+
+var _ Handler = HandlerFunc(nil)
+
+// HandleSOAP calls f.
+func (f HandlerFunc) HandleSOAP(ctx context.Context, req *Request) (*Envelope, error) {
+	return f(ctx, req)
+}
+
+// Middleware wraps a handler with additional behaviour. The paper's gossip
+// layer is exactly such a middleware: it intercepts messages on their way to
+// the application service and re-routes copies to selected peers.
+type Middleware func(Handler) Handler
+
+// Chain wraps h with the middlewares so the first listed runs outermost.
+func Chain(h Handler, mws ...Middleware) Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// Dispatcher routes requests to handlers by WS-Addressing action URI. It is
+// the per-node service registry used by both bindings.
+type Dispatcher struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	fallback Handler
+}
+
+var _ Handler = (*Dispatcher)(nil)
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[string]Handler)}
+}
+
+// Register binds an action URI to a handler, replacing any previous binding.
+func (d *Dispatcher) Register(action string, h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.handlers[action] = h
+}
+
+// SetFallback installs the handler used for unknown actions.
+func (d *Dispatcher) SetFallback(h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fallback = h
+}
+
+// Actions lists the registered action URIs.
+func (d *Dispatcher) Actions() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.handlers))
+	for a := range d.handlers {
+		out = append(out, a)
+	}
+	return out
+}
+
+// HandleSOAP dispatches by req.Addressing.Action.
+func (d *Dispatcher) HandleSOAP(ctx context.Context, req *Request) (*Envelope, error) {
+	d.mu.RLock()
+	h, ok := d.handlers[req.Addressing.Action]
+	fb := d.fallback
+	d.mu.RUnlock()
+	if !ok {
+		if fb != nil {
+			return fb.HandleSOAP(ctx, req)
+		}
+		return nil, NewFault(CodeSender, fmt.Sprintf("no handler for action %q", req.Addressing.Action))
+	}
+	return h.HandleSOAP(ctx, req)
+}

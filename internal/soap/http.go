@@ -1,0 +1,172 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxEnvelopeBytes bounds inbound message size (defense against unbounded
+// reads; gossip notifications are small).
+const maxEnvelopeBytes = 8 << 20
+
+// HTTPServer adapts a Handler to the SOAP 1.2 HTTP binding.
+type HTTPServer struct {
+	handler Handler
+}
+
+var _ http.Handler = (*HTTPServer)(nil)
+
+// NewHTTPServer wraps h for serving over HTTP.
+func NewHTTPServer(h Handler) *HTTPServer {
+	return &HTTPServer{handler: h}
+}
+
+// ServeHTTP implements the SOAP 1.2 request-response and one-way MEPs:
+// a nil handler response yields 202 Accepted, a fault yields 500.
+func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes))
+	if err != nil {
+		http.Error(w, "read request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	env, err := Decode(data)
+	if err != nil {
+		writeFault(w, NewFault(CodeSender, err.Error()))
+		return
+	}
+	req := &Request{
+		Addressing: env.Addressing(),
+		Envelope:   env,
+		Remote:     r.RemoteAddr,
+	}
+	resp, err := s.handler.HandleSOAP(r.Context(), req)
+	if err != nil {
+		writeFault(w, AsFault(err))
+		return
+	}
+	if resp == nil {
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		writeFault(w, NewFault(CodeReceiver, err.Error()))
+		return
+	}
+	w.Header().Set("Content-Type", ContentType+"; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+func writeFault(w http.ResponseWriter, f *Fault) {
+	env, err := FaultEnvelope(f)
+	if err != nil {
+		http.Error(w, f.Error(), http.StatusInternalServerError)
+		return
+	}
+	out, err := env.Encode()
+	if err != nil {
+		http.Error(w, f.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType+"; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(out)
+}
+
+// Caller sends SOAP messages to endpoint addresses. It is implemented by the
+// HTTP client and by the in-memory bus, so role code is binding-agnostic.
+type Caller interface {
+	// Call performs a request-response exchange.
+	Call(ctx context.Context, to string, env *Envelope) (*Envelope, error)
+	// Send performs a one-way exchange.
+	Send(ctx context.Context, to string, env *Envelope) error
+}
+
+// HTTPClient is a SOAP 1.2 client over net/http.
+type HTTPClient struct {
+	hc *http.Client
+}
+
+var _ Caller = (*HTTPClient)(nil)
+
+// NewHTTPClient wraps hc (nil means http.DefaultClient).
+func NewHTTPClient(hc *http.Client) *HTTPClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &HTTPClient{hc: hc}
+}
+
+// Call posts the envelope to the endpoint and decodes the response envelope.
+// A SOAP fault in the response is returned as a *Fault error.
+func (c *HTTPClient) Call(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	respBody, status, err := c.post(ctx, to, env)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusAccepted || len(respBody) == 0 {
+		return nil, nil
+	}
+	resp, err := Decode(respBody)
+	if err != nil {
+		return nil, fmt.Errorf("call %s: %w", to, err)
+	}
+	if f := FaultFrom(resp); f != nil {
+		return nil, f
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("call %s: unexpected status %d", to, status)
+	}
+	return resp, nil
+}
+
+// Send posts the envelope and discards any response body.
+func (c *HTTPClient) Send(ctx context.Context, to string, env *Envelope) error {
+	respBody, status, err := c.post(ctx, to, env)
+	if err != nil {
+		return err
+	}
+	if status >= 400 {
+		if resp, derr := Decode(respBody); derr == nil {
+			if f := FaultFrom(resp); f != nil {
+				return f
+			}
+		}
+		return fmt.Errorf("send %s: unexpected status %d", to, status)
+	}
+	return nil
+}
+
+func (c *HTTPClient) post(ctx context.Context, to string, env *Envelope) ([]byte, int, error) {
+	data, err := env.Encode()
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, to, bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, fmt.Errorf("post %s: %w", to, err)
+	}
+	req.Header.Set("Content-Type", ContentType+"; charset=utf-8")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("post %s: %w", to, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelopeBytes))
+	if err != nil {
+		return nil, 0, fmt.Errorf("read response from %s: %w", to, err)
+	}
+	return body, resp.StatusCode, nil
+}
+
+// ErrUnknownEndpoint reports a send to an address not present on the bus.
+var ErrUnknownEndpoint = errors.New("soap: unknown endpoint")

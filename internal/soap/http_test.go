@@ -1,0 +1,209 @@
+package soap
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsgossip/internal/wsa"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(_ context.Context, req *Request) (*Envelope, error) {
+		var in testBody
+		if err := req.Envelope.DecodeBody(&in); err != nil {
+			return nil, NewFault(CodeSender, err.Error())
+		}
+		resp := NewEnvelope()
+		if err := resp.SetAddressing(req.Addressing.Reply("urn:echoed")); err != nil {
+			return nil, err
+		}
+		if err := resp.SetBody(testBody{Value: "echo:" + in.Value, N: in.N + 1}); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
+}
+
+func newCallEnv(t *testing.T, to, action string, body any) *Envelope {
+	t.Helper()
+	env := NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{To: to, Action: action, MessageID: wsa.NewMessageID()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SetBody(body); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestHTTPCallRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPServer(echoHandler()))
+	defer srv.Close()
+	client := NewHTTPClient(srv.Client())
+
+	env := newCallEnv(t, srv.URL, "urn:echo", testBody{Value: "hi", N: 1})
+	resp, err := client.Call(context.Background(), srv.URL, env)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	var out testBody
+	if err := resp.DecodeBody(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != "echo:hi" || out.N != 2 {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+func TestHTTPOneWay(t *testing.T) {
+	received := make(chan string, 1)
+	h := HandlerFunc(func(_ context.Context, req *Request) (*Envelope, error) {
+		var in testBody
+		if err := req.Envelope.DecodeBody(&in); err != nil {
+			return nil, err
+		}
+		received <- in.Value
+		return nil, nil // one-way
+	})
+	srv := httptest.NewServer(NewHTTPServer(h))
+	defer srv.Close()
+	client := NewHTTPClient(srv.Client())
+
+	env := newCallEnv(t, srv.URL, "urn:notify", testBody{Value: "fire"})
+	if err := client.Send(context.Background(), srv.URL, env); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case v := <-received:
+		if v != "fire" {
+			t.Fatalf("received %q", v)
+		}
+	default:
+		t.Fatal("handler not invoked")
+	}
+}
+
+func TestHTTPFaultPropagation(t *testing.T) {
+	h := HandlerFunc(func(context.Context, *Request) (*Envelope, error) {
+		return nil, NewFault(CodeSender, "rejected")
+	})
+	srv := httptest.NewServer(NewHTTPServer(h))
+	defer srv.Close()
+	client := NewHTTPClient(srv.Client())
+
+	env := newCallEnv(t, srv.URL, "urn:x", testBody{Value: "v"})
+	_, err := client.Call(context.Background(), srv.URL, env)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+	if f.Reason.Text != "rejected" {
+		t.Fatalf("fault reason = %q", f.Reason.Text)
+	}
+}
+
+func TestHTTPRejectsGet(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPServer(echoHandler()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRejectsGarbage(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPServer(echoHandler()))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL, ContentType, strings.NewReader("not xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestMemBusCall(t *testing.T) {
+	bus := NewMemBus()
+	bus.Register("mem://svc", echoHandler())
+
+	env := newCallEnv(t, "mem://svc", "urn:echo", testBody{Value: "m", N: 10})
+	resp, err := bus.Call(context.Background(), "mem://svc", env)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	var out testBody
+	if err := resp.DecodeBody(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Value != "echo:m" || out.N != 11 {
+		t.Fatalf("response = %+v", out)
+	}
+}
+
+func TestMemBusUnknownEndpoint(t *testing.T) {
+	bus := NewMemBus()
+	env := newCallEnv(t, "mem://ghost", "urn:x", testBody{})
+	if _, err := bus.Call(context.Background(), "mem://ghost", env); err == nil {
+		t.Fatal("call to unknown endpoint succeeded")
+	}
+	if err := bus.Send(context.Background(), "mem://ghost", env); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestMemBusUnregister(t *testing.T) {
+	bus := NewMemBus()
+	bus.Register("mem://svc", echoHandler())
+	bus.Unregister("mem://svc")
+	env := newCallEnv(t, "mem://svc", "urn:x", testBody{})
+	if err := bus.Send(context.Background(), "mem://svc", env); err == nil {
+		t.Fatal("send to unregistered endpoint succeeded")
+	}
+}
+
+// TestMemBusWireFidelity verifies MemBus round-trips through the codec, so
+// header pass-through behaviour matches HTTP exactly.
+func TestMemBusWireFidelity(t *testing.T) {
+	bus := NewMemBus()
+	var sawHeader bool
+	bus.Register("mem://svc", HandlerFunc(func(_ context.Context, req *Request) (*Envelope, error) {
+		var h testHeader
+		if err := req.Envelope.DecodeHeader("urn:test", "Meta", &h); err == nil && h.Tag == "t" {
+			sawHeader = true
+		}
+		return nil, nil
+	}))
+	env := newCallEnv(t, "mem://svc", "urn:x", testBody{Value: "v"})
+	if err := env.AddHeader(testHeader{Tag: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Send(context.Background(), "mem://svc", env); err != nil {
+		t.Fatal(err)
+	}
+	if !sawHeader {
+		t.Fatal("header did not survive the mem-bus wire cycle")
+	}
+}
+
+func TestMemBusFault(t *testing.T) {
+	bus := NewMemBus()
+	bus.Register("mem://svc", HandlerFunc(func(context.Context, *Request) (*Envelope, error) {
+		return nil, NewFault(CodeReceiver, "down")
+	}))
+	env := newCallEnv(t, "mem://svc", "urn:x", testBody{})
+	_, err := bus.Call(context.Background(), "mem://svc", env)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}

@@ -1,0 +1,149 @@
+package soap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// MemBus is an in-memory SOAP binding: endpoints register handlers under
+// opaque addresses and exchanges go through a full encode/decode cycle, so
+// wire behaviour (header pass-through, faults) matches the HTTP binding
+// while allowing hundreds of nodes in one process.
+//
+// Request-response exchanges (Call) are synchronous. One-way exchanges
+// (Send) are queued FIFO and drained iteratively: a Send issued from inside
+// a handler is delivered after the current wave, giving the same
+// breadth-first message ordering as an asynchronous network. Without this,
+// hop-bounded dissemination would burn its hop budget down one depth-first
+// chain — an artifact no real deployment exhibits. The top-level Send
+// drains the whole cascade before returning, so tests and examples observe
+// a completed dissemination.
+type MemBus struct {
+	mu        sync.RWMutex
+	endpoints map[string]Handler
+
+	qmu      sync.Mutex
+	queue    []pendingSend
+	draining bool
+}
+
+type pendingSend struct {
+	to   string
+	data []byte
+}
+
+var _ Caller = (*MemBus)(nil)
+
+// NewMemBus returns an empty bus.
+func NewMemBus() *MemBus {
+	return &MemBus{endpoints: make(map[string]Handler)}
+}
+
+// Register binds addr to h, replacing any previous binding.
+func (b *MemBus) Register(addr string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.endpoints[addr] = h
+}
+
+// Unregister removes addr from the bus (used for crash-fault injection).
+func (b *MemBus) Unregister(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.endpoints, addr)
+}
+
+// Endpoints returns the registered addresses.
+func (b *MemBus) Endpoints() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.endpoints))
+	for a := range b.endpoints {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (b *MemBus) lookup(addr string) (Handler, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	h, ok := b.endpoints[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, addr)
+	}
+	return h, nil
+}
+
+// deliver round-trips the envelope through the codec so receivers observe
+// exactly what they would see over HTTP.
+func (b *MemBus) deliver(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	data, err := env.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return b.deliverBytes(ctx, to, data)
+}
+
+func (b *MemBus) deliverBytes(ctx context.Context, to string, data []byte) (*Envelope, error) {
+	h, err := b.lookup(to)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{
+		Addressing: decoded.Addressing(),
+		Envelope:   decoded,
+		Remote:     "membus",
+	}
+	return h.HandleSOAP(ctx, req)
+}
+
+// Call performs a request-response exchange. Handler errors are surfaced as
+// *Fault, matching the HTTP binding.
+func (b *MemBus) Call(ctx context.Context, to string, env *Envelope) (*Envelope, error) {
+	resp, err := b.deliver(ctx, to, env)
+	if err != nil {
+		return nil, AsFault(err)
+	}
+	if f := FaultFrom(resp); f != nil {
+		return nil, f
+	}
+	return resp, nil
+}
+
+// Send performs a one-way exchange, discarding any response envelope. The
+// destination is validated immediately; delivery is FIFO-ordered behind any
+// in-flight wave (see the type comment). Handler errors at the receiver are
+// not reported back — one-way semantics, as over HTTP 202.
+func (b *MemBus) Send(ctx context.Context, to string, env *Envelope) error {
+	if _, err := b.lookup(to); err != nil {
+		return AsFault(err)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	b.qmu.Lock()
+	b.queue = append(b.queue, pendingSend{to: to, data: data})
+	if b.draining {
+		b.qmu.Unlock()
+		return nil
+	}
+	b.draining = true
+	for len(b.queue) > 0 {
+		p := b.queue[0]
+		b.queue = b.queue[1:]
+		b.qmu.Unlock()
+		// Endpoints may unregister (crash injection) between enqueue and
+		// delivery; drop silently like a network would.
+		_, _ = b.deliverBytes(ctx, p.to, p.data)
+		b.qmu.Lock()
+	}
+	b.draining = false
+	b.qmu.Unlock()
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package stockfeed generates the synthetic stock-market workload of the
+// paper's motivating scenario (Section 1): a stream of quotes over a symbol
+// universe with Zipf-distributed popularity and exponential inter-arrival
+// times. The paper's scenario is a workload shape, not a dataset, so a
+// seeded synthetic feed is the faithful substitute (DESIGN.md §2).
+package stockfeed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Quote is one market data event.
+type Quote struct {
+	Symbol string  `json:"symbol"`
+	Seq    uint64  `json:"seq"`
+	Price  float64 `json:"price"`
+	// OffsetMicros is the event time as microseconds from feed start.
+	OffsetMicros int64 `json:"offsetMicros"`
+}
+
+// Encode serializes the quote for dissemination payloads.
+func (q Quote) Encode() ([]byte, error) {
+	data, err := json.Marshal(q)
+	if err != nil {
+		return nil, fmt.Errorf("stockfeed: encode quote: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeQuote parses a serialized quote.
+func DecodeQuote(data []byte) (Quote, error) {
+	var q Quote
+	if err := json.Unmarshal(data, &q); err != nil {
+		return Quote{}, fmt.Errorf("stockfeed: decode quote: %w", err)
+	}
+	return q, nil
+}
+
+// Config configures a feed.
+type Config struct {
+	// Symbols is the universe size.
+	Symbols int
+	// ZipfS is the Zipf skew parameter (must be > 1).
+	ZipfS float64
+	// MeanInterval is the mean quote inter-arrival time.
+	MeanInterval time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// StartPrice is the initial price for every symbol.
+	StartPrice float64
+	// Volatility scales the per-quote geometric price step.
+	Volatility float64
+}
+
+// DefaultConfig returns a 500-symbol feed at 1000 quotes/s equivalent.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Symbols:      500,
+		ZipfS:        1.2,
+		MeanInterval: time.Millisecond,
+		Seed:         seed,
+		StartPrice:   100,
+		Volatility:   0.002,
+	}
+}
+
+// Feed produces a deterministic quote stream.
+type Feed struct {
+	cfg    Config
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	prices []float64
+	seq    uint64
+	now    time.Duration
+}
+
+// New validates cfg and returns a feed positioned at time zero.
+func New(cfg Config) (*Feed, error) {
+	if cfg.Symbols <= 0 {
+		return nil, errors.New("stockfeed: need at least one symbol")
+	}
+	if cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("stockfeed: zipf s must be > 1, got %v", cfg.ZipfS)
+	}
+	if cfg.MeanInterval <= 0 {
+		return nil, errors.New("stockfeed: mean interval must be positive")
+	}
+	if cfg.StartPrice <= 0 {
+		cfg.StartPrice = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Symbols-1))
+	if zipf == nil {
+		return nil, errors.New("stockfeed: invalid zipf parameters")
+	}
+	prices := make([]float64, cfg.Symbols)
+	for i := range prices {
+		prices[i] = cfg.StartPrice
+	}
+	return &Feed{cfg: cfg, rng: rng, zipf: zipf, prices: prices}, nil
+}
+
+// SymbolName returns the canonical name for symbol index i.
+func SymbolName(i int) string { return fmt.Sprintf("SYM%04d", i) }
+
+// Next produces the next quote: the symbol is Zipf-popular, the
+// inter-arrival time exponential, and the price follows a geometric walk.
+func (f *Feed) Next() Quote {
+	idx := int(f.zipf.Uint64())
+	f.now += time.Duration(f.rng.ExpFloat64() * float64(f.cfg.MeanInterval))
+	step := math.Exp(f.cfg.Volatility * f.rng.NormFloat64())
+	f.prices[idx] *= step
+	f.seq++
+	return Quote{
+		Symbol:       SymbolName(idx),
+		Seq:          f.seq,
+		Price:        f.prices[idx],
+		OffsetMicros: f.now.Microseconds(),
+	}
+}
+
+// Take returns the next n quotes.
+func (f *Feed) Take(n int) []Quote {
+	out := make([]Quote, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}
+
+// Produced returns the number of quotes generated so far.
+func (f *Feed) Produced() uint64 { return f.seq }

@@ -1,0 +1,164 @@
+package stockfeed
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig(1)
+	if _, err := New(base); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Symbols = 0 },
+		func(c *Config) { c.ZipfS = 1.0 },
+		func(c *Config) { c.MeanInterval = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f1, err := New(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := New(DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := f1.Take(100)
+	q2 := f2.Take(100)
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("quote %d differs: %+v vs %+v", i, q1[i], q2[i])
+		}
+	}
+	f3, err := New(DefaultConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3 := f3.Take(100)
+	identical := true
+	for i := range q1 {
+		if q1[i] != q3[i] {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSequenceMonotone(t *testing.T) {
+	f, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevSeq uint64
+	var prevT int64
+	for i := 0; i < 500; i++ {
+		q := f.Next()
+		if q.Seq != prevSeq+1 {
+			t.Fatalf("seq jumped: %d -> %d", prevSeq, q.Seq)
+		}
+		if q.OffsetMicros < prevT {
+			t.Fatalf("time went backwards: %d -> %d", prevT, q.OffsetMicros)
+		}
+		prevSeq = q.Seq
+		prevT = q.OffsetMicros
+	}
+	if f.Produced() != 500 {
+		t.Fatalf("produced = %d", f.Produced())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Symbols = 100
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const total = 20000
+	for i := 0; i < total; i++ {
+		counts[f.Next().Symbol]++
+	}
+	// Zipf: the most popular symbol must dwarf the typical one.
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	if frac := float64(top) / total; frac < 0.2 {
+		t.Fatalf("top symbol fraction = %v, want skewed >= 0.2", frac)
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d distinct symbols drawn", len(counts))
+	}
+}
+
+func TestPricesPositive(t *testing.T) {
+	f, err := New(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if q := f.Next(); q.Price <= 0 {
+			t.Fatalf("non-positive price %v", q.Price)
+		}
+	}
+}
+
+func TestMeanIntervalApproximate(t *testing.T) {
+	cfg := DefaultConfig(9)
+	cfg.MeanInterval = 2 * time.Millisecond
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	quotes := f.Take(n)
+	last := quotes[n-1].OffsetMicros
+	mean := float64(last) / n // microseconds
+	if mean < 1700 || mean > 2300 {
+		t.Fatalf("mean interval = %vus, want ~2000us", mean)
+	}
+}
+
+func TestQuoteEncodeDecode(t *testing.T) {
+	q := Quote{Symbol: "SYM0001", Seq: 9, Price: 101.25, OffsetMicros: 555}
+	data, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQuote(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if _, err := DecodeQuote([]byte("junk")); err == nil {
+		t.Fatal("junk decoded")
+	}
+}
+
+func TestSymbolName(t *testing.T) {
+	if got := SymbolName(7); got != "SYM0007" {
+		t.Fatalf("symbol = %q", got)
+	}
+	if !strings.HasPrefix(SymbolName(9999), "SYM") {
+		t.Fatal("prefix missing")
+	}
+}

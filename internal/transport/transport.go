@@ -1,0 +1,82 @@
+// Package transport defines the message-passing abstraction shared by the
+// gossip, membership, and baseline protocols. The same protocol code runs
+// over the deterministic simulator (internal/simnet) and over real SOAP/HTTP
+// (internal/transport via the soap bindings), which is what makes
+// laptop-scale reproduction of the paper's large-N claims faithful: only the
+// wire moves, the protocol logic does not.
+package transport
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrClosed reports a send through a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnreachable reports a send to an unknown or unreachable address.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// Message is one one-way protocol message. Request-response interactions are
+// built from correlated one-way messages, which keeps the abstraction
+// implementable by a single-threaded deterministic simulator.
+type Message struct {
+	// From is the sender address (filled in by the transport).
+	From string
+	// To is the destination address.
+	To string
+	// Action identifies the protocol operation (a URI in the SOAP binding).
+	Action string
+	// Body is the serialized payload.
+	Body []byte
+}
+
+// Handler consumes inbound messages. Handlers may send further messages on
+// the same transport from within the callback.
+type Handler func(ctx context.Context, msg Message) error
+
+// Endpoint is one node's attachment to a network: it can send one-way
+// messages and receives inbound messages through its handler.
+type Endpoint interface {
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Send transmits one message. Delivery is best-effort: the error only
+	// reports local conditions (closed transport, unknown destination on
+	// reliable fabrics), never remote processing failure.
+	Send(ctx context.Context, msg Message) error
+	// SetHandler installs the inbound-message handler. Must be called before
+	// the first delivery.
+	SetHandler(h Handler)
+}
+
+// Clock abstracts time so protocols run identically on the simulator's
+// virtual clock and the wall clock.
+type Clock interface {
+	// Now returns the current time as an offset from an arbitrary epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn after d. The returned stop function cancels the
+	// timer if it has not fired; it reports whether cancellation succeeded.
+	AfterFunc(d time.Duration, fn func()) (stop func() bool)
+}
+
+// WallClock is a Clock backed by real time.
+type WallClock struct {
+	epoch time.Time
+}
+
+var _ Clock = (*WallClock)(nil)
+
+// NewWallClock returns a wall clock with its epoch at construction time.
+func NewWallClock() *WallClock {
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now returns the elapsed wall time since the epoch.
+func (c *WallClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// AfterFunc schedules fn on the wall clock.
+func (c *WallClock) AfterFunc(d time.Duration, fn func()) func() bool {
+	t := time.AfterFunc(d, fn)
+	return t.Stop
+}

@@ -1,0 +1,117 @@
+// Package wsa implements the subset of WS-Addressing 1.0 used by the
+// WS-Gossip middleware: endpoint references and the message-addressing
+// properties (To, Action, MessageID, RelatesTo, ReplyTo) that travel in SOAP
+// headers.
+//
+// The paper layers WS-Gossip on WS-Coordination, which in turn identifies
+// its Activation and Registration services by endpoint references; every
+// gossiped notification also needs a stable MessageID so that disseminators
+// can deduplicate rumors.
+package wsa
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Namespace is the WS-Addressing 1.0 namespace URI.
+const Namespace = "http://www.w3.org/2005/08/addressing"
+
+// Well-known addresses defined by WS-Addressing.
+const (
+	// AnonymousURI marks the reply endpoint as the transport back-channel.
+	AnonymousURI = Namespace + "/anonymous"
+	// NoneURI marks a message that must not be replied to.
+	NoneURI = Namespace + "/none"
+)
+
+// ErrMissingAddress reports an endpoint reference without an Address element.
+var ErrMissingAddress = errors.New("wsa: endpoint reference has no address")
+
+// EndpointReference identifies a web-service endpoint, optionally with
+// reference parameters that the receiver echoes back in subsequent messages
+// (WS-Coordination uses them to carry registration state).
+type EndpointReference struct {
+	XMLName             xml.Name            `xml:"http://www.w3.org/2005/08/addressing EndpointReference"`
+	Address             string              `xml:"Address"`
+	ReferenceParameters *ReferenceParameter `xml:"ReferenceParameters,omitempty"`
+}
+
+// ReferenceParameter holds opaque per-endpoint XML that must be echoed back.
+type ReferenceParameter struct {
+	Inner string `xml:",innerxml"`
+}
+
+// NewEPR returns an endpoint reference for the given address URI.
+func NewEPR(address string) EndpointReference {
+	return EndpointReference{Address: address}
+}
+
+// Validate checks that the endpoint reference is usable as a message target.
+func (e EndpointReference) Validate() error {
+	if strings.TrimSpace(e.Address) == "" {
+		return ErrMissingAddress
+	}
+	return nil
+}
+
+// IsAnonymous reports whether the reference denotes the anonymous endpoint.
+func (e EndpointReference) IsAnonymous() bool { return e.Address == AnonymousURI }
+
+// IsNone reports whether the reference denotes the "none" endpoint.
+func (e EndpointReference) IsNone() bool { return e.Address == NoneURI }
+
+// String returns the address for logging.
+func (e EndpointReference) String() string { return e.Address }
+
+// MessageID is a WS-Addressing message identifier header value.
+type MessageID string
+
+// NewMessageID returns a fresh urn:uuid message identifier. Identifiers are
+// random 128-bit values; collisions are negligible at any realistic scale.
+func NewMessageID() MessageID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable program state; fall back to a
+		// zero ID rather than panicking in library code.
+		return MessageID("urn:uuid:00000000000000000000000000000000")
+	}
+	return MessageID("urn:uuid:" + hex.EncodeToString(b[:]))
+}
+
+// Headers bundles the WS-Addressing message-addressing properties carried in
+// a SOAP header block.
+type Headers struct {
+	To        string    `xml:"To,omitempty"`
+	Action    string    `xml:"Action,omitempty"`
+	MessageID MessageID `xml:"MessageID,omitempty"`
+	RelatesTo MessageID `xml:"RelatesTo,omitempty"`
+	ReplyTo   *EndpointReference
+	From      *EndpointReference
+}
+
+// Validate checks the mandatory addressing properties for a request message.
+func (h Headers) Validate() error {
+	if h.Action == "" {
+		return fmt.Errorf("wsa: missing Action header")
+	}
+	return nil
+}
+
+// Reply derives addressing headers for a reply to h with the given action.
+func (h Headers) Reply(action string) Headers {
+	to := AnonymousURI
+	if h.ReplyTo != nil && h.ReplyTo.Address != "" {
+		to = h.ReplyTo.Address
+	}
+	return Headers{
+		To:        to,
+		Action:    action,
+		MessageID: NewMessageID(),
+		RelatesTo: h.MessageID,
+	}
+}

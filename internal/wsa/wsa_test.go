@@ -1,0 +1,151 @@
+package wsa
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEPR(t *testing.T) {
+	epr := NewEPR("http://example.org/svc")
+	if epr.Address != "http://example.org/svc" {
+		t.Fatalf("address = %q", epr.Address)
+	}
+	if err := epr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestEPRValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		epr     EndpointReference
+		wantErr bool
+	}{
+		{name: "valid", epr: NewEPR("mem://a"), wantErr: false},
+		{name: "empty", epr: EndpointReference{}, wantErr: true},
+		{name: "whitespace", epr: NewEPR("   "), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.epr.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEPRXMLRoundTrip(t *testing.T) {
+	in := EndpointReference{Address: "http://example.org/x"}
+	data, err := xml.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), Namespace) {
+		t.Fatalf("marshaled EPR missing namespace: %s", data)
+	}
+	var out EndpointReference
+	if err := xml.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.Address != in.Address {
+		t.Fatalf("round trip address = %q, want %q", out.Address, in.Address)
+	}
+}
+
+func TestWellKnownURIs(t *testing.T) {
+	if !NewEPR(AnonymousURI).IsAnonymous() {
+		t.Error("anonymous URI not detected")
+	}
+	if !NewEPR(NoneURI).IsNone() {
+		t.Error("none URI not detected")
+	}
+	if NewEPR("http://x").IsAnonymous() || NewEPR("http://x").IsNone() {
+		t.Error("plain address misclassified")
+	}
+}
+
+func TestNewMessageIDUnique(t *testing.T) {
+	seen := make(map[MessageID]struct{})
+	for i := 0; i < 1000; i++ {
+		id := NewMessageID()
+		if !strings.HasPrefix(string(id), "urn:uuid:") {
+			t.Fatalf("message id %q lacks urn:uuid prefix", id)
+		}
+		if _, dup := seen[id]; dup {
+			t.Fatalf("duplicate message id %q", id)
+		}
+		seen[id] = struct{}{}
+	}
+}
+
+func TestHeadersValidate(t *testing.T) {
+	if err := (Headers{}).Validate(); err == nil {
+		t.Error("missing action accepted")
+	}
+	if err := (Headers{Action: "urn:a"}).Validate(); err != nil {
+		t.Errorf("valid headers rejected: %v", err)
+	}
+}
+
+func TestHeadersReply(t *testing.T) {
+	orig := Headers{
+		To:        "mem://svc",
+		Action:    "urn:req",
+		MessageID: NewMessageID(),
+	}
+	t.Run("no reply-to falls back to anonymous", func(t *testing.T) {
+		rep := orig.Reply("urn:resp")
+		if rep.To != AnonymousURI {
+			t.Fatalf("reply To = %q, want anonymous", rep.To)
+		}
+		if rep.RelatesTo != orig.MessageID {
+			t.Fatalf("RelatesTo = %q, want %q", rep.RelatesTo, orig.MessageID)
+		}
+		if rep.Action != "urn:resp" {
+			t.Fatalf("Action = %q", rep.Action)
+		}
+	})
+	t.Run("explicit reply-to used", func(t *testing.T) {
+		epr := NewEPR("mem://caller")
+		withReply := orig
+		withReply.ReplyTo = &epr
+		rep := withReply.Reply("urn:resp")
+		if rep.To != "mem://caller" {
+			t.Fatalf("reply To = %q", rep.To)
+		}
+	})
+	t.Run("reply ids are fresh", func(t *testing.T) {
+		a := orig.Reply("urn:resp")
+		b := orig.Reply("urn:resp")
+		if a.MessageID == b.MessageID {
+			t.Fatal("two replies share a MessageID")
+		}
+	})
+}
+
+func TestEPRRoundTripProperty(t *testing.T) {
+	f := func(addr string) bool {
+		// XML cannot carry most control characters; restrict to sane input.
+		for _, r := range addr {
+			if r < 0x20 || r == 0xFFFE || r == 0xFFFF {
+				return true
+			}
+		}
+		in := EndpointReference{Address: addr}
+		data, err := xml.Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out EndpointReference
+		if err := xml.Unmarshal(data, &out); err != nil {
+			return false
+		}
+		return out.Address == in.Address
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,335 @@
+package wscoord
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// Registrant records one Register call within an activity.
+type Registrant struct {
+	// Protocol is the registered coordination protocol identifier.
+	Protocol string
+	// Service is the participant's protocol service address.
+	Service string
+}
+
+// Activity is one coordinated activity created through Activation.
+type Activity struct {
+	Context     CoordinationContext
+	Created     time.Time
+	registrants []Registrant
+}
+
+// Expired reports whether the activity's Expires window has elapsed at now.
+// Activities without an Expires value never expire.
+func (a *Activity) Expired(now time.Time) bool {
+	if a.Context.ExpiresMillis == 0 {
+		return false
+	}
+	deadline := a.Created.Add(time.Duration(a.Context.ExpiresMillis) * time.Millisecond)
+	return !now.Before(deadline)
+}
+
+// Registrants returns a copy of the registrant list.
+func (a *Activity) Registrants() []Registrant {
+	out := make([]Registrant, len(a.registrants))
+	copy(out, a.registrants)
+	return out
+}
+
+// RegistrationExtension lets a protocol (WS-Gossip) enrich registration
+// responses — typically with gossip parameters and peer targets. Returned
+// values are marshaled as extra SOAP header blocks on the response.
+type RegistrationExtension func(activity *Activity, reg Registrant) ([]any, error)
+
+// Config configures a coordinator.
+type Config struct {
+	// Address is the coordinator's endpoint address; both Activation and
+	// Registration are served there (dispatch is by WS-Addressing action).
+	Address string
+	// SupportedTypes lists the coordination type URIs this coordinator
+	// accepts; empty means accept all.
+	SupportedTypes []string
+	// Extension, when set, runs on every successful registration.
+	Extension RegistrationExtension
+	// OnCreate, when set, observes every created activity (both the SOAP
+	// Activation path and in-process creation).
+	OnCreate func(*Activity)
+}
+
+// Coordinator implements the WS-Coordination Activation and Registration
+// services over a single endpoint.
+type Coordinator struct {
+	cfg   Config
+	types map[string]struct{}
+
+	mu         sync.Mutex
+	activities map[string]*Activity
+}
+
+// NewCoordinator returns a coordinator with no activities.
+func NewCoordinator(cfg Config) *Coordinator {
+	types := make(map[string]struct{}, len(cfg.SupportedTypes))
+	for _, t := range cfg.SupportedTypes {
+		types[t] = struct{}{}
+	}
+	return &Coordinator{
+		cfg:        cfg,
+		types:      types,
+		activities: make(map[string]*Activity),
+	}
+}
+
+// Address returns the coordinator endpoint address.
+func (c *Coordinator) Address() string { return c.cfg.Address }
+
+// RegisterActions installs the Activation and Registration handlers on a
+// SOAP dispatcher.
+func (c *Coordinator) RegisterActions(d *soap.Dispatcher) {
+	d.Register(ActionCreate, soap.HandlerFunc(c.handleCreate))
+	d.Register(ActionRegister, soap.HandlerFunc(c.handleRegister))
+}
+
+// CreateActivity creates an activity directly (in-process shortcut used by
+// colocated services and tests; the SOAP path calls the same logic).
+func (c *Coordinator) CreateActivity(coordType string, expires uint64) (*Activity, error) {
+	if len(c.types) > 0 {
+		if _, ok := c.types[coordType]; !ok {
+			return nil, soap.NewFault(soap.CodeSender,
+				fmt.Sprintf("unsupported coordination type %q", coordType))
+		}
+	}
+	ctx := CoordinationContext{
+		Identifier:          string(wsa.NewMessageID()),
+		ExpiresMillis:       expires,
+		CoordinationType:    coordType,
+		RegistrationService: ServiceRef{Address: c.cfg.Address},
+	}
+	act := &Activity{Context: ctx, Created: time.Now()}
+	c.mu.Lock()
+	c.activities[ctx.Identifier] = act
+	c.mu.Unlock()
+	if c.cfg.OnCreate != nil {
+		c.cfg.OnCreate(act)
+	}
+	return act, nil
+}
+
+// Activity returns the activity by identifier.
+func (c *Coordinator) Activity(id string) (*Activity, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.activities[id]
+	return a, ok
+}
+
+// ActivityIDs returns all known activity identifiers, sorted.
+func (c *Coordinator) ActivityIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.activities))
+	for id := range c.activities {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRegistrant records a registration for the activity and returns the
+// updated activity (in-process shortcut; the SOAP path calls it too).
+// Registering with an expired activity fails.
+func (c *Coordinator) AddRegistrant(activityID string, reg Registrant) (*Activity, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	act, ok := c.activities[activityID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownActivity, activityID)
+	}
+	if act.Expired(time.Now()) {
+		delete(c.activities, activityID)
+		return nil, fmt.Errorf("%w: %s (expired)", ErrUnknownActivity, activityID)
+	}
+	act.registrants = append(act.registrants, reg)
+	return act, nil
+}
+
+// PruneExpired removes activities whose Expires window has elapsed and
+// returns how many were removed. Long-lived coordinators call this
+// periodically.
+func (c *Coordinator) PruneExpired(now time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for id, act := range c.activities {
+		if act.Expired(now) {
+			delete(c.activities, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// ImportActivity installs an externally created activity (distributed
+// coordinators replicate activities to each other with this).
+func (c *Coordinator) ImportActivity(ctx CoordinationContext) *Activity {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if act, ok := c.activities[ctx.Identifier]; ok {
+		return act
+	}
+	act := &Activity{Context: ctx, Created: time.Now()}
+	c.activities[ctx.Identifier] = act
+	return act
+}
+
+func (c *Coordinator) handleCreate(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var body CreateCoordinationContext
+	if err := req.Envelope.DecodeBody(&body); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed CreateCoordinationContext: "+err.Error())
+	}
+	act, err := c.CreateActivity(body.CoordinationType, body.ExpiresMillis)
+	if err != nil {
+		return nil, err
+	}
+	resp := soap.NewEnvelope()
+	if err := resp.SetAddressing(req.Addressing.Reply(ActionCreateResponse)); err != nil {
+		return nil, err
+	}
+	if err := resp.SetBody(CreateCoordinationContextResponse{CoordinationContext: act.Context}); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Coordinator) handleRegister(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var body Register
+	if err := req.Envelope.DecodeBody(&body); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed Register: "+err.Error())
+	}
+	cctx, err := ContextFrom(req.Envelope)
+	if err != nil {
+		return nil, soap.NewFault(soap.CodeSender, err.Error())
+	}
+	reg := Registrant{
+		Protocol: body.ProtocolIdentifier,
+		Service:  body.ParticipantProtocolService.Address,
+	}
+	act, err := c.AddRegistrant(cctx.Identifier, reg)
+	if err != nil {
+		return nil, soap.NewFault(soap.CodeSender, err.Error())
+	}
+	resp := soap.NewEnvelope()
+	if err := resp.SetAddressing(req.Addressing.Reply(ActionRegisterResponse)); err != nil {
+		return nil, err
+	}
+	if err := resp.SetBody(RegisterResponse{
+		CoordinatorProtocolService: ServiceRef{Address: c.cfg.Address},
+	}); err != nil {
+		return nil, err
+	}
+	if c.cfg.Extension != nil {
+		extra, err := c.cfg.Extension(act, reg)
+		if err != nil {
+			return nil, soap.AsFault(err)
+		}
+		for _, block := range extra {
+			if err := resp.AddHeader(block); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return resp, nil
+}
+
+// ActivationClient calls a remote Activation service.
+type ActivationClient struct {
+	caller soap.Caller
+	from   string
+}
+
+// NewActivationClient returns a client sending via caller, identifying
+// itself as from in addressing headers.
+func NewActivationClient(caller soap.Caller, from string) *ActivationClient {
+	return &ActivationClient{caller: caller, from: from}
+}
+
+// Create invokes CreateCoordinationContext at the activation address.
+func (a *ActivationClient) Create(ctx context.Context, activationAddr, coordType string) (CoordinationContext, error) {
+	env := soap.NewEnvelope()
+	from := wsa.NewEPR(a.from)
+	if err := env.SetAddressing(wsa.Headers{
+		To:        activationAddr,
+		Action:    ActionCreate,
+		MessageID: wsa.NewMessageID(),
+		ReplyTo:   &from,
+	}); err != nil {
+		return CoordinationContext{}, err
+	}
+	if err := env.SetBody(CreateCoordinationContext{CoordinationType: coordType}); err != nil {
+		return CoordinationContext{}, err
+	}
+	resp, err := a.caller.Call(ctx, activationAddr, env)
+	if err != nil {
+		return CoordinationContext{}, fmt.Errorf("activation call: %w", err)
+	}
+	if resp == nil {
+		return CoordinationContext{}, fmt.Errorf("activation call: empty response")
+	}
+	var body CreateCoordinationContextResponse
+	if err := resp.DecodeBody(&body); err != nil {
+		return CoordinationContext{}, fmt.Errorf("activation response: %w", err)
+	}
+	if err := body.CoordinationContext.Validate(); err != nil {
+		return CoordinationContext{}, err
+	}
+	return body.CoordinationContext, nil
+}
+
+// RegistrationClient calls a remote Registration service.
+type RegistrationClient struct {
+	caller soap.Caller
+	from   string
+}
+
+// NewRegistrationClient returns a client sending via caller.
+func NewRegistrationClient(caller soap.Caller, from string) *RegistrationClient {
+	return &RegistrationClient{caller: caller, from: from}
+}
+
+// Register invokes Register at the context's registration service and
+// returns the full response envelope so callers can read extension headers.
+func (r *RegistrationClient) Register(ctx context.Context, cctx CoordinationContext, protocol, participantAddr string) (*soap.Envelope, error) {
+	env := soap.NewEnvelope()
+	from := wsa.NewEPR(r.from)
+	if err := env.SetAddressing(wsa.Headers{
+		To:        cctx.RegistrationService.Address,
+		Action:    ActionRegister,
+		MessageID: wsa.NewMessageID(),
+		ReplyTo:   &from,
+	}); err != nil {
+		return nil, err
+	}
+	if err := AttachContext(env, cctx); err != nil {
+		return nil, err
+	}
+	if err := env.SetBody(Register{
+		ProtocolIdentifier:         protocol,
+		ParticipantProtocolService: ServiceRef{Address: participantAddr},
+	}); err != nil {
+		return nil, err
+	}
+	resp, err := r.caller.Call(ctx, cctx.RegistrationService.Address, env)
+	if err != nil {
+		return nil, fmt.Errorf("registration call: %w", err)
+	}
+	if resp == nil {
+		return nil, fmt.Errorf("registration call: empty response")
+	}
+	return resp, nil
+}

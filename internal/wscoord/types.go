@@ -1,0 +1,115 @@
+// Package wscoord implements the WS-Coordination 1.1 subset WS-Gossip is
+// built on (reference [1] of the paper): the Activation service
+// (CreateCoordinationContext), the Registration service (Register), and the
+// CoordinationContext header that ties an activity's messages together.
+package wscoord
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// Namespace is the WS-Coordination namespace.
+const Namespace = "http://docs.oasis-open.org/ws-tx/wscoor/2006/06"
+
+// WS-Coordination action URIs.
+const (
+	ActionCreate           = Namespace + "/CreateCoordinationContext"
+	ActionCreateResponse   = Namespace + "/CreateCoordinationContextResponse"
+	ActionRegister         = Namespace + "/Register"
+	ActionRegisterResponse = Namespace + "/RegisterResponse"
+)
+
+// ErrNoContext reports a message that should carry a CoordinationContext
+// header but does not.
+var ErrNoContext = errors.New("wscoord: no coordination context header")
+
+// ErrUnknownActivity reports a registration for an activity the coordinator
+// does not know.
+var ErrUnknownActivity = errors.New("wscoord: unknown activity")
+
+// ServiceRef is an endpoint reference valued element (WS-Coordination names
+// elements like RegistrationService with wsa:EndpointReferenceType content).
+type ServiceRef struct {
+	Address string `xml:"http://www.w3.org/2005/08/addressing Address"`
+}
+
+// EPR converts the reference to a wsa endpoint reference.
+func (s ServiceRef) EPR() wsa.EndpointReference { return wsa.NewEPR(s.Address) }
+
+// CoordinationContext identifies one coordinated activity. It travels as a
+// SOAP header block on every message belonging to the activity.
+type CoordinationContext struct {
+	XMLName             xml.Name   `xml:"http://docs.oasis-open.org/ws-tx/wscoor/2006/06 CoordinationContext"`
+	Identifier          string     `xml:"Identifier"`
+	ExpiresMillis       uint64     `xml:"Expires,omitempty"`
+	CoordinationType    string     `xml:"CoordinationType"`
+	RegistrationService ServiceRef `xml:"RegistrationService"`
+}
+
+// Validate checks the mandatory context fields.
+func (c CoordinationContext) Validate() error {
+	if c.Identifier == "" {
+		return errors.New("wscoord: context missing identifier")
+	}
+	if c.CoordinationType == "" {
+		return errors.New("wscoord: context missing coordination type")
+	}
+	if c.RegistrationService.Address == "" {
+		return errors.New("wscoord: context missing registration service")
+	}
+	return nil
+}
+
+// AttachContext adds the context as a SOAP header block, replacing any
+// existing context header.
+func AttachContext(env *soap.Envelope, ctx CoordinationContext) error {
+	env.RemoveHeader(Namespace, "CoordinationContext")
+	return env.AddHeader(ctx)
+}
+
+// ContextFrom extracts the coordination context header from the envelope.
+func ContextFrom(env *soap.Envelope) (CoordinationContext, error) {
+	var ctx CoordinationContext
+	if err := env.DecodeHeader(Namespace, "CoordinationContext", &ctx); err != nil {
+		if errors.Is(err, soap.ErrHeaderNotFound) {
+			return ctx, ErrNoContext
+		}
+		return ctx, err
+	}
+	if err := ctx.Validate(); err != nil {
+		return ctx, fmt.Errorf("wscoord: invalid context header: %w", err)
+	}
+	return ctx, nil
+}
+
+// CreateCoordinationContext is the Activation request body.
+type CreateCoordinationContext struct {
+	XMLName          xml.Name `xml:"http://docs.oasis-open.org/ws-tx/wscoor/2006/06 CreateCoordinationContext"`
+	ExpiresMillis    uint64   `xml:"Expires,omitempty"`
+	CoordinationType string   `xml:"CoordinationType"`
+}
+
+// CreateCoordinationContextResponse is the Activation response body.
+type CreateCoordinationContextResponse struct {
+	XMLName             xml.Name            `xml:"http://docs.oasis-open.org/ws-tx/wscoor/2006/06 CreateCoordinationContextResponse"`
+	CoordinationContext CoordinationContext `xml:"CoordinationContext"`
+}
+
+// Register is the Registration request body.
+type Register struct {
+	XMLName                    xml.Name   `xml:"http://docs.oasis-open.org/ws-tx/wscoor/2006/06 Register"`
+	ProtocolIdentifier         string     `xml:"ProtocolIdentifier"`
+	ParticipantProtocolService ServiceRef `xml:"ParticipantProtocolService"`
+}
+
+// RegisterResponse is the Registration response body. Extensions (such as
+// WS-Gossip's parameter block) travel as additional SOAP headers.
+type RegisterResponse struct {
+	XMLName                    xml.Name   `xml:"http://docs.oasis-open.org/ws-tx/wscoor/2006/06 RegisterResponse"`
+	CoordinatorProtocolService ServiceRef `xml:"CoordinatorProtocolService"`
+}

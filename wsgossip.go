@@ -1,0 +1,122 @@
+// Package wsgossip is the public API of the WS-Gossip middleware, a
+// reproduction of "WS-Gossip: Middleware for Scalable Service Coordination"
+// (Campos & Pereira, Middleware '08 Companion).
+//
+// WS-Gossip leverages gossip (epidemic) protocols as a high-level
+// structuring paradigm for coordinating very large numbers of web services.
+// It is layered on WS-Coordination: an Initiator activates a gossip
+// coordination context and issues a single notification; Disseminators —
+// whose application code is untouched — run a gossip handler in their
+// middleware stack that registers with the coordination activity on first
+// contact and re-routes copies of the notification to peers selected by the
+// Coordinator; Consumers are completely unchanged.
+//
+// The four roles of the paper's Figure 1:
+//
+//	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{Address: "mem://coordinator"})
+//	initiator, _ := wsgossip.NewInitiator(wsgossip.InitiatorConfig{
+//	    Address: "mem://app0b", Caller: bus, Activation: "mem://coordinator",
+//	})
+//	disseminator, _ := wsgossip.NewDisseminator(wsgossip.DisseminatorConfig{
+//	    Address: "mem://app1", Caller: bus, App: myService,
+//	})
+//	consumer := wsgossip.NewConsumer(myUnchangedService)
+//
+// Bindings: soap.MemBus for in-process deployments, soap.HTTPServer and
+// soap.HTTPClient for SOAP 1.2 over HTTP. The gossip engine, the simulated
+// network, and the experiment harness live under internal/ and are exercised
+// by cmd/wsgossip-bench.
+package wsgossip
+
+import (
+	"context"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/epidemic"
+	"wsgossip/internal/soap"
+)
+
+// Role and protocol identifiers re-exported from the framework core.
+const (
+	// CoordinationTypeGossip is the WS-Gossip coordination type URI.
+	CoordinationTypeGossip = core.CoordinationTypeGossip
+	// ProtocolPushGossip is the WS-PushGossip coordination protocol URI.
+	ProtocolPushGossip = core.ProtocolPushGossip
+	// ActionNotify is the disseminated operation's WS-Addressing action.
+	ActionNotify = core.ActionNotify
+	// RoleDisseminator marks a subscriber with a compliant middleware stack.
+	RoleDisseminator = core.RoleDisseminator
+	// RoleConsumer marks an unchanged subscriber.
+	RoleConsumer = core.RoleConsumer
+)
+
+// Core role types.
+type (
+	// Coordinator hosts Activation, Registration, and the subscription list.
+	Coordinator = core.Coordinator
+	// CoordinatorConfig configures a Coordinator.
+	CoordinatorConfig = core.CoordinatorConfig
+	// CoordinatorStats counts coordinator activity.
+	CoordinatorStats = core.CoordinatorStats
+	// ParamPolicy maps subscriber count to (fanout, hops).
+	ParamPolicy = core.ParamPolicy
+	// Initiator starts gossip interactions and issues notifications.
+	Initiator = core.Initiator
+	// InitiatorConfig configures an Initiator.
+	InitiatorConfig = core.InitiatorConfig
+	// Interaction is an activated gossip dissemination.
+	Interaction = core.Interaction
+	// Disseminator wraps an application service with the gossip layer.
+	Disseminator = core.Disseminator
+	// DisseminatorConfig configures a Disseminator.
+	DisseminatorConfig = core.DisseminatorConfig
+	// DisseminatorStats counts gossip-layer activity.
+	DisseminatorStats = core.DisseminatorStats
+	// Consumer is the unchanged subscriber role.
+	Consumer = core.Consumer
+	// Subscription is one subscriber record at the Coordinator.
+	Subscription = core.Subscription
+	// GossipHeader is the per-notification gossip SOAP header.
+	GossipHeader = core.GossipHeader
+	// GossipParameters is the registration-response parameter extension.
+	GossipParameters = core.GossipParameters
+)
+
+// NewCoordinator returns a WS-Gossip Coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator { return core.NewCoordinator(cfg) }
+
+// NewInitiator returns an Initiator.
+func NewInitiator(cfg InitiatorConfig) (*Initiator, error) { return core.NewInitiator(cfg) }
+
+// NewDisseminator returns a Disseminator.
+func NewDisseminator(cfg DisseminatorConfig) (*Disseminator, error) {
+	return core.NewDisseminator(cfg)
+}
+
+// NewConsumer wraps an unchanged application service as a Consumer.
+func NewConsumer(app soap.Handler) *Consumer { return core.NewConsumer(app) }
+
+// Subscribe registers endpoint with the Coordinator at coordinator, in the
+// given role (RoleDisseminator or RoleConsumer).
+func Subscribe(ctx context.Context, caller soap.Caller, coordinator, endpoint, role string) error {
+	return core.SubscribeClient(ctx, caller, coordinator, endpoint, role)
+}
+
+// DefaultParamPolicy is the standard epidemic sizing: fanout 3, hops
+// ceil(log2 n)+2.
+func DefaultParamPolicy(subscribers int) (fanout, hops int) {
+	return core.DefaultParamPolicy(subscribers)
+}
+
+// RoundsForCoverage returns the number of gossip rounds needed for the
+// target expected coverage at fanout f over n nodes (capped at maxRounds),
+// from the analytic epidemic model.
+func RoundsForCoverage(n, f int, target float64, maxRounds int) (int, error) {
+	return epidemic.RoundsForCoverage(n, f, target, maxRounds)
+}
+
+// ExpectedCoverage returns the analytic expected delivery fraction for
+// infect-and-die push gossip with fanout f after r rounds over n nodes.
+func ExpectedCoverage(n, f, r int) (float64, error) {
+	return epidemic.ExpectedCoverage(n, f, r)
+}
