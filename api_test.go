@@ -111,6 +111,72 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAPIAggregation drives an aggregation exclusively through the
+// public wsgossip package: coordinator, 16 aggregate services, one querier.
+func TestPublicAPIAggregation(t *testing.T) {
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(21)),
+	})
+	bus.Register("mem://coordinator", coordinator.Handler())
+
+	const services = 16
+	svcs := make([]*wsgossip.AggregateService, services)
+	sum := 0.0
+	for i := 0; i < services; i++ {
+		addr := fmt.Sprintf("mem://agg%02d", i)
+		v := float64(i + 1)
+		sum += v
+		svc, err := wsgossip.NewAggregateService(wsgossip.AggregateServiceConfig{
+			Address: addr, Caller: bus,
+			Value: func() float64 { return v },
+			RNG:   rand.New(rand.NewSource(int64(i) + 30)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, svc.Handler())
+		svcs[i] = svc
+		if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", addr,
+			wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	querier, err := wsgossip.NewQuerier(wsgossip.QuerierConfig{
+		Address: "mem://querier", Caller: bus, Activation: "mem://coordinator",
+		RNG: rand.New(rand.NewSource(99)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("mem://querier", querier.Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://querier",
+		wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+		t.Fatal(err)
+	}
+
+	task, err := querier.StartAggregation(ctx, wsgossip.FuncAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < task.Params.MaxRounds && !querier.Converged(task.ID); r++ {
+		for _, svc := range svcs {
+			svc.Tick(ctx)
+		}
+		querier.Tick(ctx)
+	}
+	est, ok := querier.Estimate(task.ID)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	truth := sum / services
+	if diff := est - truth; diff > truth*0.01 || diff < -truth*0.01 {
+		t.Fatalf("estimate %.4f vs truth %.4f beyond 1%%", est, truth)
+	}
+}
+
 func TestEpidemicHelpers(t *testing.T) {
 	cov, err := wsgossip.ExpectedCoverage(1000, 3, 14)
 	if err != nil {
@@ -129,5 +195,13 @@ func TestEpidemicHelpers(t *testing.T) {
 	f, h := wsgossip.DefaultParamPolicy(256)
 	if f != 3 || h != 10 {
 		t.Fatalf("policy = (%d, %d)", f, h)
+	}
+	gamma, err := wsgossip.PushSumContraction(256, 3)
+	if err != nil || gamma <= 0 || gamma >= 1 {
+		t.Fatalf("contraction = %v, %v", gamma, err)
+	}
+	pr, err := wsgossip.PushSumRoundsToEpsilon(256, 3, 1e-4)
+	if err != nil || pr < 5 || pr > 40 {
+		t.Fatalf("push-sum rounds = %d, %v", pr, err)
 	}
 }

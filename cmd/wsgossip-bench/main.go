@@ -1,11 +1,11 @@
-// Command wsgossip-bench regenerates every experiment table from DESIGN.md
-// §4 (E0–E8, A1, A2). Each table maps to one claim of the paper; the IDs and
-// expected shapes are documented in EXPERIMENTS.md.
+// Command wsgossip-bench regenerates every experiment table (E0–E10 plus
+// the A1–A3 ablations). Each table maps to one claim of the paper; the IDs
+// and expected shapes are documented in EXPERIMENTS.md.
 //
 // Usage:
 //
 //	wsgossip-bench                 # run everything at full size
-//	wsgossip-bench -exp e3         # one experiment
+//	wsgossip-bench -exp e3         # one experiment (e0..e10, a1..a3)
 //	wsgossip-bench -quick          # reduced sizes (CI)
 //	wsgossip-bench -seed 42        # change the reproducibility seed
 //	wsgossip-bench -list           # list experiment IDs
@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (e0..e8, a1, a2) or 'all'")
+		exp   = flag.String("exp", "all", "experiment id (e0..e10, a1..a3) or 'all'")
 		seed  = flag.Int64("seed", 1, "reproducibility seed")
 		quick = flag.Bool("quick", false, "reduced problem sizes")
 		list  = flag.Bool("list", false, "list experiments and exit")

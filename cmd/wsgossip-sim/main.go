@@ -1,22 +1,30 @@
-// Command wsgossip-sim runs a single parameterized gossip dissemination on
-// the deterministic network simulator and reports coverage, latency, and
+// Command wsgossip-sim runs a single parameterized gossip workload on the
+// deterministic network simulator and reports coverage, latency, and
 // traffic. It is the exploratory companion to wsgossip-bench: sweep any
 // point of the (N, f, r, style, loss, crash) space by hand.
 //
-// Example:
+// Two modes:
 //
 //	wsgossip-sim -n 1024 -fanout 4 -hops 14 -style push -loss 0.2 -crash 0.1
+//	wsgossip-sim -mode aggregate -n 4096 -fanout 3 -agg avg -eps 1e-4
+//
+// Dissemination mode spreads rumors; aggregate mode runs push-sum
+// aggregation (count/sum/avg/min/max) and reports estimate accuracy,
+// convergence rounds vs the analytic variance-decay model, and — on lossy
+// links — how much conserved mass the network destroyed.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
 	"time"
 
+	"wsgossip/internal/aggregate"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/simnet"
@@ -32,6 +40,7 @@ func main() {
 
 func run() error {
 	var (
+		mode      = flag.String("mode", "gossip", "workload: gossip (dissemination) or aggregate (push-sum)")
 		n         = flag.Int("n", 256, "number of nodes")
 		fanout    = flag.Int("fanout", 3, "gossip fanout f")
 		hops      = flag.Int("hops", 0, "hop budget r (0 = ceil(log2 n)+2)")
@@ -41,8 +50,18 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		ticks     = flag.Int("ticks", 0, "anti-entropy rounds after the push phase (pull styles)")
 		events    = flag.Int("events", 1, "number of rumors published")
+		aggName   = flag.String("agg", "avg", "aggregate mode function: count, sum, avg, min, max")
+		eps       = flag.Float64("eps", 1e-4, "aggregate mode convergence threshold")
+		maxRounds = flag.Int("rounds", 0, "aggregate mode round cap (0 = 2x analytic prediction + 10)")
 	)
 	flag.Parse()
+
+	if *mode == "aggregate" {
+		return runAggregate(*n, *fanout, *aggName, *eps, *maxRounds, *loss, *seed)
+	}
+	if *mode != "gossip" {
+		return fmt.Errorf("unknown mode %q (want gossip or aggregate)", *mode)
+	}
 
 	style, err := gossip.ParseStyle(*styleName)
 	if err != nil {
@@ -172,6 +191,125 @@ func run() error {
 	fmt.Printf("  payload forwards:         %d (%.2f per node)\n", total.Forwarded, float64(total.Forwarded)/float64(*n))
 	fmt.Printf("  duplicates suppressed:    %d\n", total.Duplicates)
 	fmt.Printf("  control msgs:             %d\n", total.IHaveSent+total.IWantSent+total.PullReqs+total.PullResps)
+	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
+	fmt.Printf("  virtual time:             %v\n", net.Now())
+	return nil
+}
+
+// runAggregate drives push-sum aggregation over the simulator.
+func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss float64, seed int64) error {
+	fn, err := aggregate.ParseFunc(fnName)
+	if err != nil {
+		return err
+	}
+	if n < 2 || fanout < 1 {
+		return fmt.Errorf("aggregate mode needs n >= 2 and fanout >= 1")
+	}
+	if loss < 0 || loss >= 1 {
+		return fmt.Errorf("loss must be in [0,1)")
+	}
+	analytic, err := epidemic.PushSumRoundsToEpsilon(n, fanout, eps)
+	if err != nil {
+		return err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 2*analytic + 10
+	}
+
+	net := simnet.New(simnet.DefaultConfig(seed))
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("n%05d", i)
+	}
+	peers := gossip.NewStaticPeers(addrs)
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]*aggregate.SimNode, n)
+	values := make([]float64, n)
+	var truthSum, truthMin, truthMax float64
+	truthMin, truthMax = math.Inf(1), math.Inf(-1)
+	for i := range addrs {
+		values[i] = rng.Float64() * 1000
+		truthSum += values[i]
+		truthMin = math.Min(truthMin, values[i])
+		truthMax = math.Max(truthMax, values[i])
+		node, err := aggregate.NewSimNode(aggregate.SimNodeConfig{
+			Endpoint: net.Node(addrs[i]),
+			Peers:    peers,
+			Fanout:   fanout,
+			TaskID:   "sim",
+			Func:     fn,
+			Value:    values[i],
+			Root:     i == 0,
+			RNG:      rand.New(rand.NewSource(seed*6151 + int64(i))),
+		})
+		if err != nil {
+			return err
+		}
+		mux := transport.NewMux()
+		node.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		nodes[i] = node
+	}
+	net.SetLossRate(loss)
+
+	var truth float64
+	switch fn {
+	case aggregate.FuncCount:
+		truth = float64(n)
+	case aggregate.FuncSum:
+		truth = truthSum
+	case aggregate.FuncAvg:
+		truth = truthSum / float64(n)
+	case aggregate.FuncMin:
+		truth = truthMin
+	case aggregate.FuncMax:
+		truth = truthMax
+	}
+
+	ctx := context.Background()
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		for _, node := range nodes {
+			node.Tick(ctx)
+		}
+		net.RunFor(20 * time.Millisecond)
+		allConverged := true
+		for _, node := range nodes {
+			if !node.State().Converged(eps) {
+				allConverged = false
+				break
+			}
+		}
+		if allConverged {
+			rounds++
+			break
+		}
+	}
+
+	var worstErr, massSum, massWeight float64
+	defined := 0
+	for _, node := range nodes {
+		s, w := node.State().Mass()
+		massSum += s
+		massWeight += w
+		est, ok := node.State().Estimate()
+		if !ok {
+			continue
+		}
+		defined++
+		relErr := math.Abs(est-truth) / math.Max(math.Abs(truth), 1e-12)
+		worstErr = math.Max(worstErr, relErr)
+	}
+	st := net.Stats()
+	fmt.Printf("wsgossip-sim aggregate: N=%d f=%d fn=%s eps=%g loss=%.2f seed=%d\n",
+		n, fanout, fn, eps, loss, seed)
+	fmt.Printf("  ground truth:             %.6f\n", truth)
+	fmt.Printf("  rounds run:               %d (analytic ε-rounds: %d, cap %d)\n", rounds, analytic, maxRounds)
+	fmt.Printf("  nodes with estimates:     %d/%d\n", defined, n)
+	fmt.Printf("  worst relative error:     %.3e\n", worstErr)
+	if fn == aggregate.FuncAvg || fn == aggregate.FuncSum || fn == aggregate.FuncCount {
+		fmt.Printf("  conserved mass:           sum=%.6f weight=%.6f (loss destroys mass)\n", massSum, massWeight)
+	}
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
 	return nil

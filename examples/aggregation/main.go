@@ -1,0 +1,127 @@
+// Aggregation demo: a Querier computes the average, count, and maximum of
+// 64 services' local load figures with nothing but gossip exchanges —
+// WS-Gossip's aggregation protocol (push-sum) over the in-memory SOAP
+// binding.
+//
+// A Coordinator hosts Activation/Registration; 64 aggregation services
+// subscribe advertising the aggregation protocol; the Querier activates an
+// aggregation interaction, the start message floods the coordinator-assigned
+// overlay, push-sum rounds run until the estimate stabilizes, and the
+// Querier collects the converged result.
+//
+//	go run ./examples/aggregation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"wsgossip"
+	"wsgossip/internal/soap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aggregation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+
+	// 1. The Coordinator role.
+	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(1)),
+	})
+	bus.Register("mem://coordinator", coordinator.Handler())
+
+	// 2. 64 aggregation services, each holding one local measurement
+	//    (here: a synthetic load figure).
+	const n = 64
+	rng := rand.New(rand.NewSource(2))
+	truthSum, truthMax := 0.0, 0.0
+	var services []*wsgossip.AggregateService
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("mem://service%02d", i)
+		load := 10 + rng.Float64()*90
+		truthSum += load
+		if load > truthMax {
+			truthMax = load
+		}
+		v := load
+		svc, err := wsgossip.NewAggregateService(wsgossip.AggregateServiceConfig{
+			Address: addr,
+			Caller:  bus,
+			Value:   func() float64 { return v },
+			RNG:     rand.New(rand.NewSource(int64(i) + 3)),
+		})
+		if err != nil {
+			return err
+		}
+		bus.Register(addr, svc.Handler())
+		services = append(services, svc)
+		if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", addr,
+			wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+			return err
+		}
+	}
+
+	// 3. The Querier: the one role whose application code changes.
+	querier, err := wsgossip.NewQuerier(wsgossip.QuerierConfig{
+		Address:    "mem://querier",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+		RNG:        rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		return err
+	}
+	bus.Register("mem://querier", querier.Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://querier",
+		wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+		return err
+	}
+
+	for _, fn := range []wsgossip.AggregateFunc{
+		wsgossip.FuncAvg, wsgossip.FuncCount, wsgossip.FuncMax,
+	} {
+		task, err := querier.StartAggregation(ctx, fn)
+		if err != nil {
+			return err
+		}
+		rounds := 0
+		for ; rounds < task.Params.MaxRounds && !querier.Converged(task.ID); rounds++ {
+			for _, svc := range services {
+				svc.Tick(ctx)
+			}
+			querier.Tick(ctx)
+		}
+		est, _ := querier.Estimate(task.ID)
+		var truth float64
+		switch fn {
+		case wsgossip.FuncAvg:
+			truth = truthSum / n
+		case wsgossip.FuncCount:
+			truth = n
+		case wsgossip.FuncMax:
+			truth = truthMax
+		}
+		log.Printf("%-5s converged in %2d rounds: estimate %10.4f, ground truth %10.4f (ε budget %d rounds)",
+			fn, rounds, est, truth, task.Params.MaxRounds)
+		peers, err := querier.Collect(ctx, task, 3)
+		if err != nil {
+			return err
+		}
+		for _, p := range peers {
+			log.Printf("      peer agrees: estimate %10.4f after %d rounds (converged=%v)",
+				p.Estimate, p.Rounds, p.Converged)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module wsgossip
+
+go 1.24

@@ -1,0 +1,311 @@
+// Package aggregate implements WS-Gossip aggregation: a push-sum engine
+// (Kempe et al., FOCS 2003) lifted to the WS layer as a coordination
+// protocol (core.ProtocolAggregate). Where the dissemination protocols move
+// one notification to many services, aggregation moves a *summary* of many
+// services' local values to whoever asks: count, sum, average, minimum, or
+// maximum over thousands of subscribers, computed with nothing but gossip
+// exchanges of (sum, weight) pairs.
+//
+// Roles:
+//
+//   - A Service participates: it holds a local value, joins an aggregation
+//     interaction on first contact (registering with the Coordinator's
+//     Registration service exactly like a Disseminator does), and exchanges
+//     push-sum shares with coordinator-assigned peers each round.
+//   - A Querier activates an aggregation interaction, seeds the weight that
+//     anchors count/sum queries, disseminates the start message over the
+//     assigned overlay, and collects the converged estimate.
+//
+// Mass conservation is the engine's invariant: shares are only ever moved,
+// never created or destroyed, so the sums Σsᵢ and Σwᵢ are constant and
+// every estimate sᵢ/wᵢ converges to Σs/Σw. The analytic convergence rate
+// lives in internal/epidemic (PushSumContraction and friends); experiment
+// e10 cross-checks the implementation against it.
+package aggregate
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math"
+
+	"wsgossip/internal/core"
+)
+
+// Func identifies the aggregate function an interaction computes.
+type Func string
+
+// Supported aggregate functions.
+const (
+	FuncCount Func = "count"
+	FuncSum   Func = "sum"
+	FuncAvg   Func = "avg"
+	FuncMin   Func = "min"
+	FuncMax   Func = "max"
+)
+
+// ParseFunc validates an aggregate function name.
+func ParseFunc(name string) (Func, error) {
+	switch Func(name) {
+	case FuncCount, FuncSum, FuncAvg, FuncMin, FuncMax:
+		return Func(name), nil
+	}
+	return "", fmt.Errorf("aggregate: unknown function %q", name)
+}
+
+// Aggregation protocol SOAP actions.
+const (
+	// ActionStart disseminates the start of an aggregation task over the
+	// coordinator-assigned overlay (hop-bounded flood, deduplicated per
+	// task).
+	ActionStart = core.Namespace + ":aggregate:start"
+	// ActionExchange carries one push-sum share between peers.
+	ActionExchange = core.Namespace + ":aggregate:exchange"
+	// ActionQuery asks a participant for its current estimate.
+	ActionQuery = core.Namespace + ":aggregate:query"
+	// ActionQueryResponse answers ActionQuery.
+	ActionQueryResponse = core.Namespace + ":aggregate:queryResponse"
+)
+
+// Start announces an aggregation task. It travels with the interaction's
+// CoordinationContext header so first-contact services can register.
+type Start struct {
+	XMLName  xml.Name `xml:"urn:wsgossip:2008 AggregateStart"`
+	TaskID   string   `xml:"TaskID"`
+	Function string   `xml:"Function"`
+	// Root is the address holding the anchor weight for count/sum.
+	Root string `xml:"Root"`
+	// Hops is the remaining flood budget for re-forwarding the start.
+	Hops int `xml:"Hops"`
+}
+
+// Share is one push-sum exchange: a (sum, weight) mass transfer plus the
+// idempotent extreme merge for min/max tasks. It also travels with the
+// CoordinationContext header, so a service that missed the start can still
+// join passively and conserve the mass it receives.
+type Share struct {
+	XMLName  xml.Name `xml:"urn:wsgossip:2008 AggregateShare"`
+	TaskID   string   `xml:"TaskID"`
+	Function string   `xml:"Function"`
+	From     string   `xml:"From"`
+	Sum      float64  `xml:"Sum"`
+	Weight   float64  `xml:"Weight"`
+	// HasExtremes marks Min/Max as valid (a passive node has none yet).
+	HasExtremes bool    `xml:"HasExtremes"`
+	Min         float64 `xml:"Min,omitempty"`
+	Max         float64 `xml:"Max,omitempty"`
+}
+
+// Query requests a participant's current estimate.
+type Query struct {
+	XMLName xml.Name `xml:"urn:wsgossip:2008 AggregateQuery"`
+	TaskID  string   `xml:"TaskID"`
+}
+
+// QueryResult is the answer to a Query.
+type QueryResult struct {
+	XMLName   xml.Name `xml:"urn:wsgossip:2008 AggregateQueryResult"`
+	TaskID    string   `xml:"TaskID"`
+	Function  string   `xml:"Function"`
+	Estimate  float64  `xml:"Estimate"`
+	Weight    float64  `xml:"Weight"`
+	Rounds    int      `xml:"Rounds"`
+	Converged bool     `xml:"Converged"`
+}
+
+// convergenceWindow is how many consecutive stable rounds declare
+// convergence.
+const convergenceWindow = 3
+
+// minWeight is the weight below which an estimate is considered undefined
+// (a passive node that has not yet received meaningful mass).
+const minWeight = 1e-12
+
+// State is one node's push-sum state for a single aggregation task. It is
+// pure protocol math — no I/O — so it is shared by the SOAP-level Service
+// and the transport-level SimNode, and unit-testable in isolation.
+type State struct {
+	fn     Func
+	sum    float64
+	weight float64
+
+	hasExtremes bool
+	min, max    float64
+
+	contributed bool // local value already injected into the mass
+	rooted      bool // anchor weight already seeded
+
+	rounds  int
+	history []float64 // estimates recorded at each round start
+}
+
+// NewState returns the initial state of one participant.
+//
+//	avg:      (value, 1) everywhere — estimates converge to the mean.
+//	sum:      (value, 0); the root contributes the single anchor weight.
+//	count:    (1, 0);     idem — estimates converge to the population size.
+//	min/max:  extremes only; (sum, weight) stay zero.
+//
+// root marks the anchor node (normally the Querier); passive marks a node
+// that joined without a local value (it relays mass but contributes none).
+func NewState(fn Func, value float64, root, passive bool) *State {
+	s := &State{fn: fn}
+	if !passive {
+		s.Contribute(value)
+	}
+	if root {
+		s.weight += anchorWeight(fn)
+		s.rooted = true
+	}
+	return s
+}
+
+// Contribute injects the node's local value into the conserved mass. It is
+// called once at task creation for nodes that know their value then, and
+// once more by the upgrade path when a node that joined passively (an
+// exchange share outran the start flood) finally receives the start.
+// Contributed guards against double counting.
+func (s *State) Contribute(value float64) {
+	if s.contributed {
+		return
+	}
+	s.contributed = true
+	switch s.fn {
+	case FuncAvg:
+		s.sum += value
+		s.weight++
+	case FuncSum:
+		s.sum += value
+	case FuncCount:
+		s.sum++
+	case FuncMin, FuncMax:
+		s.Absorb(Share{HasExtremes: true, Min: value, Max: value})
+	}
+}
+
+// ContributeAnchor injects the root's anchor weight if it has not been
+// seeded yet (the upgrade path's counterpart for a root that was first
+// reached by an exchange share).
+func (s *State) ContributeAnchor() {
+	if s.rooted {
+		return
+	}
+	s.rooted = true
+	s.weight += anchorWeight(s.fn)
+}
+
+// Contributed reports whether the node's local value is already part of the
+// conserved mass.
+func (s *State) Contributed() bool { return s.contributed }
+
+// anchorWeight is the root's weight contribution per function.
+func anchorWeight(fn Func) float64 {
+	switch fn {
+	case FuncSum, FuncCount:
+		return 1
+	}
+	return 0
+}
+
+// Func returns the task's aggregate function.
+func (s *State) Func() Func { return s.fn }
+
+// Rounds returns how many exchange rounds the node has run.
+func (s *State) Rounds() int { return s.rounds }
+
+// Mass returns the node's current (sum, weight) pair — the conserved
+// quantities.
+func (s *State) Mass() (sum, weight float64) { return s.sum, s.weight }
+
+// Estimate returns the node's current estimate and whether it is defined.
+func (s *State) Estimate() (float64, bool) {
+	switch s.fn {
+	case FuncMin:
+		return s.min, s.hasExtremes
+	case FuncMax:
+		return s.max, s.hasExtremes
+	}
+	if s.weight < minWeight {
+		return 0, false
+	}
+	return s.sum / s.weight, true
+}
+
+// Split carves the state into n+1 equal shares, keeps one, and returns the
+// n outgoing (sum, weight) shares' common value. Extremes are copied, not
+// split — they merge idempotently.
+func (s *State) Split(n int) (shareSum, shareWeight float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	parts := float64(n + 1)
+	shareSum = s.sum / parts
+	shareWeight = s.weight / parts
+	s.sum -= shareSum * float64(n)
+	s.weight -= shareWeight * float64(n)
+	return shareSum, shareWeight
+}
+
+// Absorb merges an incoming share into the state.
+func (s *State) Absorb(sh Share) {
+	s.sum += sh.Sum
+	s.weight += sh.Weight
+	if sh.HasExtremes {
+		if !s.hasExtremes {
+			s.hasExtremes = true
+			s.min, s.max = sh.Min, sh.Max
+		} else {
+			s.min = math.Min(s.min, sh.Min)
+			s.max = math.Max(s.max, sh.Max)
+		}
+	}
+}
+
+// Share builds the wire share for one outgoing transfer.
+func (s *State) share(taskID, from string, shareSum, shareWeight float64) Share {
+	return Share{
+		TaskID:      taskID,
+		Function:    string(s.fn),
+		From:        from,
+		Sum:         shareSum,
+		Weight:      shareWeight,
+		HasExtremes: s.hasExtremes,
+		Min:         s.min,
+		Max:         s.max,
+	}
+}
+
+// BeginRound records the round boundary for convergence detection and
+// returns the round number.
+func (s *State) BeginRound() int {
+	est, ok := s.Estimate()
+	if !ok {
+		est = math.NaN()
+	}
+	s.history = append(s.history, est)
+	if len(s.history) > convergenceWindow {
+		s.history = s.history[len(s.history)-convergenceWindow:]
+	}
+	s.rounds++
+	return s.rounds
+}
+
+// Converged reports whether the estimate has been defined and stable to
+// within relative eps over the last convergenceWindow recorded rounds.
+func (s *State) Converged(eps float64) bool {
+	if len(s.history) < convergenceWindow {
+		return false
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range s.history {
+		if math.IsNaN(e) {
+			return false
+		}
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	scale := math.Max(math.Abs(lo), math.Abs(hi))
+	if scale < minWeight {
+		return true // stable at zero
+	}
+	return (hi-lo)/scale <= eps
+}

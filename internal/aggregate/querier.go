@@ -1,0 +1,198 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+	"wsgossip/internal/wscoord"
+)
+
+// QuerierConfig configures a Querier.
+type QuerierConfig struct {
+	// Address is the querier's endpoint address. Subscribe it with the
+	// Coordinator (advertising core.ProtocolAggregate) so peers' exchange
+	// overlays include it — the anchor weight it seeds must mix with the
+	// population's mass.
+	Address string
+	// Caller sends SOAP messages.
+	Caller soap.Caller
+	// Activation is the Coordinator's Activation service address.
+	Activation string
+	// Value optionally contributes the querier's own local value; nil
+	// (the common case) makes it a passive anchor.
+	Value func() float64
+	// RNG drives peer sampling; nil falls back to a fixed seed.
+	RNG *rand.Rand
+}
+
+// Querier is the aggregation counterpart of the Initiator role: the one
+// node whose application code changes. It activates an aggregation
+// interaction, seeds the anchor weight that count/sum queries need,
+// disseminates the start message, and collects the converged estimate.
+type Querier struct {
+	cfg        QuerierConfig
+	svc        *Service
+	activation *wscoord.ActivationClient
+
+	// mu guards rng: the inner service uses its own generator under its
+	// own lock, so Collect can run concurrently with a timer-driven Tick.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Task is one activated aggregation interaction as seen by its querier.
+type Task struct {
+	// ID is the task (= coordination activity) identifier.
+	ID string
+	// Func is the aggregate function being computed.
+	Func Func
+	// Params carries the coordinator-assigned configuration.
+	Params core.AggregateParameters
+	// Context is the interaction's coordination context.
+	Context wscoord.CoordinationContext
+}
+
+// NewQuerier returns a querier.
+func NewQuerier(cfg QuerierConfig) (*Querier, error) {
+	if cfg.Address == "" || cfg.Caller == nil || cfg.Activation == "" {
+		return nil, fmt.Errorf("aggregate: querier config requires address, caller, and activation address")
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	svc, err := NewService(ServiceConfig{
+		Address: cfg.Address,
+		Caller:  cfg.Caller,
+		Value:   cfg.Value,
+		RNG:     rng,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Querier{
+		cfg:        cfg,
+		svc:        svc,
+		activation: wscoord.NewActivationClient(cfg.Caller, cfg.Address),
+		// Derived, not shared: the service's generator is guarded by the
+		// service mutex and must not be touched from Collect.
+		rng: rand.New(rand.NewSource(rng.Int63())),
+	}, nil
+}
+
+// Address returns the querier's endpoint address.
+func (q *Querier) Address() string { return q.cfg.Address }
+
+// Handler returns the querier's SOAP handler (it participates in exchanges
+// like any aggregation service).
+func (q *Querier) Handler() soap.Handler { return q.svc.Handler() }
+
+// StartAggregation activates an aggregation interaction for fn, registers
+// the querier (obtaining fanout, epsilon, round budget, and targets), seeds
+// the anchor state, and disseminates the start message over the assigned
+// overlay. Exchange rounds are driven by Tick.
+func (q *Querier) StartAggregation(ctx context.Context, fn Func) (*Task, error) {
+	if _, err := ParseFunc(string(fn)); err != nil {
+		return nil, err
+	}
+	cctx, err := q.activation.Create(ctx, q.cfg.Activation, core.CoordinationTypeGossip)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: activate interaction: %w", err)
+	}
+	params, err := q.svc.registerTask(ctx, cctx)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: register querier: %w", err)
+	}
+	q.svc.startLocalTask(cctx.Identifier, fn, cctx, params, true)
+	start := Start{
+		TaskID:   cctx.Identifier,
+		Function: string(fn),
+		Root:     q.cfg.Address,
+		Hops:     params.Hops,
+	}
+	sent := 0
+	for _, target := range params.Targets {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(wsa.Headers{
+			To:        target,
+			Action:    ActionStart,
+			MessageID: wsa.NewMessageID(),
+		}); err != nil {
+			continue
+		}
+		if err := wscoord.AttachContext(env, cctx); err != nil {
+			continue
+		}
+		if err := env.SetBody(start); err != nil {
+			continue
+		}
+		if err := q.cfg.Caller.Send(ctx, target, env); err != nil {
+			continue
+		}
+		sent++
+	}
+	if len(params.Targets) > 0 && sent == 0 {
+		return nil, fmt.Errorf("aggregate: start reached none of %d targets", len(params.Targets))
+	}
+	return &Task{ID: cctx.Identifier, Func: fn, Params: params, Context: cctx}, nil
+}
+
+// Tick runs one of the querier's own exchange rounds.
+func (q *Querier) Tick(ctx context.Context) { q.svc.Tick(ctx) }
+
+// Estimate returns the querier's current local estimate for the task.
+func (q *Querier) Estimate(taskID string) (float64, bool) { return q.svc.Estimate(taskID) }
+
+// Converged reports whether the querier's local estimate has stabilized.
+func (q *Querier) Converged(taskID string) bool { return q.svc.Converged(taskID) }
+
+// Rounds returns how many exchange rounds the querier has run for the task.
+func (q *Querier) Rounds(taskID string) int { return q.svc.Rounds(taskID) }
+
+// Stats returns the querier's participant counters.
+func (q *Querier) Stats() ServiceStats { return q.svc.Stats() }
+
+// Collect queries up to sample peers from the task's overlay for their
+// current estimates — the converged-estimate collection step. The returned
+// results let the caller check population-wide agreement; the querier's own
+// estimate is available via Estimate.
+func (q *Querier) Collect(ctx context.Context, tk *Task, sample int) ([]QueryResult, error) {
+	if tk == nil {
+		return nil, fmt.Errorf("aggregate: collect without a task")
+	}
+	q.mu.Lock()
+	peers := gossip.SamplePeers(q.rng, tk.Params.Targets, sample, q.cfg.Address)
+	q.mu.Unlock()
+	out := make([]QueryResult, 0, len(peers))
+	for _, peer := range peers {
+		env := soap.NewEnvelope()
+		from := wsa.NewEPR(q.cfg.Address)
+		if err := env.SetAddressing(wsa.Headers{
+			To:        peer,
+			Action:    ActionQuery,
+			MessageID: wsa.NewMessageID(),
+			ReplyTo:   &from,
+		}); err != nil {
+			return out, err
+		}
+		if err := env.SetBody(Query{TaskID: tk.ID}); err != nil {
+			return out, err
+		}
+		resp, err := q.cfg.Caller.Call(ctx, peer, env)
+		if err != nil {
+			continue // unreachable or late joiner; gossip tolerates it
+		}
+		var result QueryResult
+		if resp == nil || resp.DecodeBody(&result) != nil {
+			continue
+		}
+		out = append(out, result)
+	}
+	return out, nil
+}

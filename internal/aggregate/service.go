@@ -1,0 +1,478 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+	"wsgossip/internal/wscoord"
+)
+
+// ServiceStats counts aggregation activity at one node.
+type ServiceStats struct {
+	// Started counts aggregation tasks this node joined via a start
+	// message.
+	Started int64
+	// PassiveJoins counts tasks joined through an exchange share alone
+	// (the start message never arrived; the node relays mass anyway).
+	PassiveJoins int64
+	// SharesSent counts outgoing push-sum shares.
+	SharesSent int64
+	// SharesAbsorbed counts incoming shares merged into local state.
+	SharesAbsorbed int64
+	// StartsForwarded counts start-message re-floods.
+	StartsForwarded int64
+	// QueriesServed counts answered estimate queries.
+	QueriesServed int64
+	// SendErrors counts failed sends (mass in unsent shares is returned
+	// to local state, preserving conservation).
+	SendErrors int64
+}
+
+// ServiceConfig configures an aggregation Service.
+type ServiceConfig struct {
+	// Address is the node's endpoint address.
+	Address string
+	// Caller sends SOAP messages.
+	Caller soap.Caller
+	// Value reads the node's local measurement when a task starts (e.g. a
+	// queue depth, a price, a load average). Nil joins tasks passively.
+	Value func() float64
+	// RNG drives peer sampling; nil falls back to a fixed seed.
+	RNG *rand.Rand
+}
+
+// task is one aggregation interaction this node participates in.
+type task struct {
+	state  *State
+	params core.AggregateParameters
+	cctx   wscoord.CoordinationContext
+}
+
+// Service is the aggregation participant role: application code supplies
+// one local value; the middleware joins aggregation interactions on first
+// contact and gossips push-sum shares until the estimate converges.
+type Service struct {
+	cfg      ServiceConfig
+	register *wscoord.RegistrationClient
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	tasks map[string]*task
+	stats ServiceStats
+}
+
+// NewService returns an aggregation service node.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Address == "" || cfg.Caller == nil {
+		return nil, fmt.Errorf("aggregate: service config requires address and caller")
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Service{
+		cfg:      cfg,
+		register: wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
+		rng:      rng,
+		tasks:    make(map[string]*task),
+	}, nil
+}
+
+// Address returns the node's endpoint address.
+func (s *Service) Address() string { return s.cfg.Address }
+
+// Stats returns a copy of the counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Handler returns the service's SOAP handler.
+func (s *Service) Handler() soap.Handler {
+	d := soap.NewDispatcher()
+	d.Register(ActionStart, soap.HandlerFunc(s.handleStart))
+	d.Register(ActionExchange, soap.HandlerFunc(s.handleExchange))
+	d.Register(ActionQuery, soap.HandlerFunc(s.handleQuery))
+	return d
+}
+
+// Tasks returns the IDs of the tasks the node participates in, sorted.
+func (s *Service) Tasks() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tasks))
+	for id := range s.tasks {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Estimate returns the node's current estimate for the task.
+func (s *Service) Estimate(taskID string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return 0, false
+	}
+	return t.state.Estimate()
+}
+
+// Converged reports whether the task's estimate has stabilized to within
+// the coordinator-assigned epsilon.
+func (s *Service) Converged(taskID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return false
+	}
+	return t.state.Converged(t.params.Epsilon)
+}
+
+// Mass returns the node's conserved (sum, weight) pair for the task.
+func (s *Service) Mass(taskID string) (sum, weight float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, found := s.tasks[taskID]
+	if !found {
+		return 0, 0, false
+	}
+	sum, weight = t.state.Mass()
+	return sum, weight, true
+}
+
+// Rounds returns how many exchange rounds the node has run for the task.
+func (s *Service) Rounds(taskID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return 0
+	}
+	return t.state.Rounds()
+}
+
+// handleStart joins an aggregation task: register with the interaction's
+// Registration service for the aggregation protocol, contribute the local
+// value, and re-flood the start over the assigned overlay while hop budget
+// remains.
+func (s *Service) handleStart(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var start Start
+	if err := req.Envelope.DecodeBody(&start); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed AggregateStart: "+err.Error())
+	}
+	fn, err := ParseFunc(start.Function)
+	if err != nil {
+		return nil, soap.NewFault(soap.CodeSender, err.Error())
+	}
+	cctx, err := wscoord.ContextFrom(req.Envelope)
+	if err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "aggregate start without coordination context: "+err.Error())
+	}
+	s.mu.Lock()
+	existing, known := s.tasks[start.TaskID]
+	s.mu.Unlock()
+	if known {
+		// Usually a duplicate flood copy — but if an exchange share
+		// outran the start (passive join), this start is the node's first
+		// chance to contribute its local value and, if registration had
+		// failed back then, to obtain targets.
+		s.upgradePassiveTask(ctx, existing, start, cctx)
+		return nil, nil
+	}
+	params, err := s.registerTask(ctx, cctx)
+	if err != nil {
+		return nil, err
+	}
+	passive := s.cfg.Value == nil
+	var value float64
+	if !passive {
+		value = s.cfg.Value()
+	}
+	st := NewState(fn, value, start.Root == s.cfg.Address, passive)
+	s.mu.Lock()
+	if _, raced := s.tasks[start.TaskID]; raced {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.tasks[start.TaskID] = &task{state: st, params: params, cctx: cctx}
+	s.stats.Started++
+	s.mu.Unlock()
+	if start.Hops > 0 {
+		s.forwardStart(ctx, start, cctx, params.Targets)
+	}
+	return nil, nil
+}
+
+// upgradePassiveTask completes a passive join once the start arrives: the
+// node contributes its local value (guarded against double counting), seeds
+// the anchor weight if it is the root, and retries registration when the
+// passive join's attempt failed and left it without targets.
+func (s *Service) upgradePassiveTask(ctx context.Context, t *task, start Start, cctx wscoord.CoordinationContext) {
+	s.mu.Lock()
+	needTargets := len(t.params.Targets) == 0
+	if s.cfg.Value != nil && !t.state.Contributed() {
+		s.mu.Unlock()
+		value := s.cfg.Value()
+		s.mu.Lock()
+		t.state.Contribute(value)
+	}
+	if start.Root == s.cfg.Address {
+		t.state.ContributeAnchor()
+	}
+	s.mu.Unlock()
+	if !needTargets {
+		return
+	}
+	params, err := s.registerTask(ctx, cctx)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if len(t.params.Targets) == 0 {
+		t.params = params
+		t.cctx = cctx
+	}
+	s.mu.Unlock()
+	if start.Hops > 0 {
+		s.forwardStart(ctx, start, cctx, params.Targets)
+	}
+}
+
+// registerTask performs the first-contact Register call for the aggregation
+// protocol and decodes the parameter extension.
+func (s *Service) registerTask(ctx context.Context, cctx wscoord.CoordinationContext) (core.AggregateParameters, error) {
+	resp, err := s.register.Register(ctx, cctx, core.ProtocolAggregate, s.cfg.Address)
+	if err != nil {
+		return core.AggregateParameters{}, fmt.Errorf("aggregate: register task %s: %w", cctx.Identifier, err)
+	}
+	params, err := core.AggregateParametersFrom(resp)
+	if err != nil {
+		return core.AggregateParameters{}, fmt.Errorf("aggregate: registration response without parameters: %w", err)
+	}
+	return params, nil
+}
+
+// forwardStart re-floods the start to every assigned target with a
+// decremented hop budget; receivers that already know the task drop it.
+func (s *Service) forwardStart(ctx context.Context, start Start, cctx wscoord.CoordinationContext, targets []string) {
+	next := start
+	next.Hops = start.Hops - 1
+	for _, target := range targets {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(wsa.Headers{
+			To:        target,
+			Action:    ActionStart,
+			MessageID: wsa.NewMessageID(),
+		}); err != nil {
+			s.addSendError()
+			continue
+		}
+		if err := wscoord.AttachContext(env, cctx); err != nil {
+			s.addSendError()
+			continue
+		}
+		if err := env.SetBody(next); err != nil {
+			s.addSendError()
+			continue
+		}
+		if err := s.cfg.Caller.Send(ctx, target, env); err != nil {
+			s.addSendError()
+			continue
+		}
+		s.mu.Lock()
+		s.stats.StartsForwarded++
+		s.mu.Unlock()
+	}
+}
+
+// handleExchange absorbs an incoming push-sum share. A node that never saw
+// the start still conserves the mass: it registers through the share's
+// coordination context and joins passively.
+func (s *Service) handleExchange(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var share Share
+	if err := req.Envelope.DecodeBody(&share); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed AggregateShare: "+err.Error())
+	}
+	s.mu.Lock()
+	t, known := s.tasks[share.TaskID]
+	s.mu.Unlock()
+	if !known {
+		fn, err := ParseFunc(share.Function)
+		if err != nil {
+			return nil, soap.NewFault(soap.CodeSender, err.Error())
+		}
+		cctx, err := wscoord.ContextFrom(req.Envelope)
+		if err != nil {
+			return nil, soap.NewFault(soap.CodeSender, "aggregate share without coordination context: "+err.Error())
+		}
+		// Registration can fail (coordinator down); the node still holds
+		// the mass so the totals stay conserved — it just cannot relay
+		// until a later start or share brings usable targets.
+		params, _ := s.registerTask(ctx, cctx)
+		t = &task{state: NewState(fn, 0, false, true), params: params, cctx: cctx}
+		s.mu.Lock()
+		if existing, raced := s.tasks[share.TaskID]; raced {
+			t = existing
+		} else {
+			s.tasks[share.TaskID] = t
+			s.stats.PassiveJoins++
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	t.state.Absorb(share)
+	s.stats.SharesAbsorbed++
+	s.mu.Unlock()
+	return nil, nil
+}
+
+// handleQuery answers with the node's current estimate.
+func (s *Service) handleQuery(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var q Query
+	if err := req.Envelope.DecodeBody(&q); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed AggregateQuery: "+err.Error())
+	}
+	s.mu.Lock()
+	t, ok := s.tasks[q.TaskID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, soap.NewFault(soap.CodeSender, fmt.Sprintf("unknown aggregation task %q", q.TaskID))
+	}
+	est, _ := t.state.Estimate()
+	_, weight := t.state.Mass()
+	result := QueryResult{
+		TaskID:    q.TaskID,
+		Function:  string(t.state.Func()),
+		Estimate:  est,
+		Weight:    weight,
+		Rounds:    t.state.Rounds(),
+		Converged: t.state.Converged(t.params.Epsilon),
+	}
+	s.stats.QueriesServed++
+	s.mu.Unlock()
+	resp := soap.NewEnvelope()
+	if err := resp.SetAddressing(req.Addressing.Reply(ActionQueryResponse)); err != nil {
+		return nil, err
+	}
+	if err := resp.SetBody(result); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Tick runs one push-sum round for every active task: split the local
+// (sum, weight) into fanout+1 shares, keep one, send one to each of fanout
+// sampled targets. Extremes ride along and merge idempotently. Tasks whose
+// round budget is exhausted go quiescent (they still absorb and answer
+// queries). Call it from a timer at the deployment's exchange interval.
+func (s *Service) Tick(ctx context.Context) {
+	type outgoing struct {
+		taskID  string
+		cctx    wscoord.CoordinationContext
+		share   Share
+		targets []string
+	}
+	var sends []outgoing
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.tasks))
+	for id := range s.tasks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := s.tasks[id]
+		if len(t.params.Targets) == 0 || t.params.Fanout <= 0 {
+			continue
+		}
+		if t.params.MaxRounds > 0 && t.state.Rounds() >= t.params.MaxRounds {
+			continue
+		}
+		t.state.BeginRound()
+		targets := gossip.SamplePeers(s.rng, t.params.Targets, t.params.Fanout, s.cfg.Address)
+		if len(targets) == 0 {
+			continue
+		}
+		shareSum, shareWeight := t.state.Split(len(targets))
+		sends = append(sends, outgoing{
+			taskID:  id,
+			cctx:    t.cctx,
+			share:   t.state.share(id, s.cfg.Address, shareSum, shareWeight),
+			targets: targets,
+		})
+	}
+	s.mu.Unlock()
+	for _, out := range sends {
+		for _, target := range out.targets {
+			if err := s.sendShare(ctx, target, out.cctx, out.share); err != nil {
+				// Return the unsent mass to local state: conservation
+				// holds even when a peer is unreachable.
+				s.mu.Lock()
+				if t, ok := s.tasks[out.taskID]; ok {
+					t.state.Absorb(Share{Sum: out.share.Sum, Weight: out.share.Weight})
+				}
+				s.stats.SendErrors++
+				s.mu.Unlock()
+				continue
+			}
+			s.mu.Lock()
+			s.stats.SharesSent++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Service) sendShare(ctx context.Context, to string, cctx wscoord.CoordinationContext, share Share) error {
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To:        to,
+		Action:    ActionExchange,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		return err
+	}
+	if err := wscoord.AttachContext(env, cctx); err != nil {
+		return err
+	}
+	if err := env.SetBody(share); err != nil {
+		return err
+	}
+	return s.cfg.Caller.Send(ctx, to, env)
+}
+
+func (s *Service) addSendError() {
+	s.mu.Lock()
+	s.stats.SendErrors++
+	s.mu.Unlock()
+}
+
+// startLocalTask installs a task created by this node itself (the Querier's
+// path: it already holds the parameters from its own registration).
+func (s *Service) startLocalTask(taskID string, fn Func, cctx wscoord.CoordinationContext, params core.AggregateParameters, root bool) {
+	passive := s.cfg.Value == nil
+	var value float64
+	if !passive {
+		value = s.cfg.Value()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tasks[taskID]; ok {
+		return
+	}
+	s.tasks[taskID] = &task{
+		state:  NewState(fn, value, root, passive),
+		params: params,
+		cctx:   cctx,
+	}
+	s.stats.Started++
+}

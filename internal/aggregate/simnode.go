@@ -1,0 +1,141 @@
+package aggregate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/transport"
+)
+
+// Transport-level push-sum node: the same State machine as the SOAP-level
+// Service, attached directly to a transport.Endpoint. It is what lets
+// cmd/wsgossip-sim drive aggregation over the deterministic simulator at
+// scales (and loss rates) the SOAP harness does not reach, mirroring how
+// the dissemination engine has both a SOAP binding and a simnet binding.
+
+// Wire action for simulator push-sum exchanges.
+const ActionSimExchange = "urn:wsgossip:aggregate:exchange"
+
+// simShare is the simulator wire format (JSON, like the gossip engine's).
+type simShare struct {
+	Task        string  `json:"task"`
+	Function    string  `json:"fn"`
+	Sum         float64 `json:"s"`
+	Weight      float64 `json:"w"`
+	HasExtremes bool    `json:"he,omitempty"`
+	Min         float64 `json:"min,omitempty"`
+	Max         float64 `json:"max,omitempty"`
+}
+
+// SimNodeConfig configures a simulator aggregation node.
+type SimNodeConfig struct {
+	// Endpoint attaches the node to the simulated network. Required.
+	Endpoint transport.Endpoint
+	// Peers supplies exchange targets. Required.
+	Peers gossip.PeerProvider
+	// Fanout is the number of share recipients per round.
+	Fanout int
+	// TaskID names the single aggregation task the node runs.
+	TaskID string
+	// Func is the aggregate function.
+	Func Func
+	// Value is the node's local measurement.
+	Value float64
+	// Root marks the anchor node for count/sum.
+	Root bool
+	// RNG drives peer selection; nil falls back to a fixed seed.
+	RNG *rand.Rand
+}
+
+// SimNode is one simulator participant. All calls arrive from the
+// simulator's single-threaded event loop, so no locking is needed.
+type SimNode struct {
+	cfg   SimNodeConfig
+	rng   *rand.Rand
+	state *State
+}
+
+// NewSimNode validates cfg and returns a node with its initial state.
+func NewSimNode(cfg SimNodeConfig) (*SimNode, error) {
+	if cfg.Endpoint == nil || cfg.Peers == nil {
+		return nil, fmt.Errorf("aggregate: sim node requires endpoint and peers")
+	}
+	if cfg.Fanout < 1 {
+		return nil, fmt.Errorf("aggregate: sim node fanout must be >= 1, got %d", cfg.Fanout)
+	}
+	if _, err := ParseFunc(string(cfg.Func)); err != nil {
+		return nil, err
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &SimNode{
+		cfg:   cfg,
+		rng:   rng,
+		state: NewState(cfg.Func, cfg.Value, cfg.Root, false),
+	}, nil
+}
+
+// Register installs the node's wire action on the mux.
+func (n *SimNode) Register(mux *transport.Mux) {
+	mux.Handle(ActionSimExchange, n.handleExchange)
+}
+
+// State exposes the node's push-sum state (estimates, mass, convergence).
+func (n *SimNode) State() *State { return n.state }
+
+// Tick runs one push-sum round: split the mass into fanout+1 shares and
+// send fanout of them to sampled peers.
+func (n *SimNode) Tick(ctx context.Context) {
+	n.state.BeginRound()
+	peers := n.cfg.Peers.SelectPeers(n.rng, n.cfg.Fanout, n.cfg.Endpoint.Addr())
+	if len(peers) == 0 {
+		return
+	}
+	shareSum, shareWeight := n.state.Split(len(peers))
+	min, max := n.state.min, n.state.max
+	body, err := json.Marshal(simShare{
+		Task:        n.cfg.TaskID,
+		Function:    string(n.cfg.Func),
+		Sum:         shareSum,
+		Weight:      shareWeight,
+		HasExtremes: n.state.hasExtremes,
+		Min:         min,
+		Max:         max,
+	})
+	if err != nil {
+		return
+	}
+	for _, p := range peers {
+		msg := transport.Message{To: p, Action: ActionSimExchange, Body: body}
+		if err := n.cfg.Endpoint.Send(ctx, msg); err != nil {
+			// Unreachable peer: reclaim the share so local mass stays
+			// conserved. (Shares lost *in flight* on a lossy network are
+			// gone — that is the protocol's real sensitivity to loss, and
+			// exactly what the simulator measures.)
+			n.state.Absorb(Share{Sum: shareSum, Weight: shareWeight})
+		}
+	}
+}
+
+func (n *SimNode) handleExchange(_ context.Context, msg transport.Message) error {
+	var sh simShare
+	if err := json.Unmarshal(msg.Body, &sh); err != nil {
+		return err
+	}
+	if sh.Task != n.cfg.TaskID {
+		return nil
+	}
+	n.state.Absorb(Share{
+		Sum:         sh.Sum,
+		Weight:      sh.Weight,
+		HasExtremes: sh.HasExtremes,
+		Min:         sh.Min,
+		Max:         sh.Max,
+	})
+	return nil
+}

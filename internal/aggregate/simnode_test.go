@@ -1,0 +1,81 @@
+package aggregate
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/simnet"
+	"wsgossip/internal/transport"
+)
+
+// TestSimNodePushSumConvergence runs the transport-level push-sum binding
+// over the deterministic simulator and checks estimate accuracy and mass
+// conservation at N=128.
+func TestSimNodePushSumConvergence(t *testing.T) {
+	const (
+		n      = 128
+		fanout = 3
+		rounds = 30
+	)
+	net := simnet.New(simnet.DefaultConfig(9))
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "s" + string(rune('a'+i/26%26)) + string(rune('a'+i%26)) + string(rune('a'+i/676))
+	}
+	peers := gossip.NewStaticPeers(addrs)
+	nodes := make([]*SimNode, n)
+	truth := 0.0
+	for i := range addrs {
+		v := float64(i * 3)
+		truth += v
+		node, err := NewSimNode(SimNodeConfig{
+			Endpoint: net.Node(addrs[i]),
+			Peers:    peers,
+			Fanout:   fanout,
+			TaskID:   "t1",
+			Func:     FuncAvg,
+			Value:    v,
+			RNG:      rand.New(rand.NewSource(int64(i) + 5)),
+		})
+		if err != nil {
+			t.Fatalf("NewSimNode: %v", err)
+		}
+		mux := transport.NewMux()
+		node.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		nodes[i] = node
+	}
+	truth /= n
+
+	ctx := context.Background()
+	for r := 0; r < rounds; r++ {
+		for _, node := range nodes {
+			node.Tick(ctx)
+		}
+		net.RunFor(20 * time.Millisecond)
+	}
+
+	var massSum, massWeight float64
+	for _, node := range nodes {
+		s, w := node.State().Mass()
+		massSum += s
+		massWeight += w
+		est, ok := node.State().Estimate()
+		if !ok {
+			t.Fatalf("node %s has no estimate after %d rounds", node.cfg.Endpoint.Addr(), rounds)
+		}
+		if relErr := math.Abs(est-truth) / truth; relErr > 0.01 {
+			t.Fatalf("node estimate %.4f vs truth %.4f: rel err %.4f > 1%%", est, truth, relErr)
+		}
+	}
+	if math.Abs(massSum-truth*n) > 1e-6*truth*n {
+		t.Fatalf("sum mass not conserved: got %.6f want %.6f", massSum, truth*n)
+	}
+	if math.Abs(massWeight-n) > 1e-9 {
+		t.Fatalf("weight mass not conserved: got %.6f want %d", massWeight, n)
+	}
+}

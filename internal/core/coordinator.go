@@ -19,6 +19,25 @@ type Subscription struct {
 	Endpoint string
 	// Role is RoleDisseminator or RoleConsumer.
 	Role string
+	// Protocols lists the coordination protocol URIs the subscriber's
+	// stack serves. Empty means every protocol (legacy subscribers).
+	// Target assignment for a protocol only draws from subscribers that
+	// serve it.
+	Protocols []string
+}
+
+// serves reports whether the subscription is an eligible target for the
+// given protocol URI.
+func (s Subscription) serves(protocol string) bool {
+	if len(s.Protocols) == 0 {
+		return true
+	}
+	for _, p := range s.Protocols {
+		if p == protocol {
+			return true
+		}
+	}
+	return false
 }
 
 // ParamPolicy maps the current subscriber count to gossip parameters. The
@@ -76,28 +95,46 @@ type CoordinatorConfig struct {
 	RNG *rand.Rand
 	// Strategy selects target assignment (default TargetBalanced).
 	Strategy TargetStrategy
-	// Style selects the dissemination style participants are configured
-	// with (default push; lazy push trades payload traffic for an extra
-	// announce/fetch round-trip).
+	// Style selects the dissemination style WS-PushGossip participants are
+	// configured with (default push; lazy push trades payload traffic for
+	// an extra announce/fetch round-trip).
 	Style gossip.Style
+	// Registry is the protocol registry registrations are validated
+	// against; nil installs the built-in family (push, pull, aggregate).
+	Registry *ProtocolRegistry
+	// AggEpsilon is the aggregation convergence threshold handed to
+	// ProtocolAggregate registrants (0 = DefaultAggEpsilon).
+	AggEpsilon float64
+	// AggMaxRounds caps aggregation exchange rounds (0 = sized from the
+	// analytic push-sum model for the current subscriber count).
+	AggMaxRounds int
 	// Caller and Replicas configure a distributed coordinator: every
 	// accepted subscription is replicated one-way to each replica address.
 	Caller   soap.Caller
 	Replicas []string
 }
 
+// assignState is the balanced-assignment rotation for one protocol: a
+// shuffled permutation of that protocol's eligible subscribers plus a
+// cursor. Keeping the state per protocol lets each protocol's in-degree
+// stay near-uniform over its own eligible population.
+type assignState struct {
+	order  []string
+	cursor int
+}
+
 // Coordinator is the WS-Gossip Coordinator role: WS-Coordination Activation
 // and Registration services plus the subscription list.
 type Coordinator struct {
-	cfg CoordinatorConfig
-	wc  *wscoord.Coordinator
+	cfg      CoordinatorConfig
+	wc       *wscoord.Coordinator
+	registry *ProtocolRegistry
 
 	mu     sync.Mutex
 	rng    *rand.Rand
 	subs   []Subscription
-	index  map[string]int // endpoint -> position in subs
-	order  []string       // shuffled assignment order (balanced strategy)
-	cursor int            // balanced-assignment rotation position
+	index  map[string]int          // endpoint -> position in subs
+	assign map[string]*assignState // protocol URI -> balanced rotation
 	stats  CoordinatorStats
 }
 
@@ -110,10 +147,16 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = defaultRegistry()
+	}
 	c := &Coordinator{
-		cfg:   cfg,
-		rng:   rng,
-		index: make(map[string]int),
+		cfg:      cfg,
+		registry: registry,
+		rng:      rng,
+		index:    make(map[string]int),
+		assign:   make(map[string]*assignState),
 	}
 	c.wc = wscoord.NewCoordinator(wscoord.Config{
 		Address:        cfg.Address,
@@ -157,31 +200,48 @@ func (c *Coordinator) Subscribers() []Subscription {
 	return out
 }
 
+// SupportedProtocols returns the protocol URIs registrations are accepted
+// for, sorted.
+func (c *Coordinator) SupportedProtocols() []string { return c.registry.URIs() }
+
 // SubscribeLocal records a subscription without a SOAP round-trip (used by
 // colocated deployments and tests; the SOAP path ends up here too).
-func (c *Coordinator) SubscribeLocal(ctx context.Context, endpoint, role string) error {
-	if err := c.addSubscription(endpoint, role, true); err != nil {
+// protocols lists the coordination protocols the subscriber serves; none
+// means all.
+func (c *Coordinator) SubscribeLocal(ctx context.Context, endpoint, role string, protocols ...string) error {
+	if err := c.addSubscription(endpoint, role, protocols, true); err != nil {
 		return err
 	}
-	c.replicate(ctx, endpoint, role)
+	c.replicate(ctx, endpoint, role, protocols)
 	return nil
 }
 
-func (c *Coordinator) addSubscription(endpoint, role string, countIt bool) error {
+func (c *Coordinator) addSubscription(endpoint, role string, protocols []string, countIt bool) error {
 	if endpoint == "" {
 		return fmt.Errorf("core: subscribe with empty endpoint")
 	}
 	if role != RoleDisseminator && role != RoleConsumer {
 		return fmt.Errorf("core: subscribe with unknown role %q", role)
 	}
+	for _, p := range protocols {
+		if _, ok := c.registry.Lookup(p); !ok {
+			return fmt.Errorf("core: subscribe advertising unsupported protocol %q", p)
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if i, ok := c.index[endpoint]; ok {
 		c.subs[i].Role = role
+		c.subs[i].Protocols = append([]string(nil), protocols...)
+		c.assign = make(map[string]*assignState)
 		return nil
 	}
 	c.index[endpoint] = len(c.subs)
-	c.subs = append(c.subs, Subscription{Endpoint: endpoint, Role: role})
+	c.subs = append(c.subs, Subscription{
+		Endpoint:  endpoint,
+		Role:      role,
+		Protocols: append([]string(nil), protocols...),
+	})
 	if countIt {
 		c.stats.Subscribes++
 	}
@@ -201,9 +261,10 @@ func (c *Coordinator) Unsubscribe(endpoint string) {
 	c.index[c.subs[i].Endpoint] = i
 	c.subs = c.subs[:last]
 	delete(c.index, endpoint)
+	c.assign = make(map[string]*assignState)
 }
 
-func (c *Coordinator) replicate(ctx context.Context, endpoint, role string) {
+func (c *Coordinator) replicate(ctx context.Context, endpoint, role string, protocols []string) {
 	if c.cfg.Caller == nil || len(c.cfg.Replicas) == 0 {
 		return
 	}
@@ -212,7 +273,7 @@ func (c *Coordinator) replicate(ctx context.Context, endpoint, role string) {
 		if err := env.SetAddressing(addressingFor(replica, ActionReplicate)); err != nil {
 			continue
 		}
-		if err := env.SetBody(ReplicateSubscription{Endpoint: endpoint, Role: role}); err != nil {
+		if err := env.SetBody(ReplicateSubscription{Endpoint: endpoint, Role: role, Protocols: protocols}); err != nil {
 			continue
 		}
 		// Replication is best-effort one-way; anti-entropy between
@@ -226,10 +287,10 @@ func (c *Coordinator) handleSubscribe(ctx context.Context, req *soap.Request) (*
 	if err := req.Envelope.DecodeBody(&body); err != nil {
 		return nil, soap.NewFault(soap.CodeSender, "malformed Subscribe: "+err.Error())
 	}
-	if err := c.addSubscription(body.Endpoint, body.Role, true); err != nil {
+	if err := c.addSubscription(body.Endpoint, body.Role, body.Protocols, true); err != nil {
 		return nil, soap.NewFault(soap.CodeSender, err.Error())
 	}
-	c.replicate(ctx, body.Endpoint, body.Role)
+	c.replicate(ctx, body.Endpoint, body.Role, body.Protocols)
 	resp := soap.NewEnvelope()
 	if err := resp.SetAddressing(req.Addressing.Reply(ActionSubscribeResponse)); err != nil {
 		return nil, err
@@ -245,7 +306,7 @@ func (c *Coordinator) handleReplicate(_ context.Context, req *soap.Request) (*so
 	if err := req.Envelope.DecodeBody(&body); err != nil {
 		return nil, soap.NewFault(soap.CodeSender, "malformed ReplicateSubscription: "+err.Error())
 	}
-	if err := c.addSubscription(body.Endpoint, body.Role, false); err != nil {
+	if err := c.addSubscription(body.Endpoint, body.Role, body.Protocols, false); err != nil {
 		return nil, soap.NewFault(soap.CodeSender, err.Error())
 	}
 	c.mu.Lock()
@@ -264,79 +325,86 @@ func (c *Coordinator) CreateActivity() (wscoord.CoordinationContext, error) {
 	return act.Context, nil
 }
 
-// registrationExtension builds the GossipParameters header for a
-// registration: parameters from the policy, targets sampled uniformly from
-// the subscription list excluding the registrant.
+// registrationExtension validates the registration against the protocol
+// registry and delegates to the matching protocol's extension. Unknown
+// protocol URIs are answered with a Sender fault — the registry's negative
+// path.
 func (c *Coordinator) registrationExtension(_ *wscoord.Activity, reg wscoord.Registrant) ([]any, error) {
-	if reg.Protocol != ProtocolPushGossip {
-		return nil, soap.NewFault(soap.CodeSender,
-			fmt.Sprintf("unsupported coordination protocol %q", reg.Protocol))
+	ext, ok := c.registry.Lookup(reg.Protocol)
+	if !ok {
+		return nil, unsupportedProtocolFault(reg.Protocol)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Registrations++
-	fanout, hops := c.cfg.Params(len(c.subs))
+	return ext(c, reg)
+}
+
+// assignLocked computes (fanout, hops) from the parameter policy and hands
+// out the registrant's targets among the subscribers eligible for protocol.
+func (c *Coordinator) assignLocked(protocol, registrant string) (fanout, hops int, targets []string) {
+	eligible := c.eligibleLocked(protocol)
+	fanout, hops = c.cfg.Params(len(eligible))
 	want := c.cfg.TargetsPerRegistrant
 	if want <= 0 {
 		want = 2 * fanout
 	}
-	var targets []string
 	if c.cfg.Strategy == TargetRandom {
-		addrs := make([]string, len(c.subs))
-		for i, s := range c.subs {
-			addrs[i] = s.Endpoint
-		}
-		sort.Strings(addrs)
-		targets = gossip.SamplePeers(c.rng, addrs, want, reg.Service)
+		targets = gossip.SamplePeers(c.rng, eligible, want, registrant)
 	} else {
-		targets = c.balancedTargetsLocked(want, reg.Service)
+		targets = c.balancedTargetsLocked(protocol, eligible, want, registrant)
 	}
-	style := c.cfg.Style
-	if style == 0 {
-		style = gossip.StylePush
+	return fanout, hops, targets
+}
+
+// eligibleLocked lists the endpoints of subscribers serving protocol,
+// sorted (deterministic base for both strategies).
+func (c *Coordinator) eligibleLocked(protocol string) []string {
+	out := make([]string, 0, len(c.subs))
+	for _, s := range c.subs {
+		if s.serves(protocol) {
+			out = append(out, s.Endpoint)
+		}
 	}
-	return []any{GossipParameters{
-		Fanout:  fanout,
-		Hops:    hops,
-		Style:   style.String(),
-		Targets: targets,
-	}}, nil
+	sort.Strings(out)
+	return out
 }
 
 // balancedTargetsLocked hands out want targets by rotating a cursor over a
-// shuffled permutation of the subscriber list, skipping the registrant.
-// Across registrations every subscriber is assigned as a target equally
-// often (±1) — removing the low-in-degree tail that per-registration random
-// sampling produces — while consecutive chunks of a random permutation keep
-// the dissemination graph expander-like (contiguous chunks of the *sorted*
-// list would form a ring whose diameter exhausts the hop budget).
-func (c *Coordinator) balancedTargetsLocked(want int, exclude string) []string {
-	if len(c.order) != len(c.subs) {
-		c.order = make([]string, len(c.subs))
-		for i, s := range c.subs {
-			c.order[i] = s.Endpoint
-		}
-		sort.Strings(c.order) // deterministic base before the shuffle
-		c.rng.Shuffle(len(c.order), func(i, j int) {
-			c.order[i], c.order[j] = c.order[j], c.order[i]
+// shuffled permutation of the protocol's eligible subscribers, skipping the
+// registrant. Across registrations every eligible subscriber is assigned as
+// a target equally often (±1) — removing the low-in-degree tail that
+// per-registration random sampling produces — while consecutive chunks of a
+// random permutation keep the dissemination graph expander-like (contiguous
+// chunks of the *sorted* list would form a ring whose diameter exhausts the
+// hop budget).
+func (c *Coordinator) balancedTargetsLocked(protocol string, eligible []string, want int, exclude string) []string {
+	st := c.assign[protocol]
+	if st == nil || len(st.order) != len(eligible) {
+		st = &assignState{order: append([]string(nil), eligible...)}
+		c.rng.Shuffle(len(st.order), func(i, j int) {
+			st.order[i], st.order[j] = st.order[j], st.order[i]
 		})
-		c.cursor = 0
+		c.assign[protocol] = st
 	}
-	eligible := len(c.order)
-	if _, ok := c.index[exclude]; ok {
-		eligible--
+	avail := len(st.order)
+	for _, a := range st.order {
+		if a == exclude {
+			avail--
+			break
+		}
 	}
-	if want > eligible {
-		want = eligible
+	if want > avail {
+		want = avail
 	}
-	if want <= 0 || len(c.order) == 0 {
+	if want <= 0 || len(st.order) == 0 {
 		return nil
 	}
 	out := make([]string, 0, want)
 	scanned := 0
-	i := c.cursor
-	for len(out) < want && scanned < len(c.order)+want {
-		a := c.order[i%len(c.order)]
+	i := st.cursor
+	for len(out) < want && scanned < len(st.order)+want {
+		a := st.order[i%len(st.order)]
 		i++
 		scanned++
 		if a == exclude {
@@ -344,6 +412,6 @@ func (c *Coordinator) balancedTargetsLocked(want int, exclude string) []string {
 		}
 		out = append(out, a)
 	}
-	c.cursor = i % len(c.order)
+	st.cursor = i % len(st.order)
 	return out
 }

@@ -29,13 +29,24 @@ import (
 // Namespace is the WS-Gossip extension namespace.
 const Namespace = "urn:wsgossip:2008"
 
-// Coordination protocol identifiers.
+// Coordination protocol identifiers. The paper frames WS-Gossip as a family
+// of gossip-structured protocols; the Coordinator validates registrations
+// against a registry of these URIs (see ProtocolRegistry).
 const (
 	// CoordinationTypeGossip is the WS-Gossip coordination type URI used
 	// with WS-Coordination Activation.
 	CoordinationTypeGossip = Namespace + ":gossip"
-	// ProtocolPushGossip is the WS-PushGossip coordination protocol.
+	// ProtocolPushGossip is the WS-PushGossip coordination protocol:
+	// eager (or lazy) hop-bounded push dissemination.
 	ProtocolPushGossip = Namespace + ":gossip:push"
+	// ProtocolPullGossip is the WS-PullGossip coordination protocol: a
+	// puller periodically requests digests/batches from coordinator-
+	// assigned peers; notifications spread only through pull rounds.
+	ProtocolPullGossip = Namespace + ":gossip:pull"
+	// ProtocolAggregate is the WS-Gossip aggregation protocol: push-sum
+	// value/weight exchanges converging on count/sum/avg/min/max over the
+	// subscriber population (see internal/aggregate).
+	ProtocolAggregate = Namespace + ":gossip:aggregate"
 )
 
 // WS-Gossip action URIs.
@@ -54,6 +65,9 @@ const (
 	// ActionReplicate propagates subscription records between the members
 	// of a distributed Coordinator.
 	ActionReplicate = Namespace + ":replicateSubscription"
+	// ActionPullRequest asks a peer for stored notifications absent from
+	// the requester's digest (WS-PullGossip).
+	ActionPullRequest = Namespace + ":pullRequest"
 )
 
 // Subscriber roles.
@@ -70,12 +84,16 @@ var ErrNoGossipHeader = errors.New("core: no gossip header")
 
 // GossipHeader is the SOAP header block that rides on every gossiped
 // notification: it names the interaction (the coordination activity), the
-// notification, and the remaining hop budget.
+// notification, and the remaining hop budget. Protocol names the
+// coordination protocol the interaction runs (empty means WS-PushGossip,
+// for wire compatibility with pre-registry senders), so a disseminator's
+// first-contact registration asks for the right parameter set.
 type GossipHeader struct {
 	XMLName       xml.Name `xml:"urn:wsgossip:2008 Gossip"`
 	InteractionID string   `xml:"InteractionID"`
 	MessageID     string   `xml:"MessageID"`
 	Hops          int      `xml:"Hops"`
+	Protocol      string   `xml:"Protocol,omitempty"`
 }
 
 // SetGossipHeader writes gh into the envelope, replacing any existing gossip
@@ -117,11 +135,36 @@ func GossipParametersFrom(env *soap.Envelope) (GossipParameters, error) {
 	return gp, nil
 }
 
-// SubscribeRequest is the Subscribe operation body.
+// AggregateParameters is the registration-response extension for the
+// aggregation protocol: exchange fanout, a hop budget for disseminating the
+// start message over the assigned overlay, the convergence criterion, and
+// the peer targets for push-sum exchanges.
+type AggregateParameters struct {
+	XMLName   xml.Name `xml:"urn:wsgossip:2008 AggregateParameters"`
+	Fanout    int      `xml:"Fanout"`
+	Hops      int      `xml:"Hops"`
+	Epsilon   float64  `xml:"Epsilon"`
+	MaxRounds int      `xml:"MaxRounds"`
+	Targets   []string `xml:"Targets>Target"`
+}
+
+// AggregateParametersFrom extracts the aggregation parameter extension.
+func AggregateParametersFrom(env *soap.Envelope) (AggregateParameters, error) {
+	var ap AggregateParameters
+	if err := env.DecodeHeader(Namespace, "AggregateParameters", &ap); err != nil {
+		return ap, err
+	}
+	return ap, nil
+}
+
+// SubscribeRequest is the Subscribe operation body. Protocols lists the
+// coordination protocol URIs the subscriber's middleware stack serves; empty
+// means every protocol (the pre-registry behaviour).
 type SubscribeRequest struct {
-	XMLName  xml.Name `xml:"urn:wsgossip:2008 Subscribe"`
-	Endpoint string   `xml:"Endpoint"`
-	Role     string   `xml:"Role"`
+	XMLName   xml.Name `xml:"urn:wsgossip:2008 Subscribe"`
+	Endpoint  string   `xml:"Endpoint"`
+	Role      string   `xml:"Role"`
+	Protocols []string `xml:"Protocols>Protocol,omitempty"`
 }
 
 // SubscribeResponse acknowledges a Subscribe.
@@ -133,9 +176,10 @@ type SubscribeResponse struct {
 // ReplicateSubscription propagates one subscription record inside a
 // distributed Coordinator.
 type ReplicateSubscription struct {
-	XMLName  xml.Name `xml:"urn:wsgossip:2008 ReplicateSubscription"`
-	Endpoint string   `xml:"Endpoint"`
-	Role     string   `xml:"Role"`
+	XMLName   xml.Name `xml:"urn:wsgossip:2008 ReplicateSubscription"`
+	Endpoint  string   `xml:"Endpoint"`
+	Role      string   `xml:"Role"`
+	Protocols []string `xml:"Protocols>Protocol,omitempty"`
 }
 
 // Announce is the lazy-push IHAVE body: it names a notification without its
@@ -154,4 +198,14 @@ type Fetch struct {
 	XMLName   xml.Name `xml:"urn:wsgossip:2008 Fetch"`
 	MessageID string   `xml:"MessageID"`
 	Requester string   `xml:"Requester"`
+}
+
+// PullRequest is the WS-PullGossip digest request: the puller names the
+// notifications it already holds; the responder retransmits up to Max
+// stored notifications absent from that digest.
+type PullRequest struct {
+	XMLName    xml.Name `xml:"urn:wsgossip:2008 PullRequest"`
+	Requester  string   `xml:"Requester"`
+	MessageIDs []string `xml:"MessageIDs>MessageID"`
+	Max        int      `xml:"Max"`
 }

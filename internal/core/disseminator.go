@@ -37,6 +37,11 @@ type DisseminatorStats struct {
 	DigestsSent int64
 	// Repaired counts notifications retransmitted in response to digests.
 	Repaired int64
+	// PullsSent counts WS-PullGossip digest requests issued by TickPull.
+	PullsSent int64
+	// PullServed counts notifications retransmitted in response to pull
+	// requests.
+	PullServed int64
 }
 
 // DisseminatorConfig configures a Disseminator node.
@@ -57,10 +62,16 @@ type DisseminatorConfig struct {
 	StoreSize int
 }
 
-// interactionState caches the parameters the Coordinator assigned for one
-// gossip interaction.
+// interactionState caches the protocol and parameters the Coordinator
+// assigned for one gossip interaction.
 type interactionState struct {
-	params GossipParameters
+	protocol string
+	params   GossipParameters
+}
+
+// pull reports whether the interaction spreads through pull rounds only.
+func (s *interactionState) pull() bool {
+	return s.protocol == ProtocolPullGossip || s.params.Style == gossip.StylePull.String()
 }
 
 // Disseminator is the paper's Disseminator role: application code untouched,
@@ -122,6 +133,7 @@ func (d *Disseminator) Handler() soap.Handler {
 	dispatcher.Register(ActionIHave, soap.HandlerFunc(d.handleIHave))
 	dispatcher.Register(ActionIWant, soap.HandlerFunc(d.handleIWant))
 	dispatcher.Register(ActionDigest, soap.HandlerFunc(d.handleDigest))
+	dispatcher.Register(ActionPullRequest, soap.HandlerFunc(d.handlePullRequest))
 	return dispatcher
 }
 
@@ -176,9 +188,13 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 	resp, appErr := d.deliver(ctx, req, app)
 
 	if state != nil && gh.Hops > 0 {
-		if state.params.Style == gossip.StyleLazyPush.String() {
+		switch {
+		case state.pull():
+			// WS-PullGossip never forwards eagerly: the notification is
+			// stored and spreads when peers pull it (TickPull).
+		case state.params.Style == gossip.StyleLazyPush.String():
 			d.announce(ctx, gh, state)
-		} else {
+		default:
 			d.forward(ctx, req.Envelope, gh, state)
 		}
 	}
@@ -207,20 +223,47 @@ func (d *Disseminator) registerInteraction(ctx context.Context, env *soap.Envelo
 	if err != nil {
 		return nil, fmt.Errorf("core: gossiped message without coordination context: %w", err)
 	}
-	resp, err := d.register.Register(ctx, cctx, ProtocolPushGossip, d.cfg.Address)
+	protocol := gh.Protocol
+	if protocol == "" {
+		protocol = ProtocolPushGossip
+	}
+	// Cache under the header's interaction ID — the key intercept looks
+	// up — even if a sender's coordination-context identifier differs.
+	return d.registerProtocol(ctx, cctx, protocol, gh.InteractionID)
+}
+
+// registerProtocol performs the Register call for one (interaction,
+// protocol) pair and caches the returned parameters under cacheKey.
+func (d *Disseminator) registerProtocol(ctx context.Context, cctx wscoord.CoordinationContext, protocol, cacheKey string) (*interactionState, error) {
+	resp, err := d.register.Register(ctx, cctx, protocol, d.cfg.Address)
 	if err != nil {
-		return nil, fmt.Errorf("core: register interaction %s: %w", gh.InteractionID, err)
+		return nil, fmt.Errorf("core: register interaction %s: %w", cctx.Identifier, err)
 	}
 	params, err := GossipParametersFrom(resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: registration response without parameters: %w", err)
 	}
-	state := &interactionState{params: params}
+	state := &interactionState{protocol: protocol, params: params}
 	d.mu.Lock()
-	d.interactions[gh.InteractionID] = state
+	d.interactions[cacheKey] = state
 	d.stats.Registrations++
 	d.mu.Unlock()
 	return state, nil
+}
+
+// JoinInteraction proactively registers the disseminator with an
+// interaction's Registration service for the given protocol. Pull-driven
+// deployments use it: a pure puller never receives an eager first contact,
+// so it joins explicitly and then draws the content through TickPull.
+func (d *Disseminator) JoinInteraction(ctx context.Context, cctx wscoord.CoordinationContext, protocol string) error {
+	d.mu.Lock()
+	_, known := d.interactions[cctx.Identifier]
+	d.mu.Unlock()
+	if known {
+		return nil
+	}
+	_, err := d.registerProtocol(ctx, cctx, protocol, cctx.Identifier)
+	return err
 }
 
 // forward re-routes a copy of the notification to up to fanout targets with

@@ -15,11 +15,12 @@ func addressingFor(to, action string) wsa.Headers {
 }
 
 // Interaction is one activated gossip dissemination: the coordination
-// context plus the parameters and targets the Coordinator assigned to the
-// initiator.
+// context, the coordination protocol it runs, and the parameters and
+// targets the Coordinator assigned to the initiator.
 type Interaction struct {
-	Context wscoord.CoordinationContext
-	Params  GossipParameters
+	Context  wscoord.CoordinationContext
+	Protocol string
+	Params   GossipParameters
 }
 
 // InitiatorConfig configures an Initiator.
@@ -58,11 +59,19 @@ func NewInitiator(cfg InitiatorConfig) (*Initiator, error) {
 // initiator for the push-gossip protocol, obtaining its parameters and
 // initial targets.
 func (i *Initiator) StartInteraction(ctx context.Context) (*Interaction, error) {
+	return i.StartProtocolInteraction(ctx, ProtocolPushGossip)
+}
+
+// StartProtocolInteraction activates a gossip coordination context and
+// registers the initiator for the given coordination protocol (any URI the
+// Coordinator's registry accepts — e.g. ProtocolPushGossip or
+// ProtocolPullGossip), obtaining its parameters and initial targets.
+func (i *Initiator) StartProtocolInteraction(ctx context.Context, protocol string) (*Interaction, error) {
 	cctx, err := i.activation.Create(ctx, i.cfg.Activation, CoordinationTypeGossip)
 	if err != nil {
 		return nil, fmt.Errorf("core: activate gossip interaction: %w", err)
 	}
-	resp, err := i.register.Register(ctx, cctx, ProtocolPushGossip, i.cfg.Address)
+	resp, err := i.register.Register(ctx, cctx, protocol, i.cfg.Address)
 	if err != nil {
 		return nil, fmt.Errorf("core: register initiator: %w", err)
 	}
@@ -70,7 +79,7 @@ func (i *Initiator) StartInteraction(ctx context.Context) (*Interaction, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: registration response without gossip parameters: %w", err)
 	}
-	return &Interaction{Context: cctx, Params: params}, nil
+	return &Interaction{Context: cctx, Protocol: protocol, Params: params}, nil
 }
 
 // Notify issues a single notification carrying body, fanning it out to the
@@ -111,10 +120,15 @@ func (i *Initiator) buildNotification(inter *Interaction, msgID wsa.MessageID, t
 	if err := wscoord.AttachContext(env, inter.Context); err != nil {
 		return nil, err
 	}
+	protocol := inter.Protocol
+	if protocol == ProtocolPushGossip {
+		protocol = "" // wire compatibility: empty means push
+	}
 	if err := SetGossipHeader(env, GossipHeader{
 		InteractionID: inter.Context.Identifier,
 		MessageID:     string(msgID),
 		Hops:          inter.Params.Hops,
+		Protocol:      protocol,
 	}); err != nil {
 		return nil, err
 	}
@@ -125,7 +139,9 @@ func (i *Initiator) buildNotification(inter *Interaction, msgID wsa.MessageID, t
 }
 
 // SubscribeClient sends a Subscribe to a Coordinator on behalf of endpoint.
-func SubscribeClient(ctx context.Context, caller soap.Caller, coordinator, endpoint, role string) error {
+// protocols lists the coordination protocols the endpoint's stack serves;
+// none means every protocol.
+func SubscribeClient(ctx context.Context, caller soap.Caller, coordinator, endpoint, role string, protocols ...string) error {
 	env := soap.NewEnvelope()
 	from := wsa.NewEPR(endpoint)
 	if err := env.SetAddressing(wsa.Headers{
@@ -136,7 +152,7 @@ func SubscribeClient(ctx context.Context, caller soap.Caller, coordinator, endpo
 	}); err != nil {
 		return err
 	}
-	if err := env.SetBody(SubscribeRequest{Endpoint: endpoint, Role: role}); err != nil {
+	if err := env.SetBody(SubscribeRequest{Endpoint: endpoint, Role: role, Protocols: protocols}); err != nil {
 		return err
 	}
 	resp, err := caller.Call(ctx, coordinator, env)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// WS-PullGossip: instead of eagerly re-routing notifications, a puller
+// periodically sends a digest of the notifications it holds to
+// coordinator-assigned peers; each peer answers by retransmitting stored
+// notifications absent from the digest. The envelope store that serves
+// lazy-push fetches (lazy.go) doubles as the pull store, and the batch
+// retransmission path is shared with anti-entropy repair (repair.go) — pull
+// is the same digest/repair exchange promoted from a backstop to the
+// primary dissemination mechanism.
+
+// TickPull runs one WS-PullGossip round: for every pull-style interaction
+// the node participates in, it sends a PullRequest digest to up to fanout
+// peers drawn from the interaction's targets. Call it from a timer at the
+// deployment's pull interval.
+func (d *Disseminator) TickPull(ctx context.Context) {
+	d.mu.Lock()
+	ids := d.storedIDsLocked(digestCap)
+	targetSet := make(map[string]struct{})
+	for _, state := range d.interactions {
+		if !state.pull() {
+			continue
+		}
+		for _, t := range sampleTargets(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address) {
+			targetSet[t] = struct{}{}
+		}
+	}
+	d.mu.Unlock()
+	if len(targetSet) == 0 {
+		return
+	}
+	targets := make([]string, 0, len(targetSet))
+	for t := range targetSet {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets) // deterministic send order for reproducible runs
+	body := PullRequest{Requester: d.cfg.Address, MessageIDs: ids, Max: digestCap}
+	for _, target := range targets {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(wsa.Headers{
+			To:        target,
+			Action:    ActionPullRequest,
+			MessageID: wsa.NewMessageID(),
+		}); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := env.SetBody(body); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, target, env); err != nil {
+			d.addSendError()
+			continue
+		}
+		d.mu.Lock()
+		d.stats.PullsSent++
+		d.mu.Unlock()
+	}
+}
+
+// handlePullRequest retransmits stored notifications the requester lacks.
+func (d *Disseminator) handlePullRequest(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var pr PullRequest
+	if err := req.Envelope.DecodeBody(&pr); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed PullRequest: "+err.Error())
+	}
+	if pr.Requester == "" {
+		return nil, soap.NewFault(soap.CodeSender, "pull request without requester")
+	}
+	max := pr.Max
+	if max <= 0 || max > digestCap {
+		max = digestCap
+	}
+	have := make(map[string]struct{}, len(pr.MessageIDs))
+	for _, id := range pr.MessageIDs {
+		have[id] = struct{}{}
+	}
+	served := d.retransmitMissing(ctx, pr.Requester, have, max)
+	d.mu.Lock()
+	d.stats.PullServed += served
+	d.mu.Unlock()
+	return nil, nil
+}
+
+// retransmitMissing sends every stored notification absent from have to the
+// given peer (up to max), decrementing each copy's hop budget exactly as an
+// eager transfer would. It returns the number of successful retransmissions.
+// Both anti-entropy repair (handleDigest) and WS-PullGossip
+// (handlePullRequest) converge on this path.
+func (d *Disseminator) retransmitMissing(ctx context.Context, to string, have map[string]struct{}, max int) int64 {
+	d.mu.Lock()
+	var missing []*soap.Envelope
+	for el := d.store.order.Front(); el != nil && len(missing) < max; el = el.Next() {
+		id := el.Value.(string)
+		if _, ok := have[id]; ok {
+			continue
+		}
+		if env, ok := d.store.Get(id); ok {
+			missing = append(missing, env.Clone())
+		}
+	}
+	d.mu.Unlock()
+	var served int64
+	for _, env := range missing {
+		gh, err := GossipHeaderFrom(env)
+		if err != nil {
+			continue
+		}
+		next := gh
+		if next.Hops > 0 {
+			next.Hops--
+		}
+		if err := SetGossipHeader(env, next); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := env.SetAddressing(wsa.Headers{
+			To:        to,
+			Action:    ActionNotify,
+			MessageID: wsa.MessageID(gh.MessageID),
+		}); err != nil {
+			d.addSendError()
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, to, env); err != nil {
+			d.addSendError()
+			continue
+		}
+		served++
+	}
+	return served
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wsgossip/internal/epidemic"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wscoord"
+)
+
+// ProtocolExtension builds the registration-response extension headers for
+// one coordination protocol. It runs with the coordinator's lock held, so it
+// may use the *Locked helpers for target assignment.
+type ProtocolExtension func(c *Coordinator, reg wscoord.Registrant) ([]any, error)
+
+// ProtocolRegistry maps coordination protocol URIs to their registration
+// extensions. The Coordinator validates every Register call against it: a
+// registration naming an unlisted protocol is answered with a Sender fault.
+// This replaces the original single hard-coded WS-PushGossip check and makes
+// the WS layer a protocol *family*, as the paper frames it.
+type ProtocolRegistry struct {
+	exts map[string]ProtocolExtension
+}
+
+// NewProtocolRegistry returns an empty registry.
+func NewProtocolRegistry() *ProtocolRegistry {
+	return &ProtocolRegistry{exts: make(map[string]ProtocolExtension)}
+}
+
+// Register binds a protocol URI to its extension, replacing any previous
+// binding.
+func (r *ProtocolRegistry) Register(uri string, ext ProtocolExtension) {
+	r.exts[uri] = ext
+}
+
+// Lookup returns the extension for uri.
+func (r *ProtocolRegistry) Lookup(uri string) (ProtocolExtension, bool) {
+	ext, ok := r.exts[uri]
+	return ext, ok
+}
+
+// URIs returns the registered protocol URIs, sorted.
+func (r *ProtocolRegistry) URIs() []string {
+	out := make([]string, 0, len(r.exts))
+	for uri := range r.exts {
+		out = append(out, uri)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry returns the built-in protocol family: WS-PushGossip,
+// WS-PullGossip, and aggregation.
+func defaultRegistry() *ProtocolRegistry {
+	r := NewProtocolRegistry()
+	r.Register(ProtocolPushGossip, pushGossipExtension)
+	r.Register(ProtocolPullGossip, pullGossipExtension)
+	r.Register(ProtocolAggregate, aggregateExtension)
+	return r
+}
+
+// pushGossipExtension configures a WS-PushGossip registrant: (f, r) from the
+// parameter policy plus peer targets, in the configured eager or lazy style.
+func pushGossipExtension(c *Coordinator, reg wscoord.Registrant) ([]any, error) {
+	fanout, hops, targets := c.assignLocked(ProtocolPushGossip, reg.Service)
+	style := c.cfg.Style
+	if style == 0 {
+		style = gossip.StylePush
+	}
+	return []any{GossipParameters{
+		Fanout:  fanout,
+		Hops:    hops,
+		Style:   style.String(),
+		Targets: targets,
+	}}, nil
+}
+
+// pullGossipExtension configures a WS-PullGossip registrant: the same (f, r)
+// sizing, but style pull — the node never forwards eagerly; it spreads and
+// repairs through periodic PullRequest digests to its targets.
+func pullGossipExtension(c *Coordinator, reg wscoord.Registrant) ([]any, error) {
+	fanout, hops, targets := c.assignLocked(ProtocolPullGossip, reg.Service)
+	return []any{GossipParameters{
+		Fanout:  fanout,
+		Hops:    hops,
+		Style:   gossip.StylePull.String(),
+		Targets: targets,
+	}}, nil
+}
+
+// aggregateExtension configures an aggregation registrant: exchange fanout
+// and targets plus the convergence criterion. MaxRounds is sized from the
+// analytic push-sum variance-decay model with headroom, so a deployment that
+// runs the assigned budget is expected to be well past ε-accuracy.
+func aggregateExtension(c *Coordinator, reg wscoord.Registrant) ([]any, error) {
+	fanout, hops, targets := c.assignLocked(ProtocolAggregate, reg.Service)
+	eps := c.cfg.AggEpsilon
+	if eps <= 0 {
+		eps = DefaultAggEpsilon
+	}
+	maxRounds := c.cfg.AggMaxRounds
+	if maxRounds <= 0 {
+		n := len(c.subs)
+		if n < 2 {
+			n = 2
+		}
+		if r, err := epidemic.PushSumRoundsToEpsilon(n, fanout, eps); err == nil {
+			maxRounds = 2*r + 10
+		} else {
+			maxRounds = 4 * hops
+		}
+	}
+	return []any{AggregateParameters{
+		Fanout:    fanout,
+		Hops:      hops,
+		Epsilon:   eps,
+		MaxRounds: maxRounds,
+		Targets:   targets,
+	}}, nil
+}
+
+// DefaultAggEpsilon is the default aggregation convergence threshold: an
+// estimate is considered converged when it moves by less than this relative
+// amount over the detection window.
+const DefaultAggEpsilon = 1e-4
+
+// unsupportedProtocolFault is the negative path of the registry check.
+func unsupportedProtocolFault(uri string) *soap.Fault {
+	return soap.NewFault(soap.CodeSender,
+		fmt.Sprintf("unsupported coordination protocol %q", uri))
+}

@@ -95,46 +95,9 @@ func (d *Disseminator) handleDigest(ctx context.Context, req *soap.Request) (*so
 	for _, id := range dig.MessageIDs {
 		have[id] = struct{}{}
 	}
+	repaired := d.retransmitMissing(ctx, dig.Sender, have, digestCap)
 	d.mu.Lock()
-	var missing []*soap.Envelope
-	for el := d.store.order.Front(); el != nil && len(missing) < digestCap; el = el.Next() {
-		id := el.Value.(string)
-		if _, ok := have[id]; ok {
-			continue
-		}
-		if env, ok := d.store.Get(id); ok {
-			missing = append(missing, env.Clone())
-		}
-	}
+	d.stats.Repaired += repaired
 	d.mu.Unlock()
-	for _, env := range missing {
-		gh, err := GossipHeaderFrom(env)
-		if err != nil {
-			continue
-		}
-		next := gh
-		if next.Hops > 0 {
-			next.Hops--
-		}
-		if err := SetGossipHeader(env, next); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := env.SetAddressing(wsa.Headers{
-			To:        dig.Sender,
-			Action:    ActionNotify,
-			MessageID: wsa.MessageID(gh.MessageID),
-		}); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := d.cfg.Caller.Send(ctx, dig.Sender, env); err != nil {
-			d.addSendError()
-			continue
-		}
-		d.mu.Lock()
-		d.stats.Repaired++
-		d.mu.Unlock()
-	}
 	return nil, nil
 }

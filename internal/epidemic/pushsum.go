@@ -1,0 +1,70 @@
+package epidemic
+
+import "math"
+
+// Analytic model for push-sum gossip aggregation (Kempe, Dobra, Gehrke,
+// "Gossip-based computation of aggregate information", FOCS 2003, adapted
+// to the fanout-f share-splitting variant run by internal/aggregate).
+//
+// Protocol: each node i holds a (sum, weight) pair. Every round it splits
+// the pair into f+1 equal shares, keeps one, and sends one to each of f
+// uniformly random peers. All estimates sum/weight converge to the true
+// ratio Σsum/Σweight; the speed is governed by the potential
+//
+//	Φ_t = Σ_i (s_i - z·w_i)²,   z = Σs/Σw,
+//
+// which contracts by a constant expected factor per round.
+
+// PushSumContraction returns the expected per-round contraction factor γ of
+// the push-sum potential for n nodes and fanout f:
+//
+//	E[Φ_{t+1}] = γ·Φ_t,   γ = (1 + f·(1 - 1/n)) / (f+1)².
+//
+// Derivation (mean-field, shares routed uniformly with replacement): with
+// keep fraction δ = 1/(f+1), a receiver's new deviation is δ·(own + Σ
+// incoming). The cross terms vanish because deviations sum to zero, leaving
+// the kept mass δ²·Φ plus the variance of f·n independently routed shares,
+// δ²·f·(1-1/n)·Φ. For f=1 this gives the classic ≈ 1/2 per-round decay of
+// Kempe et al.; for large n it approaches 1/(f+1).
+func PushSumContraction(n, f int) (float64, error) {
+	if n <= 1 || f < 1 {
+		return 0, ErrBadParams
+	}
+	nf := float64(n)
+	ff := float64(f)
+	return (1 + ff*(1-1/nf)) / ((ff + 1) * (ff + 1)), nil
+}
+
+// PushSumExpectedPotential returns the expected potential after r rounds
+// given the initial potential phi0: phi0·γ^r.
+func PushSumExpectedPotential(n, f, r int, phi0 float64) (float64, error) {
+	if r < 0 || phi0 < 0 {
+		return 0, ErrBadParams
+	}
+	gamma, err := PushSumContraction(n, f)
+	if err != nil {
+		return 0, err
+	}
+	return phi0 * math.Pow(gamma, float64(r)), nil
+}
+
+// PushSumRoundsToEpsilon returns the smallest number of rounds r such that
+// the expected root-mean-square estimate deviation has decayed to a
+// fraction eps of its initial value: γ^r ≤ eps², i.e.
+//
+//	r = ⌈2·ln(1/eps) / ln(1/γ)⌉.
+//
+// Because γ ≈ 1/(f+1), accuracy improves geometrically: ε-accuracy costs
+// O(log(1/ε)/log(f+1)) rounds, independent of n to first order — the
+// variance-decay analogue of the dissemination model's O(log n) rounds.
+func PushSumRoundsToEpsilon(n, f int, eps float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, ErrBadParams
+	}
+	gamma, err := PushSumContraction(n, f)
+	if err != nil {
+		return 0, err
+	}
+	r := 2 * math.Log(1/eps) / math.Log(1/gamma)
+	return int(math.Ceil(r)), nil
+}

@@ -1,0 +1,178 @@
+package epidemic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPushSumContractionBounds(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{{2, 1}, {10, 1}, {64, 2}, {64, 3}, {1024, 4}} {
+		gamma, err := PushSumContraction(tc.n, tc.f)
+		if err != nil {
+			t.Fatalf("PushSumContraction(%d,%d): %v", tc.n, tc.f, err)
+		}
+		if gamma <= 0 || gamma >= 1 {
+			t.Fatalf("contraction γ(%d,%d)=%f out of (0,1)", tc.n, tc.f, gamma)
+		}
+	}
+	// f=1 recovers the classic ≈1/2 per-round decay (Kempe et al. 2003).
+	gamma, _ := PushSumContraction(1000, 1)
+	if math.Abs(gamma-0.5) > 0.01 {
+		t.Fatalf("γ(1000,1)=%f, want ≈ 1/2", gamma)
+	}
+	// Large-n limit approaches 1/(f+1).
+	gamma, _ = PushSumContraction(1_000_000, 3)
+	if math.Abs(gamma-0.25) > 0.01 {
+		t.Fatalf("γ(1e6,3)=%f, want ≈ 1/4", gamma)
+	}
+	if _, err := PushSumContraction(1, 1); err == nil {
+		t.Fatal("n=1 should be rejected")
+	}
+	if _, err := PushSumContraction(10, 0); err == nil {
+		t.Fatal("f=0 should be rejected")
+	}
+}
+
+// TestPushSumRoundsMonotone: rounds to ε-accuracy decrease with fanout and
+// increase as ε tightens.
+func TestPushSumRoundsMonotone(t *testing.T) {
+	prev := math.MaxInt
+	for f := 1; f <= 6; f++ {
+		r, err := PushSumRoundsToEpsilon(256, f, 1e-4)
+		if err != nil {
+			t.Fatalf("RoundsToEpsilon f=%d: %v", f, err)
+		}
+		if r > prev {
+			t.Fatalf("rounds increased with fanout: f=%d gives %d > %d", f, r, prev)
+		}
+		prev = r
+	}
+	prevR := 0
+	for _, eps := range []float64{1e-1, 1e-2, 1e-4, 1e-8} {
+		r, err := PushSumRoundsToEpsilon(256, 3, eps)
+		if err != nil {
+			t.Fatalf("RoundsToEpsilon eps=%g: %v", eps, err)
+		}
+		if r < prevR {
+			t.Fatalf("rounds decreased as eps tightened: eps=%g gives %d < %d", eps, r, prevR)
+		}
+		prevR = r
+	}
+	if _, err := PushSumRoundsToEpsilon(64, 3, 0); err == nil {
+		t.Fatal("eps=0 should be rejected")
+	}
+	if _, err := PushSumRoundsToEpsilon(64, 3, 1.5); err == nil {
+		t.Fatal("eps>1 should be rejected")
+	}
+}
+
+func TestPushSumExpectedPotentialMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for r := 0; r <= 30; r += 3 {
+		phi, err := PushSumExpectedPotential(64, 3, r, 100)
+		if err != nil {
+			t.Fatalf("ExpectedPotential r=%d: %v", r, err)
+		}
+		if phi > prev {
+			t.Fatalf("potential increased with rounds at r=%d: %g > %g", r, phi, prev)
+		}
+		prev = phi
+	}
+}
+
+// simulatePushSumPotential runs the fanout-f share-splitting push-sum
+// protocol on plain float arrays and returns the potential after the given
+// number of rounds.
+func simulatePushSumPotential(rng *rand.Rand, n, f, rounds int) float64 {
+	s := make([]float64, n)
+	w := make([]float64, n)
+	var sumS float64
+	for i := range s {
+		s[i] = rng.Float64() * 100
+		w[i] = 1
+		sumS += s[i]
+	}
+	z := sumS / float64(n)
+	for r := 0; r < rounds; r++ {
+		ds := make([]float64, n)
+		dw := make([]float64, n)
+		for i := 0; i < n; i++ {
+			parts := float64(f + 1)
+			shareS, shareW := s[i]/parts, w[i]/parts
+			s[i], w[i] = shareS, shareW
+			for k := 0; k < f; k++ {
+				j := rng.Intn(n)
+				ds[j] += shareS
+				dw[j] += shareW
+			}
+		}
+		for i := 0; i < n; i++ {
+			s[i] += ds[i]
+			w[i] += dw[i]
+		}
+	}
+	phi := 0.0
+	for i := 0; i < n; i++ {
+		d := s[i] - z*w[i]
+		phi += d * d
+	}
+	return phi
+}
+
+// TestPushSumModelMatchesBruteForce compares the analytic expected decay
+// against a brute-force simulation of the protocol, averaged over trials.
+// The mean-field model should predict the per-round decay to within a small
+// multiplicative band.
+func TestPushSumModelMatchesBruteForce(t *testing.T) {
+	const (
+		n      = 64
+		trials = 200
+		rounds = 8
+	)
+	for _, f := range []int{1, 2, 3} {
+		var sumRatio float64
+		for trial := 0; trial < trials; trial++ {
+			phi0 := simulatePushSumPotential(rand.New(rand.NewSource(int64(trial)*997+int64(f))), n, f, 0)
+			phiR := simulatePushSumPotential(rand.New(rand.NewSource(int64(trial)*997+int64(f))), n, f, rounds)
+			sumRatio += phiR / phi0
+		}
+		observed := sumRatio / trials
+		gamma, err := PushSumContraction(n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := math.Pow(gamma, rounds)
+		// Per-round decay comparison: geometric mean of the observed
+		// per-round factor vs γ.
+		obsPerRound := math.Pow(observed, 1.0/rounds)
+		if math.Abs(obsPerRound-gamma)/gamma > 0.15 {
+			t.Fatalf("f=%d: observed per-round decay %.4f vs analytic γ=%.4f (total %g vs %g)",
+				f, obsPerRound, gamma, observed, predicted)
+		}
+		t.Logf("f=%d: per-round decay observed %.4f analytic %.4f", f, obsPerRound, gamma)
+	}
+}
+
+// TestPushSumRoundsDeliverAccuracy: running the simulated protocol for the
+// model-recommended number of rounds reaches the requested accuracy (the
+// error-bound direction of the model).
+func TestPushSumRoundsDeliverAccuracy(t *testing.T) {
+	const n = 64
+	for _, f := range []int{2, 4} {
+		eps := 1e-3
+		r, err := PushSumRoundsToEpsilon(n, f, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)*131 + int64(f)))
+			phi0 := simulatePushSumPotential(rand.New(rand.NewSource(int64(trial)*131+int64(f))), n, f, 0)
+			phiR := simulatePushSumPotential(rng, n, f, r+4) // small slack over the expectation-level bound
+			if phiR/phi0 > eps*eps*50 {                      // generous: individual trials fluctuate around the mean decay
+				t.Fatalf("f=%d r=%d trial=%d: potential ratio %g far above ε²=%g",
+					f, r, trial, phiR/phi0, eps*eps)
+			}
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // Experiment is one runnable entry of the per-experiment index in DESIGN.md.
 type Experiment struct {
-	// ID is the index key ("e0".."e8", "a1", "a2").
+	// ID is the index key ("e0".."e10", "a1".."a3").
 	ID string
 	// Description summarizes what the experiment validates.
 	Description string
@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"e7", "middleware overhead and consumer-unchanged check", E7Overhead},
 		{"e8", "distributed coordinator load and consistency", E8DistributedCoordinator},
 		{"e9", "dissemination under membership churn", E9Churn},
+		{"e10", "aggregation accuracy and convergence vs N", E10Aggregation},
 		{"a1", "ablation: gossip styles", A1Styles},
 		{"a2", "ablation: seen-cache sizing", A2DedupCache},
 		{"a3", "ablation: coordinator target assignment", A3TargetAssignment},

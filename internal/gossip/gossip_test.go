@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -472,7 +473,7 @@ func TestEngineUnderWallClockTransportSmoke(t *testing.T) {
 	a := lb.endpoint("a")
 	b := lb.endpoint("b")
 	peers := NewStaticPeers([]string{"a", "b"})
-	var gotB int
+	var gotB atomic.Int32
 	mkEngine := func(ep transport.Endpoint, deliver func(Rumor)) *Engine {
 		eng, err := New(Config{
 			Style: StylePush, Fanout: 1, Hops: 2,
@@ -489,16 +490,16 @@ func TestEngineUnderWallClockTransportSmoke(t *testing.T) {
 		return eng
 	}
 	ea := mkEngine(a, nil)
-	mkEngine(b, func(Rumor) { gotB++ })
+	mkEngine(b, func(Rumor) { gotB.Add(1) })
 	if _, err := ea.Publish(context.Background(), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for gotB == 0 && time.Now().Before(deadline) {
+	for gotB.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if gotB != 1 {
-		t.Fatalf("b deliveries = %d", gotB)
+	if got := gotB.Load(); got != 1 {
+		t.Fatalf("b deliveries = %d", got)
 	}
 }
 

@@ -31,6 +31,7 @@ package wsgossip
 import (
 	"context"
 
+	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/soap"
@@ -42,12 +43,25 @@ const (
 	CoordinationTypeGossip = core.CoordinationTypeGossip
 	// ProtocolPushGossip is the WS-PushGossip coordination protocol URI.
 	ProtocolPushGossip = core.ProtocolPushGossip
+	// ProtocolPullGossip is the WS-PullGossip coordination protocol URI.
+	ProtocolPullGossip = core.ProtocolPullGossip
+	// ProtocolAggregate is the gossip aggregation coordination protocol URI.
+	ProtocolAggregate = core.ProtocolAggregate
 	// ActionNotify is the disseminated operation's WS-Addressing action.
 	ActionNotify = core.ActionNotify
 	// RoleDisseminator marks a subscriber with a compliant middleware stack.
 	RoleDisseminator = core.RoleDisseminator
 	// RoleConsumer marks an unchanged subscriber.
 	RoleConsumer = core.RoleConsumer
+)
+
+// Aggregate functions a Querier can ask for.
+const (
+	FuncCount = aggregate.FuncCount
+	FuncSum   = aggregate.FuncSum
+	FuncAvg   = aggregate.FuncAvg
+	FuncMin   = aggregate.FuncMin
+	FuncMax   = aggregate.FuncMax
 )
 
 // Core role types.
@@ -80,7 +94,41 @@ type (
 	GossipHeader = core.GossipHeader
 	// GossipParameters is the registration-response parameter extension.
 	GossipParameters = core.GossipParameters
+	// AggregateParameters is the aggregation registration extension.
+	AggregateParameters = core.AggregateParameters
+	// ProtocolRegistry maps protocol URIs to registration extensions.
+	ProtocolRegistry = core.ProtocolRegistry
 )
+
+// Aggregation subsystem types (internal/aggregate).
+type (
+	// AggregateFunc identifies the aggregate function an interaction
+	// computes (FuncCount, FuncSum, FuncAvg, FuncMin, FuncMax).
+	AggregateFunc = aggregate.Func
+	// AggregateService is the aggregation participant role.
+	AggregateService = aggregate.Service
+	// AggregateServiceConfig configures an AggregateService.
+	AggregateServiceConfig = aggregate.ServiceConfig
+	// AggregateServiceStats counts aggregation activity at one node.
+	AggregateServiceStats = aggregate.ServiceStats
+	// Querier activates aggregation interactions and collects converged
+	// estimates.
+	Querier = aggregate.Querier
+	// QuerierConfig configures a Querier.
+	QuerierConfig = aggregate.QuerierConfig
+	// AggregationTask is one activated aggregation interaction.
+	AggregationTask = aggregate.Task
+	// AggregateQueryResult is a peer's answer to an estimate query.
+	AggregateQueryResult = aggregate.QueryResult
+)
+
+// NewAggregateService returns an aggregation participant.
+func NewAggregateService(cfg AggregateServiceConfig) (*AggregateService, error) {
+	return aggregate.NewService(cfg)
+}
+
+// NewQuerier returns an aggregation Querier.
+func NewQuerier(cfg QuerierConfig) (*Querier, error) { return aggregate.NewQuerier(cfg) }
 
 // NewCoordinator returns a WS-Gossip Coordinator.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator { return core.NewCoordinator(cfg) }
@@ -97,9 +145,11 @@ func NewDisseminator(cfg DisseminatorConfig) (*Disseminator, error) {
 func NewConsumer(app soap.Handler) *Consumer { return core.NewConsumer(app) }
 
 // Subscribe registers endpoint with the Coordinator at coordinator, in the
-// given role (RoleDisseminator or RoleConsumer).
-func Subscribe(ctx context.Context, caller soap.Caller, coordinator, endpoint, role string) error {
-	return core.SubscribeClient(ctx, caller, coordinator, endpoint, role)
+// given role (RoleDisseminator or RoleConsumer). protocols lists the
+// coordination protocol URIs the endpoint's stack serves (e.g.
+// ProtocolAggregate); none means every protocol.
+func Subscribe(ctx context.Context, caller soap.Caller, coordinator, endpoint, role string, protocols ...string) error {
+	return core.SubscribeClient(ctx, caller, coordinator, endpoint, role, protocols...)
 }
 
 // DefaultParamPolicy is the standard epidemic sizing: fanout 3, hops
@@ -119,4 +169,17 @@ func RoundsForCoverage(n, f int, target float64, maxRounds int) (int, error) {
 // infect-and-die push gossip with fanout f after r rounds over n nodes.
 func ExpectedCoverage(n, f, r int) (float64, error) {
 	return epidemic.ExpectedCoverage(n, f, r)
+}
+
+// PushSumRoundsToEpsilon returns the analytic number of push-sum exchange
+// rounds for aggregation estimates to decay to relative accuracy eps over n
+// nodes at fanout f.
+func PushSumRoundsToEpsilon(n, f int, eps float64) (int, error) {
+	return epidemic.PushSumRoundsToEpsilon(n, f, eps)
+}
+
+// PushSumContraction returns the expected per-round contraction factor of
+// the push-sum potential for n nodes at fanout f.
+func PushSumContraction(n, f int) (float64, error) {
+	return epidemic.PushSumContraction(n, f)
 }
