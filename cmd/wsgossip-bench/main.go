@@ -9,12 +9,16 @@
 //	wsgossip-bench -quick          # reduced sizes (CI)
 //	wsgossip-bench -seed 42        # change the reproducibility seed
 //	wsgossip-bench -list           # list experiment IDs
+//	wsgossip-bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                               # profile the run (inspect with go tool pprof)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wsgossip/internal/experiments"
@@ -29,10 +33,12 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (e0..e10, a1..a3) or 'all'")
-		seed  = flag.Int64("seed", 1, "reproducibility seed")
-		quick = flag.Bool("quick", false, "reduced problem sizes")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "all", "experiment id (e0..e10, a1..a3) or 'all'")
+		seed       = flag.Int64("seed", 1, "reproducibility seed")
+		quick      = flag.Bool("quick", false, "reduced problem sizes")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -41,6 +47,32 @@ func run() error {
 			fmt.Printf("%-4s %s\n", e.ID, e.Description)
 		}
 		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wsgossip-bench: create mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wsgossip-bench: write mem profile:", err)
+			}
+		}()
 	}
 
 	opt := experiments.Options{Seed: *seed, Quick: *quick}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"encoding/xml"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// BenchmarkForwardFanout measures the full fan-out hot path: one received
+// notification re-routed to fanout peers over the in-memory binding,
+// including per-target serialization and the receivers' decode. This is the
+// per-hop cost the paper's scalability argument rests on; BENCH_02.json
+// records it before and after the encode-once wire path.
+
+type forwardBench struct {
+	d       *Disseminator
+	env     *soap.Envelope
+	gh      GossipHeader
+	state   *interactionState
+	ctx     context.Context
+	targets []string
+}
+
+type benchNote struct {
+	XMLName xml.Name `xml:"urn:bench Note"`
+	Data    string   `xml:"Data"`
+}
+
+func newForwardBench(b *testing.B, fanout, payload int) *forwardBench {
+	b.Helper()
+	bus := soap.NewMemBus()
+	noop := soap.HandlerFunc(func(context.Context, *soap.Request) (*soap.Envelope, error) {
+		return nil, nil
+	})
+	targets := make([]string, 16)
+	for i := range targets {
+		targets[i] = "mem://peer" + strconv.Itoa(i)
+		bus.Register(targets[i], noop)
+	}
+	d, err := NewDisseminator(DisseminatorConfig{
+		Address: "mem://self",
+		Caller:  bus,
+		RNG:     rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gh := GossipHeader{InteractionID: "urn:bench:interaction", MessageID: "urn:uuid:bench", Hops: 4}
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To:        "mem://self",
+		Action:    ActionNotify,
+		MessageID: wsa.MessageID(gh.MessageID),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := SetGossipHeader(env, gh); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.SetBody(benchNote{Data: strings.Repeat("x", payload)}); err != nil {
+		b.Fatal(err)
+	}
+	state := &interactionState{
+		protocol: ProtocolPushGossip,
+		params:   GossipParameters{Fanout: fanout, Hops: 4, Targets: targets},
+	}
+	return &forwardBench{
+		d: d, env: env, gh: gh, state: state,
+		ctx: context.Background(), targets: targets,
+	}
+}
+
+// BenchmarkForwardFanout exercises Disseminator.forward at several fanouts
+// with a 1 KiB payload.
+func BenchmarkForwardFanout(b *testing.B) {
+	for _, fanout := range []int{2, 4, 8} {
+		b.Run("f"+strconv.Itoa(fanout), func(b *testing.B) {
+			fb := newForwardBench(b, fanout, 1<<10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fb.d.forward(fb.ctx, fb.env, fb.gh, fb.state)
+			}
+			stats := fb.d.Stats()
+			if stats.Forwarded == 0 || stats.SendErrors != 0 {
+				b.Fatalf("stats = %+v", stats)
+			}
+		})
+	}
+}
+
+// BenchmarkRetransmit measures the stored-notification retransmission path
+// shared by anti-entropy repair and WS-PullGossip (batch of 16 envelopes).
+func BenchmarkRetransmit(b *testing.B) {
+	fb := newForwardBench(b, 4, 1<<10)
+	for i := 0; i < 16; i++ {
+		env := soap.NewEnvelope()
+		gh := GossipHeader{
+			InteractionID: "urn:bench:interaction",
+			MessageID:     "urn:uuid:stored" + strconv.Itoa(i),
+			Hops:          4,
+		}
+		if err := SetGossipHeader(env, gh); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.SetBody(benchNote{Data: strings.Repeat("y", 1<<10)}); err != nil {
+			b.Fatal(err)
+		}
+		fb.d.store.Put(gh.MessageID, env)
+	}
+	have := map[string]struct{}{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := fb.d.retransmitMissing(fb.ctx, fb.targets[0], have, 16); n != 16 {
+			b.Fatalf("retransmitted %d", n)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
@@ -42,6 +43,43 @@ type DisseminatorStats struct {
 	// PullServed counts notifications retransmitted in response to pull
 	// requests.
 	PullServed int64
+}
+
+// counters is the live, lock-free form of DisseminatorStats: the fan-out
+// hot path bumps one atomic per target instead of taking the disseminator
+// mutex once per send.
+type counters struct {
+	received      atomic.Int64
+	delivered     atomic.Int64
+	duplicates    atomic.Int64
+	forwarded     atomic.Int64
+	registrations atomic.Int64
+	sendErrors    atomic.Int64
+	announced     atomic.Int64
+	fetched       atomic.Int64
+	served        atomic.Int64
+	digestsSent   atomic.Int64
+	repaired      atomic.Int64
+	pullsSent     atomic.Int64
+	pullServed    atomic.Int64
+}
+
+func (c *counters) snapshot() DisseminatorStats {
+	return DisseminatorStats{
+		Received:      c.received.Load(),
+		Delivered:     c.delivered.Load(),
+		Duplicates:    c.duplicates.Load(),
+		Forwarded:     c.forwarded.Load(),
+		Registrations: c.registrations.Load(),
+		SendErrors:    c.sendErrors.Load(),
+		Announced:     c.announced.Load(),
+		Fetched:       c.fetched.Load(),
+		Served:        c.served.Load(),
+		DigestsSent:   c.digestsSent.Load(),
+		Repaired:      c.repaired.Load(),
+		PullsSent:     c.pullsSent.Load(),
+		PullServed:    c.pullServed.Load(),
+	}
 }
 
 // DisseminatorConfig configures a Disseminator node.
@@ -87,12 +125,7 @@ type Disseminator struct {
 	interactions map[string]*interactionState
 	store        *envelopeStore
 	requested    map[string]struct{}
-	stats        DisseminatorStats
-}
-
-// sampleTargets draws up to n targets from addrs, excluding exclude.
-func sampleTargets(rng *rand.Rand, addrs []string, n int, exclude string) []string {
-	return gossip.SamplePeers(rng, addrs, n, exclude)
+	stats        counters
 }
 
 // NewDisseminator returns a disseminator node.
@@ -118,11 +151,12 @@ func NewDisseminator(cfg DisseminatorConfig) (*Disseminator, error) {
 // Address returns the node's endpoint address.
 func (d *Disseminator) Address() string { return d.cfg.Address }
 
-// Stats returns a copy of the gossip-layer counters.
+// Stats returns a copy of the gossip-layer counters. Each counter is read
+// atomically, but the fields are loaded independently: under concurrent
+// updates the copy may be mutually inconsistent for an instant (e.g.
+// Received already bumped while Delivered still lags).
 func (d *Disseminator) Stats() DisseminatorStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return d.stats.snapshot()
 }
 
 // Handler returns the node's SOAP handler: the application service wrapped
@@ -159,16 +193,18 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 		// Not a gossiped message: hand it to the application untouched.
 		return d.deliver(ctx, req, app)
 	}
+	d.stats.received.Add(1)
 	d.mu.Lock()
-	d.stats.Received++
 	if !d.seen.Add(gh.MessageID) {
-		d.stats.Duplicates++
 		d.mu.Unlock()
+		d.stats.duplicates.Add(1)
 		return nil, nil
 	}
 	delete(d.requested, gh.MessageID)
-	// Retain the envelope so lazy-push fetches can be served later.
-	d.store.Put(gh.MessageID, req.Envelope.Clone())
+	// Retain the envelope so lazy-push fetches can be served later. The
+	// snapshot shares the captured block bytes with the inbound buffer —
+	// blocks are immutable, so no deep copy is needed.
+	d.store.Put(gh.MessageID, req.Envelope.Snapshot())
 	state, known := d.interactions[gh.InteractionID]
 	d.mu.Unlock()
 
@@ -182,9 +218,7 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 		}
 	}
 
-	d.mu.Lock()
-	d.stats.Delivered++
-	d.mu.Unlock()
+	d.stats.delivered.Add(1)
 	resp, appErr := d.deliver(ctx, req, app)
 
 	if state != nil && gh.Hops > 0 {
@@ -246,8 +280,8 @@ func (d *Disseminator) registerProtocol(ctx context.Context, cctx wscoord.Coordi
 	state := &interactionState{protocol: protocol, params: params}
 	d.mu.Lock()
 	d.interactions[cacheKey] = state
-	d.stats.Registrations++
 	d.mu.Unlock()
+	d.stats.registrations.Add(1)
 	return state, nil
 }
 
@@ -267,39 +301,67 @@ func (d *Disseminator) JoinInteraction(ctx context.Context, cctx wscoord.Coordin
 }
 
 // forward re-routes a copy of the notification to up to fanout targets with
-// a decremented hop budget.
+// a decremented hop budget. The stable part of the message — gossip header,
+// action, message ID, coordination context, body — is serialized exactly
+// once; only the wsa:To block is rendered per target.
 func (d *Disseminator) forward(ctx context.Context, env *soap.Envelope, gh GossipHeader, state *interactionState) {
 	d.mu.Lock()
 	targets := gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
 	d.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
 	next := gh
 	next.Hops = gh.Hops - 1
-	for _, target := range targets {
-		copyEnv := env.Clone()
-		if err := SetGossipHeader(copyEnv, next); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := copyEnv.SetAddressing(wsa.Headers{
-			To:        target,
-			Action:    ActionNotify,
-			MessageID: wsa.MessageID(gh.MessageID),
-		}); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := d.cfg.Caller.Send(ctx, target, copyEnv); err != nil {
-			d.addSendError()
-			continue
-		}
-		d.mu.Lock()
-		d.stats.Forwarded++
-		d.mu.Unlock()
+	out := env.Snapshot()
+	if err := SetGossipHeader(out, next); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
 	}
+	if err := out.SetAddressing(wsa.Headers{
+		Action:    ActionNotify,
+		MessageID: wsa.MessageID(gh.MessageID),
+	}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
+	}
+	d.stats.forwarded.Add(int64(d.fanout(ctx, out, targets)))
 }
 
-func (d *Disseminator) addSendError() {
-	d.mu.Lock()
-	d.stats.SendErrors++
-	d.mu.Unlock()
+// fanout serializes env once (addressing must omit To) and sends one
+// rendered copy per target, bumping sendErrors for failures and returning
+// the number of successful sends. The template path requires a binding
+// that accepts pre-serialized messages; plain Callers, and splice-resistant
+// envelopes — e.g. blocks captured from documents with prefixed namespace
+// declarations — use the per-target encode the fan-out paths ran before
+// the encode-once wire path.
+func (d *Disseminator) fanout(ctx context.Context, env *soap.Envelope, targets []string) int {
+	sent := 0
+	if es, ok := d.cfg.Caller.(soap.EncodedSender); ok {
+		if tmpl, err := env.EncodeTemplate(); err == nil {
+			for _, target := range targets {
+				if err := es.SendEncoded(ctx, target, tmpl.RenderTo(target)); err != nil {
+					d.stats.sendErrors.Add(1)
+					continue
+				}
+				sent++
+			}
+			return sent
+		}
+	}
+	a := env.Addressing()
+	for _, target := range targets {
+		out := env.Snapshot()
+		a.To = target
+		if err := out.SetAddressing(a); err != nil {
+			d.stats.sendErrors.Add(1)
+			continue
+		}
+		if err := d.cfg.Caller.Send(ctx, target, out); err != nil {
+			d.stats.sendErrors.Add(1)
+			continue
+		}
+		sent++
+	}
+	return sent
 }

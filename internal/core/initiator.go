@@ -85,22 +85,46 @@ func (i *Initiator) StartProtocolInteraction(ctx context.Context, protocol strin
 // Notify issues a single notification carrying body, fanning it out to the
 // initiator's assigned targets with the interaction's full hop budget. It
 // returns the notification's message ID and the number of targets the send
-// succeeded to (gossip redundancy tolerates individual failures).
+// succeeded to (gossip redundancy tolerates individual failures). The
+// notification is serialized exactly once; only the wsa:To header is
+// rendered per target (encode-once wire path).
 func (i *Initiator) Notify(ctx context.Context, inter *Interaction, body any) (wsa.MessageID, int, error) {
 	if inter == nil {
 		return "", 0, fmt.Errorf("core: notify without an interaction")
 	}
 	msgID := wsa.NewMessageID()
+	env, err := i.buildNotification(inter, msgID, body)
+	if err != nil {
+		return msgID, 0, err
+	}
 	sent := 0
-	for _, target := range inter.Params.Targets {
-		env, err := i.buildNotification(inter, msgID, target, body)
-		if err != nil {
-			return msgID, sent, err
+	rendered := false
+	if es, ok := i.cfg.Caller.(soap.EncodedSender); ok {
+		if tmpl, err := env.EncodeTemplate(); err == nil {
+			rendered = true
+			for _, target := range inter.Params.Targets {
+				if err := es.SendEncoded(ctx, target, tmpl.RenderTo(target)); err != nil {
+					continue
+				}
+				sent++
+			}
 		}
-		if err := i.cfg.Caller.Send(ctx, target, env); err != nil {
-			continue
+	}
+	if !rendered {
+		// Plain Caller or splice-resistant body (e.g. prefixed namespace
+		// declarations): per-target encode, as before the encode-once path.
+		a := env.Addressing()
+		for _, target := range inter.Params.Targets {
+			out := env.Snapshot()
+			a.To = target
+			if err := out.SetAddressing(a); err != nil {
+				continue
+			}
+			if err := i.cfg.Caller.Send(ctx, target, out); err != nil {
+				continue
+			}
+			sent++
 		}
-		sent++
 	}
 	if len(inter.Params.Targets) > 0 && sent == 0 {
 		return msgID, 0, fmt.Errorf("core: notification reached none of %d targets", len(inter.Params.Targets))
@@ -108,10 +132,11 @@ func (i *Initiator) Notify(ctx context.Context, inter *Interaction, body any) (w
 	return msgID, sent, nil
 }
 
-func (i *Initiator) buildNotification(inter *Interaction, msgID wsa.MessageID, to string, body any) (*soap.Envelope, error) {
+// buildNotification assembles the target-independent notification: the
+// addressing omits To, which the fan-out loop splices per target.
+func (i *Initiator) buildNotification(inter *Interaction, msgID wsa.MessageID, body any) (*soap.Envelope, error) {
 	env := soap.NewEnvelope()
 	if err := env.SetAddressing(wsa.Headers{
-		To:        to,
 		Action:    ActionNotify,
 		MessageID: msgID,
 	}); err != nil {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 
+	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 )
@@ -49,39 +50,33 @@ func (s *envelopeStore) Get(id string) (*soap.Envelope, bool) {
 func (s *envelopeStore) Len() int { return s.order.Len() }
 
 // announce implements the lazy-push spread step: advertise the notification
-// to up to fanout targets; unseen receivers fetch the payload.
+// to up to fanout targets; unseen receivers fetch the payload. The IHAVE is
+// one logical message: it is serialized once and rendered per target.
 func (d *Disseminator) announce(ctx context.Context, gh GossipHeader, state *interactionState) {
 	d.mu.Lock()
-	targets := sampleTargets(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
+	targets := gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
 	d.mu.Unlock()
-	body := Announce{
+	if len(targets) == 0 {
+		return
+	}
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		Action:    ActionIHave,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
+	}
+	if err := env.SetBody(Announce{
 		InteractionID: gh.InteractionID,
 		MessageID:     gh.MessageID,
 		Hops:          gh.Hops - 1,
 		Holder:        d.cfg.Address,
+	}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
 	}
-	for _, target := range targets {
-		env := soap.NewEnvelope()
-		if err := env.SetAddressing(wsa.Headers{
-			To:        target,
-			Action:    ActionIHave,
-			MessageID: wsa.NewMessageID(),
-		}); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := env.SetBody(body); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := d.cfg.Caller.Send(ctx, target, env); err != nil {
-			d.addSendError()
-			continue
-		}
-		d.mu.Lock()
-		d.stats.Announced++
-		d.mu.Unlock()
-	}
+	d.stats.announced.Add(int64(d.fanout(ctx, env, targets)))
 }
 
 // handleIHave requests the payload of an unseen announced notification.
@@ -92,8 +87,8 @@ func (d *Disseminator) handleIHave(ctx context.Context, req *soap.Request) (*soa
 	}
 	d.mu.Lock()
 	if d.seen.Contains(ann.MessageID) {
-		d.stats.Duplicates++
 		d.mu.Unlock()
+		d.stats.duplicates.Add(1)
 		return nil, nil
 	}
 	if _, pending := d.requested[ann.MessageID]; pending {
@@ -118,13 +113,11 @@ func (d *Disseminator) handleIHave(ctx context.Context, req *soap.Request) (*soa
 		d.mu.Lock()
 		// Allow a later announcer to retrigger the fetch.
 		delete(d.requested, ann.MessageID)
-		d.stats.SendErrors++
 		d.mu.Unlock()
+		d.stats.sendErrors.Add(1)
 		return nil, nil
 	}
-	d.mu.Lock()
-	d.stats.Fetched++
-	d.mu.Unlock()
+	d.stats.fetched.Add(1)
 	return nil, nil
 }
 
@@ -146,7 +139,7 @@ func (d *Disseminator) handleIWant(ctx context.Context, req *soap.Request) (*soa
 	if err != nil {
 		return nil, err
 	}
-	out := stored.Clone()
+	out := stored.Snapshot()
 	// The transfer consumes one hop, exactly as an eager forward would.
 	next := gh
 	if next.Hops > 0 {
@@ -163,11 +156,9 @@ func (d *Disseminator) handleIWant(ctx context.Context, req *soap.Request) (*soa
 		return nil, err
 	}
 	if err := d.cfg.Caller.Send(ctx, fetch.Requester, out); err != nil {
-		d.addSendError()
+		d.stats.sendErrors.Add(1)
 		return nil, nil
 	}
-	d.mu.Lock()
-	d.stats.Served++
-	d.mu.Unlock()
+	d.stats.served.Add(1)
 	return nil, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 )
@@ -29,7 +30,7 @@ func (d *Disseminator) TickPull(ctx context.Context) {
 		if !state.pull() {
 			continue
 		}
-		for _, t := range sampleTargets(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address) {
+		for _, t := range gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address) {
 			targetSet[t] = struct{}{}
 		}
 	}
@@ -42,29 +43,21 @@ func (d *Disseminator) TickPull(ctx context.Context) {
 		targets = append(targets, t)
 	}
 	sort.Strings(targets) // deterministic send order for reproducible runs
-	body := PullRequest{Requester: d.cfg.Address, MessageIDs: ids, Max: digestCap}
-	for _, target := range targets {
-		env := soap.NewEnvelope()
-		if err := env.SetAddressing(wsa.Headers{
-			To:        target,
-			Action:    ActionPullRequest,
-			MessageID: wsa.NewMessageID(),
-		}); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := env.SetBody(body); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := d.cfg.Caller.Send(ctx, target, env); err != nil {
-			d.addSendError()
-			continue
-		}
-		d.mu.Lock()
-		d.stats.PullsSent++
-		d.mu.Unlock()
+	// The digest request is one logical message: serialize it once and
+	// render a per-target copy (encode-once wire path).
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		Action:    ActionPullRequest,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
 	}
+	if err := env.SetBody(PullRequest{Requester: d.cfg.Address, MessageIDs: ids, Max: digestCap}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
+	}
+	d.stats.pullsSent.Add(int64(d.fanout(ctx, env, targets)))
 }
 
 // handlePullRequest retransmits stored notifications the requester lacks.
@@ -85,9 +78,7 @@ func (d *Disseminator) handlePullRequest(ctx context.Context, req *soap.Request)
 		have[id] = struct{}{}
 	}
 	served := d.retransmitMissing(ctx, pr.Requester, have, max)
-	d.mu.Lock()
-	d.stats.PullServed += served
-	d.mu.Unlock()
+	d.stats.pullServed.Add(served)
 	return nil, nil
 }
 
@@ -105,7 +96,7 @@ func (d *Disseminator) retransmitMissing(ctx context.Context, to string, have ma
 			continue
 		}
 		if env, ok := d.store.Get(id); ok {
-			missing = append(missing, env.Clone())
+			missing = append(missing, env.Snapshot())
 		}
 	}
 	d.mu.Unlock()
@@ -120,7 +111,7 @@ func (d *Disseminator) retransmitMissing(ctx context.Context, to string, have ma
 			next.Hops--
 		}
 		if err := SetGossipHeader(env, next); err != nil {
-			d.addSendError()
+			d.stats.sendErrors.Add(1)
 			continue
 		}
 		if err := env.SetAddressing(wsa.Headers{
@@ -128,11 +119,11 @@ func (d *Disseminator) retransmitMissing(ctx context.Context, to string, have ma
 			Action:    ActionNotify,
 			MessageID: wsa.MessageID(gh.MessageID),
 		}); err != nil {
-			d.addSendError()
+			d.stats.sendErrors.Add(1)
 			continue
 		}
 		if err := d.cfg.Caller.Send(ctx, to, env); err != nil {
-			d.addSendError()
+			d.stats.sendErrors.Add(1)
 			continue
 		}
 		served++

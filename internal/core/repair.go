@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/xml"
 
+	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 )
@@ -38,7 +39,7 @@ func (d *Disseminator) TickRepair(ctx context.Context) {
 	targetSet := make(map[string]struct{})
 	for _, state := range d.interactions {
 		fanout := state.params.Fanout
-		for _, t := range sampleTargets(d.rng, state.params.Targets, fanout, d.cfg.Address) {
+		for _, t := range gossip.SamplePeers(d.rng, state.params.Targets, fanout, d.cfg.Address) {
 			targetSet[t] = struct{}{}
 		}
 	}
@@ -46,29 +47,25 @@ func (d *Disseminator) TickRepair(ctx context.Context) {
 	if len(targetSet) == 0 {
 		return
 	}
-	body := Digest{Sender: d.cfg.Address, MessageIDs: ids}
-	for target := range targetSet {
-		env := soap.NewEnvelope()
-		if err := env.SetAddressing(wsa.Headers{
-			To:        target,
-			Action:    ActionDigest,
-			MessageID: wsa.NewMessageID(),
-		}); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := env.SetBody(body); err != nil {
-			d.addSendError()
-			continue
-		}
-		if err := d.cfg.Caller.Send(ctx, target, env); err != nil {
-			d.addSendError()
-			continue
-		}
-		d.mu.Lock()
-		d.stats.DigestsSent++
-		d.mu.Unlock()
+	targets := make([]string, 0, len(targetSet))
+	for t := range targetSet {
+		targets = append(targets, t)
 	}
+	// The digest is one logical message: serialize it once and render a
+	// per-target copy (encode-once wire path).
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		Action:    ActionDigest,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
+	}
+	if err := env.SetBody(Digest{Sender: d.cfg.Address, MessageIDs: ids}); err != nil {
+		d.stats.sendErrors.Add(int64(len(targets)))
+		return
+	}
+	d.stats.digestsSent.Add(int64(d.fanout(ctx, env, targets)))
 }
 
 // storedIDsLocked lists up to n stored notification IDs, newest first.
@@ -96,8 +93,6 @@ func (d *Disseminator) handleDigest(ctx context.Context, req *soap.Request) (*so
 		have[id] = struct{}{}
 	}
 	repaired := d.retransmitMissing(ctx, dig.Sender, have, digestCap)
-	d.mu.Lock()
-	d.stats.Repaired += repaired
-	d.mu.Unlock()
+	d.stats.repaired.Add(repaired)
 	return nil, nil
 }

@@ -1,0 +1,99 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+
+	"wsgossip/internal/wsa"
+)
+
+// Micro-benchmarks of the envelope codec, the innermost hot path of every
+// gossip exchange. BENCH_02.json records these before and after the
+// encode-once / zero-copy wire path.
+
+type benchPayload struct {
+	XMLName struct{} `xml:"urn:bench Payload"`
+	Data    string   `xml:"Data"`
+}
+
+func benchEnvelope(b *testing.B, size int) *Envelope {
+	b.Helper()
+	env := NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To:        "mem://target",
+		Action:    "urn:bench:op",
+		MessageID: "urn:uuid:benchbenchbenchbenchbenchbench",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.SetBody(benchPayload{Data: strings.Repeat("x", size)}); err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func benchSizes() []struct {
+	name string
+	size int
+} {
+	return []struct {
+		name string
+		size int
+	}{{"256B", 256}, {"1KiB", 1 << 10}, {"8KiB", 8 << 10}}
+}
+
+// BenchmarkEnvelopeEncode measures full envelope serialization.
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	for _, sz := range benchSizes() {
+		b.Run(sz.name, func(b *testing.B) {
+			env := benchEnvelope(b, sz.size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Encode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnvelopeDecode measures full envelope parsing, including header
+// and body block capture.
+func BenchmarkEnvelopeDecode(b *testing.B) {
+	for _, sz := range benchSizes() {
+		b.Run(sz.name, func(b *testing.B) {
+			data, err := benchEnvelope(b, sz.size).Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireRoundTrip measures one decode + re-encode cycle: what every
+// disseminator pays per hop on top of transport costs.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	data, err := benchEnvelope(b, 1<<10).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := env.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

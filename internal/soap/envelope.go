@@ -215,37 +215,71 @@ func (e *Envelope) DecodeBody(v any) error {
 	return e.Body.Blocks[0].Decode(v)
 }
 
-// Encode serializes the envelope with an XML declaration.
+// Encode serializes the envelope with an XML declaration. The fast path
+// splices every captured Block.Raw verbatim into the canonical scaffold in
+// one exactly-sized allocation (see wire.go); envelopes that resist
+// splicing run through the original encoding/xml serializer.
 func (e *Envelope) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteString(xml.Header)
-	enc := xml.NewEncoder(&buf)
-	if err := enc.Encode(e); err != nil {
-		return nil, fmt.Errorf("soap: encode envelope: %w", err)
+	if out, ok := encodeSplice(e); ok {
+		return out, nil
 	}
-	if err := enc.Flush(); err != nil {
-		return nil, fmt.Errorf("soap: flush envelope: %w", err)
-	}
-	return buf.Bytes(), nil
+	return e.encodeLegacy()
 }
 
-// Decode parses a serialized envelope.
+// Decode parses a serialized envelope. Canonical prefix-free documents take
+// the zero-copy path: each block becomes a verbatim slice of data, which
+// the envelope keeps alive and must not be modified afterwards. Documents
+// using namespace prefixes — or anything the slicer cannot capture
+// self-contained — are re-parsed through encoding/xml.
 func Decode(data []byte) (*Envelope, error) {
-	var env Envelope
-	if err := xml.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("soap: decode envelope: %w", err)
+	if !bytes.Contains(data, wirePrefixDecl) {
+		env, err := decodeZeroCopy(data)
+		if err == nil {
+			return env, nil
+		}
+		if !errors.Is(err, errNotSelfContained) {
+			// Genuinely malformed input fails the same way on both paths;
+			// keep the cheap error instead of parsing twice.
+			return nil, err
+		}
 	}
-	return &env, nil
+	return decodeLegacy(data)
 }
 
-// Clone deep-copies the envelope; forwarding a notification to several peers
-// must not share mutable header state between sends.
+// wirePrefixDecl gates the zero-copy path: documents declaring namespace
+// prefixes can have block slices that depend on out-of-slice context.
+var wirePrefixDecl = []byte("xmlns:")
+
+// Clone deep-copies the envelope, including the captured block bytes.
+// Fan-out paths use the cheaper Snapshot; Clone remains for callers that
+// mutate Raw in place.
 func (e *Envelope) Clone() *Envelope {
 	out := &Envelope{}
 	if e.Header != nil {
 		out.Header = &Header{Blocks: cloneBlocks(e.Header.Blocks)}
 	}
 	out.Body.Blocks = cloneBlocks(e.Body.Blocks)
+	return out
+}
+
+// Snapshot returns a copy-on-write clone: the header and body block lists
+// are independent — adding, replacing, or removing blocks on one envelope
+// never affects the other — while the captured Raw bytes are shared. Every
+// mutation in this package replaces whole blocks and treats Raw as
+// immutable, so the fan-out and store paths snapshot instead of
+// deep-copying per target.
+func (e *Envelope) Snapshot() *Envelope {
+	out := &Envelope{XMLName: e.XMLName}
+	if e.Header != nil {
+		out.Header = &Header{
+			XMLName: e.Header.XMLName,
+			Blocks:  append([]Block(nil), e.Header.Blocks...),
+		}
+	}
+	out.Body = Body{
+		XMLName: e.Body.XMLName,
+		Blocks:  append([]Block(nil), e.Body.Blocks...),
+	}
 	return out
 }
 

@@ -96,7 +96,10 @@ type HTTPClient struct {
 	hc *http.Client
 }
 
-var _ Caller = (*HTTPClient)(nil)
+var (
+	_ Caller        = (*HTTPClient)(nil)
+	_ EncodedSender = (*HTTPClient)(nil)
+)
 
 // NewHTTPClient wraps hc (nil means http.DefaultClient).
 func NewHTTPClient(hc *http.Client) *HTTPClient {
@@ -131,7 +134,17 @@ func (c *HTTPClient) Call(ctx context.Context, to string, env *Envelope) (*Envel
 
 // Send posts the envelope and discards any response body.
 func (c *HTTPClient) Send(ctx context.Context, to string, env *Envelope) error {
-	respBody, status, err := c.post(ctx, to, env)
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	return c.SendEncoded(ctx, to, data)
+}
+
+// SendEncoded posts an already-serialized envelope, skipping the redundant
+// encode of the fan-out hot path.
+func (c *HTTPClient) SendEncoded(ctx context.Context, to string, data []byte) error {
+	respBody, status, err := c.postBytes(ctx, to, data)
 	if err != nil {
 		return err
 	}
@@ -151,6 +164,10 @@ func (c *HTTPClient) post(ctx context.Context, to string, env *Envelope) ([]byte
 	if err != nil {
 		return nil, 0, err
 	}
+	return c.postBytes(ctx, to, data)
+}
+
+func (c *HTTPClient) postBytes(ctx context.Context, to string, data []byte) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, to, bytes.NewReader(data))
 	if err != nil {
 		return nil, 0, fmt.Errorf("post %s: %w", to, err)

@@ -33,7 +33,10 @@ type pendingSend struct {
 	data []byte
 }
 
-var _ Caller = (*MemBus)(nil)
+var (
+	_ Caller        = (*MemBus)(nil)
+	_ EncodedSender = (*MemBus)(nil)
+)
 
 // NewMemBus returns an empty bus.
 func NewMemBus() *MemBus {
@@ -120,12 +123,19 @@ func (b *MemBus) Call(ctx context.Context, to string, env *Envelope) (*Envelope,
 // in-flight wave (see the type comment). Handler errors at the receiver are
 // not reported back — one-way semantics, as over HTTP 202.
 func (b *MemBus) Send(ctx context.Context, to string, env *Envelope) error {
-	if _, err := b.lookup(to); err != nil {
-		return AsFault(err)
-	}
 	data, err := env.Encode()
 	if err != nil {
 		return err
+	}
+	return b.SendEncoded(ctx, to, data)
+}
+
+// SendEncoded performs a one-way exchange with an already-serialized
+// envelope, skipping the redundant encode of the fan-out hot path. The bus
+// retains data until delivery; the caller must not modify it.
+func (b *MemBus) SendEncoded(ctx context.Context, to string, data []byte) error {
+	if _, err := b.lookup(to); err != nil {
+		return AsFault(err)
 	}
 	b.qmu.Lock()
 	b.queue = append(b.queue, pendingSend{to: to, data: data})

@@ -1,0 +1,489 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+	"unicode/utf8"
+
+	"wsgossip/internal/wsa"
+)
+
+// The zero-copy wire path.
+//
+// A gossiped notification crosses many disseminators, and each hop used to
+// pay for two full encoding/xml passes: capture re-tokenized every header
+// and body block through a fresh decoder+encoder, and serialization ran the
+// whole envelope through xml.NewEncoder again. This file replaces both
+// directions on the canonical wire format:
+//
+//   - capture: Decode walks the token stream once and slices each block
+//     verbatim out of the input buffer via Decoder.InputOffset, so Block.Raw
+//     shares the inbound message's memory (no per-token re-encode);
+//   - replay: Encode writes the fixed Envelope/Header/Body scaffolding and
+//     splices each Block.Raw directly into the output, sized exactly, with
+//     sync.Pool scratch for the parts that need buffering;
+//   - fan-out: EncodeTemplate serializes an envelope once, leaving a single
+//     insertion point inside the Header; RenderTo then produces a complete
+//     per-target message by splicing only the wsa:To block.
+//
+// The canonical format declares every namespace with a default xmlns
+// attribute on the element that introduces it and never uses prefixes.
+// Documents that declare namespace prefixes ("xmlns:"), and blocks whose
+// meaning depends on a default namespace declared outside their own bytes,
+// fall back to the original encoding/xml path, so arbitrary SOAP input
+// remains accepted — it just doesn't get the fast path.
+
+// Fixed scaffolding of the canonical wire format. Blocks are spliced
+// between the container tags; Header and Body inherit the envelope's
+// default namespace, and every block carries its own xmlns declaration.
+const (
+	wireEnvOpen     = `<Envelope xmlns="` + Namespace + `">`
+	wireHeaderOpen  = `<Header>`
+	wireHeaderClose = `</Header>`
+	wireBodyOpen    = `<Body>`
+	wireBodyClose   = `</Body>`
+	wireEnvClose    = `</Envelope>`
+	wireToOpen      = `<To xmlns="` + wsa.Namespace + `">`
+	wireToClose     = `</To>`
+)
+
+// ErrNotSpliceable reports an envelope that cannot go through the verbatim
+// splice serializer (e.g. a block captured from a prefixed document);
+// callers fall back to per-target encoding.
+var ErrNotSpliceable = errors.New("soap: envelope not spliceable")
+
+// errNotSelfContained aborts the zero-copy capture when a block's bytes
+// depend on namespace context declared outside the block.
+var errNotSelfContained = errors.New("soap: block not self-contained")
+
+// bufPool recycles scratch buffers across encodes; rendered messages are
+// copied out exactly sized, so pooled memory never escapes to callers.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy capture
+
+var soapEnvelopeName = xml.Name{Space: Namespace, Local: "Envelope"}
+
+// decodeZeroCopy parses data with a single token walk, slicing each header
+// and body block verbatim out of data. Block.Raw aliases data: the buffer
+// must not be modified afterwards (transports hand over ownership).
+func decodeZeroCopy(data []byte) (*Envelope, error) {
+	d := xml.NewDecoder(bytes.NewReader(data))
+	var root xml.StartElement
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: decode envelope: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			root = se
+			break
+		}
+	}
+	if root.Name != soapEnvelopeName {
+		return nil, fmt.Errorf("soap: decode envelope: expected {%s}Envelope, got {%s}%s",
+			Namespace, root.Name.Space, root.Name.Local)
+	}
+	env := &Envelope{XMLName: root.Name}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, fmt.Errorf("soap: decode envelope: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			return env, nil
+		case xml.StartElement:
+			switch {
+			case t.Name.Space == Namespace && t.Name.Local == "Header":
+				if env.Header == nil {
+					env.Header = &Header{XMLName: t.Name}
+				}
+				if err := captureBlocks(d, data, &env.Header.Blocks); err != nil {
+					return nil, err
+				}
+			case t.Name.Space == Namespace && t.Name.Local == "Body":
+				env.Body.XMLName = t.Name
+				if err := captureBlocks(d, data, &env.Body.Blocks); err != nil {
+					return nil, err
+				}
+			default:
+				if err := d.Skip(); err != nil {
+					return nil, fmt.Errorf("soap: decode envelope: %w", err)
+				}
+			}
+		}
+	}
+}
+
+// captureBlocks slices every child element of the container whose start tag
+// the decoder just consumed. Each slice spans the child's start tag through
+// its end tag, verbatim.
+func captureBlocks(d *xml.Decoder, data []byte, out *[]Block) error {
+	for {
+		off := d.InputOffset() // position of '<' once the next token is a start tag
+		tok, err := d.Token()
+		if err != nil {
+			return fmt.Errorf("soap: capture block: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.EndElement:
+			return nil
+		case xml.StartElement:
+			// A namespaced start tag without its own default-xmlns
+			// declaration inherits the container's default namespace, which
+			// a verbatim slice would lose when replayed elsewhere.
+			if t.Name.Space != "" && !hasDefaultNSDecl(t.Attr) {
+				return errNotSelfContained
+			}
+			if err := d.Skip(); err != nil {
+				return fmt.Errorf("soap: capture block: %w", err)
+			}
+			*out = append(*out, Block{XMLName: t.Name, Raw: data[off:d.InputOffset()]})
+		}
+	}
+}
+
+// hasDefaultNSDecl reports whether attrs carry a default xmlns declaration.
+func hasDefaultNSDecl(attrs []xml.Attr) bool {
+	for _, a := range attrs {
+		if a.Name.Space == "" && a.Name.Local == "xmlns" {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Splice serialization
+
+// blockSplice analyzes b's start tag for verbatim splicing into the
+// canonical scaffold. inject is the default-xmlns declaration to insert
+// after the tag name ("" when raw already declares one) and insertAt its
+// byte offset in Raw. ok is false when the block resists splicing (prefixed
+// names, malformed or hand-built raw) and the legacy encoder must run.
+func blockSplice(b Block) (inject string, insertAt int, ok bool) {
+	raw := b.Raw
+	if len(raw) < 3 || raw[0] != '<' {
+		return "", 0, false
+	}
+	// Tag name: must match the block's unprefixed local name.
+	i := 1
+	for i < len(raw) && !isTagDelim(raw[i]) {
+		if raw[i] == ':' {
+			return "", 0, false
+		}
+		i++
+	}
+	if string(raw[1:i]) != b.XMLName.Local {
+		return "", 0, false
+	}
+	insertAt = i
+	// Attribute scan: find a default xmlns declaration, reject prefixed
+	// declarations or attributes.
+	hasDecl := false
+	for i < len(raw) {
+		for i < len(raw) && isXMLSpace(raw[i]) {
+			i++
+		}
+		if i >= len(raw) {
+			return "", 0, false
+		}
+		if raw[i] == '>' {
+			break
+		}
+		if raw[i] == '/' { // self-closing: <Name .../>
+			break
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(raw) && raw[i] != '=' && !isXMLSpace(raw[i]) && raw[i] != '>' {
+			if raw[i] == ':' {
+				return "", 0, false
+			}
+			i++
+		}
+		name := string(raw[nameStart:i])
+		for i < len(raw) && isXMLSpace(raw[i]) {
+			i++
+		}
+		if i >= len(raw) || raw[i] != '=' {
+			return "", 0, false
+		}
+		i++
+		for i < len(raw) && isXMLSpace(raw[i]) {
+			i++
+		}
+		if i >= len(raw) || (raw[i] != '"' && raw[i] != '\'') {
+			return "", 0, false
+		}
+		quote := raw[i]
+		i++
+		for i < len(raw) && raw[i] != quote {
+			i++
+		}
+		if i >= len(raw) {
+			return "", 0, false
+		}
+		i++
+		if name == "xmlns" {
+			hasDecl = true
+		}
+	}
+	if !hasDecl {
+		// The canonical scaffold's default namespace is the SOAP envelope
+		// namespace; a declaration-free block must pin its own.
+		inject = ` xmlns="` + escapeAttr(b.XMLName.Space) + `"`
+	}
+	return inject, insertAt, true
+}
+
+func isTagDelim(c byte) bool {
+	return c == '>' || c == '/' || isXMLSpace(c)
+}
+
+func isXMLSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// escapeAttr escapes s for use inside a double-quoted attribute value.
+func escapeAttr(s string) string {
+	if !needsEscape(s) && utf8.ValidString(s) {
+		return s
+	}
+	buf := getBuf()
+	defer bufPool.Put(buf)
+	_ = xml.EscapeText(buf, []byte(s))
+	return buf.String()
+}
+
+func needsEscape(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<', '>', '&', '\'', '"', '\t', '\n', '\r':
+			return true
+		}
+	}
+	return false
+}
+
+// appendXMLText appends s chardata-escaped (mirroring xml.EscapeText).
+func appendXMLText(dst []byte, s string) []byte {
+	if !needsEscape(s) && utf8.ValidString(s) {
+		return append(dst, s...)
+	}
+	buf := getBuf()
+	defer bufPool.Put(buf)
+	_ = xml.EscapeText(buf, []byte(s))
+	return append(dst, buf.Bytes()...)
+}
+
+// spliceParts is the per-block analysis an encode pass reuses.
+type spliceParts struct {
+	inject   string
+	insertAt int
+}
+
+// analyzeSplice checks every block of e and returns the per-block splice
+// plan plus the exact serialized size of the variable parts.
+func analyzeSplice(e *Envelope) (header, body []spliceParts, blockBytes int, ok bool) {
+	analyze := func(blocks []Block) ([]spliceParts, bool) {
+		parts := make([]spliceParts, len(blocks))
+		for i, b := range blocks {
+			inject, at, ok := blockSplice(b)
+			if !ok {
+				return nil, false
+			}
+			parts[i] = spliceParts{inject: inject, insertAt: at}
+			blockBytes += len(b.Raw) + len(inject)
+		}
+		return parts, true
+	}
+	if e.Header != nil {
+		if header, ok = analyze(e.Header.Blocks); !ok {
+			return nil, nil, 0, false
+		}
+	}
+	if body, ok = analyze(e.Body.Blocks); !ok {
+		return nil, nil, 0, false
+	}
+	return header, body, blockBytes, true
+}
+
+// appendBlock splices one block into dst per its splice plan.
+func appendBlock(dst []byte, b Block, p spliceParts) []byte {
+	if p.inject == "" {
+		return append(dst, b.Raw...)
+	}
+	dst = append(dst, b.Raw[:p.insertAt]...)
+	dst = append(dst, p.inject...)
+	return append(dst, b.Raw[p.insertAt:]...)
+}
+
+// encodeSplice serializes e on the fast path: one exactly-sized allocation,
+// every block spliced verbatim.
+func encodeSplice(e *Envelope) ([]byte, bool) {
+	header, body, blockBytes, ok := analyzeSplice(e)
+	if !ok {
+		return nil, false
+	}
+	n := len(xml.Header) + len(wireEnvOpen) + len(wireBodyOpen) + len(wireBodyClose) + len(wireEnvClose) + blockBytes
+	if e.Header != nil {
+		n += len(wireHeaderOpen) + len(wireHeaderClose)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, xml.Header...)
+	out = append(out, wireEnvOpen...)
+	if e.Header != nil {
+		out = append(out, wireHeaderOpen...)
+		for i, b := range e.Header.Blocks {
+			out = appendBlock(out, b, header[i])
+		}
+		out = append(out, wireHeaderClose...)
+	}
+	out = append(out, wireBodyOpen...)
+	for i, b := range e.Body.Blocks {
+		out = appendBlock(out, b, body[i])
+	}
+	out = append(out, wireBodyClose...)
+	out = append(out, wireEnvClose...)
+	return out, true
+}
+
+// encodeLegacy is the original encoding/xml serializer, kept as the
+// fallback for splice-resistant envelopes; scratch comes from the pool.
+func (e *Envelope) encodeLegacy() ([]byte, error) {
+	buf := getBuf()
+	defer bufPool.Put(buf)
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(buf)
+	if err := enc.Encode(e); err != nil {
+		return nil, fmt.Errorf("soap: encode envelope: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, fmt.Errorf("soap: flush envelope: %w", err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// decodeLegacy is the original encoding/xml parser: Block.UnmarshalXML
+// re-encodes each block token by token. It remains the fallback for
+// documents the zero-copy walk cannot slice safely (namespace prefixes,
+// context-dependent blocks).
+func decodeLegacy(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("soap: decode envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encode-once fan-out templates
+
+// WireTemplate is an envelope serialized exactly once, with a single
+// insertion point inside the Header element where per-target blocks are
+// spliced. Fan-out loops render one complete message per peer without
+// re-encoding anything but the wsa:To header.
+type WireTemplate struct {
+	pre  []byte // scaffold and stable blocks before the insertion point
+	post []byte // "</Header><Body>…</Body></Envelope>"
+}
+
+// EncodeTemplate serializes e once with an insertion point at the end of
+// its header blocks. Any existing wsa:To header is excluded from the
+// template — RenderTo supplies the per-target To, and a stale block would
+// win the receiver's first-match header lookup and misaddress every copy.
+// Splice-resistant envelopes return ErrNotSpliceable; callers fall back to
+// per-target encoding.
+func (e *Envelope) EncodeTemplate() (*WireTemplate, error) {
+	src := e
+	if _, ok := e.HeaderBlock(wsa.Namespace, "To"); ok {
+		src = e.Snapshot()
+		src.RemoveHeader(wsa.Namespace, "To")
+	}
+	return src.encodeTemplate()
+}
+
+func (e *Envelope) encodeTemplate() (*WireTemplate, error) {
+	header, body, blockBytes, ok := analyzeSplice(e)
+	if !ok {
+		return nil, ErrNotSpliceable
+	}
+	n := len(xml.Header) + len(wireEnvOpen) + len(wireHeaderOpen) + len(wireHeaderClose) +
+		len(wireBodyOpen) + len(wireBodyClose) + len(wireEnvClose) + blockBytes
+	backing := make([]byte, 0, n)
+	backing = append(backing, xml.Header...)
+	backing = append(backing, wireEnvOpen...)
+	backing = append(backing, wireHeaderOpen...)
+	if e.Header != nil {
+		for i, b := range e.Header.Blocks {
+			backing = appendBlock(backing, b, header[i])
+		}
+	}
+	split := len(backing)
+	backing = append(backing, wireHeaderClose...)
+	backing = append(backing, wireBodyOpen...)
+	for i, b := range e.Body.Blocks {
+		backing = appendBlock(backing, b, body[i])
+	}
+	backing = append(backing, wireBodyClose...)
+	backing = append(backing, wireEnvClose...)
+	return &WireTemplate{pre: backing[:split], post: backing[split:]}, nil
+}
+
+// RenderTo returns a complete serialized envelope addressed to addr: the
+// template's bytes with a wsa:To header block spliced at the insertion
+// point. Each call returns a fresh buffer the caller owns, so rendered
+// messages can be handed to SendEncoded without copying.
+func (t *WireTemplate) RenderTo(addr string) []byte {
+	out := make([]byte, 0, len(t.pre)+len(wireToOpen)+len(addr)+16+len(wireToClose)+len(t.post))
+	out = append(out, t.pre...)
+	out = append(out, wireToOpen...)
+	out = appendXMLText(out, addr)
+	out = append(out, wireToClose...)
+	out = append(out, t.post...)
+	return out
+}
+
+// Size returns the serialized size in bytes of a rendered message,
+// excluding the per-target To block.
+func (t *WireTemplate) Size() int { return len(t.pre) + len(t.post) }
+
+// ---------------------------------------------------------------------------
+// Encoded send path
+
+// EncodedSender is implemented by bindings that accept a pre-serialized
+// envelope, skipping the redundant Encode inside Send. The sender hands
+// over ownership of data: the binding may retain it and the caller must not
+// modify it afterwards.
+type EncodedSender interface {
+	SendEncoded(ctx context.Context, to string, data []byte) error
+}
+
+// SendBytes sends a pre-serialized envelope through caller: directly when
+// the binding implements EncodedSender, otherwise by decoding once and
+// using the plain Send path.
+func SendBytes(ctx context.Context, caller Caller, to string, data []byte) error {
+	if es, ok := caller.(EncodedSender); ok {
+		return es.SendEncoded(ctx, to, data)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	return caller.Send(ctx, to, env)
+}
