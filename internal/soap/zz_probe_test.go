@@ -1,0 +1,52 @@
+package soap
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestProbeEdges(t *testing.T) {
+	docs := []string{
+		`<?xml version="1.0"?><Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Header><To xmlns="http://www.w3.org/2005/08/addressing">a&amp;b</To></Header><Body><Q xmlns="urn:q" v="x>y"/></Body></Envelope>`,
+		`<?xml version="1.0"?><Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body><Q xmlns="urn:q"><![CDATA[<raw>]]></Q></Body></Envelope>`,
+		`<?xml version="1.0"?><Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body><Q xmlns=""/></Body></Envelope>`,
+	}
+	for _, doc := range docs {
+		env, err := Decode([]byte(doc))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out, err := env.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		env2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode %s: %v", out, err)
+		}
+		out2, err := env2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("not byte-stable:\n%s\n%s", out, out2)
+		}
+	}
+	// Template render with an address needing escaping.
+	env := NewEnvelope()
+	env.Body.Blocks = []Block{{XMLName: xmlNameQ(), Raw: []byte(`<Q xmlns="urn:q">v</Q>`)}}
+	tmpl, err := env.EncodeTemplate()
+	if err != nil {
+		t.Fatalf("template: %v", err)
+	}
+	msg := tmpl.RenderTo(`mem://a&b<c>"d"`)
+	got, err := Decode(msg)
+	if err != nil {
+		t.Fatalf("decode rendered: %v\n%s", err, msg)
+	}
+	if a := got.Addressing(); a.To != `mem://a&b<c>"d"` {
+		t.Fatalf("To = %q, rendered: %s", a.To, msg)
+	}
+}
+
+func xmlNameQ() (n struct{ Space, Local string }) { n.Space = "urn:q"; n.Local = "Q"; return }
