@@ -7,8 +7,10 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"wsgossip"
+	"wsgossip/internal/clock"
 	"wsgossip/internal/soap"
 )
 
@@ -203,5 +205,99 @@ func TestEpidemicHelpers(t *testing.T) {
 	pr, err := wsgossip.PushSumRoundsToEpsilon(256, 3, 1e-4)
 	if err != nil || pr < 5 || pr > 40 {
 		t.Fatalf("push-sum rounds = %d, %v", pr, err)
+	}
+}
+
+// TestPublicAPIRunner drives the aggregation flow through the exported
+// Runner on a virtual clock: exchange rounds fire from each participant's
+// own self-clocking loops, the test only advances time.
+func TestPublicAPIRunner(t *testing.T) {
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+	vc := clock.NewVirtual()
+	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(77)),
+	})
+	bus.Register("mem://coordinator", coordinator.Handler())
+
+	const (
+		services = 12
+		period   = 50 * time.Millisecond
+	)
+	var runners []*wsgossip.Runner
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+	startRunner := func(svc interface{ Tick(context.Context) }, seed int64) {
+		t.Helper()
+		r, err := wsgossip.NewRunner(wsgossip.RunnerConfig{
+			Clock:          vc,
+			RNG:            rand.New(rand.NewSource(seed)),
+			Aggregator:     svc,
+			AggregateEvery: period,
+			JitterFrac:     0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, r)
+	}
+	sum := 0.0
+	for i := 0; i < services; i++ {
+		addr := fmt.Sprintf("mem://run%02d", i)
+		v := float64(i + 1)
+		sum += v
+		svc, err := wsgossip.NewAggregateService(wsgossip.AggregateServiceConfig{
+			Address: addr, Caller: bus,
+			Value: func() float64 { return v },
+			RNG:   rand.New(rand.NewSource(int64(i) + 60)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, svc.Handler())
+		if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", addr,
+			wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+			t.Fatal(err)
+		}
+		startRunner(svc, int64(i)+600)
+	}
+	querier, err := wsgossip.NewQuerier(wsgossip.QuerierConfig{
+		Address: "mem://querier", Caller: bus, Activation: "mem://coordinator",
+		RNG: rand.New(rand.NewSource(66)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("mem://querier", querier.Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://querier",
+		wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+		t.Fatal(err)
+	}
+	startRunner(querier, 666)
+
+	task, err := querier.StartAggregation(ctx, wsgossip.FuncAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < task.Params.MaxRounds && !querier.Converged(task.ID); r++ {
+		vc.Advance(period) // rounds fire from the runners, not the test
+	}
+	if !querier.Converged(task.ID) {
+		t.Fatal("self-clocked aggregation did not converge within the round budget")
+	}
+	est, ok := querier.Estimate(task.ID)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	truth := sum / services
+	if diff := est - truth; diff > truth*0.01 || diff < -truth*0.01 {
+		t.Fatalf("estimate %.4f vs truth %.4f beyond 1%%", est, truth)
 	}
 }

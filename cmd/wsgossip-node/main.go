@@ -17,14 +17,19 @@ import (
 	"encoding/xml"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
@@ -52,7 +57,13 @@ func run() error {
 		message     = flag.String("message", "hello from wsgossip", "notification text (initiator)")
 		count       = flag.Int("count", 1, "notifications to send (initiator)")
 		style       = flag.String("style", "push", "dissemination style handed to registrants: push or lazypush (coordinator)")
-		repair      = flag.Duration("repair", 0, "anti-entropy digest interval, 0 disables (disseminator)")
+		pull        = flag.Duration("pull", 0, "WS-PullGossip round interval, 0 disables (disseminator)")
+		repair      = flag.Duration("repair", 2*time.Second, "anti-entropy digest interval, 0 disables (disseminator)")
+		announce    = flag.Duration("announce", 0, "deferred lazy-push announce interval, 0 announces on receipt (disseminator)")
+		aggEvery    = flag.Duration("aggregate", time.Second, "push-sum exchange interval when -value is set (disseminator)")
+		value       = flag.Float64("value", math.NaN(), "local measurement: joins aggregation interactions as a participant (disseminator)")
+		jitter      = flag.Float64("jitter", 0.1, "round jitter as a fraction of each period, in [0,1) (disseminator)")
+		seed        = flag.Int64("seed", 0, "round-schedule seed, 0 derives one from the address (disseminator)")
 	)
 	flag.Parse()
 
@@ -64,7 +75,12 @@ func run() error {
 		if *coordinator == "" {
 			return fmt.Errorf("-coordinator is required for role %s", *role)
 		}
-		return runSubscriber(*role, *listen, *public, *coordinator, *repair, client)
+		cfg := subscriberConfig{
+			role: *role, listen: *listen, public: *public, coordinator: *coordinator,
+			pull: *pull, repair: *repair, announce: *announce,
+			aggEvery: *aggEvery, value: *value, jitter: *jitter, seed: *seed,
+		}
+		return runSubscriber(cfg, client)
 	case "initiator":
 		if *coordinator == "" {
 			return fmt.Errorf("-coordinator is required for role initiator")
@@ -138,38 +154,87 @@ func (p *printingApp) HandleSOAP(_ context.Context, req *soap.Request) (*soap.En
 	return nil, nil
 }
 
-func runSubscriber(role, listen, public, coordinator string, repair time.Duration, client *soap.HTTPClient) error {
-	addr := publicURL(public, listen)
-	app := &printingApp{role: role}
+// subscriberConfig carries the disseminator/consumer wiring options.
+type subscriberConfig struct {
+	role, listen, public, coordinator string
+	pull, repair, announce, aggEvery  time.Duration
+	value                             float64
+	jitter                            float64
+	seed                              int64
+}
+
+// runSubscriber builds the node's middleware stack and — for disseminators —
+// a core.Runner on the wall clock, so pull, repair, announce, and push-sum
+// rounds fire autonomously: no external tick calls, exactly as the paper's
+// self-scheduled gossip services.
+func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
+	addr := publicURL(cfg.public, cfg.listen)
+	app := &printingApp{role: cfg.role}
 	var handler soap.Handler
 	subscribedRole := core.RoleConsumer
-	if role == "disseminator" {
+	// Consumers can only take notifications; disseminators extend this
+	// below with what their stack actually serves.
+	subscribeProtocols := []string{core.ProtocolPushGossip}
+	var runner *core.Runner
+	if cfg.role == "disseminator" {
 		d, err := core.NewDisseminator(core.DisseminatorConfig{
 			Address: addr,
 			Caller:  client,
 			App:     app,
+			RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 1)),
 		})
 		if err != nil {
 			return err
 		}
-		handler = d.Handler()
+		dispatcher := soap.NewDispatcher()
+		d.RegisterActions(dispatcher)
 		subscribedRole = core.RoleDisseminator
-		if repair > 0 {
-			ticker := time.NewTicker(repair)
-			defer ticker.Stop()
-			done := make(chan struct{})
-			defer close(done)
-			go func() {
-				for {
-					select {
-					case <-ticker.C:
-						d.TickRepair(context.Background())
-					case <-done:
-						return
-					}
-				}
-			}()
-			log.Printf("[%s] anti-entropy repair every %v", role, repair)
+		// Advertise exactly the protocols this stack serves: a node
+		// without -value must not be handed out as an aggregation target
+		// (push-sum mass sent to it would vanish).
+		protocols := []string{core.ProtocolPushGossip, core.ProtocolPullGossip}
+		rcfg := core.RunnerConfig{
+			RNG:           rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr))),
+			Disseminator:  d,
+			PullEvery:     cfg.pull,
+			RepairEvery:   cfg.repair,
+			AnnounceEvery: cfg.announce,
+			JitterFrac:    cfg.jitter,
+		}
+		if !math.IsNaN(cfg.value) {
+			if cfg.aggEvery <= 0 {
+				// An advertised aggregation participant that never runs
+				// exchange rounds parks every share it absorbs: the
+				// cluster's estimates would silently exclude that mass.
+				return fmt.Errorf("-value requires a positive -aggregate interval")
+			}
+			svc, err := aggregate.NewService(aggregate.ServiceConfig{
+				Address: addr,
+				Caller:  client,
+				Value:   func() float64 { return cfg.value },
+				RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 2)),
+			})
+			if err != nil {
+				return err
+			}
+			svc.RegisterActions(dispatcher)
+			rcfg.Aggregator = svc
+			rcfg.AggregateEvery = cfg.aggEvery
+			protocols = append(protocols, core.ProtocolAggregate)
+		}
+		subscribeProtocols = protocols
+		handler = dispatcher
+		if cfg.pull > 0 || cfg.repair > 0 || cfg.announce > 0 || rcfg.Aggregator != nil {
+			runner, err = core.NewRunner(rcfg)
+			if err != nil {
+				return err
+			}
+			if err := runner.Start(context.Background()); err != nil {
+				return err
+			}
+			defer runner.Stop()
+			log.Printf("[%s] self-clocking rounds: %s (jitter ±%.0f%%)",
+				cfg.role, strings.Join(runner.Loops(), ", "), cfg.jitter*100)
 		}
 	} else {
 		handler = core.NewConsumer(app).Handler()
@@ -179,22 +244,33 @@ func runSubscriber(role, listen, public, coordinator string, repair time.Duratio
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		for {
-			err := core.SubscribeClient(ctx, client, coordinator, addr, subscribedRole)
+			err := core.SubscribeClient(ctx, client, cfg.coordinator, addr, subscribedRole, subscribeProtocols...)
 			if err == nil {
-				log.Printf("[%s] subscribed %s at %s", role, addr, coordinator)
+				log.Printf("[%s] subscribed %s at %s", cfg.role, addr, cfg.coordinator)
 				return
 			}
-			log.Printf("[%s] subscribe retry: %v", role, err)
+			log.Printf("[%s] subscribe retry: %v", cfg.role, err)
 			select {
 			case <-ctx.Done():
-				log.Printf("[%s] subscription failed permanently", role)
+				log.Printf("[%s] subscription failed permanently", cfg.role)
 				return
 			case <-time.After(time.Second):
 			}
 		}
 	}()
-	log.Printf("%s serving at %s (listen %s)", role, addr, listen)
-	return serve(listen, handler)
+	log.Printf("%s serving at %s (listen %s)", cfg.role, addr, cfg.listen)
+	return serve(cfg.listen, handler)
+}
+
+// scheduleSeed derives a per-node seed so peers' round schedules
+// desynchronize even when started with identical flags.
+func scheduleSeed(seed int64, addr string) int64 {
+	if seed != 0 {
+		return seed
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return int64(h.Sum64())
 }
 
 func runInitiator(coordinator, message string, count int, client *soap.HTTPClient) error {

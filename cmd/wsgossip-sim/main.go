@@ -25,11 +25,56 @@ import (
 	"time"
 
 	"wsgossip/internal/aggregate"
+	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/simnet"
 	"wsgossip/internal/transport"
 )
+
+// roundPeriod is the nominal virtual-time round interval self-clocking
+// nodes fire at; roundJitter desynchronizes peers around it.
+const (
+	roundPeriod = 20 * time.Millisecond
+	roundJitter = 2 * time.Millisecond
+)
+
+// startRunners attaches one self-clocking Runner per alive node to the
+// network's virtual clock, so protocol rounds fire from node-owned timers
+// on the shared timeline instead of harness tick loops. It returns the
+// runners for shutdown.
+func startRunners(net *simnet.Network, addrs []string, seed int64, tick func(i int) func(context.Context)) ([]*core.Runner, error) {
+	runners := make([]*core.Runner, 0, len(addrs))
+	for i, addr := range addrs {
+		if net.Crashed(addr) {
+			continue
+		}
+		r, err := core.NewRunner(core.RunnerConfig{
+			Clock: net.Clock(),
+			RNG:   rand.New(rand.NewSource(seed*2693 + int64(i))),
+			Loops: []core.Loop{{
+				Name:   "round",
+				Period: roundPeriod,
+				Jitter: roundJitter,
+				Tick:   tick(i),
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Start(context.Background()); err != nil {
+			return nil, err
+		}
+		runners = append(runners, r)
+	}
+	return runners, nil
+}
+
+func stopRunners(runners []*core.Runner) {
+	for _, r := range runners {
+		r.Stop()
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -128,14 +173,18 @@ func run() error {
 		ids = append(ids, r.ID)
 	}
 	net.Run()
-	for t := 0; t < *ticks; t++ {
-		for i, eng := range engines {
-			if net.Crashed(addrs[i]) {
-				continue
-			}
-			eng.Tick(ctx)
+	if *ticks > 0 {
+		// Anti-entropy rounds fire from per-node self-clocking runners on
+		// the shared virtual clock, not from a harness loop.
+		runners, err := startRunners(net, addrs, *seed, func(i int) func(context.Context) {
+			return engines[i].Tick
+		})
+		if err != nil {
+			return err
 		}
-		net.RunFor(20 * time.Millisecond)
+		net.RunFor(time.Duration(*ticks) * roundPeriod)
+		stopRunners(runners)
+		net.Run() // drain in-flight deliveries from the final rounds
 	}
 
 	alive := *n - len(crashed)
@@ -266,13 +315,18 @@ func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss
 		truth = truthMax
 	}
 
-	ctx := context.Background()
+	// Exchange rounds fire from per-node self-clocking runners on the
+	// shared virtual clock; the harness only advances time and watches for
+	// convergence.
+	runners, err := startRunners(net, addrs, seed, func(i int) func(context.Context) {
+		return nodes[i].Tick
+	})
+	if err != nil {
+		return err
+	}
 	rounds := 0
 	for ; rounds < maxRounds; rounds++ {
-		for _, node := range nodes {
-			node.Tick(ctx)
-		}
-		net.RunFor(20 * time.Millisecond)
+		net.RunFor(roundPeriod)
 		allConverged := true
 		for _, node := range nodes {
 			if !node.State().Converged(eps) {
@@ -285,6 +339,8 @@ func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss
 			break
 		}
 	}
+	stopRunners(runners)
+	net.Run() // drain in-flight deliveries from the final rounds
 
 	var worstErr, massSum, massWeight float64
 	defined := 0

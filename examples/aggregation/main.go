@@ -6,8 +6,9 @@
 // A Coordinator hosts Activation/Registration; 64 aggregation services
 // subscribe advertising the aggregation protocol; the Querier activates an
 // aggregation interaction, the start message floods the coordinator-assigned
-// overlay, push-sum rounds run until the estimate stabilizes, and the
-// Querier collects the converged result.
+// overlay, push-sum rounds fire from each node's own self-clocking Runner on
+// a shared deterministic virtual clock — nothing hand-ticks the services —
+// and the Querier collects the converged result.
 //
 //	go run ./examples/aggregation
 package main
@@ -18,10 +19,15 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"wsgossip"
+	"wsgossip/internal/clock"
 	"wsgossip/internal/soap"
 )
+
+// exchangeEvery is each node's push-sum round period on the virtual clock.
+const exchangeEvery = 50 * time.Millisecond
 
 func main() {
 	if err := run(); err != nil {
@@ -33,6 +39,25 @@ func main() {
 func run() error {
 	ctx := context.Background()
 	bus := soap.NewMemBus()
+	vc := clock.NewVirtual()
+	var runners []*wsgossip.Runner
+	startRunner := func(svc interface{ Tick(context.Context) }, seed int64) error {
+		r, err := wsgossip.NewRunner(wsgossip.RunnerConfig{
+			Clock:          vc,
+			RNG:            rand.New(rand.NewSource(seed)),
+			Aggregator:     svc,
+			AggregateEvery: exchangeEvery,
+			JitterFrac:     0.2,
+		})
+		if err != nil {
+			return err
+		}
+		if err := r.Start(ctx); err != nil {
+			return err
+		}
+		runners = append(runners, r)
+		return nil
+	}
 
 	// 1. The Coordinator role.
 	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
@@ -46,7 +71,6 @@ func run() error {
 	const n = 64
 	rng := rand.New(rand.NewSource(2))
 	truthSum, truthMax := 0.0, 0.0
-	var services []*wsgossip.AggregateService
 	for i := 0; i < n; i++ {
 		addr := fmt.Sprintf("mem://service%02d", i)
 		load := 10 + rng.Float64()*90
@@ -65,9 +89,11 @@ func run() error {
 			return err
 		}
 		bus.Register(addr, svc.Handler())
-		services = append(services, svc)
 		if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", addr,
 			wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+			return err
+		}
+		if err := startRunner(svc, int64(i)+1000); err != nil {
 			return err
 		}
 	}
@@ -87,7 +113,14 @@ func run() error {
 		wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
 		return err
 	}
-
+	if err := startRunner(querier, 999); err != nil {
+		return err
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
 	for _, fn := range []wsgossip.AggregateFunc{
 		wsgossip.FuncAvg, wsgossip.FuncCount, wsgossip.FuncMax,
 	} {
@@ -95,12 +128,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// Advance virtual time round by round; every node's exchange timer
+		// fires on its own jittered schedule within each window.
 		rounds := 0
 		for ; rounds < task.Params.MaxRounds && !querier.Converged(task.ID); rounds++ {
-			for _, svc := range services {
-				svc.Tick(ctx)
-			}
-			querier.Tick(ctx)
+			vc.Advance(exchangeEvery)
 		}
 		est, _ := querier.Estimate(task.ID)
 		var truth float64

@@ -26,6 +26,10 @@ type alert struct {
 	Text    string   `xml:"Text"`
 }
 
+// delivered signals each application delivery so the main goroutine waits
+// on events instead of sleep-polling.
+var delivered = make(chan struct{}, 256)
+
 type recorder struct {
 	mu    sync.Mutex
 	name  string
@@ -38,8 +42,12 @@ func (r *recorder) HandleSOAP(_ context.Context, req *soap.Request) (*soap.Envel
 		return nil, err
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.texts = append(r.texts, a.Text)
+	r.mu.Unlock()
+	select {
+	case delivered <- struct{}{}:
+	default:
+	}
 	return nil, nil
 }
 
@@ -167,20 +175,28 @@ func run() error {
 		}
 	}
 
-	// HTTP dissemination is asynchronous one-way at each hop; give the
-	// epidemic a moment to complete.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		done := consumerRec.count() >= 1
+	// HTTP dissemination is asynchronous one-way at each hop; each delivery
+	// signals, so wait on events rather than polling.
+	complete := func() bool {
+		if consumerRec.count() < 1 {
+			return false
+		}
 		for _, rec := range recorders {
 			if rec.count() < notifications {
-				done = false
+				return false
 			}
 		}
-		if done {
-			break
+		return true
+	}
+	timeout := time.After(5 * time.Second)
+wait:
+	for !complete() {
+		select {
+		case <-delivered:
+		case <-timeout:
+			log.Printf("epidemic incomplete at the 5s budget; reporting what arrived")
+			break wait
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
 
 	for i, rec := range recorders {

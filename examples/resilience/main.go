@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"wsgossip/internal/core"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/simnet"
 	"wsgossip/internal/transport"
@@ -85,16 +86,37 @@ func run() error {
 	log.Printf("published one event; %d/%d nodes crashed 5ms in", len(crashed), n)
 	log.Printf("coverage among survivors after push phase: %.1f%%", 100*coverage(net, addrs, delivered, r.ID))
 
-	// Push-pull anti-entropy closes the gap.
-	for round := 0; round < 10; round++ {
-		for i, e := range engines {
-			if net.Crashed(addrs[i]) {
-				continue
-			}
-			e.Tick(ctx)
+	// Push-pull anti-entropy closes the gap. Each survivor owns its repair
+	// schedule: a self-clocking Runner on the network's virtual clock fires
+	// the rounds — the harness only advances time.
+	var runners []*core.Runner
+	for i := range addrs {
+		if net.Crashed(addrs[i]) {
+			continue
 		}
-		net.RunFor(20 * time.Millisecond)
+		runner, err := core.NewRunner(core.RunnerConfig{
+			Clock: net.Clock(),
+			RNG:   rand.New(rand.NewSource(seed*977 + int64(i))),
+			Loops: []core.Loop{{
+				Name:   "repair",
+				Period: 20 * time.Millisecond,
+				Jitter: 2 * time.Millisecond,
+				Tick:   engines[i].Tick,
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		if err := runner.Start(ctx); err != nil {
+			return err
+		}
+		runners = append(runners, runner)
 	}
+	net.RunFor(10 * 20 * time.Millisecond)
+	for _, runner := range runners {
+		runner.Stop()
+	}
+	net.Run() // drain deliveries in flight from the final rounds
 	log.Printf("coverage among survivors after 10 repair rounds: %.1f%%", 100*coverage(net, addrs, delivered, r.ID))
 
 	// The centralized baseline under the same loss (broker survives).

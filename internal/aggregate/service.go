@@ -98,10 +98,17 @@ func (s *Service) Stats() ServiceStats {
 // Handler returns the service's SOAP handler.
 func (s *Service) Handler() soap.Handler {
 	d := soap.NewDispatcher()
+	s.RegisterActions(d)
+	return d
+}
+
+// RegisterActions installs the aggregation actions on an existing
+// dispatcher, for stacks that colocate the participant with other services
+// (e.g. a Disseminator) on one endpoint.
+func (s *Service) RegisterActions(d *soap.Dispatcher) {
 	d.Register(ActionStart, soap.HandlerFunc(s.handleStart))
 	d.Register(ActionExchange, soap.HandlerFunc(s.handleExchange))
 	d.Register(ActionQuery, soap.HandlerFunc(s.handleQuery))
-	return d
 }
 
 // Tasks returns the IDs of the tasks the node participates in, sorted.

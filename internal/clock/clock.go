@@ -1,0 +1,56 @@
+// Package clock abstracts time behind a pluggable interface so the same
+// protocol runtime — the self-clocking gossip loops of core.Runner, the
+// simulated network, the coordinator's activity expiry — runs identically on
+// the wall clock in production and on a deterministic virtual clock in tests
+// and large-N experiments.
+//
+// Two implementations ship:
+//
+//   - Real delegates to package time. Timers fire from the Go runtime's
+//     timer goroutines at wall-clock rate.
+//   - Virtual is a discrete-event scheduler: time stands still until a
+//     driver calls Advance/RunUntil, timers fire in deterministic
+//     (deadline, schedule order) sequence inside the driving goroutine, and
+//     when Advance returns every timer due in the window has fully fired —
+//     the barrier that makes virtual-time tests assertable without sleeps.
+//
+// Times are expressed as offsets (time.Duration) from an arbitrary
+// per-clock epoch rather than as time.Time, matching transport.Clock: an
+// epoch-free timeline is the only honest representation a simulation has.
+package clock
+
+import "time"
+
+// Clock is the time source and timer factory the runtime schedules on.
+//
+// Both implementations satisfy transport.Clock (Now + AfterFunc), so a
+// Clock can drive the transport-level protocols too.
+type Clock interface {
+	// Now returns the current time as an offset from the clock's epoch.
+	Now() time.Duration
+
+	// AfterFunc schedules fn to run once, d from now. The returned stop
+	// function cancels the timer if it has not fired yet and reports
+	// whether cancellation succeeded. fn runs on the clock's firing
+	// goroutine: a timer goroutine for Real, the Advance caller for
+	// Virtual — it must not block indefinitely.
+	AfterFunc(d time.Duration, fn func()) (stop func() bool)
+
+	// After returns a channel that receives the fire time (epoch offset)
+	// once, d from now. The channel is buffered: the send never blocks the
+	// clock.
+	After(d time.Duration) <-chan time.Duration
+
+	// NewTicker returns a ticker that delivers the fire time every d.
+	// Like time.Ticker it drops ticks when the receiver lags (capacity-1
+	// channel) and panics if d <= 0.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker delivers periodic fire times until stopped.
+type Ticker interface {
+	// C returns the delivery channel. Fire times are epoch offsets.
+	C() <-chan time.Duration
+	// Stop cancels future deliveries. It does not drain the channel.
+	Stop()
+}

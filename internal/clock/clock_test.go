@@ -1,0 +1,248 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtZero(t *testing.T) {
+	v := NewVirtual()
+	if v.Now() != 0 {
+		t.Fatalf("new virtual clock at %v, want 0", v.Now())
+	}
+	v.Advance(3 * time.Second)
+	if v.Now() != 3*time.Second {
+		t.Fatalf("after Advance(3s) clock at %v", v.Now())
+	}
+}
+
+func TestVirtualAfterFuncOrdering(t *testing.T) {
+	v := NewVirtual()
+	var order []string
+	v.AfterFunc(20*time.Millisecond, func() { order = append(order, "b") })
+	v.AfterFunc(10*time.Millisecond, func() { order = append(order, "a") })
+	// Equal deadlines fire in schedule order.
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, "c1") })
+	v.AfterFunc(30*time.Millisecond, func() { order = append(order, "c2") })
+	v.Advance(time.Second)
+	want := []string{"a", "b", "c1", "c2"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVirtualTimerSeesFireTime(t *testing.T) {
+	v := NewVirtual()
+	var at time.Duration
+	v.AfterFunc(10*time.Millisecond, func() { at = v.Now() })
+	v.Advance(time.Minute)
+	if at != 10*time.Millisecond {
+		t.Fatalf("callback saw Now=%v, want 10ms", at)
+	}
+	if v.Now() != time.Minute {
+		t.Fatalf("clock at %v after Advance(1m)", v.Now())
+	}
+}
+
+func TestVirtualCancel(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	stop := v.AfterFunc(10*time.Millisecond, func() { fired = true })
+	if !stop() {
+		t.Fatal("first cancel should succeed")
+	}
+	if stop() {
+		t.Fatal("second cancel should report false")
+	}
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestVirtualCascadeWithinWindow(t *testing.T) {
+	// A callback schedules a follow-up inside the window: the follow-up
+	// fires in the same Advance (the barrier guarantee).
+	v := NewVirtual()
+	var hops int
+	var schedule func()
+	schedule = func() {
+		hops++
+		if hops < 5 {
+			v.AfterFunc(10*time.Millisecond, schedule)
+		}
+	}
+	v.AfterFunc(10*time.Millisecond, schedule)
+	v.Advance(100 * time.Millisecond)
+	if hops != 5 {
+		t.Fatalf("cascade ran %d hops in window, want 5", hops)
+	}
+}
+
+func TestVirtualBarrier(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	v.AfterFunc(0, func() { fired = true })
+	if fired {
+		t.Fatal("zero-delay timer fired at schedule time")
+	}
+	v.Barrier()
+	if !fired {
+		t.Fatal("Barrier did not fire due timer")
+	}
+	if v.Now() != 0 {
+		t.Fatalf("Barrier moved the clock to %v", v.Now())
+	}
+}
+
+func TestVirtualAfterChannel(t *testing.T) {
+	v := NewVirtual()
+	ch := v.After(25 * time.Millisecond)
+	v.Advance(20 * time.Millisecond)
+	select {
+	case got := <-ch:
+		t.Fatalf("After fired early at %v", got)
+	default:
+	}
+	v.Advance(10 * time.Millisecond)
+	select {
+	case got := <-ch:
+		if got != 25*time.Millisecond {
+			t.Fatalf("After delivered %v, want 25ms", got)
+		}
+	default:
+		t.Fatal("After did not fire")
+	}
+}
+
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual()
+	tk := v.NewTicker(10 * time.Millisecond)
+	var got []time.Duration
+	for i := 0; i < 4; i++ {
+		v.Advance(10 * time.Millisecond)
+		select {
+		case at := <-tk.C():
+			got = append(got, at)
+		default:
+			t.Fatalf("tick %d not delivered", i)
+		}
+	}
+	for i, at := range got {
+		if want := time.Duration(i+1) * 10 * time.Millisecond; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	// Undrained ticks are dropped, not queued.
+	v.Advance(50 * time.Millisecond)
+	<-tk.C()
+	select {
+	case <-tk.C():
+		t.Fatal("lagging ticker queued more than one tick")
+	default:
+	}
+	tk.Stop()
+	v.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker delivered")
+	default:
+	}
+}
+
+func TestVirtualStepAndRun(t *testing.T) {
+	v := NewVirtual()
+	var n int
+	v.AfterFunc(5*time.Millisecond, func() { n++ })
+	v.AfterFunc(10*time.Millisecond, func() { n++ })
+	if !v.Step() {
+		t.Fatal("Step found no event")
+	}
+	if n != 1 || v.Now() != 5*time.Millisecond {
+		t.Fatalf("after one Step: n=%d now=%v", n, v.Now())
+	}
+	v.Run()
+	if n != 2 {
+		t.Fatalf("Run left events: n=%d", n)
+	}
+	if v.Step() {
+		t.Fatal("Step on drained clock reported an event")
+	}
+}
+
+func TestVirtualConcurrentScheduling(t *testing.T) {
+	// Scheduling from many goroutines while another drives must be
+	// race-free (run under -race).
+	v := NewVirtual()
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v.AfterFunc(time.Duration(i)*time.Millisecond, func() { fired.Add(1) })
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			v.Advance(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	v.Advance(time.Second)
+	if got := fired.Load(); got != 800 {
+		t.Fatalf("fired %d timers, want 800", got)
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	r := NewReal()
+	// Now is monotone across an AfterFunc wait — synchronized, no sleeps.
+	a := r.Now()
+	<-r.After(2 * time.Millisecond)
+	if b := r.Now(); b <= a {
+		t.Fatalf("real clock not advancing: %v then %v", a, b)
+	}
+	fired := make(chan struct{})
+	r.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+}
+
+func TestRealTicker(t *testing.T) {
+	r := NewReal()
+	tk := r.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real ticker never ticked")
+	}
+}
+
+func TestRealCancel(t *testing.T) {
+	r := NewReal()
+	var fired atomic.Bool
+	stop := r.AfterFunc(time.Hour, func() { fired.Store(true) })
+	if !stop() {
+		t.Fatal("cancel failed")
+	}
+	if fired.Load() {
+		t.Fatal("cancelled timer fired")
+	}
+}

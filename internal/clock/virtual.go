@@ -1,0 +1,269 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event Clock. Time does not pass on its
+// own: a driver advances it with Advance/RunUntil/Step, and due timers fire
+// inside that call, in (deadline, schedule order) sequence, on the driving
+// goroutine.
+//
+// The barrier property: when Advance(d) (or RunUntil/Barrier) returns, every
+// timer whose deadline fell inside the window has fired and its callback has
+// run to completion — including timers those callbacks scheduled inside the
+// window. Tests can therefore assert on protocol state immediately after
+// advancing, with no sleeps and no races.
+//
+// Scheduling (Now, AfterFunc, After, NewTicker) is safe from any goroutine,
+// including from inside firing callbacks. Driving (Advance, RunUntil, Step,
+// Run, Barrier) is serialized internally; callbacks must not drive the clock
+// re-entrantly — that would deadlock, and a round firing mid-round is not a
+// meaningful timeline anyway.
+type Virtual struct {
+	runMu sync.Mutex // serializes drivers
+
+	mu    sync.Mutex // guards now, seq, queue
+	now   time.Duration
+	seq   int64
+	queue timerHeap
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// timer is one scheduled callback. A cancelled timer keeps its heap slot
+// with fn nil and is skipped when popped.
+type timer struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// NewVirtual returns a virtual clock at time zero with no timers.
+func NewVirtual() *Virtual {
+	return &Virtual{}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// AfterFunc schedules fn at now+d (d < 0 counts as 0). fn runs inside a
+// future Advance/RunUntil/Step call.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) func() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := v.scheduleLocked(d, fn)
+	return func() bool {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if t.fn == nil {
+			return false
+		}
+		t.fn = nil
+		return true
+	}
+}
+
+func (v *Virtual) scheduleLocked(d time.Duration, fn func()) *timer {
+	if d < 0 {
+		d = 0
+	}
+	v.seq++
+	t := &timer{at: v.now + d, seq: v.seq, fn: fn}
+	heap.Push(&v.queue, t)
+	return t
+}
+
+// After returns a channel receiving the virtual fire time once, d from now.
+func (v *Virtual) After(d time.Duration) <-chan time.Duration {
+	ch := make(chan time.Duration, 1)
+	v.AfterFunc(d, func() { ch <- v.Now() })
+	return ch
+}
+
+// NewTicker returns a virtual ticker firing every d. Ticks are delivered
+// during Advance through a capacity-1 channel; if the receiver has not
+// drained the previous tick, the new one is dropped (time.Ticker semantics).
+func (v *Virtual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	vt := &virtualTicker{v: v, period: d, c: make(chan time.Duration, 1)}
+	vt.mu.Lock()
+	vt.cancel = v.AfterFunc(d, vt.fire)
+	vt.mu.Unlock()
+	return vt
+}
+
+type virtualTicker struct {
+	v      *Virtual
+	period time.Duration
+	c      chan time.Duration
+
+	mu      sync.Mutex
+	cancel  func() bool
+	stopped bool
+}
+
+func (vt *virtualTicker) fire() {
+	vt.mu.Lock()
+	if vt.stopped {
+		vt.mu.Unlock()
+		return
+	}
+	vt.cancel = vt.v.AfterFunc(vt.period, vt.fire)
+	vt.mu.Unlock()
+	select {
+	case vt.c <- vt.v.Now():
+	default:
+	}
+}
+
+func (vt *virtualTicker) C() <-chan time.Duration { return vt.c }
+
+func (vt *virtualTicker) Stop() {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	vt.stopped = true
+	if vt.cancel != nil {
+		vt.cancel()
+		vt.cancel = nil
+	}
+}
+
+// Advance moves the clock forward by d, firing every timer due in the
+// window in deterministic order. The window's start is read after the
+// driver lock is held, so concurrent Advance calls compose: two Advance(d)
+// calls always move the clock 2d in total. See the type comment for the
+// barrier guarantee.
+func (v *Virtual) Advance(d time.Duration) {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	v.mu.Lock()
+	target := v.now + d
+	v.mu.Unlock()
+	v.runUntilLocked(target)
+}
+
+// RunUntil fires every timer with deadline <= t (including timers scheduled
+// by firing callbacks, while their deadlines stay <= t), then sets the clock
+// to exactly t. A target in the past is a no-op barrier at the current time.
+func (v *Virtual) RunUntil(t time.Duration) {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	v.runUntilLocked(t)
+}
+
+// runUntilLocked is RunUntil with runMu already held.
+func (v *Virtual) runUntilLocked(t time.Duration) {
+	for {
+		fn, ok := v.popDueLocked(t)
+		if !ok {
+			return
+		}
+		if fn != nil {
+			fn()
+		}
+	}
+}
+
+// popDueLocked pops the next live timer with deadline <= t and advances now
+// to its deadline. When none remains it advances now to t (if later) and
+// reports false.
+func (v *Virtual) popDueLocked(t time.Duration) (func(), bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for v.queue.Len() > 0 {
+		head := v.queue[0]
+		if head.fn == nil {
+			heap.Pop(&v.queue) // cancelled: discard
+			continue
+		}
+		if head.at > t {
+			break
+		}
+		heap.Pop(&v.queue)
+		v.now = head.at
+		fn := head.fn
+		head.fn = nil
+		return fn, true
+	}
+	if v.now < t {
+		v.now = t
+	}
+	return nil, false
+}
+
+// Barrier fires every timer already due at the current virtual time and
+// returns when their callbacks have completed. Use it after delivering an
+// external event that scheduled zero-delay work.
+func (v *Virtual) Barrier() {
+	v.RunUntil(v.Now())
+}
+
+// Step fires the single next pending timer regardless of its deadline,
+// advancing the clock to it, and reports whether one existed.
+func (v *Virtual) Step() bool {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	v.mu.Lock()
+	var fn func()
+	for v.queue.Len() > 0 {
+		t := heap.Pop(&v.queue).(*timer)
+		if t.fn == nil {
+			continue
+		}
+		v.now = t.at
+		fn = t.fn
+		t.fn = nil
+		break
+	}
+	v.mu.Unlock()
+	if fn == nil {
+		return false
+	}
+	fn()
+	return true
+}
+
+// Run fires pending timers until none remain. With self-rescheduling work
+// on the clock — a Ticker, a core.Runner loop — it never returns; drive
+// those timelines with Advance/RunUntil instead.
+func (v *Virtual) Run() {
+	for v.Step() {
+	}
+}
+
+// Pending reports the number of scheduled timer slots, including cancelled
+// ones not yet discarded.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.queue.Len()
+}

@@ -125,7 +125,16 @@ type Disseminator struct {
 	interactions map[string]*interactionState
 	store        *envelopeStore
 	requested    map[string]struct{}
+	deferAnn     bool
+	pendingAnn   []pendingAnnounce
 	stats        counters
+}
+
+// pendingAnnounce is one lazy-push advertisement queued for the next
+// announce round (deferred mode, see DeferAnnouncements).
+type pendingAnnounce struct {
+	gh    GossipHeader
+	state *interactionState
 }
 
 // NewDisseminator returns a disseminator node.
@@ -163,12 +172,19 @@ func (d *Disseminator) Stats() DisseminatorStats {
 // by the gossip layer middleware on the notify action.
 func (d *Disseminator) Handler() soap.Handler {
 	dispatcher := soap.NewDispatcher()
+	d.RegisterActions(dispatcher)
+	return dispatcher
+}
+
+// RegisterActions installs the gossip-layer actions on an existing
+// dispatcher, for stacks that colocate further services (e.g. an
+// aggregation participant) on one endpoint.
+func (d *Disseminator) RegisterActions(dispatcher *soap.Dispatcher) {
 	dispatcher.Register(ActionNotify, soap.HandlerFunc(d.handleNotify))
 	dispatcher.Register(ActionIHave, soap.HandlerFunc(d.handleIHave))
 	dispatcher.Register(ActionIWant, soap.HandlerFunc(d.handleIWant))
 	dispatcher.Register(ActionDigest, soap.HandlerFunc(d.handleDigest))
 	dispatcher.Register(ActionPullRequest, soap.HandlerFunc(d.handlePullRequest))
-	return dispatcher
 }
 
 // Middleware returns the gossip layer as a reusable soap.Middleware, for
@@ -227,7 +243,15 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 			// WS-PullGossip never forwards eagerly: the notification is
 			// stored and spreads when peers pull it (TickPull).
 		case state.params.Style == gossip.StyleLazyPush.String():
-			d.announce(ctx, gh, state)
+			d.mu.Lock()
+			deferred := d.deferAnn
+			if deferred && len(d.pendingAnn) < maxPendingAnnounces {
+				d.pendingAnn = append(d.pendingAnn, pendingAnnounce{gh: gh, state: state})
+			}
+			d.mu.Unlock()
+			if !deferred {
+				d.announce(ctx, gh, state)
+			}
 		default:
 			d.forward(ctx, req.Envelope, gh, state)
 		}

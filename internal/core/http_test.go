@@ -57,6 +57,20 @@ func TestFigure1OverRealHTTP(t *testing.T) {
 	})
 	coordLB.set(coord.Handler())
 
+	// Every application delivery signals, so the waiter below synchronizes
+	// on actual events instead of sleep-polling.
+	deliveries := make(chan struct{}, 64)
+	signalling := func(h soap.Handler) soap.Handler {
+		return soap.HandlerFunc(func(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+			resp, err := h.HandleSOAP(ctx, req)
+			select {
+			case deliveries <- struct{}{}:
+			default:
+			}
+			return resp, err
+		})
+	}
+
 	const nDissem = 3
 	apps := make([]*CollectingApp, nDissem)
 	for i := 0; i < nDissem; i++ {
@@ -64,7 +78,7 @@ func TestFigure1OverRealHTTP(t *testing.T) {
 		defer closeSrv()
 		apps[i] = NewCollectingApp()
 		d, err := NewDisseminator(DisseminatorConfig{
-			Address: url, Caller: client, App: apps[i],
+			Address: url, Caller: client, App: signalling(apps[i]),
 			RNG: rand.New(rand.NewSource(int64(i) + 5)),
 		})
 		if err != nil {
@@ -79,7 +93,7 @@ func TestFigure1OverRealHTTP(t *testing.T) {
 	consumerLB, consumerURL, closeConsumer := startServer()
 	defer closeConsumer()
 	consumerApp := NewCollectingApp()
-	consumerLB.set(NewConsumer(consumerApp).Handler())
+	consumerLB.set(NewConsumer(signalling(consumerApp)).Handler())
 	if err := SubscribeClient(ctx, client, coordURL, consumerURL, RoleConsumer); err != nil {
 		t.Fatalf("subscribe consumer: %v", err)
 	}
@@ -98,19 +112,25 @@ func TestFigure1OverRealHTTP(t *testing.T) {
 		t.Fatalf("notify: sent=%d err=%v", sent, err)
 	}
 
-	// HTTP hops are asynchronous; wait for the epidemic to complete.
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		all := consumerApp.Count() >= 1
+	// HTTP hops are asynchronous; each delivery signals, so wait on events.
+	allDelivered := func() bool {
+		if consumerApp.Count() < 1 {
+			return false
+		}
 		for _, app := range apps {
 			if app.Count() < 1 {
-				all = false
+				return false
 			}
 		}
-		if all {
-			break
+		return true
+	}
+	timeout := time.After(10 * time.Second)
+	for !allDelivered() {
+		select {
+		case <-deliveries:
+		case <-timeout:
+			t.Fatal("epidemic did not complete within budget")
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
 	for i, app := range apps {
 		if app.Count() != 1 {

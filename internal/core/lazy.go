@@ -49,6 +49,37 @@ func (s *envelopeStore) Get(id string) (*soap.Envelope, bool) {
 
 func (s *envelopeStore) Len() int { return s.order.Len() }
 
+// maxPendingAnnounces bounds the deferred-announcement queue. Beyond it new
+// advertisements are dropped (anti-entropy repair closes the residual gap),
+// which keeps a node that stopped ticking from buffering without bound.
+const maxPendingAnnounces = 4096
+
+// DeferAnnouncements switches the node's lazy-push advertisements from the
+// receive path to a timer: instead of sending IHAVE immediately on intake,
+// the gossip layer queues the advertisement and TickAnnounce flushes the
+// queue each announce round. core.Runner calls this when configured with an
+// announce loop; once deferred, the node must be ticked or lazy-push spread
+// stalls at it.
+func (d *Disseminator) DeferAnnouncements() {
+	d.mu.Lock()
+	d.deferAnn = true
+	d.mu.Unlock()
+}
+
+// TickAnnounce flushes the deferred lazy-push advertisement queue: every
+// notification taken in since the previous round is announced to freshly
+// sampled peers. Call it from a timer at the deployment's announce interval
+// (core.Runner's announce loop does).
+func (d *Disseminator) TickAnnounce(ctx context.Context) {
+	d.mu.Lock()
+	queued := d.pendingAnn
+	d.pendingAnn = nil
+	d.mu.Unlock()
+	for _, p := range queued {
+		d.announce(ctx, p.gh, p.state)
+	}
+}
+
 // announce implements the lazy-push spread step: advertise the notification
 // to up to fanout targets; unseen receivers fetch the payload. The IHAVE is
 // one logical message: it is serialized once and rendered per target.

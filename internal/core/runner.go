@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wsgossip/internal/clock"
+)
+
+// The paper's gossip services are autonomous: each peer fires its periodic
+// push/pull/repair/aggregation rounds on its own schedule. Runner is that
+// schedule — a self-clocking round engine on a pluggable clock. On
+// clock.Real it is the production runtime (cmd/wsgossip-node); on
+// clock.Virtual whole deployments advance deterministically in virtual time
+// (internal/scenario, cmd/wsgossip-sim), which is what makes the paper's
+// timing behaviour testable at all.
+
+// Loop is one periodic round: a name for diagnostics, a period, a jitter
+// bound, and the round body.
+type Loop struct {
+	// Name identifies the loop in diagnostics.
+	Name string
+	// Period is the nominal interval between round starts. Required > 0.
+	Period time.Duration
+	// Jitter is the maximum absolute deviation applied per fire: each
+	// interval is drawn uniformly from [Period-Jitter, Period+Jitter].
+	// Jitter desynchronizes peers so rounds do not phase-lock across a
+	// deployment. Must be < Period; 0 disables.
+	Jitter time.Duration
+	// Tick runs one round. It is called from the clock's firing goroutine
+	// and must return; the next fire is scheduled after it does, so a slow
+	// round delays — never overlaps — its own successor.
+	Tick func(ctx context.Context)
+}
+
+// RunnerConfig configures a Runner. The disseminator and aggregator fields
+// are wiring conveniences for the standard loops; Loops adds arbitrary
+// extra rounds (membership, custom maintenance).
+type RunnerConfig struct {
+	// Clock schedules the rounds; nil uses a new clock.Real.
+	Clock clock.Clock
+	// RNG draws jitter and initial phases; nil falls back to a fixed seed.
+	// Give every node its own seed so peers desynchronize.
+	RNG *rand.Rand
+
+	// Disseminator, when set, contributes the standard dissemination
+	// loops selected by the intervals below.
+	Disseminator *Disseminator
+	// PullEvery fires Disseminator.TickPull (WS-PullGossip rounds);
+	// 0 disables.
+	PullEvery time.Duration
+	// RepairEvery fires Disseminator.TickRepair (anti-entropy digests);
+	// 0 disables.
+	RepairEvery time.Duration
+	// AnnounceEvery fires Disseminator.TickAnnounce and switches the
+	// disseminator to deferred lazy-push announcements (IHAVE batches ride
+	// the timer instead of the receive path); 0 disables.
+	AnnounceEvery time.Duration
+
+	// Aggregator, when set with AggregateEvery, fires push-sum exchange
+	// rounds (aggregate.Service satisfies this).
+	Aggregator interface{ Tick(ctx context.Context) }
+	// AggregateEvery is the aggregation exchange interval; 0 disables.
+	AggregateEvery time.Duration
+
+	// JitterFrac is the jitter bound for the standard loops as a fraction
+	// of each period, in [0, 1). Explicit Loops carry their own Jitter.
+	JitterFrac float64
+
+	// Loops lists additional custom rounds.
+	Loops []Loop
+}
+
+// Runner states.
+const (
+	runnerIdle = iota
+	runnerRunning
+	runnerStopped
+)
+
+// Runner owns a node's periodic protocol rounds and fires them from a
+// Clock: pull rounds, anti-entropy repair, lazy-push announcements,
+// push-sum aggregation. Start launches the loops; Stop (or cancelling the
+// Start context) shuts them down cleanly. A Runner runs once: after Stop it
+// cannot be restarted.
+type Runner struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	loops   []Loop
+	onStart []func() // mode flips applied once the loops go live
+	state   int
+	cancel  context.CancelFunc
+	pending []func() bool // per-loop stop for the scheduled next fire
+
+	inflight sync.WaitGroup
+}
+
+// NewRunner validates the configuration and returns an idle Runner.
+func NewRunner(cfg RunnerConfig) (*Runner, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if cfg.JitterFrac < 0 || cfg.JitterFrac >= 1 {
+		return nil, fmt.Errorf("core: runner jitter fraction %v outside [0,1)", cfg.JitterFrac)
+	}
+	std := func(name string, period time.Duration, tick func(context.Context)) Loop {
+		return Loop{
+			Name:   name,
+			Period: period,
+			Jitter: time.Duration(cfg.JitterFrac * float64(period)),
+			Tick:   tick,
+		}
+	}
+	var loops []Loop
+	var onStart []func()
+	if d := cfg.Disseminator; d != nil {
+		if cfg.PullEvery > 0 {
+			loops = append(loops, std("pull", cfg.PullEvery, d.TickPull))
+		}
+		if cfg.RepairEvery > 0 {
+			loops = append(loops, std("repair", cfg.RepairEvery, d.TickRepair))
+		}
+		if cfg.AnnounceEvery > 0 {
+			loops = append(loops, std("announce", cfg.AnnounceEvery, d.TickAnnounce))
+			// Deferring announcements only once the loops are live: a
+			// Runner that failed validation or was never started must not
+			// leave the disseminator queueing advertisements nobody flushes.
+			onStart = append(onStart, d.DeferAnnouncements)
+		}
+	}
+	if cfg.Aggregator != nil && cfg.AggregateEvery > 0 {
+		loops = append(loops, std("aggregate", cfg.AggregateEvery, cfg.Aggregator.Tick))
+	}
+	loops = append(loops, cfg.Loops...)
+	if len(loops) == 0 {
+		return nil, errors.New("core: runner configured with no loops")
+	}
+	for _, l := range loops {
+		if l.Period <= 0 {
+			return nil, fmt.Errorf("core: loop %q has non-positive period %v", l.Name, l.Period)
+		}
+		if l.Jitter < 0 || l.Jitter >= l.Period {
+			return nil, fmt.Errorf("core: loop %q jitter %v outside [0, period)", l.Name, l.Jitter)
+		}
+		if l.Tick == nil {
+			return nil, fmt.Errorf("core: loop %q has no tick function", l.Name)
+		}
+	}
+	return &Runner{
+		clk:     clk,
+		rng:     rng,
+		loops:   loops,
+		onStart: onStart,
+		pending: make([]func() bool, len(loops)),
+	}, nil
+}
+
+// Loops returns the configured loop names, in firing order.
+func (r *Runner) Loops() []string {
+	names := make([]string, len(r.loops))
+	for i, l := range r.loops {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// Running reports whether the loops are live.
+func (r *Runner) Running() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state == runnerRunning
+}
+
+// Start launches every loop. Each loop's first round fires at a random
+// phase within its first period (peers booting together must not ring
+// together); subsequent rounds fire Period±Jitter after the previous round
+// completes. Cancelling ctx shuts the runner down as Stop does. Starting a
+// running or stopped runner is an error.
+func (r *Runner) Start(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch r.state {
+	case runnerRunning:
+		return errors.New("core: runner already started")
+	case runnerStopped:
+		return errors.New("core: runner cannot be restarted after stop")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	r.cancel = cancel
+	r.state = runnerRunning
+	for _, fn := range r.onStart {
+		fn()
+	}
+	for i := range r.loops {
+		i := i
+		// Initial phase in (0, Period]: uniform desynchronization.
+		phase := time.Duration(r.rng.Float64()*float64(r.loops[i].Period)) + 1
+		r.pending[i] = r.clk.AfterFunc(phase, func() { r.fire(ctx, i) })
+	}
+	go func() {
+		<-ctx.Done()
+		r.Stop()
+	}()
+	return nil
+}
+
+// fire runs one round of loop i and schedules the next.
+func (r *Runner) fire(ctx context.Context, i int) {
+	r.mu.Lock()
+	if r.state != runnerRunning || ctx.Err() != nil {
+		r.mu.Unlock()
+		return
+	}
+	r.pending[i] = nil
+	r.inflight.Add(1)
+	r.mu.Unlock()
+
+	r.loops[i].Tick(ctx)
+	r.inflight.Done()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != runnerRunning || ctx.Err() != nil {
+		return
+	}
+	r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), func() { r.fire(ctx, i) })
+}
+
+// nextDelayLocked draws the next interval for loop i: Period ± U(0, Jitter).
+func (r *Runner) nextDelayLocked(i int) time.Duration {
+	l := r.loops[i]
+	d := l.Period
+	if l.Jitter > 0 {
+		d += time.Duration((r.rng.Float64()*2 - 1) * float64(l.Jitter))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Stop cancels the pending round timers, waits for in-flight rounds to
+// finish, and leaves the runner stopped. It is idempotent and a no-op on a
+// never-started runner. Do not call Stop from inside a loop's Tick — it
+// waits on that very round.
+func (r *Runner) Stop() {
+	r.mu.Lock()
+	if r.state != runnerRunning {
+		r.mu.Unlock()
+		r.inflight.Wait()
+		return
+	}
+	r.state = runnerStopped
+	cancel := r.cancel
+	stops := make([]func() bool, 0, len(r.pending))
+	for i, stop := range r.pending {
+		if stop != nil {
+			stops = append(stops, stop)
+			r.pending[i] = nil
+		}
+	}
+	r.mu.Unlock()
+	cancel()
+	for _, stop := range stops {
+		stop()
+	}
+	r.inflight.Wait()
+}

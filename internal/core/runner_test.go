@@ -1,0 +1,459 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"wsgossip/internal/clock"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/soap"
+)
+
+func countingLoop(name string, period, jitter time.Duration, fn func(context.Context)) Loop {
+	return Loop{Name: name, Period: period, Jitter: jitter, Tick: fn}
+}
+
+func TestRunnerConfigValidation(t *testing.T) {
+	if _, err := NewRunner(RunnerConfig{}); err == nil {
+		t.Fatal("runner with no loops must be rejected")
+	}
+	if _, err := NewRunner(RunnerConfig{
+		Loops: []Loop{countingLoop("x", 0, 0, func(context.Context) {})},
+	}); err == nil {
+		t.Fatal("non-positive period must be rejected")
+	}
+	if _, err := NewRunner(RunnerConfig{
+		Loops: []Loop{countingLoop("x", time.Second, time.Second, func(context.Context) {})},
+	}); err == nil {
+		t.Fatal("jitter >= period must be rejected")
+	}
+	if _, err := NewRunner(RunnerConfig{
+		Loops: []Loop{{Name: "x", Period: time.Second}},
+	}); err == nil {
+		t.Fatal("nil tick must be rejected")
+	}
+	if _, err := NewRunner(RunnerConfig{
+		JitterFrac: 1.5,
+		Loops:      []Loop{countingLoop("x", time.Second, 0, func(context.Context) {})},
+	}); err == nil {
+		t.Fatal("jitter fraction >= 1 must be rejected")
+	}
+}
+
+func TestRunnerLifecycle(t *testing.T) {
+	v := clock.NewVirtual()
+	rounds := 0
+	r, err := NewRunner(RunnerConfig{
+		Clock: v,
+		Loops: []Loop{countingLoop("count", 10*time.Millisecond, 0, func(context.Context) { rounds++ })},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop before start is a harmless no-op; the runner stays startable.
+	r.Stop()
+	if r.Running() {
+		t.Fatal("runner running before start")
+	}
+
+	ctx := context.Background()
+	if err := r.Start(ctx); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if !r.Running() {
+		t.Fatal("runner not running after start")
+	}
+	if err := r.Start(ctx); err == nil {
+		t.Fatal("double start must error")
+	}
+
+	v.Advance(105 * time.Millisecond)
+	if rounds < 9 || rounds > 10 {
+		t.Fatalf("rounds = %d after 105ms at 10ms period, want 9..10", rounds)
+	}
+
+	r.Stop()
+	r.Stop() // idempotent
+	if r.Running() {
+		t.Fatal("runner running after stop")
+	}
+	got := rounds
+	v.Advance(time.Second)
+	if rounds != got {
+		t.Fatalf("rounds advanced after stop: %d -> %d", got, rounds)
+	}
+	if err := r.Start(ctx); err == nil {
+		t.Fatal("restart after stop must error")
+	}
+}
+
+func TestRunnerContextCancellationMidRound(t *testing.T) {
+	v := clock.NewVirtual()
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	r, err := NewRunner(RunnerConfig{
+		Clock: v,
+		Loops: []Loop{countingLoop("count", 10*time.Millisecond, 0, func(context.Context) {
+			rounds++
+			if rounds == 3 {
+				cancel() // cancelled from inside the round
+			}
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v.Advance(time.Second)
+	if rounds != 3 {
+		t.Fatalf("rounds = %d after mid-round cancellation, want exactly 3", rounds)
+	}
+	r.Stop() // waits out the watcher; safe after cancellation
+}
+
+func TestRunnerPreCancelledContext(t *testing.T) {
+	v := clock.NewVirtual()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rounds := 0
+	r, err := NewRunner(RunnerConfig{
+		Clock: v,
+		Loops: []Loop{countingLoop("count", 10*time.Millisecond, 0, func(context.Context) { rounds++ })},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v.Advance(time.Second)
+	if rounds != 0 {
+		t.Fatalf("rounds = %d under pre-cancelled context, want 0", rounds)
+	}
+	r.Stop()
+}
+
+// TestRunnerJitterBounds is the property test for the schedule: every
+// inter-round gap stays within Period ± Jitter, the initial phase within
+// (0, Period], and two loops with private RNG streams desynchronize.
+func TestRunnerJitterBounds(t *testing.T) {
+	const (
+		period = 100 * time.Millisecond
+		jitter = 20 * time.Millisecond
+		fires  = 300
+	)
+	v := clock.NewVirtual()
+	var times []time.Duration
+	r, err := NewRunner(RunnerConfig{
+		Clock: v,
+		RNG:   rand.New(rand.NewSource(42)),
+		Loops: []Loop{countingLoop("jittered", period, jitter, func(context.Context) {
+			times = append(times, v.Now())
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for len(times) < fires {
+		v.Advance(period)
+	}
+	r.Stop()
+
+	if times[0] <= 0 || times[0] > period {
+		t.Fatalf("initial phase %v outside (0, period]", times[0])
+	}
+	var spread bool
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		if gap < period-jitter || gap > period+jitter {
+			t.Fatalf("fire %d gap %v outside [%v, %v]", i, gap, period-jitter, period+jitter)
+		}
+		if gap != period {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("jitter never moved a fire off the nominal period")
+	}
+}
+
+// TestRunnerSelfClockingDissemination wires a full Figure-1 deployment in
+// pull style and lets the Runner — not the harness — fire the rounds on a
+// virtual clock: publish, advance, and the content spreads.
+func TestRunnerSelfClockingDissemination(t *testing.T) {
+	v := clock.NewVirtual()
+	bus := soap.NewMemBus()
+	coord := NewCoordinator(CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(3)),
+	})
+	bus.Register("mem://coordinator", coord.Handler())
+
+	const nodes = 8
+	apps := make([]*CollectingApp, nodes)
+	dissems := make([]*Disseminator, nodes)
+	runners := make([]*Runner, nodes)
+	ctx := context.Background()
+	for i := 0; i < nodes; i++ {
+		addr := fmt.Sprintf("mem://node%d", i)
+		apps[i] = NewCollectingApp()
+		d, err := NewDisseminator(DisseminatorConfig{
+			Address: addr,
+			Caller:  bus,
+			App:     apps[i],
+			RNG:     rand.New(rand.NewSource(int64(i) + 10)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, d.Handler())
+		dissems[i] = d
+		if err := SubscribeClient(ctx, bus, "mem://coordinator", addr, RoleDisseminator); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(RunnerConfig{
+			Clock:        v,
+			RNG:          rand.New(rand.NewSource(int64(i) + 100)),
+			Disseminator: d,
+			PullEvery:    50 * time.Millisecond,
+			RepairEvery:  200 * time.Millisecond,
+			JitterFrac:   0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		runners[i] = r
+	}
+
+	// Activate a pull interaction, seed the initiator's direct targets
+	// once, and have every node join.
+	init, err := NewInitiator(InitiatorConfig{
+		Address:    "mem://initiator",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := init.StartProtocolInteraction(ctx, ProtocolPullGossip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := init.Notify(ctx, inter, quoteBody{Symbol: "PULL", Price: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dissems {
+		if err := d.JoinInteraction(ctx, inter.Context, ProtocolPullGossip); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No harness ticks from here on: rounds fire from the runners alone.
+	v.Advance(2 * time.Second)
+	for i, app := range apps {
+		if app.Count() != 1 {
+			t.Fatalf("node %d deliveries = %d, want exactly 1", i, app.Count())
+		}
+	}
+	for _, r := range runners {
+		r.Stop()
+	}
+}
+
+// TestRunnerDeferredAnnounceRounds verifies the announce loop: in deferred
+// mode the IHAVE for a received notification leaves only when the announce
+// timer fires, not on the receive path.
+func TestRunnerDeferredAnnounceRounds(t *testing.T) {
+	v := clock.NewVirtual()
+	bus := soap.NewMemBus()
+	coord := NewCoordinator(CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(5)),
+		Style:   gossip.StyleLazyPush,
+		Params:  func(int) (int, int) { return 2, 6 },
+	})
+	bus.Register("mem://coordinator", coord.Handler())
+
+	const nodes = 6
+	apps := make([]*CollectingApp, nodes)
+	ctx := context.Background()
+	var runners []*Runner
+	for i := 0; i < nodes; i++ {
+		addr := fmt.Sprintf("mem://node%d", i)
+		apps[i] = NewCollectingApp()
+		d, err := NewDisseminator(DisseminatorConfig{
+			Address: addr,
+			Caller:  bus,
+			App:     apps[i],
+			RNG:     rand.New(rand.NewSource(int64(i) + 20)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, d.Handler())
+		if err := SubscribeClient(ctx, bus, "mem://coordinator", addr, RoleDisseminator); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(RunnerConfig{
+			Clock:         v,
+			RNG:           rand.New(rand.NewSource(int64(i) + 200)),
+			Disseminator:  d,
+			AnnounceEvery: 30 * time.Millisecond,
+			RepairEvery:   300 * time.Millisecond,
+			JitterFrac:    0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, r)
+	}
+
+	init, err := NewInitiator(InitiatorConfig{
+		Address:    "mem://initiator",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := init.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sent, err := init.Notify(ctx, inter, quoteBody{Symbol: "LAZY", Price: 1}); err != nil || sent == 0 {
+		t.Fatalf("notify: sent=%d err=%v", sent, err)
+	}
+
+	// MemBus is synchronous, so the initiator's direct targets have the
+	// payload — but deferred announcements mean nothing spread beyond them
+	// yet at virtual time zero.
+	direct := 0
+	for _, app := range apps {
+		if app.Count() > 0 {
+			direct++
+		}
+	}
+	if direct >= nodes {
+		t.Fatalf("deferred mode spread to all %d nodes before any announce round", nodes)
+	}
+
+	v.Advance(2 * time.Second)
+	for i, app := range apps {
+		if app.Count() != 1 {
+			t.Fatalf("node %d deliveries = %d after announce rounds, want 1", i, app.Count())
+		}
+	}
+	for _, r := range runners {
+		r.Stop()
+	}
+}
+
+// TestRunnerConcurrentLifecycleRace exercises the wall-clock path under the
+// race detector: runner rounds firing from real timers while subscriptions,
+// notifications, and shutdown run concurrently.
+func TestRunnerConcurrentLifecycleRace(t *testing.T) {
+	bus := soap.NewMemBus()
+	coord := NewCoordinator(CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(9)),
+	})
+	bus.Register("mem://coordinator", coord.Handler())
+
+	ctx := context.Background()
+	const nodes = 4
+	var runners []*Runner
+	var dissems []*Disseminator
+	for i := 0; i < nodes; i++ {
+		addr := fmt.Sprintf("mem://node%d", i)
+		d, err := NewDisseminator(DisseminatorConfig{
+			Address: addr,
+			Caller:  bus,
+			App:     NewCollectingApp(),
+			RNG:     rand.New(rand.NewSource(int64(i) + 30)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, d.Handler())
+		if err := SubscribeClient(ctx, bus, "mem://coordinator", addr, RoleDisseminator); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(RunnerConfig{
+			Disseminator: d, // real clock
+			RNG:          rand.New(rand.NewSource(int64(i) + 300)),
+			PullEvery:    5 * time.Millisecond,
+			RepairEvery:  7 * time.Millisecond,
+			JitterFrac:   0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, r)
+		dissems = append(dissems, d)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // churn subscriptions
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			addr := fmt.Sprintf("mem://late%d", i)
+			_ = SubscribeClient(ctx, bus, "mem://coordinator", addr, RoleConsumer)
+			coord.Unsubscribe(addr)
+		}
+	}()
+	go func() { // notifications racing the rounds
+		defer wg.Done()
+		init, err := NewInitiator(InitiatorConfig{
+			Address:    "mem://initiator",
+			Caller:     bus,
+			Activation: "mem://coordinator",
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		inter, err := init.StartInteraction(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			if _, _, err := init.Notify(ctx, inter, quoteBody{Symbol: "RACE", Price: float64(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // stats reads racing the rounds
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			for _, d := range dissems {
+				_ = d.Stats()
+			}
+		}
+	}()
+	wg.Wait()
+	for _, r := range runners {
+		r.Stop()
+	}
+}

@@ -474,6 +474,7 @@ func TestEngineUnderWallClockTransportSmoke(t *testing.T) {
 	b := lb.endpoint("b")
 	peers := NewStaticPeers([]string{"a", "b"})
 	var gotB atomic.Int32
+	gotBCh := make(chan struct{}, 4)
 	mkEngine := func(ep transport.Endpoint, deliver func(Rumor)) *Engine {
 		eng, err := New(Config{
 			Style: StylePush, Fanout: 1, Hops: 2,
@@ -490,13 +491,15 @@ func TestEngineUnderWallClockTransportSmoke(t *testing.T) {
 		return eng
 	}
 	ea := mkEngine(a, nil)
-	mkEngine(b, func(Rumor) { gotB.Add(1) })
+	mkEngine(b, func(Rumor) { gotB.Add(1); gotBCh <- struct{}{} })
 	if _, err := ea.Publish(context.Background(), []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for gotB.Load() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	// Explicit synchronization, no polling: the delivery callback signals.
+	select {
+	case <-gotBCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("b never delivered")
 	}
 	if got := gotB.Load(); got != 1 {
 		t.Fatalf("b deliveries = %d", got)

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wsgossip/internal/clock"
+	"wsgossip/internal/soap"
+)
+
+// virtBus is a SOAP binding for virtual-time scenario tests: one-way
+// exchanges (the gossip traffic) ride the virtual clock with seeded link
+// delay, seeded loss, and crash faults, while request-response exchanges
+// (the WS-Coordination control plane) stay synchronous and reliable — the
+// coordinator is not the component under stress here.
+//
+// All delivery callbacks fire inside clock.Virtual.Advance, so a scenario
+// is one goroutine advancing time and asserting; there is nothing to await.
+type virtBus struct {
+	clk *clock.Virtual
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	handlers map[string]soap.Handler
+	down     map[string]bool
+	loss     float64
+	minDelay time.Duration
+	maxDelay time.Duration
+
+	sent, dropped, delivered int
+}
+
+var (
+	_ soap.Caller        = (*virtBus)(nil)
+	_ soap.EncodedSender = (*virtBus)(nil)
+)
+
+func newVirtBus(clk *clock.Virtual, seed int64, minDelay, maxDelay time.Duration) *virtBus {
+	if maxDelay < minDelay {
+		maxDelay = minDelay
+	}
+	return &virtBus{
+		clk:      clk,
+		rng:      rand.New(rand.NewSource(seed)),
+		handlers: make(map[string]soap.Handler),
+		down:     make(map[string]bool),
+		minDelay: minDelay,
+		maxDelay: maxDelay,
+	}
+}
+
+func (b *virtBus) Register(addr string, h soap.Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers[addr] = h
+}
+
+// Crash marks addr down: its inbound messages are dropped, including ones
+// already in flight.
+func (b *virtBus) Crash(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down[addr] = true
+}
+
+// SetLoss changes the one-way message loss probability.
+func (b *virtBus) SetLoss(p float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loss = p
+}
+
+// Stats returns (sent, dropped, delivered) one-way message counts.
+func (b *virtBus) Stats() (sent, dropped, delivered int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sent, b.dropped, b.delivered
+}
+
+// Call is the reliable, synchronous control plane (Activation,
+// Registration, Subscribe, estimate queries).
+func (b *virtBus) Call(ctx context.Context, to string, env *soap.Envelope) (*soap.Envelope, error) {
+	b.mu.Lock()
+	h := b.handlers[to]
+	down := b.down[to]
+	b.mu.Unlock()
+	if h == nil || down {
+		return nil, fmt.Errorf("virtbus: unreachable endpoint %s", to)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := soap.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.HandleSOAP(ctx, &soap.Request{
+		Addressing: decoded.Addressing(),
+		Envelope:   decoded,
+		Remote:     "virtbus",
+	})
+	if err != nil {
+		return nil, soap.AsFault(err)
+	}
+	if f := soap.FaultFrom(resp); f != nil {
+		return nil, f
+	}
+	return resp, nil
+}
+
+// Send is the lossy, delayed one-way path every gossip exchange takes.
+func (b *virtBus) Send(ctx context.Context, to string, env *soap.Envelope) error {
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	return b.SendEncoded(ctx, to, data)
+}
+
+// SendEncoded implements the encode-once fan-out path.
+func (b *virtBus) SendEncoded(_ context.Context, to string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.handlers[to] == nil {
+		return fmt.Errorf("virtbus: unknown endpoint %s", to)
+	}
+	b.sent++
+	if b.down[to] || b.rng.Float64() < b.loss {
+		b.dropped++
+		return nil
+	}
+	delay := b.minDelay
+	if span := b.maxDelay - b.minDelay; span > 0 {
+		delay += time.Duration(b.rng.Int63n(int64(span) + 1))
+	}
+	b.clk.AfterFunc(delay, func() {
+		b.mu.Lock()
+		h := b.handlers[to]
+		down := b.down[to]
+		b.mu.Unlock()
+		if h == nil || down {
+			b.mu.Lock()
+			b.dropped++
+			b.mu.Unlock()
+			return
+		}
+		decoded, err := soap.Decode(data)
+		if err != nil {
+			return
+		}
+		b.mu.Lock()
+		b.delivered++
+		b.mu.Unlock()
+		// One-way semantics: handler errors vanish, as over HTTP 202.
+		_, _ = h.HandleSOAP(context.Background(), &soap.Request{
+			Addressing: decoded.Addressing(),
+			Envelope:   decoded,
+			Remote:     "virtbus",
+		})
+	})
+	return nil
+}

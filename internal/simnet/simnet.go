@@ -12,13 +12,13 @@
 package simnet
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
+	"wsgossip/internal/clock"
 	"wsgossip/internal/transport"
 )
 
@@ -46,32 +46,6 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-type event struct {
-	at  time.Duration
-	seq int64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Stats aggregates network-level observations for an experiment run.
 type Stats struct {
 	Sent      int64
@@ -80,17 +54,18 @@ type Stats struct {
 	Bytes     int64
 }
 
-// Network is the simulated fabric. It is safe for use from the single
-// goroutine that drives Run/Step; handlers execute inside that loop.
-// The mutex only guards cross-goroutine inspection of stats and topology.
+// Network is the simulated fabric. Scheduling rides on a clock.Virtual —
+// the network's own by default, or one shared with other timelines (a
+// core.Runner's round timers, another network) via NewOnClock, so protocol
+// timers and message deliveries interleave on a single deterministic event
+// order. Handlers execute inside the goroutine that drives Run/Step/RunFor.
+// The mutex guards cross-goroutine inspection of stats and topology.
 type Network struct {
 	cfg Config
-	rng *rand.Rand
+	clk *clock.Virtual
 
 	mu        sync.Mutex
-	now       time.Duration
-	seq       int64
-	queue     eventHeap
+	rng       *rand.Rand
 	nodes     map[string]*Node
 	crashed   map[string]bool
 	slowdown  map[string]time.Duration
@@ -100,13 +75,22 @@ type Network struct {
 	stats     Stats
 }
 
-// New returns an empty network with the given configuration.
+// New returns an empty network with the given configuration, on its own
+// virtual clock.
 func New(cfg Config) *Network {
+	return NewOnClock(cfg, clock.NewVirtual())
+}
+
+// NewOnClock returns an empty network scheduling on clk. Attach protocol
+// runtimes (core.Runner) to the same clock to run self-clocking nodes and
+// the fabric on one shared virtual timeline.
+func NewOnClock(cfg Config, clk *clock.Virtual) *Network {
 	if cfg.MaxLatency < cfg.MinLatency {
 		cfg.MaxLatency = cfg.MinLatency
 	}
 	return &Network{
 		cfg:       cfg,
+		clk:       clk,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		nodes:     make(map[string]*Node),
 		crashed:   make(map[string]bool),
@@ -118,37 +102,15 @@ func New(cfg Config) *Network {
 
 var _ transport.Clock = (*Network)(nil)
 
+// Clock returns the virtual clock the network schedules on.
+func (n *Network) Clock() *clock.Virtual { return n.clk }
+
 // Now returns the current virtual time.
-func (n *Network) Now() time.Duration {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.now
-}
+func (n *Network) Now() time.Duration { return n.clk.Now() }
 
 // AfterFunc schedules fn at now+d on the virtual clock.
 func (n *Network) AfterFunc(d time.Duration, fn func()) func() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ev := n.scheduleLocked(d, fn)
-	return func() bool {
-		n.mu.Lock()
-		defer n.mu.Unlock()
-		if ev.fn == nil {
-			return false
-		}
-		ev.fn = nil
-		return true
-	}
-}
-
-func (n *Network) scheduleLocked(d time.Duration, fn func()) *event {
-	if d < 0 {
-		d = 0
-	}
-	n.seq++
-	ev := &event{at: n.now + d, seq: n.seq, fn: fn}
-	heap.Push(&n.queue, ev)
-	return ev
+	return n.clk.AfterFunc(d, fn)
 }
 
 // Node returns the endpoint for addr, creating it on first use.
@@ -250,83 +212,24 @@ func (n *Network) ResetStats() {
 }
 
 // Step executes the next pending event and reports whether one existed.
-func (n *Network) Step() bool {
-	n.mu.Lock()
-	var ev *event
-	for n.queue.Len() > 0 {
-		ev = heap.Pop(&n.queue).(*event)
-		if ev.fn != nil {
-			break
-		}
-		ev = nil
-	}
-	if ev == nil {
-		n.mu.Unlock()
-		return false
-	}
-	n.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
-	n.mu.Unlock()
-	fn()
-	return true
-}
+func (n *Network) Step() bool { return n.clk.Step() }
 
 // Run drains all pending events (including ones scheduled while draining).
-func (n *Network) Run() {
-	for n.Step() {
-	}
-}
+// With self-rescheduling timers on the shared clock — a core.Runner's round
+// loops — it never returns; drive those timelines with RunFor/RunUntil.
+func (n *Network) Run() { n.clk.Run() }
 
 // RunFor drains events with timestamps up to now+d, then advances the clock
 // to exactly now+d.
-func (n *Network) RunFor(d time.Duration) {
-	n.mu.Lock()
-	deadline := n.now + d
-	n.mu.Unlock()
-	n.RunUntil(deadline)
-}
+func (n *Network) RunFor(d time.Duration) { n.clk.Advance(d) }
 
 // RunUntil drains events with timestamps up to the absolute virtual time t,
 // then sets the clock to t.
-func (n *Network) RunUntil(t time.Duration) {
-	for {
-		n.mu.Lock()
-		var ev *event
-		for n.queue.Len() > 0 {
-			head := n.queue[0]
-			if head.fn == nil {
-				heap.Pop(&n.queue)
-				continue
-			}
-			if head.at > t {
-				break
-			}
-			ev = heap.Pop(&n.queue).(*event)
-			break
-		}
-		if ev == nil {
-			if n.now < t {
-				n.now = t
-			}
-			n.mu.Unlock()
-			return
-		}
-		n.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		n.mu.Unlock()
-		fn()
-	}
-}
+func (n *Network) RunUntil(t time.Duration) { n.clk.RunUntil(t) }
 
 // Pending reports the number of undelivered events (including cancelled
-// timer slots not yet popped).
-func (n *Network) Pending() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.queue.Len()
-}
+// timer slots not yet popped) on the network's clock.
+func (n *Network) Pending() int { return n.clk.Pending() }
 
 func (n *Network) reachableLocked(from, to string) bool {
 	if !n.split {
@@ -359,7 +262,7 @@ func (n *Network) send(from string, msg transport.Message) error {
 	}
 	latency += n.cfg.ProcDelay + n.slowdown[msg.To]
 	msg.From = from
-	n.scheduleLocked(latency, func() {
+	n.clk.AfterFunc(latency, func() {
 		n.deliver(dest, msg)
 	})
 	return nil

@@ -10,6 +10,8 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"wsgossip/internal/clock"
 )
 
 // ErrClosed reports a send through a closed transport.
@@ -51,7 +53,9 @@ type Endpoint interface {
 }
 
 // Clock abstracts time so protocols run identically on the simulator's
-// virtual clock and the wall clock.
+// virtual clock and the wall clock. It is the minimal subset of
+// clock.Clock the transport-level protocols need; clock.Real,
+// clock.Virtual, and simnet.Network all satisfy it.
 type Clock interface {
 	// Now returns the current time as an offset from an arbitrary epoch.
 	Now() time.Duration
@@ -60,23 +64,13 @@ type Clock interface {
 	AfterFunc(d time.Duration, fn func()) (stop func() bool)
 }
 
-// WallClock is a Clock backed by real time.
-type WallClock struct {
-	epoch time.Time
-}
+// WallClock is the real-time Clock — clock.Real, which keeps exactly one
+// wall-clock implementation in the tree.
+type WallClock = clock.Real
 
 var _ Clock = (*WallClock)(nil)
 
 // NewWallClock returns a wall clock with its epoch at construction time.
 func NewWallClock() *WallClock {
-	return &WallClock{epoch: time.Now()}
-}
-
-// Now returns the elapsed wall time since the epoch.
-func (c *WallClock) Now() time.Duration { return time.Since(c.epoch) }
-
-// AfterFunc schedules fn on the wall clock.
-func (c *WallClock) AfterFunc(d time.Duration, fn func()) func() bool {
-	t := time.AfterFunc(d, fn)
-	return t.Stop
+	return clock.NewReal()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -94,7 +95,10 @@ func TestMuxConcurrentAccess(t *testing.T) {
 func TestWallClockMonotone(t *testing.T) {
 	c := NewWallClock()
 	a := c.Now()
-	time.Sleep(2 * time.Millisecond)
+	// Explicit synchronization, no sleep: wait for a short timer to fire.
+	fired := make(chan struct{})
+	c.AfterFunc(2*time.Millisecond, func() { close(fired) })
+	<-fired
 	b := c.Now()
 	if b <= a {
 		t.Fatalf("clock not advancing: %v then %v", a, b)
@@ -114,13 +118,17 @@ func TestWallClockAfterFunc(t *testing.T) {
 
 func TestWallClockAfterFuncCancel(t *testing.T) {
 	c := NewWallClock()
-	fired := false
-	stop := c.AfterFunc(50*time.Millisecond, func() { fired = true })
+	var fired atomic.Bool
+	stop := c.AfterFunc(10*time.Millisecond, func() { fired.Store(true) })
 	if !stop() {
 		t.Fatal("cancel failed")
 	}
-	time.Sleep(80 * time.Millisecond)
-	if fired {
+	// A sentinel timer scheduled after the cancelled one bounds the wait:
+	// when it fires, the cancelled timer's slot has long passed.
+	sentinel := make(chan struct{})
+	c.AfterFunc(30*time.Millisecond, func() { close(sentinel) })
+	<-sentinel
+	if fired.Load() {
 		t.Fatal("cancelled timer fired")
 	}
 }

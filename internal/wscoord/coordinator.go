@@ -20,9 +20,14 @@ type Registrant struct {
 }
 
 // Activity is one coordinated activity created through Activation.
+// Context and Created are immutable after creation; the registrant list has
+// its own lock because activity pointers escape to registration extensions
+// and OnCreate observers that run outside the coordinator's lock.
 type Activity struct {
-	Context     CoordinationContext
-	Created     time.Time
+	Context CoordinationContext
+	Created time.Time
+
+	mu          sync.Mutex
 	registrants []Registrant
 }
 
@@ -38,6 +43,8 @@ func (a *Activity) Expired(now time.Time) bool {
 
 // Registrants returns a copy of the registrant list.
 func (a *Activity) Registrants() []Registrant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make([]Registrant, len(a.registrants))
 	copy(out, a.registrants)
 	return out
@@ -61,6 +68,10 @@ type Config struct {
 	// OnCreate, when set, observes every created activity (both the SOAP
 	// Activation path and in-process creation).
 	OnCreate func(*Activity)
+	// Now supplies the time used for activity creation stamps and expiry
+	// checks; nil uses time.Now. Tests and virtual-time deployments inject
+	// a clock-backed source here.
+	Now func() time.Time
 }
 
 // Coordinator implements the WS-Coordination Activation and Registration
@@ -84,6 +95,14 @@ func NewCoordinator(cfg Config) *Coordinator {
 		types:      types,
 		activities: make(map[string]*Activity),
 	}
+}
+
+// now returns the coordinator's current time.
+func (c *Coordinator) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
 }
 
 // Address returns the coordinator endpoint address.
@@ -111,7 +130,7 @@ func (c *Coordinator) CreateActivity(coordType string, expires uint64) (*Activit
 		CoordinationType:    coordType,
 		RegistrationService: ServiceRef{Address: c.cfg.Address},
 	}
-	act := &Activity{Context: ctx, Created: time.Now()}
+	act := &Activity{Context: ctx, Created: c.now()}
 	c.mu.Lock()
 	c.activities[ctx.Identifier] = act
 	c.mu.Unlock()
@@ -151,11 +170,13 @@ func (c *Coordinator) AddRegistrant(activityID string, reg Registrant) (*Activit
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownActivity, activityID)
 	}
-	if act.Expired(time.Now()) {
+	if act.Expired(c.now()) {
 		delete(c.activities, activityID)
 		return nil, fmt.Errorf("%w: %s (expired)", ErrUnknownActivity, activityID)
 	}
+	act.mu.Lock()
 	act.registrants = append(act.registrants, reg)
+	act.mu.Unlock()
 	return act, nil
 }
 
@@ -183,7 +204,7 @@ func (c *Coordinator) ImportActivity(ctx CoordinationContext) *Activity {
 	if act, ok := c.activities[ctx.Identifier]; ok {
 		return act
 	}
-	act := &Activity{Context: ctx, Created: time.Now()}
+	act := &Activity{Context: ctx, Created: c.now()}
 	c.activities[ctx.Identifier] = act
 	return act
 }

@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/xml"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"wsgossip/internal/clock"
 	"wsgossip/internal/soap"
 )
 
@@ -319,5 +322,73 @@ func TestRegisterOnExpiredActivityFails(t *testing.T) {
 	// The expired activity is garbage-collected on contact.
 	if _, ok := coord.Activity(act.Context.Identifier); ok {
 		t.Fatal("expired activity survived registration attempt")
+	}
+}
+
+// TestInjectedClockExpiry drives activity expiry entirely on an injected
+// virtual time source: no wall-clock dependence, no Created rewriting.
+func TestInjectedClockExpiry(t *testing.T) {
+	vc := clock.NewVirtual()
+	epoch := time.Unix(0, 0)
+	coord := NewCoordinator(Config{
+		Address:        "mem://coordinator",
+		SupportedTypes: []string{testType},
+		Now:            func() time.Time { return epoch.Add(vc.Now()) },
+	})
+	act, err := coord.CreateActivity(testType, 50) // 50 ms window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !act.Created.Equal(epoch) {
+		t.Fatalf("created stamp %v, want epoch", act.Created)
+	}
+	vc.Advance(40 * time.Millisecond)
+	if _, err := coord.AddRegistrant(act.Context.Identifier, Registrant{
+		Protocol: "urn:p", Service: "mem://a",
+	}); err != nil {
+		t.Fatalf("register inside window: %v", err)
+	}
+	vc.Advance(20 * time.Millisecond) // 60 ms > 50 ms window
+	if _, err := coord.AddRegistrant(act.Context.Identifier, Registrant{
+		Protocol: "urn:p", Service: "mem://b",
+	}); !errors.Is(err, ErrUnknownActivity) {
+		t.Fatalf("err = %v, want ErrUnknownActivity after virtual expiry", err)
+	}
+}
+
+// TestConcurrentRegistrantsRace hammers AddRegistrant against Registrants
+// readers — the activity pointer escapes to extensions and observers, so
+// the list needs its own synchronization (run under -race).
+func TestConcurrentRegistrantsRace(t *testing.T) {
+	coord, _ := newTestCoordinator(nil)
+	act, err := coord.CreateActivity(testType, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := coord.AddRegistrant(act.Context.Identifier, Registrant{
+					Protocol: "urn:p",
+					Service:  fmt.Sprintf("mem://svc-%d-%d", g, i),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = act.Registrants()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(act.Registrants()); got != 800 {
+		t.Fatalf("registrants = %d, want 800", got)
 	}
 }

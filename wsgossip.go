@@ -98,7 +98,20 @@ type (
 	AggregateParameters = core.AggregateParameters
 	// ProtocolRegistry maps protocol URIs to registration extensions.
 	ProtocolRegistry = core.ProtocolRegistry
+	// Runner owns a node's self-clocking protocol rounds — pull,
+	// anti-entropy repair, deferred lazy-push announcements, push-sum
+	// exchanges — on a pluggable clock (internal/clock): the wall clock in
+	// production, a deterministic virtual clock in tests and simulations.
+	Runner = core.Runner
+	// RunnerConfig configures a Runner.
+	RunnerConfig = core.RunnerConfig
+	// RunnerLoop is one custom periodic round a Runner can own.
+	RunnerLoop = core.Loop
 )
+
+// NewRunner returns a self-clocking round engine for a node's periodic
+// gossip loops.
+func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
 
 // Aggregation subsystem types (internal/aggregate).
 type (
