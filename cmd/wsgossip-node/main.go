@@ -150,7 +150,7 @@ func (p *printingApp) HandleSOAP(_ context.Context, req *soap.Request) (*soap.En
 		log.Printf("[%s] notification with unreadable body: %v", p.role, err)
 		return nil, nil
 	}
-	log.Printf("[%s] delivered: %q (message %s)", p.role, note.Text, req.Addressing.MessageID)
+	log.Printf("[%s] delivered: %q (message %s)", p.role, note.Text, req.Addressing().MessageID)
 	return nil, nil
 }
 

@@ -116,29 +116,17 @@ func (q *Querier) StartAggregation(ctx context.Context, fn Func) (*Task, error) 
 		Root:     q.cfg.Address,
 		Hops:     params.Hops,
 	}
-	sent := 0
-	for _, target := range params.Targets {
-		env := soap.NewEnvelope()
-		if err := env.SetAddressing(wsa.Headers{
-			To:        target,
-			Action:    ActionStart,
-			MessageID: wsa.NewMessageID(),
-		}); err != nil {
-			continue
+	if len(params.Targets) > 0 {
+		// The start flood is one logical message: serialized once, a
+		// per-target copy rendered at wsa:To (encode-once wire path).
+		env, err := buildMessage(ActionStart, cctx, start)
+		if err != nil {
+			return nil, err
 		}
-		if err := wscoord.AttachContext(env, cctx); err != nil {
-			continue
+		sent, _ := soap.Fanout(ctx, q.cfg.Caller, env, params.Targets)
+		if sent == 0 {
+			return nil, fmt.Errorf("aggregate: start reached none of %d targets", len(params.Targets))
 		}
-		if err := env.SetBody(start); err != nil {
-			continue
-		}
-		if err := q.cfg.Caller.Send(ctx, target, env); err != nil {
-			continue
-		}
-		sent++
-	}
-	if len(params.Targets) > 0 && sent == 0 {
-		return nil, fmt.Errorf("aggregate: start reached none of %d targets", len(params.Targets))
 	}
 	return &Task{ID: cctx.Identifier, Func: fn, Params: params, Context: cctx}, nil
 }

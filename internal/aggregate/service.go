@@ -270,37 +270,42 @@ func (s *Service) registerTask(ctx context.Context, cctx wscoord.CoordinationCon
 	return params, nil
 }
 
+// buildMessage assembles one logical multi-target message: addressing with
+// the action and a single message ID but no To (the fan-out splices it per
+// target), the coordination context, and the body.
+func buildMessage(action string, cctx wscoord.CoordinationContext, body any) (*soap.Envelope, error) {
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		Action:    action,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		return nil, err
+	}
+	if err := wscoord.AttachContext(env, cctx); err != nil {
+		return nil, err
+	}
+	if err := env.SetBody(body); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
 // forwardStart re-floods the start to every assigned target with a
 // decremented hop budget; receivers that already know the task drop it.
+// The flood is one logical message, serialized once.
 func (s *Service) forwardStart(ctx context.Context, start Start, cctx wscoord.CoordinationContext, targets []string) {
 	next := start
 	next.Hops = start.Hops - 1
-	for _, target := range targets {
-		env := soap.NewEnvelope()
-		if err := env.SetAddressing(wsa.Headers{
-			To:        target,
-			Action:    ActionStart,
-			MessageID: wsa.NewMessageID(),
-		}); err != nil {
-			s.addSendError()
-			continue
-		}
-		if err := wscoord.AttachContext(env, cctx); err != nil {
-			s.addSendError()
-			continue
-		}
-		if err := env.SetBody(next); err != nil {
-			s.addSendError()
-			continue
-		}
-		if err := s.cfg.Caller.Send(ctx, target, env); err != nil {
-			s.addSendError()
-			continue
-		}
-		s.mu.Lock()
-		s.stats.StartsForwarded++
-		s.mu.Unlock()
+	env, err := buildMessage(ActionStart, cctx, next)
+	if err != nil {
+		s.addSendErrors(len(targets))
+		return
 	}
+	sent, failed := soap.Fanout(ctx, s.cfg.Caller, env, targets)
+	s.mu.Lock()
+	s.stats.StartsForwarded += int64(sent)
+	s.stats.SendErrors += int64(len(failed))
+	s.mu.Unlock()
 }
 
 // handleExchange absorbs an incoming push-sum share. A node that never saw
@@ -369,7 +374,7 @@ func (s *Service) handleQuery(_ context.Context, req *soap.Request) (*soap.Envel
 	s.stats.QueriesServed++
 	s.mu.Unlock()
 	resp := soap.NewEnvelope()
-	if err := resp.SetAddressing(req.Addressing.Reply(ActionQueryResponse)); err != nil {
+	if err := resp.SetAddressing(req.Addressing().Reply(ActionQueryResponse)); err != nil {
 		return nil, err
 	}
 	if err := resp.SetBody(result); err != nil {
@@ -420,46 +425,41 @@ func (s *Service) Tick(ctx context.Context) {
 	}
 	s.mu.Unlock()
 	for _, out := range sends {
-		for _, target := range out.targets {
-			if err := s.sendShare(ctx, target, out.cctx, out.share); err != nil {
-				// Return the unsent mass to local state: conservation
-				// holds even when a peer is unreachable.
-				s.mu.Lock()
-				if t, ok := s.tasks[out.taskID]; ok {
-					t.state.Absorb(Share{Sum: out.share.Sum, Weight: out.share.Weight})
-				}
-				s.stats.SendErrors++
-				s.mu.Unlock()
-				continue
-			}
-			s.mu.Lock()
-			s.stats.SharesSent++
-			s.mu.Unlock()
+		// Every target of a round receives the same share, so the exchange
+		// is one logical message: encode once, render per target.
+		env, err := buildMessage(ActionExchange, out.cctx, out.share)
+		if err != nil {
+			s.returnShares(out.taskID, out.share, len(out.targets))
+			continue
+		}
+		sent, failed := soap.Fanout(ctx, s.cfg.Caller, env, out.targets)
+		if len(failed) > 0 {
+			// Return the unsent mass to local state: conservation holds
+			// even when peers are unreachable.
+			s.returnShares(out.taskID, out.share, len(failed))
+		}
+		s.mu.Lock()
+		s.stats.SharesSent += int64(sent)
+		s.mu.Unlock()
+	}
+}
+
+// returnShares re-absorbs n undeliverable copies of a share and counts the
+// failures, preserving mass conservation.
+func (s *Service) returnShares(taskID string, share Share, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tasks[taskID]; ok {
+		for i := 0; i < n; i++ {
+			t.state.Absorb(Share{Sum: share.Sum, Weight: share.Weight})
 		}
 	}
+	s.stats.SendErrors += int64(n)
 }
 
-func (s *Service) sendShare(ctx context.Context, to string, cctx wscoord.CoordinationContext, share Share) error {
-	env := soap.NewEnvelope()
-	if err := env.SetAddressing(wsa.Headers{
-		To:        to,
-		Action:    ActionExchange,
-		MessageID: wsa.NewMessageID(),
-	}); err != nil {
-		return err
-	}
-	if err := wscoord.AttachContext(env, cctx); err != nil {
-		return err
-	}
-	if err := env.SetBody(share); err != nil {
-		return err
-	}
-	return s.cfg.Caller.Send(ctx, to, env)
-}
-
-func (s *Service) addSendError() {
+func (s *Service) addSendErrors(n int) {
 	s.mu.Lock()
-	s.stats.SendErrors++
+	s.stats.SendErrors += int64(n)
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Allocation-budget regression guard for the fan-out hot path, the
+// companion of internal/soap's decode budget: the per-hop cost the paper's
+// scalability argument rests on must not silently regress. The budget is
+// committed in testdata/alloc_budget.json; CI runs this test (and the
+// -benchmem bench smoke) on every push.
+
+func TestForwardFanoutAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	raw, err := os.ReadFile("testdata/alloc_budget.json")
+	if err != nil {
+		t.Fatalf("read alloc budget: %v", err)
+	}
+	var budget struct {
+		MaxAllocs float64 `json:"forward_fanout_f8_max_allocs"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatalf("parse alloc budget: %v", err)
+	}
+	if budget.MaxAllocs <= 0 {
+		t.Fatal("alloc budget missing forward_fanout_f8_max_allocs")
+	}
+	fb := newForwardBench(t, 8, 1<<10)
+	allocs := testing.AllocsPerRun(100, func() {
+		fb.d.forward(fb.ctx, fb.env, fb.gh, fb.state)
+	})
+	if stats := fb.d.Stats(); stats.Forwarded == 0 || stats.SendErrors != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if allocs > budget.MaxAllocs {
+		t.Errorf("forward fanout-8 = %.1f allocs/op, budget %.0f (testdata/alloc_budget.json)",
+			allocs, budget.MaxAllocs)
+	}
+	t.Logf("forward fanout-8: %.1f allocs/op (budget %.0f)", allocs, budget.MaxAllocs)
+}

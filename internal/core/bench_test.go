@@ -32,7 +32,7 @@ type benchNote struct {
 	Data    string   `xml:"Data"`
 }
 
-func newForwardBench(b *testing.B, fanout, payload int) *forwardBench {
+func newForwardBench(b testing.TB, fanout, payload int) *forwardBench {
 	b.Helper()
 	bus := soap.NewMemBus()
 	noop := soap.HandlerFunc(func(context.Context, *soap.Request) (*soap.Envelope, error) {

@@ -292,7 +292,7 @@ func (c *Coordinator) handleSubscribe(ctx context.Context, req *soap.Request) (*
 	}
 	c.replicate(ctx, body.Endpoint, body.Role, body.Protocols)
 	resp := soap.NewEnvelope()
-	if err := resp.SetAddressing(req.Addressing.Reply(ActionSubscribeResponse)); err != nil {
+	if err := resp.SetAddressing(req.Addressing().Reply(ActionSubscribeResponse)); err != nil {
 		return nil, err
 	}
 	if err := resp.SetBody(SubscribeResponse{Accepted: true}); err != nil {

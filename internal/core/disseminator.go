@@ -217,10 +217,17 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 		return nil, nil
 	}
 	delete(d.requested, gh.MessageID)
+	d.mu.Unlock()
 	// Retain the envelope so lazy-push fetches can be served later. The
-	// snapshot shares the captured block bytes with the inbound buffer —
-	// blocks are immutable, so no deep copy is needed.
-	d.store.Put(gh.MessageID, req.Envelope.Snapshot())
+	// store outlives this delivery, whose inbound buffer the transport
+	// recycles once the handler returns — so the one retention point in the
+	// stack deep-copies. Paid once per unique message (duplicates, the bulk
+	// of gossip traffic, never get here), and copied outside d.mu so
+	// concurrent deliveries don't serialize behind a payload memcpy; the
+	// seen-set dedup above guarantees a single Put per message ID.
+	clone := req.Envelope.Clone()
+	d.mu.Lock()
+	d.store.Put(gh.MessageID, clone)
 	state, known := d.interactions[gh.InteractionID]
 	d.mu.Unlock()
 
@@ -352,40 +359,13 @@ func (d *Disseminator) forward(ctx context.Context, env *soap.Envelope, gh Gossi
 	d.stats.forwarded.Add(int64(d.fanout(ctx, out, targets)))
 }
 
-// fanout serializes env once (addressing must omit To) and sends one
-// rendered copy per target, bumping sendErrors for failures and returning
-// the number of successful sends. The template path requires a binding
-// that accepts pre-serialized messages; plain Callers, and splice-resistant
-// envelopes — e.g. blocks captured from documents with prefixed namespace
-// declarations — use the per-target encode the fan-out paths ran before
-// the encode-once wire path.
+// fanout sends env (addressing must omit To) to every target through the
+// shared encode-once ladder (soap.Fanout), bumping sendErrors for failures
+// and returning the number of successful sends.
 func (d *Disseminator) fanout(ctx context.Context, env *soap.Envelope, targets []string) int {
-	sent := 0
-	if es, ok := d.cfg.Caller.(soap.EncodedSender); ok {
-		if tmpl, err := env.EncodeTemplate(); err == nil {
-			for _, target := range targets {
-				if err := es.SendEncoded(ctx, target, tmpl.RenderTo(target)); err != nil {
-					d.stats.sendErrors.Add(1)
-					continue
-				}
-				sent++
-			}
-			return sent
-		}
-	}
-	a := env.Addressing()
-	for _, target := range targets {
-		out := env.Snapshot()
-		a.To = target
-		if err := out.SetAddressing(a); err != nil {
-			d.stats.sendErrors.Add(1)
-			continue
-		}
-		if err := d.cfg.Caller.Send(ctx, target, out); err != nil {
-			d.stats.sendErrors.Add(1)
-			continue
-		}
-		sent++
+	sent, failed := soap.Fanout(ctx, d.cfg.Caller, env, targets)
+	if len(failed) > 0 {
+		d.stats.sendErrors.Add(int64(len(failed)))
 	}
 	return sent
 }

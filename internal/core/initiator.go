@@ -97,35 +97,7 @@ func (i *Initiator) Notify(ctx context.Context, inter *Interaction, body any) (w
 	if err != nil {
 		return msgID, 0, err
 	}
-	sent := 0
-	rendered := false
-	if es, ok := i.cfg.Caller.(soap.EncodedSender); ok {
-		if tmpl, err := env.EncodeTemplate(); err == nil {
-			rendered = true
-			for _, target := range inter.Params.Targets {
-				if err := es.SendEncoded(ctx, target, tmpl.RenderTo(target)); err != nil {
-					continue
-				}
-				sent++
-			}
-		}
-	}
-	if !rendered {
-		// Plain Caller or splice-resistant body (e.g. prefixed namespace
-		// declarations): per-target encode, as before the encode-once path.
-		a := env.Addressing()
-		for _, target := range inter.Params.Targets {
-			out := env.Snapshot()
-			a.To = target
-			if err := out.SetAddressing(a); err != nil {
-				continue
-			}
-			if err := i.cfg.Caller.Send(ctx, target, out); err != nil {
-				continue
-			}
-			sent++
-		}
-	}
+	sent, _ := soap.Fanout(ctx, i.cfg.Caller, env, inter.Params.Targets)
 	if len(inter.Params.Targets) > 0 && sent == 0 {
 		return msgID, 0, fmt.Errorf("core: notification reached none of %d targets", len(inter.Params.Targets))
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-budget assertions: race instrumentation
+// changes allocation behaviour, so budgets are only meaningful without it.
+const raceEnabled = true

@@ -40,7 +40,7 @@ func TestForwardEncodeOnce(t *testing.T) {
 				return nil, nil
 			}
 			mu.Lock()
-			received = append(received, got{to: req.Addressing.To, hops: gh.Hops, body: q})
+			received = append(received, got{to: req.Addressing().To, hops: gh.Hops, body: q})
 			mu.Unlock()
 			return nil, nil
 		}))

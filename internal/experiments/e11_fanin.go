@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"time"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+type e11Payload struct {
+	XMLName xml.Name `xml:"urn:example:fanin Blob"`
+	Data    string   `xml:"Data"`
+}
+
+// E11FanIn measures the receiver-bound side of the wire path: many senders
+// converging on one consumer stack, so per-delivery cost is dominated by
+// decode, addressing extraction, and dispatch rather than by fan-out
+// encoding. This is the load profile of an aggregation sink or a popular
+// subscriber — the complement of the sender-bound ForwardFanout benchmark —
+// and the table BENCH_04 cites for the receiver-side win of the hand-rolled
+// scanner. Each message is rendered per send from an encode-once template
+// (matching the fan-out paths), delivered over the in-memory binding, and
+// the per-delivery figure includes that render, so it slightly overstates
+// pure receiver cost.
+func E11FanIn(opt Options) ([]Table, error) {
+	deliveries := opt.pick(20000, 2000)
+	senders := 16
+
+	app := soap.HandlerFunc(func(context.Context, *soap.Request) (*soap.Envelope, error) {
+		return nil, nil
+	})
+	t := Table{
+		ID:      "E11",
+		Title:   fmt.Sprintf("Receiver-bound fan-in (%d senders, one consumer, in-process)", senders),
+		Columns: []string{"payload", "deliveries", "ns/delivery"},
+	}
+	ctx := context.Background()
+	for _, size := range []int{256, 1 << 10, 8 << 10} {
+		bus := soap.NewMemBus()
+		received := 0
+		counting := soap.HandlerFunc(func(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+			received++
+			return app.HandleSOAP(ctx, req)
+		})
+		bus.Register("mem://sink", core.NewConsumer(counting).Handler())
+
+		// One template per sender: the stable message serialized once, the
+		// per-send copy rendered at wsa:To exactly as the fan-out paths do.
+		templates := make([]*soap.WireTemplate, senders)
+		for i := range templates {
+			env := soap.NewEnvelope()
+			if err := env.SetAddressing(wsa.Headers{
+				Action:    core.ActionNotify,
+				MessageID: wsa.MessageID(fmt.Sprintf("urn:uuid:e11-%d", i)),
+			}); err != nil {
+				return nil, err
+			}
+			if err := env.SetBody(e11Payload{Data: strings.Repeat("r", size)}); err != nil {
+				return nil, err
+			}
+			tmpl, err := env.EncodeTemplate()
+			if err != nil {
+				return nil, err
+			}
+			templates[i] = tmpl
+		}
+
+		start := time.Now()
+		for i := 0; i < deliveries; i++ {
+			tmpl := templates[i%senders]
+			if err := bus.SendEncoded(ctx, "mem://sink", tmpl.RenderTo("mem://sink")); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		if received != deliveries {
+			return nil, fmt.Errorf("e11: delivered %d of %d", received, deliveries)
+		}
+		t.AddRow(
+			fmt.Sprintf("%dB", size),
+			i2s(deliveries),
+			fmt.Sprintf("%.0f", float64(elapsed.Nanoseconds())/float64(deliveries)),
+		)
+	}
+	t.Notes = "per-delivery cost at the sink includes render, bus hand-off, decode, lazy addressing " +
+		"extraction, and dispatch; compare with E7's isolated codec rows to attribute it."
+	return []Table{t}, nil
+}

@@ -78,7 +78,7 @@ func E7Overhead(opt Options) ([]Table, error) {
 		return nil, err
 	}
 	ctx := context.Background()
-	req := &soap.Request{Addressing: env.Addressing(), Envelope: env}
+	req := &soap.Request{Envelope: env}
 	handler := diss.Handler()
 	// Prime the seen cache so the loop measures the duplicate-suppression
 	// fast path, the steady-state cost per re-received gossip message.
@@ -98,7 +98,7 @@ func E7Overhead(opt Options) ([]Table, error) {
 	if err := plainEnv.SetBody(payload); err != nil {
 		return nil, err
 	}
-	plainReq := &soap.Request{Addressing: plainEnv.Addressing(), Envelope: plainEnv}
+	plainReq := &soap.Request{Envelope: plainEnv}
 	passNs := timeIt(iters, func() {
 		_, _ = handler.HandleSOAP(ctx, plainReq)
 	})

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"e8", "distributed coordinator load and consistency", E8DistributedCoordinator},
 		{"e9", "dissemination under membership churn", E9Churn},
 		{"e10", "aggregation accuracy and convergence vs N", E10Aggregation},
+		{"e11", "receiver-bound fan-in: per-delivery decode cost", E11FanIn},
 		{"a1", "ablation: gossip styles", A1Styles},
 		{"a2", "ablation: seen-cache sizing", A2DedupCache},
 		{"a3", "ablation: coordinator target assignment", A3TargetAssignment},

@@ -98,11 +98,7 @@ func (b *virtBus) Call(ctx context.Context, to string, env *soap.Envelope) (*soa
 	if err != nil {
 		return nil, err
 	}
-	resp, err := h.HandleSOAP(ctx, &soap.Request{
-		Addressing: decoded.Addressing(),
-		Envelope:   decoded,
-		Remote:     "virtbus",
-	})
+	resp, err := h.HandleSOAP(ctx, &soap.Request{Envelope: decoded, Remote: "virtbus"})
 	if err != nil {
 		return nil, soap.AsFault(err)
 	}
@@ -156,11 +152,7 @@ func (b *virtBus) SendEncoded(_ context.Context, to string, data []byte) error {
 		b.delivered++
 		b.mu.Unlock()
 		// One-way semantics: handler errors vanish, as over HTTP 202.
-		_, _ = h.HandleSOAP(context.Background(), &soap.Request{
-			Addressing: decoded.Addressing(),
-			Envelope:   decoded,
-			Remote:     "virtbus",
-		})
+		_, _ = h.HandleSOAP(context.Background(), &soap.Request{Envelope: decoded, Remote: "virtbus"})
 	})
 	return nil
 }

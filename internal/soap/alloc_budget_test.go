@@ -1,0 +1,70 @@
+package soap
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// Allocation-budget regression guard. BENCH_04 drove the canonical decode
+// to single-digit allocs/op; these tests pin that win against silent
+// regressions with budgets committed in testdata/alloc_budget.json — CI
+// runs them (and the -benchmem smoke) on every push.
+
+type allocBudget struct {
+	DecodeMaxAllocs float64 `json:"decode_1kib_max_allocs"`
+	EncodeMaxAllocs float64 `json:"encode_1kib_max_allocs"`
+}
+
+func loadAllocBudget(t *testing.T, path string) allocBudget {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read alloc budget: %v", err)
+	}
+	var b allocBudget
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("parse alloc budget: %v", err)
+	}
+	if b.DecodeMaxAllocs <= 0 || b.EncodeMaxAllocs <= 0 {
+		t.Fatalf("alloc budget missing fields: %+v", b)
+	}
+	return b
+}
+
+func TestDecodeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	budget := loadAllocBudget(t, "testdata/alloc_budget.json")
+	env := benchEnvelope(t, 1<<10)
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The canonical wire format must take the scanner path at all — a
+	// budget met by accident on the fallback would hide a broken scanner.
+	if _, ok := decodeScan(data); !ok {
+		t.Fatalf("canonical envelope rejected by the scanner:\n%s", data)
+	}
+	decodeAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decodeAllocs > budget.DecodeMaxAllocs {
+		t.Errorf("Decode(1KiB) = %.1f allocs/op, budget %.0f (testdata/alloc_budget.json)",
+			decodeAllocs, budget.DecodeMaxAllocs)
+	}
+	encodeAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := env.Encode(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encodeAllocs > budget.EncodeMaxAllocs {
+		t.Errorf("Encode(1KiB) = %.1f allocs/op, budget %.0f (testdata/alloc_budget.json)",
+			encodeAllocs, budget.EncodeMaxAllocs)
+	}
+	t.Logf("decode %.1f allocs/op (budget %.0f), encode %.1f allocs/op (budget %.0f)",
+		decodeAllocs, budget.DecodeMaxAllocs, encodeAllocs, budget.EncodeMaxAllocs)
+}

@@ -16,7 +16,7 @@ type benchPayload struct {
 	Data    string   `xml:"Data"`
 }
 
-func benchEnvelope(b *testing.B, size int) *Envelope {
+func benchEnvelope(b testing.TB, size int) *Envelope {
 	b.Helper()
 	env := NewEnvelope()
 	if err := env.SetAddressing(wsa.Headers{

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"wsgossip/internal/wsa"
 )
@@ -31,6 +33,11 @@ type Envelope struct {
 	XMLName xml.Name `xml:"http://www.w3.org/2003/05/soap-envelope Envelope"`
 	Header  *Header  `xml:"Header,omitempty"`
 	Body    Body     `xml:"Body"`
+
+	// addr caches the parsed WS-Addressing properties: one parse serves the
+	// dispatcher, every middleware, and the handler of a delivery. Header
+	// mutations (AddHeader, RemoveHeader, SetAddressing) invalidate it.
+	addr atomic.Pointer[wsa.Headers]
 }
 
 // Header is the SOAP header: an ordered sequence of extension blocks.
@@ -144,6 +151,7 @@ func (e *Envelope) AddHeader(v any) error {
 		e.Header = &Header{}
 	}
 	e.Header.Blocks = append(e.Header.Blocks, b)
+	e.addr.Store(nil)
 	return nil
 }
 
@@ -185,6 +193,9 @@ func (e *Envelope) RemoveHeader(space, local string) bool {
 		kept = append(kept, b)
 	}
 	e.Header.Blocks = kept
+	if removed {
+		e.addr.Store(nil)
+	}
 	return removed
 }
 
@@ -226,12 +237,18 @@ func (e *Envelope) Encode() ([]byte, error) {
 	return e.encodeLegacy()
 }
 
-// Decode parses a serialized envelope. Canonical prefix-free documents take
-// the zero-copy path: each block becomes a verbatim slice of data, which
-// the envelope keeps alive and must not be modified afterwards. Documents
-// using namespace prefixes — or anything the slicer cannot capture
-// self-contained — are re-parsed through encoding/xml.
+// Decode parses a serialized envelope through a three-rung ladder. The
+// hand-rolled scanner (scan.go) handles the canonical wire format with a
+// single byte walk; documents it declines go to the encoding/xml zero-copy
+// tokenizer; documents *that* cannot slice self-contained (namespace
+// prefixes, blocks inheriting an outer default namespace) are re-parsed
+// through the legacy encoding/xml path. On the first two rungs each block
+// is a verbatim slice of data, which the envelope keeps alive and must not
+// be modified afterwards.
 func Decode(data []byte) (*Envelope, error) {
+	if env, ok := decodeScan(data); ok {
+		return env, nil
+	}
 	if !bytes.Contains(data, wirePrefixDecl) {
 		env, err := decodeZeroCopy(data)
 		if err == nil {
@@ -251,14 +268,16 @@ func Decode(data []byte) (*Envelope, error) {
 var wirePrefixDecl = []byte("xmlns:")
 
 // Clone deep-copies the envelope, including the captured block bytes.
-// Fan-out paths use the cheaper Snapshot; Clone remains for callers that
-// mutate Raw in place.
+// Fan-out paths use the cheaper Snapshot; Clone is for retention — an
+// envelope that must outlive its delivery (and the transport's pooled
+// receive buffer backing it) — and for callers that mutate Raw in place.
 func (e *Envelope) Clone() *Envelope {
-	out := &Envelope{}
+	out := &Envelope{XMLName: e.XMLName}
 	if e.Header != nil {
-		out.Header = &Header{Blocks: cloneBlocks(e.Header.Blocks)}
+		out.Header = &Header{XMLName: e.Header.XMLName, Blocks: cloneBlocks(e.Header.Blocks)}
 	}
-	out.Body.Blocks = cloneBlocks(e.Body.Blocks)
+	out.Body = Body{XMLName: e.Body.XMLName, Blocks: cloneBlocks(e.Body.Blocks)}
+	out.addr.Store(e.addr.Load())
 	return out
 }
 
@@ -280,6 +299,7 @@ func (e *Envelope) Snapshot() *Envelope {
 		XMLName: e.Body.XMLName,
 		Blocks:  append([]Block(nil), e.Body.Blocks...),
 	}
+	out.addr.Store(e.addr.Load())
 	return out
 }
 
@@ -362,34 +382,183 @@ func (e *Envelope) SetAddressing(h wsa.Headers) error {
 }
 
 // Addressing extracts the WS-Addressing properties from the header. Missing
-// blocks yield zero fields; callers validate what they require.
+// blocks yield zero fields; callers validate what they require. The result
+// is cached on the envelope (invalidated by header mutations), so the
+// per-delivery dispatch chain pays for at most one parse.
 func (e *Envelope) Addressing() wsa.Headers {
+	if h := e.addr.Load(); h != nil {
+		return *h
+	}
+	h := e.computeAddressing()
+	e.addr.Store(&h)
+	return h
+}
+
+// computeAddressing walks the header blocks once. The simple text
+// properties (To, Action, MessageID, RelatesTo) are extracted directly from
+// the captured block bytes; only blocks with element children (ReplyTo,
+// From) or unusual content run through encoding/xml.
+func (e *Envelope) computeAddressing() wsa.Headers {
 	var h wsa.Headers
-	var to toHeader
-	if err := e.DecodeHeader(wsa.Namespace, "To", &to); err == nil {
-		h.To = to.Value
+	if e.Header == nil {
+		return h
 	}
-	var action actionHeader
-	if err := e.DecodeHeader(wsa.Namespace, "Action", &action); err == nil {
-		h.Action = action.Value
-	}
-	var mid messageIDHeader
-	if err := e.DecodeHeader(wsa.Namespace, "MessageID", &mid); err == nil {
-		h.MessageID = wsa.MessageID(mid.Value)
-	}
-	var rel relatesToHeader
-	if err := e.DecodeHeader(wsa.Namespace, "RelatesTo", &rel); err == nil {
-		h.RelatesTo = wsa.MessageID(rel.Value)
-	}
-	var reply replyToHeader
-	if err := e.DecodeHeader(wsa.Namespace, "ReplyTo", &reply); err == nil {
-		epr := wsa.NewEPR(reply.Address)
-		h.ReplyTo = &epr
-	}
-	var from fromHeader
-	if err := e.DecodeHeader(wsa.Namespace, "From", &from); err == nil {
-		epr := wsa.NewEPR(from.Address)
-		h.From = &epr
+	const (
+		fTo = 1 << iota
+		fAction
+		fMessageID
+		fRelatesTo
+		fReplyTo
+		fFrom
+	)
+	var seen uint8
+	for _, b := range e.Header.Blocks {
+		if b.XMLName.Space != wsa.Namespace {
+			continue
+		}
+		// First block of each name wins, like the HeaderBlock lookup the
+		// per-property decode used to run.
+		switch b.XMLName.Local {
+		case "To":
+			if seen&fTo != 0 {
+				continue
+			}
+			seen |= fTo
+			if v, ok := headerText(b.Raw); ok {
+				h.To = v
+			} else {
+				var t toHeader
+				if b.Decode(&t) == nil {
+					h.To = t.Value
+				}
+			}
+		case "Action":
+			if seen&fAction != 0 {
+				continue
+			}
+			seen |= fAction
+			if v, ok := headerText(b.Raw); ok {
+				h.Action = v
+			} else {
+				var a actionHeader
+				if b.Decode(&a) == nil {
+					h.Action = a.Value
+				}
+			}
+		case "MessageID":
+			if seen&fMessageID != 0 {
+				continue
+			}
+			seen |= fMessageID
+			if v, ok := headerText(b.Raw); ok {
+				h.MessageID = wsa.MessageID(v)
+			} else {
+				var m messageIDHeader
+				if b.Decode(&m) == nil {
+					h.MessageID = wsa.MessageID(m.Value)
+				}
+			}
+		case "RelatesTo":
+			if seen&fRelatesTo != 0 {
+				continue
+			}
+			seen |= fRelatesTo
+			if v, ok := headerText(b.Raw); ok {
+				h.RelatesTo = wsa.MessageID(v)
+			} else {
+				var r relatesToHeader
+				if b.Decode(&r) == nil {
+					h.RelatesTo = wsa.MessageID(r.Value)
+				}
+			}
+		case "ReplyTo":
+			if seen&fReplyTo != 0 {
+				continue
+			}
+			seen |= fReplyTo
+			var r replyToHeader
+			if b.Decode(&r) == nil {
+				epr := wsa.NewEPR(r.Address)
+				h.ReplyTo = &epr
+			}
+		case "From":
+			if seen&fFrom != 0 {
+				continue
+			}
+			seen |= fFrom
+			var f fromHeader
+			if b.Decode(&f) == nil {
+				epr := wsa.NewEPR(f.Address)
+				h.From = &epr
+			}
+		}
 	}
 	return h
+}
+
+// headerText extracts the character content of a simple captured element —
+// no child elements, comments, or CDATA — unescaping entity references and
+// normalizing line endings exactly as encoding/xml chardata capture would.
+// ok=false sends the block to the encoding/xml slow path.
+func headerText(raw []byte) (string, bool) {
+	// Skip the start tag, honouring quoted attribute values (which may
+	// contain '>' and '/>').
+	i := 1
+	for i < len(raw) && raw[i] != '>' {
+		if c := raw[i]; c == '"' || c == '\'' {
+			i++
+			for i < len(raw) && raw[i] != c {
+				i++
+			}
+			if i >= len(raw) {
+				return "", false
+			}
+		}
+		i++
+	}
+	if i >= len(raw) {
+		return "", false
+	}
+	if raw[i-1] == '/' {
+		return "", true // self-closing: empty content
+	}
+	i++
+	start := i
+	for i < len(raw) && raw[i] != '<' {
+		i++
+	}
+	if i+1 >= len(raw) || raw[i+1] != '/' {
+		return "", false // child element, comment, or CDATA: slow path
+	}
+	return unescapeText(raw[start:i])
+}
+
+// unescapeText expands entity references and normalizes \r\n / \r to \n,
+// mirroring encoding/xml's chardata handling. Unknown entities fall back.
+func unescapeText(text []byte) (string, bool) {
+	if bytes.IndexByte(text, '&') < 0 && bytes.IndexByte(text, '\r') < 0 {
+		return string(text), true
+	}
+	out := make([]byte, 0, len(text))
+	for i := 0; i < len(text); {
+		switch c := text[i]; c {
+		case '&':
+			n, r := entityLen(text[i:])
+			if n < 0 {
+				return "", false
+			}
+			out = utf8.AppendRune(out, r)
+			i += n
+		case '\r':
+			out = append(out, '\n')
+			i++
+			if i < len(text) && text[i] == '\n' {
+				i++
+			}
+		default:
+			out = append(out, c)
+			i++
+		}
+	}
+	return string(out), true
 }

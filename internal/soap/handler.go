@@ -8,18 +8,32 @@ import (
 	"wsgossip/internal/wsa"
 )
 
-// Request is an inbound SOAP message plus its decoded addressing properties.
+// Request is an inbound SOAP message.
 type Request struct {
-	// Addressing holds the WS-Addressing header properties.
-	Addressing wsa.Headers
 	// Envelope is the full inbound envelope (headers and body).
 	Envelope *Envelope
 	// Remote is the transport-level sender address, when known.
 	Remote string
 }
 
+// Addressing returns the WS-Addressing header properties, parsed lazily on
+// first use: a delivery whose handler never consults them (or whose
+// envelope already cached them) pays nothing. The parse is cached on the
+// envelope, so the dispatcher, every middleware, and the handler share one.
+func (r *Request) Addressing() wsa.Headers {
+	if r.Envelope == nil {
+		return wsa.Headers{}
+	}
+	return r.Envelope.Addressing()
+}
+
 // Handler processes one SOAP request. A nil response envelope means the
 // exchange is one-way (the HTTP binding answers 202 Accepted).
+//
+// Ownership: the request envelope — including every Block.Raw, which may
+// alias a pooled transport buffer — is valid only until HandleSOAP returns.
+// A handler that retains the envelope past that point must Clone it
+// (Snapshot is not enough: it shares the captured bytes).
 type Handler interface {
 	HandleSOAP(ctx context.Context, req *Request) (*Envelope, error)
 }
@@ -87,17 +101,18 @@ func (d *Dispatcher) Actions() []string {
 	return out
 }
 
-// HandleSOAP dispatches by req.Addressing.Action.
+// HandleSOAP dispatches by the request's WS-Addressing action.
 func (d *Dispatcher) HandleSOAP(ctx context.Context, req *Request) (*Envelope, error) {
+	action := req.Addressing().Action
 	d.mu.RLock()
-	h, ok := d.handlers[req.Addressing.Action]
+	h, ok := d.handlers[action]
 	fb := d.fallback
 	d.mu.RUnlock()
 	if !ok {
 		if fb != nil {
 			return fb.HandleSOAP(ctx, req)
 		}
-		return nil, NewFault(CodeSender, fmt.Sprintf("no handler for action %q", req.Addressing.Action))
+		return nil, NewFault(CodeSender, fmt.Sprintf("no handler for action %q", action))
 	}
 	return h.HandleSOAP(ctx, req)
 }

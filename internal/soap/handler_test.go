@@ -17,7 +17,7 @@ func reqWithAction(t *testing.T, action string) *Request {
 	if err := env.SetBody(testBody{Value: "x"}); err != nil {
 		t.Fatal(err)
 	}
-	return &Request{Addressing: env.Addressing(), Envelope: env}
+	return &Request{Envelope: env}
 }
 
 func TestDispatcherRoutes(t *testing.T) {

@@ -26,27 +26,28 @@ func NewHTTPServer(h Handler) *HTTPServer {
 }
 
 // ServeHTTP implements the SOAP 1.2 request-response and one-way MEPs:
-// a nil handler response yields 202 Accepted, a fault yields 500.
+// a nil handler response yields 202 Accepted, a fault yields 500. The
+// request body is read into a pooled buffer that the decoded envelope
+// aliases for the duration of the exchange; by the time the buffer is
+// recycled the handler has returned and any response has been serialized
+// (copying whatever blocks it shared), so no pooled memory escapes.
 func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
 		return
 	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes))
+	data, err := readRequestBody(r)
 	if err != nil {
 		http.Error(w, "read request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	defer putBytes(data)
 	env, err := Decode(data)
 	if err != nil {
 		writeFault(w, NewFault(CodeSender, err.Error()))
 		return
 	}
-	req := &Request{
-		Addressing: env.Addressing(),
-		Envelope:   env,
-		Remote:     r.RemoteAddr,
-	}
+	req := &Request{Envelope: env, Remote: r.RemoteAddr}
 	resp, err := s.handler.HandleSOAP(r.Context(), req)
 	if err != nil {
 		writeFault(w, AsFault(err))
@@ -64,6 +65,47 @@ func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", ContentType+"; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(out)
+}
+
+// readRequestBody reads the request body into a pooled buffer: one
+// exactly-sized read when Content-Length is declared, a doubling read
+// through the pool otherwise. Reads are capped at maxEnvelopeBytes, like
+// the LimitReader this replaces. The caller recycles with putBytes.
+func readRequestBody(r *http.Request) ([]byte, error) {
+	if n := r.ContentLength; n >= 0 && n <= maxEnvelopeBytes {
+		buf := getBytes(int(n))[:n]
+		if _, err := io.ReadFull(r.Body, buf); err != nil {
+			putBytes(buf)
+			return nil, err
+		}
+		return buf, nil
+	}
+	// Views are clamped to the cap so the doubling can never read past
+	// maxEnvelopeBytes, whatever capacity the pool handed back.
+	buf := getBytes(4096)
+	buf = buf[:min(cap(buf), maxEnvelopeBytes)]
+	total := 0
+	for {
+		if total == len(buf) {
+			if total >= maxEnvelopeBytes {
+				return buf[:total], nil // truncate at the cap: Decode will reject
+			}
+			bigger := getBytes(2 * len(buf))
+			bigger = bigger[:min(cap(bigger), maxEnvelopeBytes)]
+			copy(bigger, buf[:total])
+			putBytes(buf)
+			buf = bigger
+		}
+		n, err := r.Body.Read(buf[total:])
+		total += n
+		if err == io.EOF {
+			return buf[:total], nil
+		}
+		if err != nil {
+			putBytes(buf)
+			return nil, err
+		}
+	}
 }
 
 func writeFault(w http.ResponseWriter, f *Fault) {
@@ -178,6 +220,16 @@ func (c *HTTPClient) postBytes(ctx context.Context, to string, data []byte) ([]b
 		return nil, 0, fmt.Errorf("post %s: %w", to, err)
 	}
 	defer resp.Body.Close()
+	// Responses escape to the caller (the decoded envelope aliases them),
+	// so they are not pooled — but a declared Content-Length still buys an
+	// exactly-sized single read instead of ReadAll's doubling copies.
+	if n := resp.ContentLength; n >= 0 && n <= maxEnvelopeBytes {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(resp.Body, body); err != nil {
+			return nil, 0, fmt.Errorf("read response from %s: %w", to, err)
+		}
+		return body, resp.StatusCode, nil
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxEnvelopeBytes))
 	if err != nil {
 		return nil, 0, fmt.Errorf("read response from %s: %w", to, err)

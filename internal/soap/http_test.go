@@ -1,8 +1,10 @@
 package soap
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,7 +20,7 @@ func echoHandler() Handler {
 			return nil, NewFault(CodeSender, err.Error())
 		}
 		resp := NewEnvelope()
-		if err := resp.SetAddressing(req.Addressing.Reply("urn:echoed")); err != nil {
+		if err := resp.SetAddressing(req.Addressing().Reply("urn:echoed")); err != nil {
 			return nil, err
 		}
 		if err := resp.SetBody(testBody{Value: "echo:" + in.Value, N: in.N + 1}); err != nil {
@@ -206,4 +208,21 @@ func TestMemBusFault(t *testing.T) {
 	if !errors.As(err, &f) {
 		t.Fatalf("err = %v, want fault", err)
 	}
+}
+
+// TestReadRequestBodyCap: without a declared Content-Length the pooled
+// doubling read must truncate at exactly maxEnvelopeBytes, like the
+// LimitReader it replaced — never at a pool size class beyond it.
+func TestReadRequestBodyCap(t *testing.T) {
+	body := bytes.NewReader(make([]byte, maxEnvelopeBytes+1<<20))
+	req := httptest.NewRequest(http.MethodPost, "/", struct{ io.Reader }{body})
+	req.ContentLength = -1
+	data, err := readRequestBody(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != maxEnvelopeBytes {
+		t.Fatalf("read %d bytes, want truncation at %d", len(data), maxEnvelopeBytes)
+	}
+	putBytes(data)
 }

@@ -25,6 +25,7 @@ type MemBus struct {
 
 	qmu      sync.Mutex
 	queue    []pendingSend
+	head     int // next undelivered entry; the drain resets both when empty
 	draining bool
 }
 
@@ -97,12 +98,9 @@ func (b *MemBus) deliverBytes(ctx context.Context, to string, data []byte) (*Env
 	if err != nil {
 		return nil, err
 	}
-	req := &Request{
-		Addressing: decoded.Addressing(),
-		Envelope:   decoded,
-		Remote:     "membus",
-	}
-	return h.HandleSOAP(ctx, req)
+	// Addressing is parsed lazily (and cached on the envelope) when the
+	// dispatcher or a handler first asks for it.
+	return h.HandleSOAP(ctx, &Request{Envelope: decoded, Remote: "membus"})
 }
 
 // Call performs a request-response exchange. Handler errors are surfaced as
@@ -131,11 +129,14 @@ func (b *MemBus) Send(ctx context.Context, to string, env *Envelope) error {
 }
 
 // SendEncoded performs a one-way exchange with an already-serialized
-// envelope, skipping the redundant encode of the fan-out hot path. The bus
-// retains data until delivery; the caller must not modify it.
+// envelope, skipping the redundant encode of the fan-out hot path. On
+// success the bus takes full ownership of data (see EncodedSender): after
+// the delivery completes — during which the handler sees an envelope
+// aliasing it — the buffer is recycled into the wire buffer pool, so
+// handlers that retain their request envelope must Clone it.
 func (b *MemBus) SendEncoded(ctx context.Context, to string, data []byte) error {
 	if _, err := b.lookup(to); err != nil {
-		return AsFault(err)
+		return AsFault(err) // ownership stays with the caller on error
 	}
 	b.qmu.Lock()
 	b.queue = append(b.queue, pendingSend{to: to, data: data})
@@ -144,15 +145,21 @@ func (b *MemBus) SendEncoded(ctx context.Context, to string, data []byte) error 
 		return nil
 	}
 	b.draining = true
-	for len(b.queue) > 0 {
-		p := b.queue[0]
-		b.queue = b.queue[1:]
+	for b.head < len(b.queue) {
+		p := b.queue[b.head]
+		b.queue[b.head] = pendingSend{}
+		b.head++
 		b.qmu.Unlock()
 		// Endpoints may unregister (crash injection) between enqueue and
 		// delivery; drop silently like a network would.
 		_, _ = b.deliverBytes(ctx, p.to, p.data)
+		// The wave delivered (or dropped) this buffer exactly once and the
+		// handler has returned; recycle it.
+		putBytes(p.data)
 		b.qmu.Lock()
 	}
+	b.queue = b.queue[:0]
+	b.head = 0
 	b.draining = false
 	b.qmu.Unlock()
 	return nil

@@ -29,8 +29,9 @@ func LoggingMiddleware(logger *log.Logger) Middleware {
 			} else if resp == nil {
 				outcome = "accepted"
 			}
+			a := req.Addressing()
 			logger.Printf("soap %s msg=%s %v %s",
-				req.Addressing.Action, req.Addressing.MessageID,
+				a.Action, a.MessageID,
 				time.Since(start).Round(time.Microsecond), outcome)
 			return resp, err
 		})
@@ -78,7 +79,7 @@ func RecoverMiddleware() Middleware {
 func RequireAddressing() Middleware {
 	return func(next Handler) Handler {
 		return HandlerFunc(func(ctx context.Context, req *Request) (*Envelope, error) {
-			if err := req.Addressing.Validate(); err != nil {
+			if err := req.Addressing().Validate(); err != nil {
 				return nil, NewFault(CodeSender, err.Error())
 			}
 			return next.HandleSOAP(ctx, req)

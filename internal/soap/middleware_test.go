@@ -95,7 +95,7 @@ func TestRequireAddressing(t *testing.T) {
 	if err := env.SetAddressing(wsa.Headers{To: "mem://svc"}); err != nil {
 		t.Fatal(err)
 	}
-	bad := &Request{Addressing: env.Addressing(), Envelope: env}
+	bad := &Request{Envelope: env}
 	_, err := h.HandleSOAP(context.Background(), bad)
 	var f *Fault
 	if !errors.As(err, &f) || f.Code.Value != CodeSender {

@@ -1,0 +1,57 @@
+package soap
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed byte-buffer pool for the wire path. Rendered fan-out
+// messages (RenderTo) and transport receive buffers (the MemBus delivery
+// queue, the HTTP server's request reader) draw from and return to these
+// pools, so a steady-state gossip wave stops allocating per message.
+//
+// Ownership discipline: a buffer may be recycled only by the party that
+// provably holds the last reference. SendEncoded hands ownership to the
+// binding, and a handler must not retain its request envelope (or any
+// Block.Raw slice of it) past HandleSOAP returning — retention requires
+// Envelope.Clone. Under that contract MemBus recycles each one-way
+// delivery buffer exactly once, after the handler returns, and the HTTP
+// server recycles its request-read buffer once the response is encoded.
+// HTTPClient.SendEncoded deliberately does NOT recycle the buffers it is
+// handed: net/http's transport can still be draining the request-body
+// reader when Do returns (early server responses, redirect GetBody
+// re-reads), so the last reference is not provably released — those
+// buffers are left to the GC, which the network-bound path can afford.
+
+const (
+	minBufBits = 9  // smallest pooled class: 512 B
+	maxBufBits = 20 // largest pooled class: 1 MiB
+)
+
+var bytePools [maxBufBits - minBufBits + 1]sync.Pool
+
+// getBytes returns a zero-length buffer with capacity at least n.
+func getBytes(n int) []byte {
+	c := bits.Len(uint(n - 1)) // ceil(log2 n); n<=1 yields 0
+	if c < minBufBits {
+		c = minBufBits
+	}
+	if c > maxBufBits {
+		return make([]byte, 0, n)
+	}
+	if v := bytePools[c-minBufBits].Get(); v != nil {
+		return (*(v.(*[]byte)))[:0]
+	}
+	return make([]byte, 0, n)
+}
+
+// putBytes recycles a buffer. Callers must hold the only live reference;
+// see the ownership discipline above. Off-class capacities are dropped.
+func putBytes(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 // floor(log2 cap)
+	if c < minBufBits || c > maxBufBits {
+		return
+	}
+	b = b[:0]
+	bytePools[c-minBufBits].Put(&b)
+}

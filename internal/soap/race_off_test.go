@@ -1,0 +1,5 @@
+//go:build !race
+
+package soap
+
+const raceEnabled = false

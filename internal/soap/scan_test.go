@@ -1,0 +1,343 @@
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wsgossip/internal/wsa"
+)
+
+// Tests for the hand-rolled wire scanner. The load-bearing property:
+// scanner-accepted ⇒ byte-identical blocks versus the encoding/xml
+// zero-copy path (scannerAgrees), checked over a hand-built corpus, over
+// generated envelopes, and under fuzzing (FuzzDecodeEquivalence).
+
+// scannerAgrees asserts that decodeScan accepted doc and produced exactly
+// what decodeZeroCopy produces: same header/body structure, byte-identical
+// verbatim block slices, same names, same addressing.
+func scannerAgrees(t *testing.T, label string, doc []byte) *Envelope {
+	t.Helper()
+	got, ok := decodeScan(doc)
+	if !ok {
+		t.Fatalf("%s: scanner rejected canonical document:\n%s", label, doc)
+	}
+	want, err := decodeZeroCopy(doc)
+	if err != nil {
+		t.Fatalf("%s: scanner accepted what the zero-copy path rejects (%v):\n%s", label, err, doc)
+	}
+	if (got.Header == nil) != (want.Header == nil) {
+		t.Fatalf("%s: header presence %v != %v", label, got.Header != nil, want.Header != nil)
+	}
+	compare := func(kind string, g, w []Block) {
+		if len(g) != len(w) {
+			t.Fatalf("%s: %s block count %d != %d", label, kind, len(g), len(w))
+		}
+		for i := range g {
+			if g[i].XMLName != w[i].XMLName {
+				t.Fatalf("%s: %s block %d name %v != %v", label, kind, i, g[i].XMLName, w[i].XMLName)
+			}
+			if !bytes.Equal(g[i].Raw, w[i].Raw) {
+				t.Fatalf("%s: %s block %d bytes differ:\n%s\nvs\n%s", label, kind, i, g[i].Raw, w[i].Raw)
+			}
+			// Verbatim means aliasing the input, not a copy that happens to
+			// match.
+			if len(g[i].Raw) > 0 && &g[i].Raw[0] != &w[i].Raw[0] {
+				t.Fatalf("%s: %s block %d is not a slice of the input", label, kind, i)
+			}
+		}
+	}
+	if got.Header != nil {
+		compare("header", got.Header.Blocks, want.Header.Blocks)
+	}
+	compare("body", got.Body.Blocks, want.Body.Blocks)
+	if !reflect.DeepEqual(got.Addressing(), want.Addressing()) {
+		t.Fatalf("%s: addressing %+v != %+v", label, got.Addressing(), want.Addressing())
+	}
+	return got
+}
+
+// scannerAdversarialDocs are canonical documents engineered against the
+// scanner's weak spots: comments/CDATA/PIs inside blocks, attribute values
+// containing '>' and '/>', nested same-name elements, entity references,
+// and UTF-8 multibyte sequences hugging tag boundaries.
+func scannerAdversarialDocs() map[string]string {
+	soapNS := Namespace
+	return map[string]string{
+		"comment-inside-block": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i"><!-- <fake> tags &amp; entities --><V>x</V></I></Body></Envelope>`,
+		"cdata-inside-block": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i"><V><![CDATA[</V> raw & <markup> ]]></V></I></Body></Envelope>`,
+		"pi-inside-block": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i"><?p data with > and </I> inside?><V>x</V></I></Body></Envelope>`,
+		"attr-gt": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i" a="x>y" b='p>q'><V>v</V></I></Body></Envelope>`,
+		"attr-selfclose-lookalike": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i" a="x/>y"><V>v</V></I></Body></Envelope>`,
+		"nested-same-name": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i"><I><I>deep</I></I><I/></I></Body></Envelope>`,
+		"same-name-as-container": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<Body xmlns="urn:i"><Body>x</Body></Body></Body></Envelope>`,
+		"entities-everywhere": `<Envelope xmlns="` + soapNS + `"><Header>` +
+			`<To xmlns="` + wsa.Namespace + `">mem://a&amp;b&lt;c&gt;&quot;d&quot;&apos;</To></Header>` +
+			`<Body><I xmlns="urn:i" a="&#65;&#x42;"><V>&#x1F600;</V></I></Body></Envelope>`,
+		"multibyte-at-boundaries": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i">日本語<V>ünïcødé✓</V>末尾</I></Body></Envelope>`,
+		"multibyte-attr-boundary": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i" a="日本語"><V>✓</V></I></Body></Envelope>`,
+		"whitespace-shapes": "<Envelope xmlns=\"" + soapNS + "\">\r\n  <Header >\n" +
+			"    <Meta xmlns = 'urn:m'\ta = \"1\" >m</Meta >\n  </Header>\n" +
+			"  <Body><I xmlns=\"urn:i\"/></Body>\n</Envelope>\ntrailing junk ignored",
+		"empty-containers": `<Envelope xmlns="` + soapNS + `"><Header/><Body/></Envelope>`,
+		"empty-ns-block":   `<Envelope xmlns="` + soapNS + `"><Body><Plain xmlns="">t</Plain></Body></Envelope>`,
+		"prolog-variety": `<?xml version="1.0" encoding="utf-8"?><!-- head --><?keep going?>` + "\n" +
+			`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i">x</I></Body></Envelope>`,
+		"comment-between-blocks": `<Envelope xmlns="` + soapNS + `"><Header><!-- a -->` +
+			`<To xmlns="` + wsa.Namespace + `">mem://x</To><!-- b --></Header>` +
+			`<Body><!-- c --><I xmlns="urn:i"/></Body></Envelope>`,
+		"unknown-envelope-child": `<Envelope xmlns="` + soapNS + `"><Ignored xmlns="urn:x"><Sub>s</Sub></Ignored>` +
+			`<Body><I xmlns="urn:i">x</I></Body></Envelope>`,
+	}
+}
+
+// TestScannerMatchesZeroCopy: the scanner-accepted ⇒ byte-identical-blocks
+// property over the adversarial corpus.
+func TestScannerMatchesZeroCopy(t *testing.T) {
+	for name, doc := range scannerAdversarialDocs() {
+		t.Run(name, func(t *testing.T) {
+			env := scannerAgrees(t, name, []byte(doc))
+			// The captured envelope must survive a full wire cycle.
+			data, err := env.Encode()
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if _, err := Decode(data); err != nil {
+				t.Fatalf("re-decode: %v\n%s", err, data)
+			}
+		})
+	}
+}
+
+// TestScannerMatchesZeroCopyQuick extends the property to generated
+// envelopes: everything the splice serializer emits must take the scanner
+// path and agree with the zero-copy path byte for byte.
+func TestScannerMatchesZeroCopyQuick(t *testing.T) {
+	f := func(value, tag string, n int) bool {
+		if !validXMLString(value) || !validXMLString(tag) {
+			return true
+		}
+		env := buildWireEnvelope(t, value)
+		if err := env.AddHeader(wireHeader{Tag: tag, Body: value}); err != nil {
+			return false
+		}
+		data, err := env.Encode()
+		if err != nil {
+			return false
+		}
+		scannerAgrees(t, fmt.Sprintf("quick %d", n), data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScannerRejects: non-canonical documents must be declined (never
+// mis-captured) and still decode correctly through the fallback ladder.
+func TestScannerRejects(t *testing.T) {
+	soapNS := Namespace
+	docs := map[string]string{
+		"prefixed": `<env:Envelope xmlns:env="` + soapNS + `">` +
+			`<env:Body><a:B xmlns:a="urn:a">x</a:B></env:Body></env:Envelope>`,
+		"doctype": `<!DOCTYPE Envelope><Envelope xmlns="` + soapNS + `"><Body/></Envelope>`,
+		"inherited-default-ns": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<Fault><Code><Value>soapenv</Value></Code></Fault></Body></Envelope>`,
+		"entity-in-xmlns": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:a&amp;b">x</I></Body></Envelope>`,
+		"duplicate-xmlns": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<I xmlns="urn:i" xmlns="urn:i">x</I></Body></Envelope>`,
+		"non-utf8-encoding-decl": `<?xml version="1.0" encoding="ISO-8859-1"?>` +
+			`<Envelope xmlns="` + soapNS + `"><Body/></Envelope>`,
+		"text-in-envelope": `<Envelope xmlns="` + soapNS + `">stray<Body/></Envelope>`,
+		"wrong-root-ns":    `<Envelope xmlns="urn:not-soap"><Body/></Envelope>`,
+		"directive-in-body": `<Envelope xmlns="` + soapNS + `"><Body>` +
+			`<!ENTITY x><I xmlns="urn:i"/></Body></Envelope>`,
+	}
+	for name, doc := range docs {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := decodeScan([]byte(doc)); ok {
+				t.Fatalf("scanner accepted non-canonical document:\n%s", doc)
+			}
+			// The full ladder must still treat the document exactly as the
+			// legacy path does (or reject it on both paths).
+			got, gotErr := Decode([]byte(doc))
+			want, wantErr := decodeLegacy([]byte(doc))
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("Decode err=%v, legacy err=%v", gotErr, wantErr)
+			}
+			if gotErr == nil {
+				equivalent(t, name, got, want)
+			}
+		})
+	}
+}
+
+// TestScannerMalformed: malformed documents never panic the scanner and are
+// never accepted. (The fallback decides the final verdict.)
+func TestScannerMalformed(t *testing.T) {
+	soapNS := Namespace
+	docs := []string{
+		"",
+		"<",
+		"<Envelope",
+		`<Envelope xmlns="` + soapNS + `">`,
+		`<Envelope xmlns="` + soapNS + `"><Body>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i"></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i"><J></I></J></I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i">&bogus;</I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i">&#x110000;</I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i" a="un'terminated></I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i" a=bare></I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i"><!-- -- --></I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i" a="x<y"/></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i">` + "\x01" + `</I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i">` + "\xff\xfe" + `</I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i"><![CDATA[unterminated</I></Body></Envelope>`,
+		// Divergence regressions (also pinned as fuzz corpus): "]]>" in
+		// character data, PIs without a target, directives and xml
+		// declarations inside blocks (the legacy path cannot replay them).
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns="urn:i">a]]>b</I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns=""><??></I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns=""><!"></I></Body></Envelope>`,
+		`<Envelope xmlns="` + soapNS + `"><Body><I xmlns=""><?xml version="1.0"?></I></Body></Envelope>`,
+	}
+	for i, doc := range docs {
+		if env, ok := decodeScan([]byte(doc)); ok {
+			// Acceptance is only legal if encoding/xml agrees completely.
+			if _, err := decodeZeroCopy([]byte(doc)); err != nil {
+				t.Fatalf("case %d: scanner accepted (%+v) what encoding/xml rejects (%v):\n%q",
+					i, env, err, doc)
+			}
+		}
+	}
+}
+
+// TestScannerDeepNesting: past the fixed name-stack depth the scanner must
+// fall back, and the ladder still decodes the document.
+func TestScannerDeepNesting(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`<Envelope xmlns="` + Namespace + `"><Body><I xmlns="urn:i">`)
+	for i := 0; i < maxScanDepth+4; i++ {
+		sb.WriteString("<N>")
+	}
+	sb.WriteString("x")
+	for i := 0; i < maxScanDepth+4; i++ {
+		sb.WriteString("</N>")
+	}
+	sb.WriteString(`</I></Body></Envelope>`)
+	doc := []byte(sb.String())
+	if _, ok := decodeScan(doc); ok {
+		t.Fatal("scanner accepted nesting beyond its stack depth")
+	}
+	env, err := Decode(doc)
+	if err != nil {
+		t.Fatalf("fallback decode: %v", err)
+	}
+	if len(env.Body.Blocks) != 1 {
+		t.Fatalf("body blocks = %d", len(env.Body.Blocks))
+	}
+}
+
+// TestAddressingCache: one parse serves repeated lookups, and header
+// mutations invalidate the cache.
+func TestAddressingCache(t *testing.T) {
+	env := buildWireEnvelope(t, "cached")
+	first := env.Addressing()
+	if first.To != "mem://peer" {
+		t.Fatalf("To = %q", first.To)
+	}
+	if again := env.Addressing(); !reflect.DeepEqual(first, again) {
+		t.Fatalf("cached addressing diverged: %+v vs %+v", first, again)
+	}
+	a := first
+	a.To = "mem://elsewhere"
+	if err := env.SetAddressing(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Addressing().To; got != "mem://elsewhere" {
+		t.Fatalf("stale cache after SetAddressing: To = %q", got)
+	}
+	env.RemoveHeader(wsa.Namespace, "To")
+	if got := env.Addressing().To; got != "" {
+		t.Fatalf("stale cache after RemoveHeader: To = %q", got)
+	}
+	// Snapshots share the cache but not mutations.
+	snap := env.Snapshot()
+	if err := env.SetAddressing(wsa.Headers{To: "mem://mutated", Action: "urn:x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Addressing().To; got != "" {
+		t.Fatalf("original mutation leaked into snapshot cache: To = %q", got)
+	}
+}
+
+// TestAddressingTextExtraction: the direct text extraction agrees with the
+// encoding/xml block decode across entity, whitespace, and structure edge
+// cases — including ones that force the slow path.
+func TestAddressingTextExtraction(t *testing.T) {
+	cases := []string{
+		`<To xmlns="` + wsa.Namespace + `">mem://plain</To>`,
+		`<To xmlns="` + wsa.Namespace + `">a&amp;b&lt;c&gt;&quot;d&quot;&apos;e&#65;&#x42;</To>`,
+		`<To xmlns="` + wsa.Namespace + `"> spaced  out </To>`,
+		`<To xmlns="` + wsa.Namespace + `"></To>`,
+		`<To xmlns="` + wsa.Namespace + `"/>`,
+		`<To xmlns="` + wsa.Namespace + `" extra="a>b/>c">v</To>`,
+		`<To xmlns="` + wsa.Namespace + `">line1&#10;line2</To>`,
+		`<To xmlns="` + wsa.Namespace + `">ünïcødé ✓ 日本語</To>`,
+		// Slow-path shapes: child elements, CDATA, comments.
+		`<To xmlns="` + wsa.Namespace + `"><!-- c -->text</To>`,
+		`<To xmlns="` + wsa.Namespace + `"><![CDATA[raw]]></To>`,
+	}
+	for _, raw := range cases {
+		doc := `<Envelope xmlns="` + Namespace + `"><Header>` + raw + `</Header><Body/></Envelope>`
+		env, err := Decode([]byte(doc))
+		if err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		var want toHeader
+		b, ok := env.HeaderBlock(wsa.Namespace, "To")
+		if !ok {
+			t.Fatalf("no To block in %s", raw)
+		}
+		if err := b.Decode(&want); err != nil {
+			t.Fatalf("xml decode %s: %v", raw, err)
+		}
+		if got := env.Addressing().To; got != want.Value {
+			t.Fatalf("To extraction %q != xml %q for %s", got, want.Value, raw)
+		}
+	}
+}
+
+// TestPoolRoundTrip: pooled buffers keep renders intact and recycle cleanly
+// across size classes.
+func TestPoolRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 100, 511, 512, 513, 4096, 1 << 16, 2 << 20} {
+		b := getBytes(n)
+		if len(b) != 0 || cap(b) < n {
+			t.Fatalf("getBytes(%d): len=%d cap=%d", n, len(b), cap(b))
+		}
+		b = append(b, bytes.Repeat([]byte{0xAB}, n)...)
+		putBytes(b)
+	}
+	// A recycled buffer must come back zero-length with its capacity.
+	big := getBytes(1 << 14)
+	big = append(big, "payload"...)
+	putBytes(big)
+	again := getBytes(1 << 14)
+	if len(again) != 0 {
+		t.Fatalf("recycled buffer not reset: len=%d", len(again))
+	}
+}

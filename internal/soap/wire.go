@@ -147,12 +147,40 @@ func captureBlocks(d *xml.Decoder, data []byte, out *[]Block) error {
 			if t.Name.Space != "" && !hasDefaultNSDecl(t.Attr) {
 				return errNotSelfContained
 			}
-			if err := d.Skip(); err != nil {
-				return fmt.Errorf("soap: capture block: %w", err)
+			if err := skipBlock(d); err != nil {
+				return err
 			}
 			*out = append(*out, Block{XMLName: t.Name, Raw: data[off:d.InputOffset()]})
 		}
 	}
+}
+
+// skipBlock consumes a block element like Decoder.Skip, but rejects tokens
+// the legacy path cannot replay — directives and xml-declaration PIs fail
+// Block.UnmarshalXML's re-encode, so a verbatim slice containing one would
+// make Decode accept what the legacy path rejects. Declining to the legacy
+// path keeps both rungs in exact agreement either way.
+func skipBlock(d *xml.Decoder) error {
+	depth := 1
+	for depth > 0 {
+		tok, err := d.Token()
+		if err != nil {
+			return fmt.Errorf("soap: capture block: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+		case xml.Directive:
+			return errNotSelfContained
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				return errNotSelfContained
+			}
+		}
+	}
+	return nil
 }
 
 // hasDefaultNSDecl reports whether attrs carry a default xmlns declaration.
@@ -276,17 +304,6 @@ func needsEscape(s string) bool {
 		}
 	}
 	return false
-}
-
-// appendXMLText appends s chardata-escaped (mirroring xml.EscapeText).
-func appendXMLText(dst []byte, s string) []byte {
-	if !needsEscape(s) && utf8.ValidString(s) {
-		return append(dst, s...)
-	}
-	buf := getBuf()
-	defer bufPool.Put(buf)
-	_ = xml.EscapeText(buf, []byte(s))
-	return append(dst, buf.Bytes()...)
 }
 
 // spliceParts is the per-block analysis an encode pass reuses.
@@ -447,16 +464,30 @@ func (e *Envelope) encodeTemplate() (*WireTemplate, error) {
 
 // RenderTo returns a complete serialized envelope addressed to addr: the
 // template's bytes with a wsa:To header block spliced at the insertion
-// point. Each call returns a fresh buffer the caller owns, so rendered
-// messages can be handed to SendEncoded without copying.
+// point. Each call returns a buffer the caller owns exclusively, so
+// rendered messages can be handed to SendEncoded without copying; the
+// buffer is sized exactly (the escaped To length is computed up front) and
+// drawn from the wire buffer pool, which the bindings feed back into after
+// delivery.
 func (t *WireTemplate) RenderTo(addr string) []byte {
-	out := make([]byte, 0, len(t.pre)+len(wireToOpen)+len(addr)+16+len(wireToClose)+len(t.post))
+	toLen := len(addr)
+	var esc *bytes.Buffer
+	if needsEscape(addr) || !utf8.ValidString(addr) {
+		esc = getBuf()
+		_ = xml.EscapeText(esc, []byte(addr))
+		toLen = esc.Len()
+	}
+	out := getBytes(len(t.pre) + len(wireToOpen) + toLen + len(wireToClose) + len(t.post))
 	out = append(out, t.pre...)
 	out = append(out, wireToOpen...)
-	out = appendXMLText(out, addr)
+	if esc != nil {
+		out = append(out, esc.Bytes()...)
+		bufPool.Put(esc)
+	} else {
+		out = append(out, addr...)
+	}
 	out = append(out, wireToClose...)
-	out = append(out, t.post...)
-	return out
+	return append(out, t.post...)
 }
 
 // Size returns the serialized size in bytes of a rendered message,
@@ -467,9 +498,11 @@ func (t *WireTemplate) Size() int { return len(t.pre) + len(t.post) }
 // Encoded send path
 
 // EncodedSender is implemented by bindings that accept a pre-serialized
-// envelope, skipping the redundant Encode inside Send. The sender hands
-// over ownership of data: the binding may retain it and the caller must not
-// modify it afterwards.
+// envelope, skipping the redundant Encode inside Send. A successful
+// SendEncoded takes full ownership of data: the binding may retain it or
+// recycle it into the wire buffer pool after delivery, so the caller must
+// not read or modify it afterwards, and must not pass the same buffer to
+// two sends. On error the buffer stays with the caller.
 type EncodedSender interface {
 	SendEncoded(ctx context.Context, to string, data []byte) error
 }
@@ -486,4 +519,44 @@ func SendBytes(ctx context.Context, caller Caller, to string, data []byte) error
 		return err
 	}
 	return caller.Send(ctx, to, env)
+}
+
+// Fanout sends one logical envelope (addressing must omit To) to every
+// target. On an EncodedSender binding the message is serialized exactly
+// once (EncodeTemplate) and a per-target copy rendered at the wsa:To
+// insertion point; plain Callers, and splice-resistant envelopes — e.g.
+// blocks captured from documents with prefixed namespace declarations —
+// take the per-target encode the fan-out paths ran before the encode-once
+// wire path. Returns the successful send count and the targets that failed
+// (nil when none did). Every multi-target send in the stack — gossip
+// forward/announce/repair/pull and the aggregation floods and exchange
+// rounds — goes through here.
+func Fanout(ctx context.Context, caller Caller, env *Envelope, targets []string) (sent int, failed []string) {
+	if es, ok := caller.(EncodedSender); ok {
+		if tmpl, err := env.EncodeTemplate(); err == nil {
+			for _, target := range targets {
+				if err := es.SendEncoded(ctx, target, tmpl.RenderTo(target)); err != nil {
+					failed = append(failed, target)
+					continue
+				}
+				sent++
+			}
+			return sent, failed
+		}
+	}
+	a := env.Addressing()
+	for _, target := range targets {
+		out := env.Snapshot()
+		a.To = target
+		if err := out.SetAddressing(a); err != nil {
+			failed = append(failed, target)
+			continue
+		}
+		if err := caller.Send(ctx, target, out); err != nil {
+			failed = append(failed, target)
+			continue
+		}
+		sent++
+	}
+	return sent, failed
 }

@@ -454,13 +454,13 @@ func (c plainCaller) Send(ctx context.Context, to string, env *Envelope) error {
 }
 
 // TestSendBytes: pre-serialized sends arrive identically through an
-// EncodedSender binding and through the decode-and-Send fallback.
+// EncodedSender binding and through the decode-and-Send fallback. The
+// handler decodes inside the delivery (SendEncoded hands buffer ownership
+// to the bus, which recycles it after the wave — retaining the request
+// envelope would need Clone), and each send encodes afresh for the same
+// reason.
 func TestSendBytes(t *testing.T) {
 	env := buildWireEnvelope(t, "bytes")
-	data, err := env.Encode()
-	if err != nil {
-		t.Fatal(err)
-	}
 	for _, tc := range []struct {
 		name string
 		wrap func(*MemBus) Caller
@@ -470,23 +470,30 @@ func TestSendBytes(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			bus := NewMemBus()
-			var got *Envelope
+			var got *wireBody
 			bus.Register("mem://peer", HandlerFunc(func(_ context.Context, req *Request) (*Envelope, error) {
-				got = req.Envelope
+				var out wireBody
+				if err := req.Envelope.DecodeBody(&out); err != nil {
+					return nil, err
+				}
+				got = &out
 				return nil, nil
 			}))
+			data, err := env.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
 			if err := SendBytes(context.Background(), tc.wrap(bus), "mem://peer", data); err != nil {
 				t.Fatal(err)
 			}
 			if got == nil {
 				t.Fatal("message not delivered")
 			}
-			var out wireBody
-			if err := got.DecodeBody(&out); err != nil {
-				t.Fatal(err)
+			if got.Value != "bytes" {
+				t.Fatalf("delivered body = %+v", got)
 			}
-			if out.Value != "bytes" {
-				t.Fatalf("delivered body = %+v", out)
+			if data, err = env.Encode(); err != nil {
+				t.Fatal(err)
 			}
 			if SendBytes(context.Background(), tc.wrap(bus), "mem://missing", data) == nil {
 				t.Fatal("send to unknown endpoint succeeded")
@@ -495,8 +502,10 @@ func TestSendBytes(t *testing.T) {
 	}
 }
 
-// FuzzDecodeEquivalence feeds arbitrary documents to both decoders: when
-// both accept, they must agree; the zero-copy path must never panic or
+// FuzzDecodeEquivalence feeds arbitrary documents down the whole decode
+// ladder: when the hand-rolled scanner accepts, it must agree with the
+// encoding/xml zero-copy path byte for byte; when Decode accepts by any
+// rung, the legacy path must agree semantically; no rung may panic or
 // mis-capture.
 func FuzzDecodeEquivalence(f *testing.F) {
 	f.Add([]byte(`<Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Header>` +
@@ -508,7 +517,51 @@ func FuzzDecodeEquivalence(f *testing.F) {
 		`<I xmlns="urn:i"><![CDATA[<x>&]]></I></Body></Envelope>`))
 	f.Add([]byte(`<Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body><Plain>t</Plain></Body></Envelope>`))
 	f.Add([]byte(`<!-- c --><Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body/></Envelope>`))
+	// Scanner-adversarial seeds: structures the byte walk must track
+	// exactly — comments/CDATA/PIs inside blocks, '>' and '/>' inside
+	// attribute values, nested same-name elements, entities, multibyte
+	// runes at tag boundaries, deep nesting, malformed look-alikes.
+	for _, doc := range scannerAdversarialDocs() {
+		f.Add([]byte(doc))
+	}
+	f.Add([]byte(`<Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body>` +
+		`<I xmlns="urn:i" a="</I>"><I a=">">&#xA;</I></I></Body></Envelope>`))
+	f.Add([]byte(`<Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body>` +
+		`<I xmlns="urn:i"><!--->--><V><![CDATA[]]>]]<![CDATA[>]]></V></I></Body></Envelope>`))
+	f.Add([]byte("<Envelope xmlns=\"http://www.w3.org/2003/05/soap-envelope\"><Body>" +
+		"<I xmlns=\"urn:i\">\xe6\x97\xa5<V a=\"\xe2\x9c\x93\">\xc3\xbc</V>\xe6\x9c\xac</I></Body></Envelope>"))
+	f.Add([]byte(`<Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body>` +
+		`<I xmlns="urn:i">&#55296;&bad;&#x10FFFF;</I></Body></Envelope>`))
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Differential check of the scanner against the encoding/xml
+		// zero-copy tokenizer: acceptance implies byte-identical capture.
+		if env, ok := decodeScan(data); ok {
+			want, err := decodeZeroCopy(data)
+			if err != nil {
+				t.Fatalf("scanner accepted, zero-copy rejected (%v): %q", err, data)
+			}
+			blocks := func(e *Envelope) []Block {
+				var out []Block
+				if e.Header != nil {
+					out = append(out, e.Header.Blocks...)
+				}
+				return append(out, e.Body.Blocks...)
+			}
+			gb, wb := blocks(env), blocks(want)
+			if len(gb) != len(wb) {
+				t.Fatalf("scanner blocks %d != zero-copy %d for %q", len(gb), len(wb), data)
+			}
+			for i := range gb {
+				if gb[i].XMLName != wb[i].XMLName || !bytes.Equal(gb[i].Raw, wb[i].Raw) {
+					t.Fatalf("scanner block %d (%v, %q) != zero-copy (%v, %q) for %q",
+						i, gb[i].XMLName, gb[i].Raw, wb[i].XMLName, wb[i].Raw, data)
+				}
+			}
+			if !reflect.DeepEqual(env.Addressing(), want.Addressing()) {
+				t.Fatalf("scanner addressing %+v != zero-copy %+v for %q",
+					env.Addressing(), want.Addressing(), data)
+			}
+		}
 		got, err := Decode(data)
 		if err != nil {
 			return

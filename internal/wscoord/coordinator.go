@@ -219,7 +219,7 @@ func (c *Coordinator) handleCreate(_ context.Context, req *soap.Request) (*soap.
 		return nil, err
 	}
 	resp := soap.NewEnvelope()
-	if err := resp.SetAddressing(req.Addressing.Reply(ActionCreateResponse)); err != nil {
+	if err := resp.SetAddressing(req.Addressing().Reply(ActionCreateResponse)); err != nil {
 		return nil, err
 	}
 	if err := resp.SetBody(CreateCoordinationContextResponse{CoordinationContext: act.Context}); err != nil {
@@ -246,7 +246,7 @@ func (c *Coordinator) handleRegister(_ context.Context, req *soap.Request) (*soa
 		return nil, soap.NewFault(soap.CodeSender, err.Error())
 	}
 	resp := soap.NewEnvelope()
-	if err := resp.SetAddressing(req.Addressing.Reply(ActionRegisterResponse)); err != nil {
+	if err := resp.SetAddressing(req.Addressing().Reply(ActionRegisterResponse)); err != nil {
 		return nil, err
 	}
 	if err := resp.SetBody(RegisterResponse{
