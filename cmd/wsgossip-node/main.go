@@ -32,7 +32,9 @@ import (
 	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/membership"
 	"wsgossip/internal/soap"
+	"wsgossip/internal/transport"
 )
 
 // noteBody is the demonstration notification payload.
@@ -64,13 +66,18 @@ func run() error {
 		value       = flag.Float64("value", math.NaN(), "local measurement: joins aggregation interactions as a participant (disseminator)")
 		jitter      = flag.Float64("jitter", 0.1, "round jitter as a fraction of each period, in [0,1) (disseminator)")
 		seed        = flag.Int64("seed", 0, "round-schedule seed, 0 derives one from the address (disseminator)")
+		members     = flag.String("members", "", "comma-separated membership seed URLs: runs a live peer view that fan-outs sample instead of coordinator target lists (disseminator)")
+		memberEvery = flag.Duration("membership", time.Second, "membership view-exchange interval when -members is set (disseminator)")
+		quiescent   = flag.Duration("quiescent-max", 0, "adaptive pacing cap: pull/repair/aggregate rounds back off toward this period while idle, 0 keeps them fixed (disseminator)")
+		activityTTL = flag.Duration("activity-ttl", 0, "default expiry stamped on coordination activities, 0 = never (coordinator)")
+		pruneEvery  = flag.Duration("prune", 0, "activity-expiry pruning round interval, 0 disables (coordinator)")
 	)
 	flag.Parse()
 
 	client := soap.NewHTTPClient(&http.Client{Timeout: 10 * time.Second})
 	switch *role {
 	case "coordinator":
-		return runCoordinator(*listen, *public, *style)
+		return runCoordinator(*listen, *public, *style, *activityTTL, *pruneEvery)
 	case "disseminator", "consumer":
 		if *coordinator == "" {
 			return fmt.Errorf("-coordinator is required for role %s", *role)
@@ -79,6 +86,7 @@ func run() error {
 			role: *role, listen: *listen, public: *public, coordinator: *coordinator,
 			pull: *pull, repair: *repair, announce: *announce,
 			aggEvery: *aggEvery, value: *value, jitter: *jitter, seed: *seed,
+			members: *members, memberEvery: *memberEvery, quiescent: *quiescent,
 		}
 		return runSubscriber(cfg, client)
 	case "initiator":
@@ -125,7 +133,7 @@ func serve(listen string, handler soap.Handler) error {
 	}
 }
 
-func runCoordinator(listen, public, styleName string) error {
+func runCoordinator(listen, public, styleName string, activityTTL, pruneEvery time.Duration) error {
 	style, err := gossip.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -134,7 +142,32 @@ func runCoordinator(listen, public, styleName string) error {
 		return fmt.Errorf("coordinator style must be push or lazypush, got %s", style)
 	}
 	addr := publicURL(public, listen)
-	coord := core.NewCoordinator(core.CoordinatorConfig{Address: addr, Style: style})
+	coord := core.NewCoordinator(core.CoordinatorConfig{
+		Address:     addr,
+		Style:       style,
+		ActivityTTL: activityTTL,
+	})
+	if pruneEvery > 0 {
+		// Expiry pruning is a self-clocking coordinator round, scheduled by
+		// the same Runner the gossip services use for theirs.
+		runner, err := core.NewRunner(core.RunnerConfig{
+			RNG: rand.New(rand.NewSource(scheduleSeed(0, addr))),
+			Loops: []core.Loop{{
+				Name:   "prune",
+				Period: pruneEvery,
+				Jitter: pruneEvery / 10,
+				Tick:   coord.Tick,
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		if err := runner.Start(context.Background()); err != nil {
+			return err
+		}
+		defer runner.Stop()
+		log.Printf("coordinator pruning expired activities every %v (ttl %v)", pruneEvery, activityTTL)
+	}
 	log.Printf("coordinator serving at %s (listen %s, style %s)", addr, listen, style)
 	return serve(listen, coord.Handler())
 }
@@ -161,6 +194,9 @@ type subscriberConfig struct {
 	value                             float64
 	jitter                            float64
 	seed                              int64
+	members                           string
+	memberEvery                       time.Duration
+	quiescent                         time.Duration
 }
 
 // runSubscriber builds the node's middleware stack and — for disseminators —
@@ -177,16 +213,44 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 	subscribeProtocols := []string{core.ProtocolPushGossip}
 	var runner *core.Runner
 	if cfg.role == "disseminator" {
-		d, err := core.NewDisseminator(core.DisseminatorConfig{
+		dispatcher := soap.NewDispatcher()
+		dcfg := core.DisseminatorConfig{
 			Address: addr,
 			Caller:  client,
 			App:     app,
 			RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 1)),
-		})
+		}
+		// A live membership view: exchanges ride this node's SOAP endpoint,
+		// and every fan-out samples the view instead of the coordinator's
+		// frozen target lists (which stay as the bootstrap fallback).
+		var msvc *membership.Service
+		if cfg.members != "" {
+			if cfg.memberEvery <= 0 {
+				return fmt.Errorf("-members requires a positive -membership interval")
+			}
+			ep := membership.NewSOAPEndpoint(addr, client)
+			var err error
+			msvc, err = membership.New(membership.Config{
+				Endpoint:     ep,
+				Clock:        transport.NewWallClock(),
+				RNG:          rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 3)),
+				Fanout:       3,
+				SuspectAfter: 5 * cfg.memberEvery,
+				RemoveAfter:  10 * cfg.memberEvery,
+			})
+			if err != nil {
+				return err
+			}
+			mux := transport.NewMux()
+			msvc.Register(mux)
+			mux.Bind(ep)
+			ep.RegisterActions(dispatcher)
+			dcfg.Peers = msvc
+		}
+		d, err := core.NewDisseminator(dcfg)
 		if err != nil {
 			return err
 		}
-		dispatcher := soap.NewDispatcher()
 		d.RegisterActions(dispatcher)
 		subscribedRole = core.RoleDisseminator
 		// Advertise exactly the protocols this stack serves: a node
@@ -200,6 +264,11 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			RepairEvery:   cfg.repair,
 			AnnounceEvery: cfg.announce,
 			JitterFrac:    cfg.jitter,
+			QuiescentMax:  cfg.quiescent,
+		}
+		if msvc != nil {
+			rcfg.Membership = msvc
+			rcfg.MembershipEvery = cfg.memberEvery
 		}
 		if !math.IsNaN(cfg.value) {
 			if cfg.aggEvery <= 0 {
@@ -224,7 +293,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 		}
 		subscribeProtocols = protocols
 		handler = dispatcher
-		if cfg.pull > 0 || cfg.repair > 0 || cfg.announce > 0 || rcfg.Aggregator != nil {
+		if cfg.pull > 0 || cfg.repair > 0 || cfg.announce > 0 || rcfg.Aggregator != nil || msvc != nil {
 			runner, err = core.NewRunner(rcfg)
 			if err != nil {
 				return err
@@ -235,6 +304,49 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			defer runner.Stop()
 			log.Printf("[%s] self-clocking rounds: %s (jitter ±%.0f%%)",
 				cfg.role, strings.Join(runner.Loops(), ", "), cfg.jitter*100)
+			if cfg.quiescent > 0 {
+				log.Printf("[%s] adaptive pacing: idle rounds back off toward %v", cfg.role, cfg.quiescent)
+			}
+		}
+		if msvc != nil {
+			var seeds []string
+			for _, s := range strings.Split(cfg.members, ",") {
+				if s = strings.TrimSpace(s); s != "" && s != addr {
+					seeds = append(seeds, s)
+				}
+			}
+			// Join in the background, retrying until a peer's exchange
+			// actually lands in the view (tolerates start order, like the
+			// subscribe loop below). Join itself inserts the seed addresses
+			// at heartbeat 0, so "joined" means some member's heartbeat has
+			// advanced — only a received exchange does that. A node seeded
+			// only with itself waits to be discovered.
+			joined := func() bool {
+				for _, m := range msvc.Members() {
+					if m.Heartbeat > 0 {
+						return true
+					}
+				}
+				return false
+			}
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				for len(seeds) > 0 {
+					msvc.Join(ctx, seeds)
+					if joined() {
+						log.Printf("[%s] membership joined via %d seed(s); view exchanges every %v",
+							cfg.role, len(seeds), cfg.memberEvery)
+						return
+					}
+					select {
+					case <-ctx.Done():
+						log.Printf("[%s] membership join got no seed reply; relying on periodic exchanges", cfg.role)
+						return
+					case <-time.After(cfg.memberEvery):
+					}
+				}
+			}()
 		}
 	} else {
 		handler = core.NewConsumer(app).Handler()

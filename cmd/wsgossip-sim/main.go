@@ -28,6 +28,7 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/membership"
 	"wsgossip/internal/simnet"
 	"wsgossip/internal/transport"
 )
@@ -85,7 +86,7 @@ func main() {
 
 func run() error {
 	var (
-		mode      = flag.String("mode", "gossip", "workload: gossip (dissemination) or aggregate (push-sum)")
+		mode      = flag.String("mode", "gossip", "workload: gossip (dissemination), aggregate (push-sum), or churn (membership-driven dissemination under join/leave)")
 		n         = flag.Int("n", 256, "number of nodes")
 		fanout    = flag.Int("fanout", 3, "gossip fanout f")
 		hops      = flag.Int("hops", 0, "hop budget r (0 = ceil(log2 n)+2)")
@@ -104,8 +105,11 @@ func run() error {
 	if *mode == "aggregate" {
 		return runAggregate(*n, *fanout, *aggName, *eps, *maxRounds, *loss, *seed)
 	}
+	if *mode == "churn" {
+		return runChurn(*n, *fanout, *loss, *crash, *seed, *ticks)
+	}
 	if *mode != "gossip" {
-		return fmt.Errorf("unknown mode %q (want gossip or aggregate)", *mode)
+		return fmt.Errorf("unknown mode %q (want gossip, aggregate, or churn)", *mode)
 	}
 
 	style, err := gossip.ParseStyle(*styleName)
@@ -240,6 +244,180 @@ func run() error {
 	fmt.Printf("  payload forwards:         %d (%.2f per node)\n", total.Forwarded, float64(total.Forwarded)/float64(*n))
 	fmt.Printf("  duplicates suppressed:    %d\n", total.Duplicates)
 	fmt.Printf("  control msgs:             %d\n", total.IHaveSent+total.IWantSent+total.PullReqs+total.PullResps)
+	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
+	fmt.Printf("  virtual time:             %v\n", net.Now())
+	return nil
+}
+
+// runChurn drives membership-driven dissemination under churn: every node's
+// gossip engine samples its live membership view (no static peer list
+// exists anywhere), a crash-fraction of nodes leaves mid-run, fresh nodes
+// join, and a rumor published after the churn must still cover the final
+// population through view-driven push-pull rounds.
+func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int) error {
+	if n < 4 || fanout < 1 {
+		return fmt.Errorf("churn mode needs n >= 4 and fanout >= 1")
+	}
+	if loss < 0 || loss >= 1 || leaveFrac < 0 || leaveFrac >= 0.5 {
+		return fmt.Errorf("loss must be in [0,1) and crash (leave fraction) in [0,0.5)")
+	}
+	if ticks <= 0 {
+		ticks = 30
+	}
+	joiners := n / 4
+	total := n + joiners
+	net := simnet.New(simnet.DefaultConfig(seed))
+	clk := net.Clock()
+
+	type churnNode struct {
+		addr   string
+		msvc   *membership.Service
+		engine *gossip.Engine
+		runner *core.Runner
+		got    map[string]bool
+	}
+	nodes := make([]*churnNode, 0, total)
+	boot := func(i int) (*churnNode, error) {
+		addr := fmt.Sprintf("n%05d", i)
+		node := &churnNode{addr: addr, got: make(map[string]bool)}
+		ep := net.Node(addr)
+		msvc, err := membership.New(membership.Config{
+			Endpoint:     ep,
+			Clock:        net,
+			RNG:          rand.New(rand.NewSource(seed*131 + int64(i))),
+			Fanout:       3,
+			SuspectAfter: 10 * roundPeriod,
+			RemoveAfter:  20 * roundPeriod,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := gossip.New(gossip.Config{
+			Style:    gossip.StylePushPull,
+			Fanout:   fanout,
+			Hops:     12,
+			Endpoint: ep,
+			Peers:    msvc, // the live view IS the peer provider
+			RNG:      rand.New(rand.NewSource(seed*7919 + int64(i))),
+			Deliver:  func(r gossip.Rumor) { node.got[r.ID] = true },
+		})
+		if err != nil {
+			return nil, err
+		}
+		mux := transport.NewMux()
+		eng.Register(mux)
+		msvc.Register(mux)
+		mux.Bind(ep)
+		runner, err := core.NewRunner(core.RunnerConfig{
+			Clock:           clk,
+			RNG:             rand.New(rand.NewSource(seed*2693 + int64(i))),
+			Membership:      msvc,
+			MembershipEvery: 2 * roundPeriod,
+			Loops: []core.Loop{{
+				Name: "round", Period: roundPeriod, Jitter: roundJitter, Tick: eng.Tick,
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := runner.Start(context.Background()); err != nil {
+			return nil, err
+		}
+		node.msvc = msvc
+		node.engine = eng
+		node.runner = runner
+		nodes = append(nodes, node)
+		return node, nil
+	}
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		node, err := boot(i)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			node.msvc.Join(ctx, []string{"n00000"})
+		}
+	}
+	meanView := func(ns []*churnNode) float64 {
+		if len(ns) == 0 {
+			return 0
+		}
+		sum := 0
+		for _, node := range ns {
+			sum += node.msvc.Size()
+		}
+		return float64(sum) / float64(len(ns))
+	}
+	net.SetLossRate(loss)
+	net.RunFor(time.Duration(ticks) * roundPeriod) // views assemble
+	viewBefore := meanView(nodes)
+
+	// Event 1 on the assembled overlay.
+	if _, err := nodes[0].engine.Publish(ctx, []byte("pre-churn")); err != nil {
+		return err
+	}
+	net.RunFor(time.Duration(ticks) * roundPeriod)
+
+	// Churn: leavers announce and crash; joiners bootstrap from node 0.
+	rng := rand.New(rand.NewSource(seed * 31))
+	leaving := rng.Perm(n - 1)[:int(float64(n)*leaveFrac)]
+	down := make(map[string]bool, len(leaving))
+	for _, idx := range leaving {
+		node := nodes[idx+1] // never the seed node
+		node.msvc.Leave(ctx)
+		node.runner.Stop()
+		net.Crash(node.addr)
+		down[node.addr] = true
+	}
+	for i := 0; i < joiners; i++ {
+		node, err := boot(n + i)
+		if err != nil {
+			return err
+		}
+		node.msvc.Join(ctx, []string{"n00000"})
+	}
+	net.RunFor(time.Duration(ticks) * roundPeriod)
+
+	// Event 2 over the churned overlay: joiners must get it from views
+	// they assembled themselves, leavers must not resurrect.
+	r2, err := nodes[0].engine.Publish(ctx, []byte("post-churn"))
+	if err != nil {
+		return err
+	}
+	net.RunFor(time.Duration(2*ticks) * roundPeriod)
+	for _, node := range nodes {
+		if !down[node.addr] {
+			node.runner.Stop()
+		}
+	}
+	net.Run()
+
+	alive, covered, joinCovered := 0, 0, 0
+	for i, node := range nodes {
+		if down[node.addr] {
+			continue
+		}
+		alive++
+		if node.got[r2.ID] {
+			covered++
+			if i >= n {
+				joinCovered++
+			}
+		}
+	}
+	aliveNodes := make([]*churnNode, 0, alive)
+	for _, node := range nodes {
+		if !down[node.addr] {
+			aliveNodes = append(aliveNodes, node)
+		}
+	}
+	viewAfter := meanView(aliveNodes)
+	st := net.Stats()
+	fmt.Printf("wsgossip-sim churn: N=%d (+%d joined, -%d left) f=%d loss=%.2f seed=%d\n",
+		n, joiners, len(leaving), fanout, loss, seed)
+	fmt.Printf("  mean view size:           %.1f before churn, %.1f after\n", viewBefore, viewAfter)
+	fmt.Printf("  post-churn coverage:      %d/%d alive (%d/%d joiners)\n", covered, alive, joinCovered, joiners)
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
 	return nil

@@ -1,0 +1,33 @@
+// Package aggregate implements WS-Gossip aggregation: a push-sum engine
+// (Kempe et al., FOCS 2003) lifted to the WS layer as a coordination
+// protocol (core.ProtocolAggregate). Where the dissemination protocols move
+// one notification to many services, aggregation moves a *summary* of many
+// services' local values to whoever asks: count, sum, average, minimum, or
+// maximum over thousands of subscribers, computed with nothing but gossip
+// exchanges of (sum, weight) pairs.
+//
+// Roles:
+//
+//   - A Service participates: it holds a local value, joins an aggregation
+//     interaction on first contact (registering with the Coordinator's
+//     Registration service exactly like a Disseminator does), and exchanges
+//     push-sum shares each round — with coordinator-assigned peers, or with
+//     peers sampled from a live membership view when ServiceConfig.Peers is
+//     set (core.PeerView).
+//   - A Querier activates an aggregation interaction, seeds the weight that
+//     anchors count/sum queries, disseminates the start message over the
+//     assigned overlay, and collects the converged estimate.
+//   - A SimNode is the transport-level participant for simulator-scale runs
+//     (cmd/wsgossip-sim -mode aggregate).
+//
+// Exchange rounds fire from a core.Runner (RunnerConfig.Aggregator); with
+// QuiescentMax set the exchange loop backs off exponentially once every
+// task has converged or exhausted its round budget, snapping back when a
+// new task or share arrives (Service.ActivityCount / OnActivity).
+//
+// Mass conservation is the engine's invariant: shares are only ever moved,
+// never created or destroyed, so the sums Σsᵢ and Σwᵢ are constant and
+// every estimate sᵢ/wᵢ converges to Σs/Σw. The analytic convergence rate
+// lives in internal/epidemic (PushSumContraction and friends); experiment
+// e10 cross-checks the implementation against it.
+package aggregate

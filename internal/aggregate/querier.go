@@ -134,6 +134,15 @@ func (q *Querier) StartAggregation(ctx context.Context, fn Func) (*Task, error) 
 // Tick runs one of the querier's own exchange rounds.
 func (q *Querier) Tick(ctx context.Context) { q.svc.Tick(ctx) }
 
+// ActivityCount is the querier participant's monotonic traffic counter
+// (see Service.ActivityCount); it lets an adaptive Runner pace the
+// querier's exchange loop.
+func (q *Querier) ActivityCount() uint64 { return q.svc.ActivityCount() }
+
+// OnActivity registers the adaptive Runner's snap-back callback (see
+// Service.OnActivity).
+func (q *Querier) OnActivity(fn func()) { q.svc.OnActivity(fn) }
+
 // Estimate returns the querier's current local estimate for the task.
 func (q *Querier) Estimate(taskID string) (float64, bool) { return q.svc.Estimate(taskID) }
 

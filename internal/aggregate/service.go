@@ -6,13 +6,17 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wsgossip/internal/core"
-	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 	"wsgossip/internal/wscoord"
 )
+
+// passiveFanout is the exchange fanout a passive joiner without registered
+// parameters uses when a live peer view lets it relay anyway.
+const passiveFanout = 3
 
 // ServiceStats counts aggregation activity at one node.
 type ServiceStats struct {
@@ -46,6 +50,12 @@ type ServiceConfig struct {
 	Value func() float64
 	// RNG drives peer sampling; nil falls back to a fixed seed.
 	RNG *rand.Rand
+	// Peers, when set, is the live peer view push-sum exchange targets are
+	// drawn from in place of the frozen coordinator-assigned lists, which
+	// remain the fallback while the view is empty. With a live view a
+	// passive joiner whose registration failed can still relay mass. Nil
+	// keeps the classic coordinator-fed behaviour.
+	Peers core.PeerView
 }
 
 // task is one aggregation interaction this node participates in.
@@ -61,6 +71,9 @@ type task struct {
 type Service struct {
 	cfg      ServiceConfig
 	register *wscoord.RegistrationClient
+	// wake, when set (Runner adaptive mode), runs on every absorbed share
+	// or task join so quiescence-backed-off exchange rounds snap back.
+	wake atomic.Pointer[func()]
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -93,6 +106,37 @@ func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// ActivityCount is a monotonic counter of aggregation traffic at this node:
+// tasks joined plus shares absorbed. An adaptive Runner samples it each
+// exchange round — an unchanged count between two fires means every task
+// has gone quiescent (converged or round-capped) and the exchange period
+// may back off.
+func (s *Service) ActivityCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(s.stats.Started) + uint64(s.stats.PassiveJoins) + uint64(s.stats.SharesAbsorbed)
+}
+
+// OnActivity registers fn to run whenever ActivityCount advances — an
+// adaptive Runner installs its Wake here so a new aggregation task or a
+// fresh share snaps backed-off exchange rounds back to their base period.
+// One callback; nil clears.
+func (s *Service) OnActivity(fn func()) {
+	if fn == nil {
+		s.wake.Store(nil)
+		return
+	}
+	s.wake.Store(&fn)
+}
+
+// bumpActivity runs the registered activity callback, if any. Call outside
+// s.mu: the callback re-enters Runner state.
+func (s *Service) bumpActivity() {
+	if fn := s.wake.Load(); fn != nil {
+		(*fn)()
+	}
 }
 
 // Handler returns the service's SOAP handler.
@@ -215,6 +259,7 @@ func (s *Service) handleStart(ctx context.Context, req *soap.Request) (*soap.Env
 	s.tasks[start.TaskID] = &task{state: st, params: params, cctx: cctx}
 	s.stats.Started++
 	s.mu.Unlock()
+	s.bumpActivity()
 	if start.Hops > 0 {
 		s.forwardStart(ctx, start, cctx, params.Targets)
 	}
@@ -346,6 +391,7 @@ func (s *Service) handleExchange(ctx context.Context, req *soap.Request) (*soap.
 	t.state.Absorb(share)
 	s.stats.SharesAbsorbed++
 	s.mu.Unlock()
+	s.bumpActivity()
 	return nil, nil
 }
 
@@ -404,17 +450,33 @@ func (s *Service) Tick(ctx context.Context) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		t := s.tasks[id]
-		if len(t.params.Targets) == 0 || t.params.Fanout <= 0 {
+		fanout := t.params.Fanout
+		if fanout <= 0 {
+			// A passive joiner whose registration failed has no parameters;
+			// with a live view it can still relay at the default fanout so
+			// the mass it holds keeps circulating.
+			if s.cfg.Peers == nil {
+				continue
+			}
+			fanout = passiveFanout
+		}
+		if s.cfg.Peers == nil && len(t.params.Targets) == 0 {
 			continue
 		}
 		if t.params.MaxRounds > 0 && t.state.Rounds() >= t.params.MaxRounds {
 			continue
 		}
-		t.state.BeginRound()
-		targets := gossip.SamplePeers(s.rng, t.params.Targets, t.params.Fanout, s.cfg.Address)
+		// Sample before starting the round: with a live view that is still
+		// empty (membership bootstrap) a tick must not burn round budget or
+		// convergence history when no exchange can happen. On the static
+		// path an earlier guard covers emptiness and assigned targets never
+		// reduce to only the local address, so the round accounting is
+		// unchanged there.
+		targets := core.SelectTargets(s.cfg.Peers, s.rng, fanout, s.cfg.Address, t.params.Targets)
 		if len(targets) == 0 {
 			continue
 		}
+		t.state.BeginRound()
 		shareSum, shareWeight := t.state.Split(len(targets))
 		sends = append(sends, outgoing{
 			taskID:  id,
@@ -472,8 +534,8 @@ func (s *Service) startLocalTask(taskID string, fn Func, cctx wscoord.Coordinati
 		value = s.cfg.Value()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.tasks[taskID]; ok {
+		s.mu.Unlock()
 		return
 	}
 	s.tasks[taskID] = &task{
@@ -482,4 +544,9 @@ func (s *Service) startLocalTask(taskID string, fn Func, cctx wscoord.Coordinati
 		cctx:   cctx,
 	}
 	s.stats.Started++
+	s.mu.Unlock()
+	// The node's own new task is traffic too: snap a backed-off exchange
+	// loop to base pace so the first push-sum round is not delayed by a
+	// stretched quiescent interval.
+	s.bumpActivity()
 }

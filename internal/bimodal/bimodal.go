@@ -1,15 +1,3 @@
-// Package bimodal implements Bimodal Multicast (pbcast; Birman, Hayden,
-// Ozkasap, Xiao, Budiu, Minsky 1999), reference [2] of the paper and the
-// source of its "stable high throughput" claim. The protocol has two phases:
-// an unreliable best-effort multicast, followed by periodic anti-entropy
-// gossip in which nodes exchange digests of what they received and solicit
-// retransmissions of what they missed.
-//
-// The package also provides the comparator whose collapse motivates pbcast:
-// an ACK-based reliable multicast whose sender waits for every receiver
-// before sending the next message, so one perturbed (slow) receiver throttles
-// the whole group. Experiment E4 regenerates the paper's throughput-under-
-// perturbation shape from these two implementations.
 package bimodal
 
 import (

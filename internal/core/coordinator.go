@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
@@ -112,6 +113,25 @@ type CoordinatorConfig struct {
 	// accepted subscription is replicated one-way to each replica address.
 	Caller   soap.Caller
 	Replicas []string
+	// ReplicateActivities marks this coordinator as part of an
+	// activity-replicating ensemble: it replicates every created activity
+	// to its Replicas one-way, and it accepts activity imports from peers
+	// (a coordinator without the flag answers ActionReplicateActivity with
+	// a fault, so strangers cannot grow its activity table). Set it on
+	// every member of the ensemble. That is what makes a replica a
+	// failover successor: registrants that lose the primary
+	// mid-interaction can re-register the same coordination context
+	// against a replica (see DisseminatorConfig.Coordinators). Off by
+	// default — the classic replication carries subscriptions only.
+	ReplicateActivities bool
+	// Now supplies the coordinator's time source (activity stamps, expiry);
+	// nil uses the wall clock. Virtual-time deployments inject the shared
+	// clock here.
+	Now func() time.Time
+	// ActivityTTL stamps a default expiry on activities created without an
+	// explicit one, so a pruning loop (Tick) can shed abandoned
+	// interactions. 0 keeps them eternal (the classic behaviour).
+	ActivityTTL time.Duration
 }
 
 // assignState is the balanced-assignment rotation for one protocol: a
@@ -159,17 +179,66 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		assign:   make(map[string]*assignState),
 	}
 	c.wc = wscoord.NewCoordinator(wscoord.Config{
-		Address:        cfg.Address,
-		SupportedTypes: []string{CoordinationTypeGossip},
-		Extension:      c.registrationExtension,
-		OnCreate: func(*wscoord.Activity) {
+		Address:              cfg.Address,
+		SupportedTypes:       []string{CoordinationTypeGossip},
+		Extension:            c.registrationExtension,
+		Now:                  cfg.Now,
+		DefaultExpiresMillis: uint64(cfg.ActivityTTL / time.Millisecond),
+		OnCreate: func(act *wscoord.Activity) {
 			c.mu.Lock()
 			c.stats.Activations++
 			c.mu.Unlock()
+			c.replicateActivity(act)
 		},
 	})
 	return c
 }
+
+// replicateTimeout bounds how long a single activity-replication send may
+// stall the creating request when a replica is unreachable: replication
+// exists to survive coordinator failure, so a dead replica must not hold
+// the live primary's activation path for the caller's full timeout.
+const replicateTimeout = 2 * time.Second
+
+// replicateActivity best-effort copies a created activity to the replica
+// coordinators so any of them can serve registrations for it if this
+// coordinator fails (ReplicateActivities mode). Sends are one-way,
+// individually deadline-bounded, and deliberately sequential on the
+// creating request path: asynchronous replication would make the delivery
+// order race the virtual clock in deterministic deployments, and an
+// activity must reach the successors before the registrants who will fail
+// over to them. The worst-case stall is replicateTimeout per dead replica,
+// so keep successor lists short (one or two is the intended shape).
+func (c *Coordinator) replicateActivity(act *wscoord.Activity) {
+	if !c.cfg.ReplicateActivities || c.cfg.Caller == nil || len(c.cfg.Replicas) == 0 {
+		return
+	}
+	for _, replica := range c.cfg.Replicas {
+		env := soap.NewEnvelope()
+		if err := env.SetAddressing(addressingFor(replica, ActionReplicateActivity)); err != nil {
+			continue
+		}
+		if err := env.SetBody(ReplicateActivity{Context: act.Context}); err != nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+		_ = c.cfg.Caller.Send(ctx, replica, env)
+		cancel()
+	}
+}
+
+// Tick runs one coordinator housekeeping round (activity expiry pruning) —
+// the loop shape core.Runner schedules, so a coordinator node's maintenance
+// self-clocks exactly like the gossip rounds.
+func (c *Coordinator) Tick(ctx context.Context) { c.wc.Tick(ctx) }
+
+// PruneExpired removes expired activities at the given instant and returns
+// how many were removed.
+func (c *Coordinator) PruneExpired(now time.Time) int { return c.wc.PruneExpired(now) }
+
+// LiveActivities returns the number of live (unpruned) coordination
+// activities.
+func (c *Coordinator) LiveActivities() int { return len(c.wc.ActivityIDs()) }
 
 // Address returns the coordinator endpoint address.
 func (c *Coordinator) Address() string { return c.cfg.Address }
@@ -181,6 +250,7 @@ func (c *Coordinator) Handler() soap.Handler {
 	c.wc.RegisterActions(d)
 	d.Register(ActionSubscribe, soap.HandlerFunc(c.handleSubscribe))
 	d.Register(ActionReplicate, soap.HandlerFunc(c.handleReplicate))
+	d.Register(ActionReplicateActivity, soap.HandlerFunc(c.handleReplicateActivity))
 	return d
 }
 
@@ -299,6 +369,28 @@ func (c *Coordinator) handleSubscribe(ctx context.Context, req *soap.Request) (*
 		return nil, err
 	}
 	return resp, nil
+}
+
+// handleReplicateActivity imports an activity created at a peer coordinator
+// so this replica can serve registrations for it after a failover. Only a
+// coordinator opted into the replicating ensemble accepts imports —
+// otherwise any sender could grow the activity table without bound.
+func (c *Coordinator) handleReplicateActivity(_ context.Context, req *soap.Request) (*soap.Envelope, error) {
+	if !c.cfg.ReplicateActivities {
+		return nil, soap.NewFault(soap.CodeSender, "coordinator does not accept replicated activities")
+	}
+	var body ReplicateActivity
+	if err := req.Envelope.DecodeBody(&body); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed ReplicateActivity: "+err.Error())
+	}
+	if err := body.Context.Validate(); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, err.Error())
+	}
+	c.wc.ImportActivity(body.Context)
+	c.mu.Lock()
+	c.stats.Replications++
+	c.mu.Unlock()
+	return nil, nil
 }
 
 func (c *Coordinator) handleReplicate(_ context.Context, req *soap.Request) (*soap.Envelope, error) {

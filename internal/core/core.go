@@ -1,22 +1,3 @@
-// Package core implements the WS-Gossip framework itself: the four roles of
-// the paper's Figure 1 (Initiator, Disseminator, Consumer, Coordinator), the
-// gossip SOAP header that hop-bounds a disseminated notification, and the
-// GossipParameters registration extension through which the Coordinator
-// provides "adequate parameter configurations and peers for each gossip
-// round" (Section 3).
-//
-// The division of labour follows the paper exactly:
-//
-//   - The Initiator's application code is changed: it activates a gossip
-//     coordination context, registers, and issues a single notification.
-//   - A Disseminator's application code is oblivious to gossip; a handler in
-//     its middleware stack intercepts notifications, registers with the
-//     Registration service on first contact with an interaction, delivers
-//     the message locally, and re-routes copies to selected peers.
-//   - A Consumer is completely unchanged: the gossip header passes through
-//     its stack unexamined.
-//   - The Coordinator hosts Activation/Registration plus the subscription
-//     list.
 package core
 
 import (
@@ -24,6 +5,7 @@ import (
 	"errors"
 
 	"wsgossip/internal/soap"
+	"wsgossip/internal/wscoord"
 )
 
 // Namespace is the WS-Gossip extension namespace.
@@ -65,6 +47,10 @@ const (
 	// ActionReplicate propagates subscription records between the members
 	// of a distributed Coordinator.
 	ActionReplicate = Namespace + ":replicateSubscription"
+	// ActionReplicateActivity propagates created coordination activities
+	// between the members of a distributed Coordinator, enabling failover
+	// registration at a successor (CoordinatorConfig.ReplicateActivities).
+	ActionReplicateActivity = Namespace + ":replicateActivity"
 	// ActionPullRequest asks a peer for stored notifications absent from
 	// the requester's digest (WS-PullGossip).
 	ActionPullRequest = Namespace + ":pullRequest"
@@ -180,6 +166,16 @@ type ReplicateSubscription struct {
 	Endpoint  string   `xml:"Endpoint"`
 	Role      string   `xml:"Role"`
 	Protocols []string `xml:"Protocols>Protocol,omitempty"`
+}
+
+// ReplicateActivity propagates one created coordination activity inside a
+// distributed Coordinator, so replicas can serve registrations for it after
+// the creating coordinator fails.
+type ReplicateActivity struct {
+	XMLName xml.Name `xml:"urn:wsgossip:2008 ReplicateActivity"`
+	// Context keeps its own XML name (the wscoor CoordinationContext
+	// element), exactly as it appears in coordination headers.
+	Context wscoord.CoordinationContext
 }
 
 // Announce is the lazy-push IHAVE body: it names a notification without its

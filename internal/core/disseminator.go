@@ -93,6 +93,17 @@ type DisseminatorConfig struct {
 	App soap.Handler
 	// RNG drives peer selection; nil falls back to a fixed seed.
 	RNG *rand.Rand
+	// Peers, when set, is the live peer view consulted at sample time for
+	// every fan-out (forward, announce, repair, pull) in place of the
+	// frozen coordinator-assigned target lists; the static lists remain the
+	// fallback while the view is empty (membership bootstrap). Nil keeps
+	// the classic coordinator-fed behaviour.
+	Peers PeerView
+	// Coordinators lists successor Registration service addresses tried in
+	// order when first-contact registration at the coordination context's
+	// primary service fails — the coordinator-failover path. The successors
+	// must know the activity (see CoordinatorConfig.ReplicateActivities).
+	Coordinators []string
 	// SeenCacheSize bounds the duplicate-suppression cache (0 = default).
 	SeenCacheSize int
 	// StoreSize bounds the retained notification envelopes that serve
@@ -118,6 +129,9 @@ func (s *interactionState) pull() bool {
 type Disseminator struct {
 	cfg      DisseminatorConfig
 	register *wscoord.RegistrationClient
+	// wake, when set (Runner adaptive mode), runs on every gossip intake so
+	// quiescence-backed-off rounds snap back to their base period.
+	wake atomic.Pointer[func()]
 
 	mu           sync.Mutex
 	rng          *rand.Rand
@@ -168,6 +182,46 @@ func (d *Disseminator) Stats() DisseminatorStats {
 	return d.stats.snapshot()
 }
 
+// ActivityCount is a monotonic counter of gossip traffic at this node:
+// notifications taken in plus payloads and repairs served to peers. An
+// adaptive Runner samples it each round — an unchanged count between two
+// fires means the interval was quiescent and the round period may back off.
+func (d *Disseminator) ActivityCount() uint64 {
+	return uint64(d.stats.received.Load()) +
+		uint64(d.stats.fetched.Load()) +
+		uint64(d.stats.served.Load()) +
+		uint64(d.stats.repaired.Load()) +
+		uint64(d.stats.pullServed.Load())
+}
+
+// OnActivity registers fn to run whenever ActivityCount advances — the
+// snap-back half of adaptive pacing: an adaptive Runner installs its Wake
+// here so backed-off loops reschedule as soon as traffic returns instead of
+// sleeping out a maximum-length quiescent period. One callback; nil clears.
+func (d *Disseminator) OnActivity(fn func()) {
+	if fn == nil {
+		d.wake.Store(nil)
+		return
+	}
+	d.wake.Store(&fn)
+}
+
+// bumpActivity runs the registered activity callback, if any. Call it after
+// the corresponding counter increment and outside d.mu.
+func (d *Disseminator) bumpActivity() {
+	if fn := d.wake.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// sampleTargetsLocked draws up to n fan-out targets for one interaction:
+// from the live peer view when one is installed (and non-empty), else from
+// the interaction's coordinator-assigned static list. Callers hold d.mu,
+// which guards the rng.
+func (d *Disseminator) sampleTargetsLocked(n int, static []string) []string {
+	return SelectTargets(d.cfg.Peers, d.rng, n, d.cfg.Address, static)
+}
+
 // Handler returns the node's SOAP handler: the application service wrapped
 // by the gossip layer middleware on the notify action.
 func (d *Disseminator) Handler() soap.Handler {
@@ -210,6 +264,7 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 		return d.deliver(ctx, req, app)
 	}
 	d.stats.received.Add(1)
+	d.bumpActivity()
 	d.mu.Lock()
 	if !d.seen.Add(gh.MessageID) {
 		d.mu.Unlock()
@@ -298,9 +353,24 @@ func (d *Disseminator) registerInteraction(ctx context.Context, env *soap.Envelo
 }
 
 // registerProtocol performs the Register call for one (interaction,
-// protocol) pair and caches the returned parameters under cacheKey.
+// protocol) pair and caches the returned parameters under cacheKey. When
+// the context's primary Registration service is unreachable, the configured
+// successor coordinators are tried in order (coordinator failover): the
+// coordination context is re-aimed at each successor, which can serve the
+// registration if the activity was replicated to it.
 func (d *Disseminator) registerProtocol(ctx context.Context, cctx wscoord.CoordinationContext, protocol, cacheKey string) (*interactionState, error) {
 	resp, err := d.register.Register(ctx, cctx, protocol, d.cfg.Address)
+	for _, successor := range d.cfg.Coordinators {
+		if err == nil {
+			break
+		}
+		if successor == cctx.RegistrationService.Address {
+			continue
+		}
+		retry := cctx
+		retry.RegistrationService.Address = successor
+		resp, err = d.register.Register(ctx, retry, protocol, d.cfg.Address)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: register interaction %s: %w", cctx.Identifier, err)
 	}
@@ -337,7 +407,7 @@ func (d *Disseminator) JoinInteraction(ctx context.Context, cctx wscoord.Coordin
 // once; only the wsa:To block is rendered per target.
 func (d *Disseminator) forward(ctx context.Context, env *soap.Envelope, gh GossipHeader, state *interactionState) {
 	d.mu.Lock()
-	targets := gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
+	targets := d.sampleTargetsLocked(state.params.Fanout, state.params.Targets)
 	d.mu.Unlock()
 	if len(targets) == 0 {
 		return

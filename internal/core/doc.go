@@ -1,0 +1,41 @@
+// Package core implements the WS-Gossip framework itself: the four roles of
+// the paper's Figure 1 (Initiator, Disseminator, Consumer, Coordinator), the
+// gossip SOAP header that hop-bounds a disseminated notification, and the
+// GossipParameters registration extension through which the Coordinator
+// provides "adequate parameter configurations and peers for each gossip
+// round" (Section 3).
+//
+// The division of labour follows the paper exactly:
+//
+//   - The Initiator's application code is changed: it activates a gossip
+//     coordination context, registers, and issues a single notification.
+//   - A Disseminator's application code is oblivious to gossip; a handler in
+//     its middleware stack intercepts notifications, registers with the
+//     Registration service on first contact with an interaction, delivers
+//     the message locally, and re-routes copies to selected peers.
+//   - A Consumer is completely unchanged: the gossip header passes through
+//     its stack unexamined.
+//   - The Coordinator hosts Activation/Registration plus the subscription
+//     list, validating registrations against a ProtocolRegistry of the
+//     coordination protocol URIs (WS-PushGossip, WS-PullGossip, and the
+//     aggregation protocol; see ProtocolPushGossip and friends).
+//
+// Key types beyond the roles:
+//
+//   - GossipHeader / GossipParameters / AggregateParameters — the SOAP
+//     extension blocks the protocols ride on.
+//   - Runner — the self-clocking round engine: every periodic protocol
+//     round (TickPull, TickRepair, TickAnnounce, aggregation exchanges,
+//     membership view exchanges, coordinator expiry pruning) fires from a
+//     Runner on a pluggable clock.Clock. With RunnerConfig.QuiescentMax
+//     set, the pull/repair/aggregate loops back off exponentially while
+//     the node sees no traffic and snap back (Runner.Wake) when it
+//     returns.
+//   - PeerView — the sample-time peer source. The Disseminator, the
+//     aggregation Service, and the Initiator consult it on every fan-out,
+//     which turns the static coordinator-assigned target list into a mere
+//     bootstrap fallback; membership.Service is the live implementation.
+//
+// The hot send paths run on the encode-once zero-copy wire machinery of
+// package soap (see DESIGN.md, "capture → store → splice → patch").
+package core

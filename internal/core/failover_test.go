@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wsgossip/internal/soap"
+)
+
+// TestCoordinatorActivityReplicationAndFailover proves the failover path:
+// an activity created at the primary is replicated to the successor, and a
+// disseminator whose first-contact registration hits the dead primary
+// re-registers against the successor and obtains usable parameters.
+func TestCoordinatorActivityReplicationAndFailover(t *testing.T) {
+	bus := soap.NewMemBus()
+	ctx := context.Background()
+
+	successor := NewCoordinator(CoordinatorConfig{
+		Address:             "mem://coord-b",
+		ReplicateActivities: true, // a successor must accept imports
+	})
+	bus.Register("mem://coord-b", successor.Handler())
+	primary := NewCoordinator(CoordinatorConfig{
+		Address:             "mem://coord-a",
+		Caller:              bus,
+		Replicas:            []string{"mem://coord-b"},
+		ReplicateActivities: true,
+	})
+	bus.Register("mem://coord-a", primary.Handler())
+
+	// Subscribers register at the primary; subscription replication gives
+	// the successor an identical assignment base.
+	for _, addr := range []string{"mem://n1", "mem://n2", "mem://n3"} {
+		if err := primary.SubscribeLocal(ctx, addr, RoleDisseminator); err != nil {
+			t.Fatal(err)
+		}
+	}
+	init, err := NewInitiator(InitiatorConfig{
+		Address: "mem://init", Caller: bus, Activation: "mem://coord-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := init.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := successor.LiveActivities(); got != 1 {
+		t.Fatalf("successor imported %d activities, want 1", got)
+	}
+
+	// The primary dies; a late joiner's registration must fail over.
+	bus.Unregister("mem://coord-a")
+	d, err := NewDisseminator(DisseminatorConfig{
+		Address:      "mem://n1",
+		Caller:       bus,
+		Coordinators: []string{"mem://coord-b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.JoinInteraction(ctx, inter.Context, ProtocolPushGossip); err != nil {
+		t.Fatalf("registration did not fail over to the successor: %v", err)
+	}
+	if got := d.Stats().Registrations; got != 1 {
+		t.Fatalf("failover registration count %d, want 1", got)
+	}
+
+	// Without a configured successor the same registration fails.
+	bare, err := NewDisseminator(DisseminatorConfig{Address: "mem://n2", Caller: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.JoinInteraction(ctx, inter.Context, ProtocolPushGossip); err == nil {
+		t.Fatal("registration against the dead primary should fail with no successors")
+	}
+
+	// A coordinator outside the replicating ensemble refuses imports, so a
+	// stranger cannot grow its activity table.
+	loner := NewCoordinator(CoordinatorConfig{Address: "mem://coord-c"})
+	bus.Register("mem://coord-c", loner.Handler())
+	outsider := NewCoordinator(CoordinatorConfig{
+		Address:             "mem://outsider",
+		Caller:              bus,
+		Replicas:            []string{"mem://coord-c"},
+		ReplicateActivities: true,
+	})
+	if _, err := outsider.CreateActivity(); err != nil {
+		t.Fatal(err)
+	}
+	if got := loner.LiveActivities(); got != 0 {
+		t.Fatalf("non-replicating coordinator imported %d activities, want 0", got)
+	}
+}
+
+// TestCoordinatorActivityTTLPruning drives the coordinator's housekeeping
+// Tick on an injected clock: activities stamped with the default TTL are
+// pruned once their window elapses, and late registrations are refused.
+func TestCoordinatorActivityTTLPruning(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCoordinator(CoordinatorConfig{
+		Address:     "mem://coord",
+		Now:         func() time.Time { return now },
+		ActivityTTL: time.Second,
+	})
+	if _, err := c.CreateActivity(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateActivity(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LiveActivities(); got != 2 {
+		t.Fatalf("live activities %d, want 2", got)
+	}
+	now = now.Add(500 * time.Millisecond)
+	c.Tick(context.Background())
+	if got := c.LiveActivities(); got != 2 {
+		t.Fatalf("mid-window prune removed activities: %d live, want 2", got)
+	}
+	now = now.Add(600 * time.Millisecond)
+	c.Tick(context.Background())
+	if got := c.LiveActivities(); got != 0 {
+		t.Fatalf("expired activities survive the prune round: %d live, want 0", got)
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sync"
 
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
@@ -32,6 +34,14 @@ type InitiatorConfig struct {
 	Caller soap.Caller
 	// Activation is the Coordinator's Activation service address.
 	Activation string
+	// Peers, when set, is the live peer view the notification fan-out is
+	// sampled from in place of the coordinator-assigned target list (which
+	// remains the fallback while the view is empty). Nil keeps the classic
+	// static behaviour.
+	Peers PeerView
+	// RNG drives live-view sampling; nil falls back to a fixed seed. Unused
+	// when Peers is nil.
+	RNG *rand.Rand
 }
 
 // Initiator is the one role whose application code changes (paper,
@@ -41,6 +51,9 @@ type Initiator struct {
 	cfg        InitiatorConfig
 	activation *wscoord.ActivationClient
 	register   *wscoord.RegistrationClient
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
 }
 
 // NewInitiator returns an initiator.
@@ -48,10 +61,15 @@ func NewInitiator(cfg InitiatorConfig) (*Initiator, error) {
 	if cfg.Address == "" || cfg.Caller == nil || cfg.Activation == "" {
 		return nil, fmt.Errorf("core: initiator config requires address, caller, and activation address")
 	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
 	return &Initiator{
 		cfg:        cfg,
 		activation: wscoord.NewActivationClient(cfg.Caller, cfg.Address),
 		register:   wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
+		rng:        rng,
 	}, nil
 }
 
@@ -97,11 +115,32 @@ func (i *Initiator) Notify(ctx context.Context, inter *Interaction, body any) (w
 	if err != nil {
 		return msgID, 0, err
 	}
-	sent, _ := soap.Fanout(ctx, i.cfg.Caller, env, inter.Params.Targets)
-	if len(inter.Params.Targets) > 0 && sent == 0 {
-		return msgID, 0, fmt.Errorf("core: notification reached none of %d targets", len(inter.Params.Targets))
+	targets := i.seedTargets(inter)
+	sent, _ := soap.Fanout(ctx, i.cfg.Caller, env, targets)
+	if len(targets) > 0 && sent == 0 {
+		return msgID, 0, fmt.Errorf("core: notification reached none of %d targets", len(targets))
 	}
 	return msgID, sent, nil
+}
+
+// seedTargets picks the endpoints the initial notification is sent to. The
+// classic path uses the coordinator-assigned target list verbatim; with a
+// live peer view installed, the same number of seeds is drawn from the view
+// (falling back to the assigned list while the view is empty).
+func (i *Initiator) seedTargets(inter *Interaction) []string {
+	if i.cfg.Peers == nil {
+		return inter.Params.Targets
+	}
+	want := len(inter.Params.Targets)
+	if want == 0 {
+		want = 2 * inter.Params.Fanout
+	}
+	if want <= 0 {
+		return inter.Params.Targets
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return SelectTargets(i.cfg.Peers, i.rng, want, i.cfg.Address, inter.Params.Targets)
 }
 
 // buildNotification assembles the target-independent notification: the

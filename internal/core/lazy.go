@@ -5,7 +5,6 @@ import (
 	"context"
 	"fmt"
 
-	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 )
@@ -85,7 +84,7 @@ func (d *Disseminator) TickAnnounce(ctx context.Context) {
 // one logical message: it is serialized once and rendered per target.
 func (d *Disseminator) announce(ctx context.Context, gh GossipHeader, state *interactionState) {
 	d.mu.Lock()
-	targets := gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address)
+	targets := d.sampleTargetsLocked(state.params.Fanout, state.params.Targets)
 	d.mu.Unlock()
 	if len(targets) == 0 {
 		return
@@ -149,6 +148,7 @@ func (d *Disseminator) handleIHave(ctx context.Context, req *soap.Request) (*soa
 		return nil, nil
 	}
 	d.stats.fetched.Add(1)
+	d.bumpActivity()
 	return nil, nil
 }
 
@@ -191,5 +191,6 @@ func (d *Disseminator) handleIWant(ctx context.Context, req *soap.Request) (*soa
 		return nil, nil
 	}
 	d.stats.served.Add(1)
+	d.bumpActivity()
 	return nil, nil
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+
+	"wsgossip/internal/gossip"
+)
+
+// PeerView supplies gossip fan-out targets at sample time.
+//
+// The paper's Coordinator hands each registrant a frozen target list with
+// its gossip parameters ("peers for each gossip round", Section 3). That is
+// the right interface for a managed deployment, but it cannot follow churn:
+// a node that joins after the registration is invisible, a node that leaves
+// keeps absorbing sends. A PeerView closes the gap — the Disseminator, the
+// aggregation Service, and the Initiator consult it every time they sample
+// targets, so the fan-out always reflects the current overlay.
+//
+// Implementations: membership.Service (the live, gossip-maintained view —
+// the WS-Membership deployment of reference [10]) and gossip.StaticPeers
+// (a fixed set). The interface is satisfied by anything implementing
+// gossip.PeerProvider; it is re-declared here so the framework layer does
+// not force its callers through the engine package.
+type PeerView interface {
+	// SelectPeers returns up to n distinct peer addresses, excluding the
+	// given address (normally the sampling node itself). n < 0 requests all
+	// known peers. The rng makes selection reproducible.
+	SelectPeers(rng *rand.Rand, n int, exclude string) []string
+}
+
+// PeerView and gossip.PeerProvider are intentionally interchangeable.
+var (
+	_ PeerView            = (gossip.PeerProvider)(nil)
+	_ gossip.PeerProvider = (PeerView)(nil)
+)
+
+// SelectTargets draws up to n fan-out targets: from the live view when one
+// is installed and currently non-empty, otherwise from the static
+// coordinator-assigned list. The fallback rule keeps a node functional
+// through the membership bootstrap window (an empty view must not silence
+// the node when the Coordinator already assigned it peers) and makes the
+// static list the exact zero-churn behaviour: with view == nil the call is
+// byte-for-byte the pre-PeerView sampling, drawing identically from rng.
+func SelectTargets(view PeerView, rng *rand.Rand, n int, exclude string, static []string) []string {
+	if view != nil {
+		if picked := view.SelectPeers(rng, n, exclude); len(picked) > 0 {
+			return picked
+		}
+	}
+	return gossip.SamplePeers(rng, static, n, exclude)
+}

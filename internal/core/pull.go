@@ -4,7 +4,6 @@ import (
 	"context"
 	"sort"
 
-	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 )
@@ -30,7 +29,7 @@ func (d *Disseminator) TickPull(ctx context.Context) {
 		if !state.pull() {
 			continue
 		}
-		for _, t := range gossip.SamplePeers(d.rng, state.params.Targets, state.params.Fanout, d.cfg.Address) {
+		for _, t := range d.sampleTargetsLocked(state.params.Fanout, state.params.Targets) {
 			targetSet[t] = struct{}{}
 		}
 	}
@@ -79,6 +78,9 @@ func (d *Disseminator) handlePullRequest(ctx context.Context, req *soap.Request)
 	}
 	served := d.retransmitMissing(ctx, pr.Requester, have, max)
 	d.stats.pullServed.Add(served)
+	if served > 0 {
+		d.bumpActivity()
+	}
 	return nil, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/xml"
 
-	"wsgossip/internal/gossip"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 )
@@ -38,8 +37,7 @@ func (d *Disseminator) TickRepair(ctx context.Context) {
 	ids := d.storedIDsLocked(digestCap)
 	targetSet := make(map[string]struct{})
 	for _, state := range d.interactions {
-		fanout := state.params.Fanout
-		for _, t := range gossip.SamplePeers(d.rng, state.params.Targets, fanout, d.cfg.Address) {
+		for _, t := range d.sampleTargetsLocked(state.params.Fanout, state.params.Targets) {
 			targetSet[t] = struct{}{}
 		}
 	}
@@ -94,5 +92,8 @@ func (d *Disseminator) handleDigest(ctx context.Context, req *soap.Request) (*so
 	}
 	repaired := d.retransmitMissing(ctx, dig.Sender, have, digestCap)
 	d.stats.repaired.Add(repaired)
+	if repaired > 0 {
+		d.bumpActivity()
+	}
 	return nil, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsgossip/internal/clock"
@@ -35,6 +36,15 @@ type Loop struct {
 	// and must return; the next fire is scheduled after it does, so a slow
 	// round delays — never overlaps — its own successor.
 	Tick func(ctx context.Context)
+	// MaxPeriod, when > Period, enables quiescence backoff for this loop:
+	// after a round in whose preceding interval Activity did not advance,
+	// the next interval doubles (Period, 2·Period, 4·Period, …) up to
+	// MaxPeriod; any observed activity — or a Wake call — snaps the loop
+	// back to Period. 0 keeps the period fixed.
+	MaxPeriod time.Duration
+	// Activity is the monotonic traffic counter sampled at every fire to
+	// decide quiescence. Required when MaxPeriod is set.
+	Activity func() uint64
 }
 
 // RunnerConfig configures a Runner. The disseminator and aggregator fields
@@ -67,6 +77,24 @@ type RunnerConfig struct {
 	// AggregateEvery is the aggregation exchange interval; 0 disables.
 	AggregateEvery time.Duration
 
+	// Membership, when set with MembershipEvery, fires peer-view exchange
+	// rounds (membership.Service satisfies this): the node's heartbeat and
+	// view dissemination ride this runner's clock like every other round.
+	// The membership loop never backs off — heartbeats are the failure
+	// detector, so a quiescent network must keep exchanging views.
+	Membership interface{ Tick(ctx context.Context) }
+	// MembershipEvery is the membership exchange interval; 0 disables.
+	MembershipEvery time.Duration
+
+	// QuiescentMax, when > 0, enables adaptive pacing for the standard
+	// pull, repair, and aggregate loops: each backs off exponentially
+	// toward QuiescentMax while its node sees no gossip traffic and snaps
+	// back to its base period as soon as traffic returns (the runner
+	// registers its Wake with the disseminator's and aggregator's
+	// OnActivity hooks). Must exceed every enabled standard period.
+	// 0 keeps all periods fixed — the exact pre-adaptive schedule.
+	QuiescentMax time.Duration
+
 	// JitterFrac is the jitter bound for the standard loops as a fraction
 	// of each period, in [0, 1). Explicit Loops carry their own Jitter.
 	JitterFrac float64
@@ -94,11 +122,36 @@ type Runner struct {
 	rng     *rand.Rand
 	loops   []Loop
 	onStart []func() // mode flips applied once the loops go live
+	onStop  []func() // hook teardown applied when the runner stops
 	state   int
+	ctx     context.Context
 	cancel  context.CancelFunc
-	pending []func() bool // per-loop stop for the scheduled next fire
+	pending []func() bool   // per-loop stop for the scheduled next fire
+	cur     []time.Duration // per-loop current base period (adaptive pacing)
+	lastAct []uint64        // per-loop Activity sample at the previous fire
+	fires   []int64         // per-loop completed-round count
+
+	// backedOff counts loops whose cur exceeds Period. Wake runs on every
+	// gossip intake; this lets it return without touching r.mu in the
+	// common fully-active case. Mutated only under mu (setCurLocked);
+	// read lock-free as an advisory fast path.
+	backedOff atomic.Int32
 
 	inflight sync.WaitGroup
+}
+
+// setCurLocked updates loop i's current base period and keeps the lock-free
+// backed-off count in sync. Callers hold r.mu.
+func (r *Runner) setCurLocked(i int, d time.Duration) {
+	was := r.cur[i] > r.loops[i].Period
+	r.cur[i] = d
+	if now := d > r.loops[i].Period; now != was {
+		if now {
+			r.backedOff.Add(1)
+		} else {
+			r.backedOff.Add(-1)
+		}
+	}
 }
 
 // NewRunner validates the configuration and returns an idle Runner.
@@ -114,6 +167,9 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 	if cfg.JitterFrac < 0 || cfg.JitterFrac >= 1 {
 		return nil, fmt.Errorf("core: runner jitter fraction %v outside [0,1)", cfg.JitterFrac)
 	}
+	if cfg.QuiescentMax < 0 {
+		return nil, fmt.Errorf("core: runner quiescent max %v negative", cfg.QuiescentMax)
+	}
 	std := func(name string, period time.Duration, tick func(context.Context)) Loop {
 		return Loop{
 			Name:   name,
@@ -122,25 +178,76 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 			Tick:   tick,
 		}
 	}
+	// adaptive upgrades a standard loop to quiescence backoff when
+	// QuiescentMax is set: the loop's base period doubles toward the cap
+	// while the probe reports no traffic.
+	adaptive := func(l Loop, probe func() uint64) (Loop, error) {
+		if cfg.QuiescentMax == 0 {
+			return l, nil
+		}
+		if cfg.QuiescentMax <= l.Period {
+			return l, fmt.Errorf("core: quiescent max %v does not exceed loop %q period %v",
+				cfg.QuiescentMax, l.Name, l.Period)
+		}
+		l.MaxPeriod = cfg.QuiescentMax
+		l.Activity = probe
+		return l, nil
+	}
 	var loops []Loop
-	var onStart []func()
+	var onStart, onStop []func()
+	r := &Runner{clk: clk, rng: rng}
 	if d := cfg.Disseminator; d != nil {
 		if cfg.PullEvery > 0 {
-			loops = append(loops, std("pull", cfg.PullEvery, d.TickPull))
+			l, err := adaptive(std("pull", cfg.PullEvery, d.TickPull), d.ActivityCount)
+			if err != nil {
+				return nil, err
+			}
+			loops = append(loops, l)
 		}
 		if cfg.RepairEvery > 0 {
-			loops = append(loops, std("repair", cfg.RepairEvery, d.TickRepair))
+			l, err := adaptive(std("repair", cfg.RepairEvery, d.TickRepair), d.ActivityCount)
+			if err != nil {
+				return nil, err
+			}
+			loops = append(loops, l)
 		}
 		if cfg.AnnounceEvery > 0 {
+			// The announce loop stays fixed-period even under QuiescentMax:
+			// deferred IHAVE advertisements must flush promptly or lazy-push
+			// spread stalls at this node.
 			loops = append(loops, std("announce", cfg.AnnounceEvery, d.TickAnnounce))
 			// Deferring announcements only once the loops are live: a
 			// Runner that failed validation or was never started must not
 			// leave the disseminator queueing advertisements nobody flushes.
 			onStart = append(onStart, d.DeferAnnouncements)
 		}
+		if cfg.QuiescentMax > 0 {
+			onStart = append(onStart, func() { d.OnActivity(r.Wake) })
+			onStop = append(onStop, func() { d.OnActivity(nil) })
+		}
 	}
 	if cfg.Aggregator != nil && cfg.AggregateEvery > 0 {
-		loops = append(loops, std("aggregate", cfg.AggregateEvery, cfg.Aggregator.Tick))
+		l := std("aggregate", cfg.AggregateEvery, cfg.Aggregator.Tick)
+		if cfg.QuiescentMax > 0 {
+			probe, ok := cfg.Aggregator.(interface{ ActivityCount() uint64 })
+			if !ok {
+				return nil, errors.New("core: quiescent max set but aggregator exposes no ActivityCount")
+			}
+			var err error
+			if l, err = adaptive(l, probe.ActivityCount); err != nil {
+				return nil, err
+			}
+			if hook, ok := cfg.Aggregator.(interface{ OnActivity(func()) }); ok {
+				onStart = append(onStart, func() { hook.OnActivity(r.Wake) })
+				onStop = append(onStop, func() { hook.OnActivity(nil) })
+			}
+		}
+		loops = append(loops, l)
+	}
+	if cfg.Membership != nil && cfg.MembershipEvery > 0 {
+		// Never adaptive: view exchanges carry the heartbeats peers use for
+		// failure detection, so they must keep flowing through quiescence.
+		loops = append(loops, std("membership", cfg.MembershipEvery, cfg.Membership.Tick))
 	}
 	loops = append(loops, cfg.Loops...)
 	if len(loops) == 0 {
@@ -156,14 +263,26 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 		if l.Tick == nil {
 			return nil, fmt.Errorf("core: loop %q has no tick function", l.Name)
 		}
+		if l.MaxPeriod != 0 {
+			if l.MaxPeriod < l.Period {
+				return nil, fmt.Errorf("core: loop %q max period %v below period %v", l.Name, l.MaxPeriod, l.Period)
+			}
+			if l.Activity == nil {
+				return nil, fmt.Errorf("core: adaptive loop %q has no activity probe", l.Name)
+			}
+		}
 	}
-	return &Runner{
-		clk:     clk,
-		rng:     rng,
-		loops:   loops,
-		onStart: onStart,
-		pending: make([]func() bool, len(loops)),
-	}, nil
+	r.loops = loops
+	r.onStart = onStart
+	r.onStop = onStop
+	r.pending = make([]func() bool, len(loops))
+	r.cur = make([]time.Duration, len(loops))
+	r.lastAct = make([]uint64, len(loops))
+	r.fires = make([]int64, len(loops))
+	for i, l := range loops {
+		r.cur[i] = l.Period
+	}
+	return r, nil
 }
 
 // Loops returns the configured loop names, in firing order.
@@ -197,6 +316,7 @@ func (r *Runner) Start(ctx context.Context) error {
 		return errors.New("core: runner cannot be restarted after stop")
 	}
 	ctx, cancel := context.WithCancel(ctx)
+	r.ctx = ctx
 	r.cancel = cancel
 	r.state = runnerRunning
 	for _, fn := range r.onStart {
@@ -204,6 +324,9 @@ func (r *Runner) Start(ctx context.Context) error {
 	}
 	for i := range r.loops {
 		i := i
+		if l := r.loops[i]; l.MaxPeriod != 0 {
+			r.lastAct[i] = l.Activity()
+		}
 		// Initial phase in (0, Period]: uniform desynchronization.
 		phase := time.Duration(r.rng.Float64()*float64(r.loops[i].Period)) + 1
 		r.pending[i] = r.clk.AfterFunc(phase, func() { r.fire(ctx, i) })
@@ -223,6 +346,7 @@ func (r *Runner) fire(ctx context.Context, i int) {
 		return
 	}
 	r.pending[i] = nil
+	r.fires[i]++
 	r.inflight.Add(1)
 	r.mu.Unlock()
 
@@ -234,13 +358,31 @@ func (r *Runner) fire(ctx context.Context, i int) {
 	if r.state != runnerRunning || ctx.Err() != nil {
 		return
 	}
+	if l := r.loops[i]; l.MaxPeriod != 0 {
+		// Quiescence backoff: traffic since the previous fire resets the
+		// base period; none doubles it toward the cap. The probe is read
+		// after the round, so responses the round itself provoked count as
+		// traffic at the next fire.
+		if act := l.Activity(); act != r.lastAct[i] {
+			r.lastAct[i] = act
+			r.setCurLocked(i, l.Period)
+		} else if r.cur[i] < l.MaxPeriod {
+			next := r.cur[i] * 2
+			if next > l.MaxPeriod {
+				next = l.MaxPeriod
+			}
+			r.setCurLocked(i, next)
+		}
+	}
 	r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), func() { r.fire(ctx, i) })
 }
 
-// nextDelayLocked draws the next interval for loop i: Period ± U(0, Jitter).
+// nextDelayLocked draws the next interval for loop i: the current base
+// period (the configured Period unless quiescence backoff stretched it)
+// ± U(0, Jitter).
 func (r *Runner) nextDelayLocked(i int) time.Duration {
 	l := r.loops[i]
-	d := l.Period
+	d := r.cur[i]
 	if l.Jitter > 0 {
 		d += time.Duration((r.rng.Float64()*2 - 1) * float64(l.Jitter))
 	}
@@ -248,6 +390,60 @@ func (r *Runner) nextDelayLocked(i int) time.Duration {
 		d = 1
 	}
 	return d
+}
+
+// Wake snaps every backed-off adaptive loop to its base period: a loop whose
+// current interval was stretched by quiescence backoff has its pending fire
+// cancelled and rescheduled within one base period of now. Fixed-period
+// loops and loops already at base pace are untouched. The adaptive Runner
+// registers Wake with its services' OnActivity hooks so new traffic is
+// answered at base cadence immediately instead of after a stretched sleep.
+// Safe to call from handler callbacks; a no-op unless running. Wake runs on
+// every gossip intake in adaptive mode, so it first checks a lock-free
+// backed-off count and returns without locking when every loop is already
+// at base pace — the sustained-traffic common case. The check is advisory:
+// a loop backing off concurrently can be missed, but its very next fire
+// resamples the activity counter and snaps back on its own.
+func (r *Runner) Wake() {
+	if r.backedOff.Load() == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != runnerRunning {
+		return
+	}
+	ctx := r.ctx
+	for i := range r.loops {
+		l := r.loops[i]
+		if l.MaxPeriod == 0 || r.cur[i] <= l.Period {
+			continue
+		}
+		stop := r.pending[i]
+		if stop == nil || !stop() {
+			// The fire is already running (or unscheduled); it will resample
+			// activity itself and return to base pace.
+			continue
+		}
+		i := i
+		r.setCurLocked(i, l.Period)
+		r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), func() { r.fire(ctx, i) })
+	}
+}
+
+// FireCount returns how many rounds of the named loop have started. It is a
+// diagnostic for adaptive pacing: under quiescence an adaptive loop's count
+// grows logarithmically-then-capped rather than linearly.
+func (r *Runner) FireCount(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for i, l := range r.loops {
+		if l.Name == name {
+			n += r.fires[i]
+		}
+	}
+	return n
 }
 
 // Stop cancels the pending round timers, waits for in-flight rounds to
@@ -270,10 +466,14 @@ func (r *Runner) Stop() {
 			r.pending[i] = nil
 		}
 	}
+	teardown := r.onStop
 	r.mu.Unlock()
 	cancel()
 	for _, stop := range stops {
 		stop()
+	}
+	for _, fn := range teardown {
+		fn()
 	}
 	r.inflight.Wait()
 }

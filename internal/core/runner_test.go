@@ -457,3 +457,121 @@ func TestRunnerConcurrentLifecycleRace(t *testing.T) {
 		r.Stop()
 	}
 }
+
+func TestRunnerAdaptiveBackoff(t *testing.T) {
+	v := clock.NewVirtual()
+	var activity uint64
+	fired := 0
+	r, err := NewRunner(RunnerConfig{
+		Clock: v,
+		Loops: []Loop{{
+			Name:      "adaptive",
+			Period:    10 * time.Millisecond,
+			MaxPeriod: 80 * time.Millisecond,
+			Activity:  func() uint64 { return activity },
+			Tick:      func(context.Context) { fired++ },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// Quiescent: intervals double 10, 20, 40, 80, 80… After the initial
+	// phase (≤10ms) the first second holds at most 1 + ceil settle fires
+	// plus 1000/80 capped rounds — far below the 100 a fixed period fires.
+	v.Advance(time.Second)
+	quiescent := fired
+	if quiescent >= 50 {
+		t.Fatalf("quiescent adaptive loop fired %d rounds in 1s; backoff is not engaging", quiescent)
+	}
+	if quiescent < 5 {
+		t.Fatalf("adaptive loop fired only %d rounds in 1s; cap overshoot", quiescent)
+	}
+
+	// Traffic resets the pace: with the counter advancing before every
+	// fire, the loop runs at the 10ms base period again.
+	fired = 0
+	for i := 0; i < 20; i++ {
+		activity++
+		v.Advance(10 * time.Millisecond)
+	}
+	if fired < 15 {
+		t.Fatalf("active adaptive loop fired %d rounds over 20 base periods, want ~20", fired)
+	}
+}
+
+func TestRunnerAdaptiveWakeSnapsBack(t *testing.T) {
+	v := clock.NewVirtual()
+	var activity uint64
+	fired := 0
+	r, err := NewRunner(RunnerConfig{
+		Clock: v,
+		Loops: []Loop{{
+			Name:      "adaptive",
+			Period:    10 * time.Millisecond,
+			MaxPeriod: 500 * time.Millisecond,
+			Activity:  func() uint64 { return activity },
+			Tick:      func(context.Context) { fired++ },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	// Back the loop off to its cap, then wake it: the next fire must land
+	// within one base period, not after the stretched 500ms interval.
+	v.Advance(2 * time.Second)
+	fired = 0
+	activity++
+	r.Wake()
+	v.Advance(10 * time.Millisecond)
+	if fired == 0 {
+		t.Fatal("woken loop did not fire within one base period")
+	}
+	if got := r.FireCount("adaptive"); got == 0 {
+		t.Fatal("FireCount lost the woken loop's rounds")
+	}
+}
+
+func TestRunnerQuiescentMaxValidation(t *testing.T) {
+	d, err := NewDisseminator(DisseminatorConfig{Address: "mem://d", Caller: soap.NewMemBus()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(RunnerConfig{
+		Disseminator: d,
+		PullEvery:    time.Second,
+		QuiescentMax: time.Second, // must strictly exceed the period
+	}); err == nil {
+		t.Fatal("quiescent max equal to a loop period must be rejected")
+	}
+	if _, err := NewRunner(RunnerConfig{
+		Loops: []Loop{{
+			Name:      "x",
+			Period:    time.Second,
+			MaxPeriod: time.Second / 2,
+			Activity:  func() uint64 { return 0 },
+			Tick:      func(context.Context) {},
+		}},
+	}); err == nil {
+		t.Fatal("max period below period must be rejected")
+	}
+	if _, err := NewRunner(RunnerConfig{
+		Loops: []Loop{{
+			Name:      "x",
+			Period:    time.Second,
+			MaxPeriod: 2 * time.Second,
+			Tick:      func(context.Context) {},
+		}},
+	}); err == nil {
+		t.Fatal("adaptive loop without an activity probe must be rejected")
+	}
+}

@@ -1,0 +1,14 @@
+// Package epidemic provides the analytic models the paper's Section 2 rests
+// on (Eugster, Guerraoui, Kermarrec, Massoulié: "Epidemic information
+// dissemination in distributed systems", IEEE Computer 2004): expected
+// infection growth, coverage as a function of fanout f and rounds r, and the
+// rounds needed for a target coverage — plus the push-sum variance-decay
+// model (Kempe et al.) behind the aggregation protocol.
+//
+// Key functions: ExpectedCoverage and ExpectedCoverageLossy (the
+// infect-and-die fixed point, with and without message loss),
+// RoundsForCoverage (inverse), PushSumContraction and PushSumRoundsToEpsilon
+// (aggregation convergence). Experiments E2/E6/E10 cross-check the simulator
+// against these predictions, and the virtual-time scenario suite
+// (internal/scenario) derives its convergence budgets from them.
+package epidemic

@@ -1,9 +1,3 @@
-// Package epidemic provides the analytic models the paper's Section 2 rests
-// on (Eugster, Guerraoui, Kermarrec, Massoulié: "Epidemic information
-// dissemination in distributed systems", IEEE Computer 2004): expected
-// infection growth, coverage as a function of fanout f and rounds r, and the
-// rounds needed for a target coverage. Experiments E2 and E6 cross-check the
-// simulator against these predictions.
 package epidemic
 
 import (

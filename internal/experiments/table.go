@@ -1,8 +1,3 @@
-// Package experiments regenerates every experiment in DESIGN.md §4: E0 (the
-// paper's Figure 1) plus the claim-validation experiments E1–E8 and the
-// ablations A1–A2. Each experiment returns printable tables; the same code
-// backs cmd/wsgossip-bench and the root testing.B benchmarks, so the numbers
-// in EXPERIMENTS.md are regenerable with one command.
 package experiments
 
 import (

@@ -1,0 +1,22 @@
+// Package gossip implements the epidemic dissemination engine at the core of
+// WS-Gossip. It supports the gossip styles the paper's framework encompasses
+// (Section 4: "encompassing different gossip styles"): eager push (the
+// WS-PushGossip protocol of Section 3), lazy push (announce/request), pull
+// anti-entropy, push-pull, and flooding as a degenerate baseline.
+//
+// The two key protocol parameters match the paper's Section 2: Fanout (f),
+// the number of targets each process selects locally, and Hops (the paper's
+// rounds r), the maximum number of times a message is forwarded before being
+// ignored.
+//
+// Key types:
+//
+//   - Engine — one node's dissemination instance over transport.Endpoint;
+//     Publish injects a rumor, Tick runs an anti-entropy round for the pull
+//     styles.
+//   - PeerProvider — the peer source abstraction (StaticPeers for fixed
+//     sets, membership.Service for live views); SamplePeers is the shared
+//     uniform-without-replacement sampler every layer draws through.
+//   - SeenSet — the bounded duplicate-suppression cache.
+//   - Rumor / Style — the unit of dissemination and the spread discipline.
+package gossip

@@ -1,13 +1,3 @@
-// Package gossip implements the epidemic dissemination engine at the core of
-// WS-Gossip. It supports the gossip styles the paper's framework encompasses
-// (Section 4: "encompassing different gossip styles"): eager push (the
-// WS-PushGossip protocol of Section 3), lazy push (announce/request), pull
-// anti-entropy, push-pull, and flooding as a degenerate baseline.
-//
-// The two key protocol parameters match the paper's Section 2: Fanout (f),
-// the number of targets each process selects locally, and Hops (the paper's
-// rounds r), the maximum number of times a message is forwarded before being
-// ignored.
 package gossip
 
 import (

@@ -1,0 +1,29 @@
+// Package membership implements a WS-Membership-style service (Vogels &
+// van Renesse, reference [10] of the paper): a gossip-based membership view
+// with heartbeat failure detection. It is the runtime's live peer-view
+// layer — core.PeerView is satisfied by Service, so disseminators,
+// aggregation services, and initiators can sample the current overlay for
+// every fan-out instead of a coordinator-frozen target list — and
+// decentralized deployments use it directly as the gossip engine's peer
+// provider.
+//
+// The protocol is the classic epidemic membership scheme: each node keeps a
+// table of (address, heartbeat, last-refresh); every Tick it increments its
+// own heartbeat and pushes its table to a few random peers; receivers merge
+// entries with higher heartbeats. Entries not refreshed within SuspectAfter
+// become suspects, and within RemoveAfter are removed. Explicit departures
+// (Leave) spread as tombstones. With Config.MaxView set the service behaves
+// as a partial-view peer-sampling service, keeping per-node state O(MaxView)
+// at large scale.
+//
+// Key types:
+//
+//   - Service — one node's protocol instance: Join/Tick/Leave drive it,
+//     Alive/Members/SelectPeers read it. Tick satisfies the loop shape
+//     core.RunnerConfig.Membership schedules, so view exchanges self-clock
+//     on the same clock.Clock as every other gossip round.
+//   - SOAPEndpoint — carries the view exchanges over the node's SOAP
+//     binding (MemBus, HTTP, or a test bus), so the membership overlay and
+//     the WS-Gossip services share one endpoint address space.
+//   - Member / State — one view entry and its alive/suspect classification.
+package membership

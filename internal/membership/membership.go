@@ -1,14 +1,3 @@
-// Package membership implements a WS-Membership-style service (Vogels & Re,
-// reference [10] of the paper): a gossip-based membership view with
-// heartbeat failure detection. The WS-Gossip Coordinator uses it to maintain
-// the subscriber list in a distributed fashion, and decentralized
-// deployments use it directly as the gossip engine's peer provider.
-//
-// The protocol is the classic epidemic membership scheme: each node keeps a
-// table of (address, heartbeat, last-refresh); every Tick it increments its
-// own heartbeat and pushes its table to a few random peers; receivers merge
-// entries with higher heartbeats. Entries not refreshed within SuspectAfter
-// become suspects, and within RemoveAfter are removed.
 package membership
 
 import (
@@ -128,6 +117,13 @@ type Service struct {
 	// gossip echoing that heartbeat cannot resurrect it, but a genuinely
 	// recovered node (whose heartbeat advances) is readmitted.
 	dead map[string]uint64
+	// alive caches the sorted alive-address snapshot between view
+	// mutations: fan-out sampling (SelectPeers is on the gossip hot path
+	// when the service is a live PeerView) reads the cache instead of
+	// rebuilding and re-sorting the list per call. aliveValid is cleared by
+	// every mutation that can change the alive set.
+	alive      []string
+	aliveValid bool
 }
 
 // New validates cfg and returns a service containing only the local node.
@@ -165,11 +161,12 @@ func (s *Service) Join(ctx context.Context, seeds []string) {
 	s.mu.Lock()
 	now := s.cfg.Clock.Now()
 	for _, a := range seeds {
-		if a == s.self.Addr {
+		if a == "" || a == s.self.Addr {
 			continue
 		}
 		if _, ok := s.members[a]; !ok {
 			s.members[a] = &Member{Addr: a, Heartbeat: 0, State: StateAlive, Refreshed: now}
+			s.invalidateAliveLocked()
 		}
 	}
 	body, err := s.encodeViewLocked()
@@ -198,8 +195,12 @@ func (s *Service) Tick(ctx context.Context) {
 		case age >= s.cfg.RemoveAfter:
 			s.dead[addr] = m.Heartbeat
 			delete(s.members, addr)
+			s.invalidateAliveLocked()
 		case age >= s.cfg.SuspectAfter:
-			m.State = StateSuspect
+			if m.State != StateSuspect {
+				m.State = StateSuspect
+				s.invalidateAliveLocked()
+			}
 		}
 	}
 	peers := s.alivePeersLocked()
@@ -229,7 +230,13 @@ func (s *Service) Leave(ctx context.Context) {
 	}
 }
 
+// alivePeersLocked returns the sorted alive-address snapshot, rebuilding it
+// only after a view mutation. Callers must not retain or modify the slice
+// past the lock (samplers copy eligible entries before shuffling).
 func (s *Service) alivePeersLocked() []string {
+	if s.aliveValid {
+		return s.alive
+	}
 	out := make([]string, 0, len(s.members))
 	for addr, m := range s.members {
 		if m.State == StateAlive {
@@ -237,7 +244,15 @@ func (s *Service) alivePeersLocked() []string {
 		}
 	}
 	sort.Strings(out) // deterministic iteration for reproducible sampling
+	s.alive = out
+	s.aliveValid = true
 	return out
+}
+
+// invalidateAliveLocked drops the cached alive snapshot after a mutation.
+func (s *Service) invalidateAliveLocked() {
+	s.aliveValid = false
+	s.alive = nil
 }
 
 func (s *Service) encodeViewLocked() ([]byte, error) {
@@ -290,10 +305,16 @@ func (s *Service) handleLeave(_ context.Context, msg transport.Message) error {
 		s.left[e.Addr] = struct{}{}
 		delete(s.members, e.Addr)
 	}
+	s.invalidateAliveLocked()
 	return nil
 }
 
 func (s *Service) mergeLocked(e entry, now time.Duration) {
+	if e.Addr == "" {
+		// A malformed or empty address must not become a member: it would
+		// gossip onward and burn a fan-out slot at every sampler.
+		return
+	}
 	if e.Addr == s.self.Addr {
 		// Another node may have a stale view of us; outrun it so we do not
 		// get suspected by our own propagated heartbeat.
@@ -317,11 +338,15 @@ func (s *Service) mergeLocked(e entry, now time.Duration) {
 			s.evictRandomLocked()
 		}
 		s.members[e.Addr] = &Member{Addr: e.Addr, Heartbeat: e.Heartbeat, State: StateAlive, Refreshed: now}
+		s.invalidateAliveLocked()
 		return
 	}
 	if e.Heartbeat > m.Heartbeat {
 		m.Heartbeat = e.Heartbeat
-		m.State = StateAlive
+		if m.State != StateAlive {
+			m.State = StateAlive
+			s.invalidateAliveLocked()
+		}
 		m.Refreshed = now
 	}
 }
@@ -339,13 +364,14 @@ func (s *Service) evictRandomLocked() {
 	sort.Strings(addrs)
 	victim := addrs[s.rng.Intn(len(addrs))]
 	delete(s.members, victim)
+	s.invalidateAliveLocked()
 }
 
 // Alive returns the addresses currently considered alive (excluding self).
 func (s *Service) Alive() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.alivePeersLocked()
+	return append([]string(nil), s.alivePeersLocked()...)
 }
 
 // Members returns a snapshot of the full view (excluding self).

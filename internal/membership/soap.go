@@ -1,0 +1,107 @@
+package membership
+
+import (
+	"context"
+	"encoding/xml"
+	"sync"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/transport"
+	"wsgossip/internal/wsa"
+)
+
+// SOAPEndpoint adapts the SOAP layer to transport.Endpoint so a membership
+// Service rides the same fabric — MemBus, HTTP, or a test bus — as the
+// WS-Gossip services it feeds. Each transport-level message travels as a
+// one-way SOAP envelope whose WS-Addressing action is the membership action
+// and whose body wraps the serialized view; the node's dispatcher routes
+// inbound copies back through the installed transport handler.
+//
+// This is what promotes membership from an experiment-only transport toy to
+// the runtime's live peer-view layer: the same endpoint address serves
+// notifications, pulls, digests, AND view exchanges, so
+// membership.Service's Alive addresses are directly usable as gossip
+// fan-out targets (see core.PeerView).
+type SOAPEndpoint struct {
+	addr   string
+	caller soap.Caller
+
+	mu      sync.Mutex
+	handler transport.Handler
+}
+
+var _ transport.Endpoint = (*SOAPEndpoint)(nil)
+
+// envelopeBody is the SOAP body wrapping one transport-level membership
+// message. The serialized view (JSON) rides as escaped character data.
+type envelopeBody struct {
+	XMLName xml.Name `xml:"urn:wsgossip:membership Membership"`
+	From    string   `xml:"From"`
+	Data    string   `xml:"Data"`
+}
+
+// NewSOAPEndpoint returns an endpoint sending via caller and identifying
+// itself as addr (normally the node's SOAP endpoint address).
+func NewSOAPEndpoint(addr string, caller soap.Caller) *SOAPEndpoint {
+	return &SOAPEndpoint{addr: addr, caller: caller}
+}
+
+// Addr returns the endpoint address.
+func (e *SOAPEndpoint) Addr() string { return e.addr }
+
+// SetHandler installs the inbound-message handler.
+func (e *SOAPEndpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Send wraps msg in a one-way SOAP envelope and sends it through the caller.
+func (e *SOAPEndpoint) Send(ctx context.Context, msg transport.Message) error {
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{
+		To:        msg.To,
+		Action:    msg.Action,
+		MessageID: wsa.NewMessageID(),
+	}); err != nil {
+		return err
+	}
+	if err := env.SetBody(envelopeBody{From: e.addr, Data: string(msg.Body)}); err != nil {
+		return err
+	}
+	return e.caller.Send(ctx, msg.To, env)
+}
+
+// RegisterActions installs the membership wire actions on the node's SOAP
+// dispatcher, routing them into the transport handler the Service sets. Use
+// it in place of Service.Register when the node's stack is SOAP-level.
+func (e *SOAPEndpoint) RegisterActions(d *soap.Dispatcher) {
+	h := soap.HandlerFunc(e.handleSOAP)
+	d.Register(ActionExchange, h)
+	d.Register(ActionLeave, h)
+}
+
+// handleSOAP unwraps one membership envelope and hands it to the transport
+// handler. View exchanges are one-way gossip: handler errors are swallowed
+// exactly as a lossy datagram fabric would.
+func (e *SOAPEndpoint) handleSOAP(ctx context.Context, req *soap.Request) (*soap.Envelope, error) {
+	var body envelopeBody
+	if err := req.Envelope.DecodeBody(&body); err != nil {
+		return nil, soap.NewFault(soap.CodeSender, "malformed membership body: "+err.Error())
+	}
+	e.mu.Lock()
+	h := e.handler
+	e.mu.Unlock()
+	if h == nil {
+		return nil, nil
+	}
+	// DecodeBody copied the data out of the (possibly pooled) request
+	// buffer, so the handler may retain it freely.
+	_ = h(ctx, transport.Message{
+		From:   body.From,
+		To:     e.addr,
+		Action: req.Addressing().Action,
+		Body:   []byte(body.Data),
+	})
+	return nil, nil
+}

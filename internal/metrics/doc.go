@@ -1,0 +1,8 @@
+// Package metrics provides the small, dependency-free instrumentation layer
+// used by the experiment harness: counters, gauges, and quantile histograms.
+// All types are safe for concurrent use.
+//
+// Key types: Counter, Gauge, Histogram (with Quantile readout), and
+// Registry for named lookup. The experiment tables (internal/experiments)
+// are built from these readouts.
+package metrics

@@ -1,6 +1,3 @@
-// Package metrics provides the small, dependency-free instrumentation layer
-// used by the experiment harness: counters, gauges, and quantile histograms.
-// All types are safe for concurrent use.
 package metrics
 
 import (

@@ -1,10 +1,5 @@
-// Package scenario holds the virtual-time end-to-end suite: complete
-// WS-Gossip deployments — coordinator, disseminators, aggregation services,
-// self-clocking Runners — driven deterministically on clock.Virtual over a
-// lossy, delaying SOAP fabric. No test here sleeps or spawns protocol
-// goroutines of its own: rounds fire from Runner timers, messages ride the
-// virtual clock, and every assertion runs after an Advance barrier.
-// Convergence budgets come from the analytic models in internal/epidemic.
+// The dissemination and aggregation scenario cases (see doc.go for the
+// suite's ground rules: no sleeps, Runner-fired rounds, analytic budgets).
 package scenario
 
 import (

@@ -1,7 +1,3 @@
-// Package soap implements the SOAP 1.2 subset the WS-Gossip middleware is
-// built on: envelope encoding/decoding, faults, a server-side handler chain
-// (the interception point where the paper's gossip layer sits), an HTTP
-// binding, and an in-memory binding for large in-process deployments.
 package soap
 
 import (

@@ -1,8 +1,3 @@
-// Package stockfeed generates the synthetic stock-market workload of the
-// paper's motivating scenario (Section 1): a stream of quotes over a symbol
-// universe with Zipf-distributed popularity and exponential inter-arrival
-// times. The paper's scenario is a workload shape, not a dataset, so a
-// seeded synthetic feed is the faithful substitute (DESIGN.md §2).
 package stockfeed
 
 import (

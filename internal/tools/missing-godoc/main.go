@@ -1,0 +1,183 @@
+// Command missing-godoc is the documentation gate CI runs over internal/
+// and the root package: it fails (exit 1) when a package lacks a package
+// comment or an exported top-level identifier lacks a doc comment, so the
+// godoc coverage established in the repo-wide documentation pass cannot
+// silently erode.
+//
+// Usage:
+//
+//	go run ./internal/tools/missing-godoc ./internal/... .
+//
+// An argument ending in /... is walked recursively (testdata directories
+// are skipped); any other argument is checked as a single package
+// directory. Test files are ignored. Doc comments are accepted on the
+// declaration group or on the individual spec, matching standard godoc
+// convention; blank-identifier declarations (compile-time interface
+// assertions) are exempt.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./internal/...", "."}
+	}
+	var dirs []string
+	for _, arg := range args {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			err := filepath.WalkDir(rest, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				dirs = append(dirs, path)
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "missing-godoc:", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		problems = append(problems, checkDir(dir)...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Printf("missing-godoc: %d undocumented exported identifiers/packages\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses the non-test Go files of one directory and returns one
+// problem line per undocumented package or exported declaration.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse: %v", dir, err)}
+	}
+	var problems []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+				break
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			problems = append(problems, checkFile(fset, name, f)...)
+		}
+	}
+	return problems
+}
+
+// checkFile reports exported top-level declarations without doc comments.
+func checkFile(fset *token.FileSet, filename string, f *ast.File) []string {
+	var problems []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: %s has no doc comment", filename, p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv, exported := receiverType(d.Recv)
+				if !exported {
+					continue
+				}
+				report(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+				continue
+			}
+			report(d.Pos(), "function "+d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				// A group comment documents the whole block — the accepted
+				// convention for enum-like const/var groups.
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(name.Pos(), kindName(d.Tok)+" "+name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverType extracts the receiver's type name and whether it is exported.
+func receiverType(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, tt.IsExported()
+		default:
+			return "", false
+		}
+	}
+}
+
+// kindName renders the declaration keyword for a report line.
+func kindName(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	default:
+		return tok.String()
+	}
+}

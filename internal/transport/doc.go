@@ -1,0 +1,13 @@
+// Package transport defines the message-passing abstraction shared by the
+// gossip, membership, and baseline protocols. The same protocol code runs
+// over the deterministic simulator (internal/simnet) and over real SOAP/HTTP
+// (via the soap bindings and adapters like membership.SOAPEndpoint), which
+// is what makes laptop-scale reproduction of the paper's large-N claims
+// faithful: only the wire moves, the protocol logic does not.
+//
+// Key types: Message (one one-way protocol message), Endpoint (a node's
+// attachment: Send + SetHandler), Mux (action-based demultiplexer so
+// several protocols share one endpoint), Handler, and Clock (the minimal
+// time interface — Now + AfterFunc — that clock.Real, clock.Virtual, and
+// simnet.Network all satisfy).
+package transport

@@ -1,9 +1,3 @@
-// Package transport defines the message-passing abstraction shared by the
-// gossip, membership, and baseline protocols. The same protocol code runs
-// over the deterministic simulator (internal/simnet) and over real SOAP/HTTP
-// (internal/transport via the soap bindings), which is what makes
-// laptop-scale reproduction of the paper's large-N claims faithful: only the
-// wire moves, the protocol logic does not.
 package transport
 
 import (

@@ -1,0 +1,14 @@
+// Package wsa implements the subset of WS-Addressing 1.0 used by the
+// WS-Gossip middleware: endpoint references and the message-addressing
+// properties (To, Action, MessageID, RelatesTo, ReplyTo) that travel in SOAP
+// headers.
+//
+// The paper layers WS-Gossip on WS-Coordination, which in turn identifies
+// its Activation and Registration services by endpoint references; every
+// gossiped notification also needs a stable MessageID so that disseminators
+// can deduplicate rumors.
+//
+// Key types: Headers (the addressing property bag, with Reply for
+// request-response correlation), EPR (endpoint reference), MessageID
+// (NewMessageID mints urn:uuid identifiers).
+package wsa

@@ -1,12 +1,3 @@
-// Package wsa implements the subset of WS-Addressing 1.0 used by the
-// WS-Gossip middleware: endpoint references and the message-addressing
-// properties (To, Action, MessageID, RelatesTo, ReplyTo) that travel in SOAP
-// headers.
-//
-// The paper layers WS-Gossip on WS-Coordination, which in turn identifies
-// its Activation and Registration services by endpoint references; every
-// gossiped notification also needs a stable MessageID so that disseminators
-// can deduplicate rumors.
 package wsa
 
 import (

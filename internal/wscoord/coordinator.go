@@ -72,6 +72,11 @@ type Config struct {
 	// checks; nil uses time.Now. Tests and virtual-time deployments inject
 	// a clock-backed source here.
 	Now func() time.Time
+	// DefaultExpiresMillis stamps activities created without an explicit
+	// Expires value, so a long-lived coordinator paired with a pruning loop
+	// (Tick) sheds abandoned interactions. 0 keeps such activities eternal
+	// (the classic behaviour).
+	DefaultExpiresMillis uint64
 }
 
 // Coordinator implements the WS-Coordination Activation and Registration
@@ -123,6 +128,9 @@ func (c *Coordinator) CreateActivity(coordType string, expires uint64) (*Activit
 			return nil, soap.NewFault(soap.CodeSender,
 				fmt.Sprintf("unsupported coordination type %q", coordType))
 		}
+	}
+	if expires == 0 {
+		expires = c.cfg.DefaultExpiresMillis
 	}
 	ctx := CoordinationContext{
 		Identifier:          string(wsa.NewMessageID()),
@@ -180,9 +188,17 @@ func (c *Coordinator) AddRegistrant(activityID string, reg Registrant) (*Activit
 	return act, nil
 }
 
+// Tick runs one housekeeping round: it prunes activities whose Expires
+// window has elapsed at the coordinator's injected clock. It satisfies the
+// core.Runner loop shape, so a coordinator node schedules expiry pruning as
+// a self-clocking round exactly like the gossip services schedule theirs.
+func (c *Coordinator) Tick(context.Context) {
+	c.PruneExpired(c.now())
+}
+
 // PruneExpired removes activities whose Expires window has elapsed and
 // returns how many were removed. Long-lived coordinators call this
-// periodically.
+// periodically — or through Tick from a Runner loop.
 func (c *Coordinator) PruneExpired(now time.Time) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,7 +1,3 @@
-// Package wscoord implements the WS-Coordination 1.1 subset WS-Gossip is
-// built on (reference [1] of the paper): the Activation service
-// (CreateCoordinationContext), the Registration service (Register), and the
-// CoordinationContext header that ties an activity's messages together.
 package wscoord
 
 import (

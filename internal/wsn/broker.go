@@ -1,11 +1,3 @@
-// Package wsn implements a WS-Notification-style centralized broker
-// (reference [7] of the paper): producers publish to the broker, the broker
-// sequentially notifies every subscriber. It is the non-gossip baseline the
-// paper positions WS-Gossip against — a single point of failure whose
-// per-event work grows linearly with the subscriber count.
-//
-// The broker runs over the same transport abstraction as the gossip engine
-// so resilience and load experiments compare like with like.
 package wsn
 
 import (

@@ -1,0 +1,12 @@
+// Package wsn implements a WS-Notification-style centralized broker
+// (reference [7] of the paper): producers publish to the broker, the broker
+// sequentially notifies every subscriber. It is the non-gossip baseline the
+// paper positions WS-Gossip against — a single point of failure whose
+// per-event work grows linearly with the subscriber count.
+//
+// The broker runs over the same transport abstraction as the gossip engine
+// so resilience and load experiments (E3, E5) compare like with like.
+//
+// Key types: Broker (subscription list + sequential notify fan-out) and its
+// Stats.
+package wsn

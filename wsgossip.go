@@ -34,6 +34,7 @@ import (
 	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
+	"wsgossip/internal/membership"
 	"wsgossip/internal/soap"
 )
 
@@ -100,14 +101,48 @@ type (
 	ProtocolRegistry = core.ProtocolRegistry
 	// Runner owns a node's self-clocking protocol rounds — pull,
 	// anti-entropy repair, deferred lazy-push announcements, push-sum
-	// exchanges — on a pluggable clock (internal/clock): the wall clock in
-	// production, a deterministic virtual clock in tests and simulations.
+	// exchanges, membership view exchanges — on a pluggable clock
+	// (internal/clock): the wall clock in production, a deterministic
+	// virtual clock in tests and simulations. With
+	// RunnerConfig.QuiescentMax set the pull/repair/aggregate rounds back
+	// off exponentially while the node is idle and snap back on traffic.
 	Runner = core.Runner
 	// RunnerConfig configures a Runner.
 	RunnerConfig = core.RunnerConfig
 	// RunnerLoop is one custom periodic round a Runner can own.
 	RunnerLoop = core.Loop
+	// PeerView supplies gossip fan-out targets at sample time. Install one
+	// (DisseminatorConfig.Peers, AggregateServiceConfig.Peers,
+	// InitiatorConfig.Peers) to sample the live overlay instead of the
+	// coordinator's frozen target lists; MembershipService implements it.
+	PeerView = core.PeerView
 )
+
+// Live membership layer (internal/membership): a gossip-maintained peer
+// view with heartbeat failure detection, usable as the PeerView behind
+// every fan-out.
+type (
+	// MembershipService is one node's membership protocol instance.
+	MembershipService = membership.Service
+	// MembershipConfig configures a MembershipService.
+	MembershipConfig = membership.Config
+	// MembershipSOAPEndpoint carries membership exchanges over the node's
+	// SOAP binding so the view shares the fabric with the gossip services.
+	MembershipSOAPEndpoint = membership.SOAPEndpoint
+	// Member is one entry in a membership view.
+	Member = membership.Member
+)
+
+// NewMembershipService returns a membership service.
+func NewMembershipService(cfg MembershipConfig) (*MembershipService, error) {
+	return membership.New(cfg)
+}
+
+// NewMembershipSOAPEndpoint returns a SOAP-carried membership endpoint for
+// addr sending through caller.
+func NewMembershipSOAPEndpoint(addr string, caller soap.Caller) *MembershipSOAPEndpoint {
+	return membership.NewSOAPEndpoint(addr, caller)
+}
 
 // NewRunner returns a self-clocking round engine for a node's periodic
 // gossip loops.
