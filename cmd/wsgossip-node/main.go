@@ -33,6 +33,8 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/membership"
+	"wsgossip/internal/metrics"
+	"wsgossip/internal/obs"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/transport"
 )
@@ -71,13 +73,14 @@ func run() error {
 		quiescent   = flag.Duration("quiescent-max", 0, "adaptive pacing cap: pull/repair/aggregate rounds back off toward this period while idle, 0 keeps them fixed (disseminator)")
 		activityTTL = flag.Duration("activity-ttl", 0, "default expiry stamped on coordination activities, 0 = never (coordinator)")
 		pruneEvery  = flag.Duration("prune", 0, "activity-expiry pruning round interval, 0 disables (coordinator)")
+		metricsAddr = flag.String("metrics-addr", "", "extra listen address dedicated to /metrics and /healthz; they are always also served on -listen (server roles)")
 	)
 	flag.Parse()
 
 	client := soap.NewHTTPClient(&http.Client{Timeout: 10 * time.Second})
 	switch *role {
 	case "coordinator":
-		return runCoordinator(*listen, *public, *style, *activityTTL, *pruneEvery)
+		return runCoordinator(*listen, *public, *style, *activityTTL, *pruneEvery, *metricsAddr)
 	case "disseminator", "consumer":
 		if *coordinator == "" {
 			return fmt.Errorf("-coordinator is required for role %s", *role)
@@ -87,6 +90,7 @@ func run() error {
 			pull: *pull, repair: *repair, announce: *announce,
 			aggEvery: *aggEvery, value: *value, jitter: *jitter, seed: *seed,
 			members: *members, memberEvery: *memberEvery, quiescent: *quiescent,
+			metricsAddr: *metricsAddr,
 		}
 		return runSubscriber(cfg, client)
 	case "initiator":
@@ -113,27 +117,52 @@ func publicURL(public, listen string) string {
 	return "http://localhost" + listen + "/"
 }
 
-func serve(listen string, handler soap.Handler) error {
+// serve runs the node's SOAP endpoint with the observability endpoints
+// (/metrics, /healthz) mounted on the same binding; a non-empty metricsAddr
+// additionally serves them on a dedicated listener, the usual arrangement
+// when the scrape port must stay off the service port.
+func serve(listen string, handler soap.Handler, reg *metrics.Registry, health func() obs.Health, metricsAddr string) error {
+	var root http.Handler = soap.NewHTTPServer(handler)
+	if reg != nil {
+		root = obs.Mount(root, reg, health)
+	}
 	srv := &http.Server{
 		Addr:              listen,
-		Handler:           soap.NewHTTPServer(handler),
+		Handler:           root,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() { errCh <- srv.ListenAndServe() }()
+	var msrv *http.Server
+	if reg != nil && metricsAddr != "" {
+		msrv = &http.Server{
+			Addr:              metricsAddr,
+			Handler:           obs.Handler(reg, health),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { errCh <- msrv.ListenAndServe() }()
+		log.Printf("metrics at http://%s/metrics (health at /healthz)", metricsAddr)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		return err
-	case <-sig:
+	shutdown := func() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
+		if msrv != nil {
+			_ = msrv.Shutdown(ctx)
+		}
 		return srv.Shutdown(ctx)
+	}
+	select {
+	case err := <-errCh:
+		_ = shutdown()
+		return err
+	case <-sig:
+		return shutdown()
 	}
 }
 
-func runCoordinator(listen, public, styleName string, activityTTL, pruneEvery time.Duration) error {
+func runCoordinator(listen, public, styleName string, activityTTL, pruneEvery time.Duration, metricsAddr string) error {
 	style, err := gossip.ParseStyle(styleName)
 	if err != nil {
 		return err
@@ -142,16 +171,21 @@ func runCoordinator(listen, public, styleName string, activityTTL, pruneEvery ti
 		return fmt.Errorf("coordinator style must be push or lazypush, got %s", style)
 	}
 	addr := publicURL(public, listen)
+	reg := metrics.NewRegistry()
+	soap.InstallWireMetrics(reg)
 	coord := core.NewCoordinator(core.CoordinatorConfig{
 		Address:     addr,
 		Style:       style,
 		ActivityTTL: activityTTL,
+		Metrics:     reg,
 	})
+	var runner *core.Runner
 	if pruneEvery > 0 {
 		// Expiry pruning is a self-clocking coordinator round, scheduled by
 		// the same Runner the gossip services use for theirs.
-		runner, err := core.NewRunner(core.RunnerConfig{
-			RNG: rand.New(rand.NewSource(scheduleSeed(0, addr))),
+		runner, err = core.NewRunner(core.RunnerConfig{
+			RNG:     rand.New(rand.NewSource(scheduleSeed(0, addr))),
+			Metrics: reg,
 			Loops: []core.Loop{{
 				Name:   "prune",
 				Period: pruneEvery,
@@ -168,8 +202,19 @@ func runCoordinator(listen, public, styleName string, activityTTL, pruneEvery ti
 		defer runner.Stop()
 		log.Printf("coordinator pruning expired activities every %v (ttl %v)", pruneEvery, activityTTL)
 	}
+	health := func() obs.Health {
+		h := obs.Health{
+			Node:       addr,
+			Role:       "coordinator",
+			Activities: uint64(coord.LiveActivities()),
+		}
+		if runner != nil {
+			h.Loops = obs.LoopsFrom(runner.LoopStates())
+		}
+		return h
+	}
 	log.Printf("coordinator serving at %s (listen %s, style %s)", addr, listen, style)
-	return serve(listen, coord.Handler())
+	return serve(listen, coord.Handler(), reg, health, metricsAddr)
 }
 
 // printingApp logs every notification body.
@@ -197,6 +242,7 @@ type subscriberConfig struct {
 	members                           string
 	memberEvery                       time.Duration
 	quiescent                         time.Duration
+	metricsAddr                       string
 }
 
 // runSubscriber builds the node's middleware stack and — for disseminators —
@@ -206,6 +252,10 @@ type subscriberConfig struct {
 func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 	addr := publicURL(cfg.public, cfg.listen)
 	app := &printingApp{role: cfg.role}
+	reg := metrics.NewRegistry()
+	soap.InstallWireMetrics(reg)
+	var d *core.Disseminator
+	var msvc *membership.Service
 	var handler soap.Handler
 	subscribedRole := core.RoleConsumer
 	// Consumers can only take notifications; disseminators extend this
@@ -219,11 +269,11 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			Caller:  client,
 			App:     app,
 			RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 1)),
+			Metrics: reg,
 		}
 		// A live membership view: exchanges ride this node's SOAP endpoint,
 		// and every fan-out samples the view instead of the coordinator's
 		// frozen target lists (which stay as the bootstrap fallback).
-		var msvc *membership.Service
 		if cfg.members != "" {
 			if cfg.memberEvery <= 0 {
 				return fmt.Errorf("-members requires a positive -membership interval")
@@ -237,6 +287,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 				Fanout:       3,
 				SuspectAfter: 5 * cfg.memberEvery,
 				RemoveAfter:  10 * cfg.memberEvery,
+				Metrics:      reg,
 			})
 			if err != nil {
 				return err
@@ -247,7 +298,8 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			ep.RegisterActions(dispatcher)
 			dcfg.Peers = msvc
 		}
-		d, err := core.NewDisseminator(dcfg)
+		var err error
+		d, err = core.NewDisseminator(dcfg)
 		if err != nil {
 			return err
 		}
@@ -259,6 +311,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 		protocols := []string{core.ProtocolPushGossip, core.ProtocolPullGossip}
 		rcfg := core.RunnerConfig{
 			RNG:           rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr))),
+			Metrics:       reg,
 			Disseminator:  d,
 			PullEvery:     cfg.pull,
 			RepairEvery:   cfg.repair,
@@ -282,6 +335,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 				Caller:  client,
 				Value:   func() float64 { return cfg.value },
 				RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 2)),
+				Metrics: reg,
 			})
 			if err != nil {
 				return err
@@ -370,8 +424,21 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			}
 		}
 	}()
+	health := func() obs.Health {
+		h := obs.Health{Node: addr, Role: cfg.role}
+		if d != nil {
+			h.Activities = d.ActivityCount()
+		}
+		if msvc != nil {
+			h.Peers = msvc.Alive()
+		}
+		if runner != nil {
+			h.Loops = obs.LoopsFrom(runner.LoopStates())
+		}
+		return h
+	}
 	log.Printf("%s serving at %s (listen %s)", cfg.role, addr, cfg.listen)
-	return serve(cfg.listen, handler)
+	return serve(cfg.listen, handler, reg, health, cfg.metricsAddr)
 }
 
 // scheduleSeed derives a per-node seed so peers' round schedules

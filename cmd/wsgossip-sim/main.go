@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"wsgossip/internal/aggregate"
@@ -29,6 +30,7 @@ import (
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/membership"
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/simnet"
 	"wsgossip/internal/transport"
 )
@@ -44,15 +46,16 @@ const (
 // network's virtual clock, so protocol rounds fire from node-owned timers
 // on the shared timeline instead of harness tick loops. It returns the
 // runners for shutdown.
-func startRunners(net *simnet.Network, addrs []string, seed int64, tick func(i int) func(context.Context)) ([]*core.Runner, error) {
+func startRunners(net *simnet.Network, addrs []string, seed int64, reg *metrics.Registry, tick func(i int) func(context.Context)) ([]*core.Runner, error) {
 	runners := make([]*core.Runner, 0, len(addrs))
 	for i, addr := range addrs {
 		if net.Crashed(addr) {
 			continue
 		}
 		r, err := core.NewRunner(core.RunnerConfig{
-			Clock: net.Clock(),
-			RNG:   rand.New(rand.NewSource(seed*2693 + int64(i))),
+			Clock:   net.Clock(),
+			Metrics: reg,
+			RNG:     rand.New(rand.NewSource(seed*2693 + int64(i))),
 			Loops: []core.Loop{{
 				Name:   "round",
 				Period: roundPeriod,
@@ -99,14 +102,19 @@ func run() error {
 		aggName   = flag.String("agg", "avg", "aggregate mode function: count, sum, avg, min, max")
 		eps       = flag.Float64("eps", 1e-4, "aggregate mode convergence threshold")
 		maxRounds = flag.Int("rounds", 0, "aggregate mode round cap (0 = 2x analytic prediction + 10)")
+		dumpReg   = flag.Bool("metrics", false, "dump the run's metrics-registry snapshot at end of run")
+		minCov    = flag.Float64("min-coverage", 0, "coverage budget: exit non-zero when the run's coverage falls below this fraction, 0 disables")
 	)
 	flag.Parse()
+	if *minCov < 0 || *minCov > 1 {
+		return fmt.Errorf("min-coverage must be in [0,1]")
+	}
 
 	if *mode == "aggregate" {
-		return runAggregate(*n, *fanout, *aggName, *eps, *maxRounds, *loss, *seed)
+		return runAggregate(*n, *fanout, *aggName, *eps, *maxRounds, *loss, *seed, *dumpReg, *minCov)
 	}
 	if *mode == "churn" {
-		return runChurn(*n, *fanout, *loss, *crash, *seed, *ticks)
+		return runChurn(*n, *fanout, *loss, *crash, *seed, *ticks, *dumpReg, *minCov)
 	}
 	if *mode != "gossip" {
 		return fmt.Errorf("unknown mode %q (want gossip, aggregate, or churn)", *mode)
@@ -127,6 +135,7 @@ func run() error {
 		return fmt.Errorf("loss and crash must be in [0,1)")
 	}
 
+	reg := metrics.NewRegistry()
 	net := simnet.New(simnet.DefaultConfig(*seed))
 	addrs := make([]string, *n)
 	for i := range addrs {
@@ -180,7 +189,7 @@ func run() error {
 	if *ticks > 0 {
 		// Anti-entropy rounds fire from per-node self-clocking runners on
 		// the shared virtual clock, not from a harness loop.
-		runners, err := startRunners(net, addrs, *seed, func(i int) func(context.Context) {
+		runners, err := startRunners(net, addrs, *seed, reg, func(i int) func(context.Context) {
 			return engines[i].Tick
 		})
 		if err != nil {
@@ -246,6 +255,30 @@ func run() error {
 	fmt.Printf("  control msgs:             %d\n", total.IHaveSent+total.IWantSent+total.PullReqs+total.PullResps)
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
+	reg.Counter("gossip_forwarded_total").Add(total.Forwarded)
+	reg.Counter("gossip_duplicates_total").Add(total.Duplicates)
+	reg.Counter("net_sent_total").Add(st.Sent)
+	reg.Counter("net_delivered_total").Add(st.Delivered)
+	reg.Counter("net_dropped_total").Add(st.Dropped)
+	reg.Counter("net_bytes_total").Add(st.Bytes)
+	return finish(reg, *dumpReg, covSum/float64(len(ids)), *minCov)
+}
+
+// finish stamps the run's coverage into the registry, dumps the snapshot
+// when requested, and enforces the coverage budget: a run below budget
+// exits non-zero so scripted sweeps fail loudly instead of just printing a
+// bad number.
+func finish(reg *metrics.Registry, dump bool, coverage, minCov float64) error {
+	reg.FloatGauge("sim_coverage").Set(coverage)
+	if dump {
+		fmt.Println("  metrics registry snapshot:")
+		for _, line := range strings.Split(strings.TrimRight(reg.Snapshot(), "\n"), "\n") {
+			fmt.Println("    " + line)
+		}
+	}
+	if minCov > 0 && coverage < minCov {
+		return fmt.Errorf("coverage %.4f below budget %.4f", coverage, minCov)
+	}
 	return nil
 }
 
@@ -254,7 +287,7 @@ func run() error {
 // exists anywhere), a crash-fraction of nodes leaves mid-run, fresh nodes
 // join, and a rumor published after the churn must still cover the final
 // population through view-driven push-pull rounds.
-func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int) error {
+func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int, dumpReg bool, minCov float64) error {
 	if n < 4 || fanout < 1 {
 		return fmt.Errorf("churn mode needs n >= 4 and fanout >= 1")
 	}
@@ -266,6 +299,9 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int) err
 	}
 	joiners := n / 4
 	total := n + joiners
+	// One registry for the whole simulated cluster: per-node series sum, so
+	// the snapshot reads as cluster totals.
+	reg := metrics.NewRegistry()
 	net := simnet.New(simnet.DefaultConfig(seed))
 	clk := net.Clock()
 
@@ -288,6 +324,7 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int) err
 			Fanout:       3,
 			SuspectAfter: 10 * roundPeriod,
 			RemoveAfter:  20 * roundPeriod,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return nil, err
@@ -310,6 +347,7 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int) err
 		mux.Bind(ep)
 		runner, err := core.NewRunner(core.RunnerConfig{
 			Clock:           clk,
+			Metrics:         reg,
 			RNG:             rand.New(rand.NewSource(seed*2693 + int64(i))),
 			Membership:      msvc,
 			MembershipEvery: 2 * roundPeriod,
@@ -420,11 +458,14 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int) err
 	fmt.Printf("  post-churn coverage:      %d/%d alive (%d/%d joiners)\n", covered, alive, joinCovered, joiners)
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
-	return nil
+	reg.Counter("net_sent_total").Add(st.Sent)
+	reg.Counter("net_delivered_total").Add(st.Delivered)
+	reg.Counter("net_dropped_total").Add(st.Dropped)
+	return finish(reg, dumpReg, float64(covered)/float64(alive), minCov)
 }
 
 // runAggregate drives push-sum aggregation over the simulator.
-func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss float64, seed int64) error {
+func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss float64, seed int64, dumpReg bool, minCov float64) error {
 	fn, err := aggregate.ParseFunc(fnName)
 	if err != nil {
 		return err
@@ -443,6 +484,7 @@ func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss
 		maxRounds = 2*analytic + 10
 	}
 
+	reg := metrics.NewRegistry()
 	net := simnet.New(simnet.DefaultConfig(seed))
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -496,7 +538,7 @@ func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss
 	// Exchange rounds fire from per-node self-clocking runners on the
 	// shared virtual clock; the harness only advances time and watches for
 	// convergence.
-	runners, err := startRunners(net, addrs, seed, func(i int) func(context.Context) {
+	runners, err := startRunners(net, addrs, seed, reg, func(i int) func(context.Context) {
 		return nodes[i].Tick
 	})
 	if err != nil {
@@ -546,5 +588,11 @@ func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss
 	}
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
-	return nil
+	reg.Counter("net_sent_total").Add(st.Sent)
+	reg.Counter("net_delivered_total").Add(st.Delivered)
+	reg.Counter("net_dropped_total").Add(st.Dropped)
+	reg.FloatGauge("aggregate_worst_rel_error").Set(worstErr)
+	// Coverage in aggregate mode is the fraction of nodes holding a defined
+	// estimate at the end of the run.
+	return finish(reg, dumpReg, float64(defined)/float64(n), minCov)
 }

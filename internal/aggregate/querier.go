@@ -8,6 +8,7 @@ import (
 
 	"wsgossip/internal/core"
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 	"wsgossip/internal/wscoord"
@@ -29,6 +30,9 @@ type QuerierConfig struct {
 	Value func() float64
 	// RNG drives peer sampling; nil falls back to a fixed seed.
 	RNG *rand.Rand
+	// Metrics is forwarded to the querier's embedded participant Service;
+	// nil uses a private registry.
+	Metrics *metrics.Registry
 }
 
 // Querier is the aggregation counterpart of the Initiator role: the one
@@ -72,6 +76,7 @@ func NewQuerier(cfg QuerierConfig) (*Querier, error) {
 		Caller:  cfg.Caller,
 		Value:   cfg.Value,
 		RNG:     rng,
+		Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"wsgossip/internal/core"
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 	"wsgossip/internal/wscoord"
@@ -56,6 +57,11 @@ type ServiceConfig struct {
 	// passive joiner whose registration failed can still relay mass. Nil
 	// keeps the classic coordinator-fed behaviour.
 	Peers core.PeerView
+	// Metrics is the registry the service resolves its series from
+	// (aggregate_*_total counters, aggregate_rounds_total, and the
+	// aggregate_mass_error gauge). Nil uses a private registry; Stats()
+	// reads the same counters either way.
+	Metrics *metrics.Registry
 }
 
 // task is one aggregation interaction this node participates in.
@@ -78,7 +84,44 @@ type Service struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	tasks map[string]*task
-	stats ServiceStats
+	stats aggCounters
+	// ledgerIn/ledgerOut is a weight ledger independent of the push-sum
+	// states: weight entering this node (contributions, anchor seeds,
+	// absorbed and returned shares) and weight leaving it (split shares
+	// handed to the fan-out). The held weight across all tasks must equal
+	// in − out up to float rounding; the aggregate_mass_error gauge exposes
+	// the deviation so a conservation bug is visible on a dashboard instead
+	// of only as a skewed estimate. Guarded by mu.
+	ledgerIn  float64
+	ledgerOut float64
+}
+
+// aggCounters is the aggregation layer's registry-resolved series;
+// ServiceStats snapshots are views over the same counters.
+type aggCounters struct {
+	started         *metrics.Counter
+	passiveJoins    *metrics.Counter
+	sharesSent      *metrics.Counter
+	sharesAbsorbed  *metrics.Counter
+	startsForwarded *metrics.Counter
+	queriesServed   *metrics.Counter
+	sendErrors      *metrics.Counter
+	rounds          *metrics.Counter
+	massErr         *metrics.FloatGauge
+}
+
+func newAggCounters(reg *metrics.Registry) aggCounters {
+	return aggCounters{
+		started:         reg.Counter("aggregate_tasks_started_total"),
+		passiveJoins:    reg.Counter("aggregate_passive_joins_total"),
+		sharesSent:      reg.Counter("aggregate_shares_sent_total"),
+		sharesAbsorbed:  reg.Counter("aggregate_shares_absorbed_total"),
+		startsForwarded: reg.Counter("aggregate_starts_forwarded_total"),
+		queriesServed:   reg.Counter("aggregate_queries_served_total"),
+		sendErrors:      reg.Counter("aggregate_send_errors_total"),
+		rounds:          reg.Counter("aggregate_rounds_total"),
+		massErr:         reg.FloatGauge("aggregate_mass_error"),
+	}
 }
 
 // NewService returns an aggregation service node.
@@ -90,22 +133,34 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Service{
 		cfg:      cfg,
 		register: wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
 		rng:      rng,
 		tasks:    make(map[string]*task),
+		stats:    newAggCounters(reg),
 	}, nil
 }
 
 // Address returns the node's endpoint address.
 func (s *Service) Address() string { return s.cfg.Address }
 
-// Stats returns a copy of the counters.
+// Stats returns a snapshot of the counters. The snapshot is a view over
+// the same registry series a scrape reads, so the two cannot drift.
 func (s *Service) Stats() ServiceStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServiceStats{
+		Started:         s.stats.started.Value(),
+		PassiveJoins:    s.stats.passiveJoins.Value(),
+		SharesSent:      s.stats.sharesSent.Value(),
+		SharesAbsorbed:  s.stats.sharesAbsorbed.Value(),
+		StartsForwarded: s.stats.startsForwarded.Value(),
+		QueriesServed:   s.stats.queriesServed.Value(),
+		SendErrors:      s.stats.sendErrors.Value(),
+	}
 }
 
 // ActivityCount is a monotonic counter of aggregation traffic at this node:
@@ -114,9 +169,9 @@ func (s *Service) Stats() ServiceStats {
 // has gone quiescent (converged or round-capped) and the exchange period
 // may back off.
 func (s *Service) ActivityCount() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return uint64(s.stats.Started) + uint64(s.stats.PassiveJoins) + uint64(s.stats.SharesAbsorbed)
+	return uint64(s.stats.started.Value()) +
+		uint64(s.stats.passiveJoins.Value()) +
+		uint64(s.stats.sharesAbsorbed.Value())
 }
 
 // OnActivity registers fn to run whenever ActivityCount advances — an
@@ -257,7 +312,9 @@ func (s *Service) handleStart(ctx context.Context, req *soap.Request) (*soap.Env
 		return nil, nil
 	}
 	s.tasks[start.TaskID] = &task{state: st, params: params, cctx: cctx}
-	s.stats.Started++
+	_, w := st.Mass()
+	s.ledgerIn += w
+	s.stats.started.Inc()
 	s.mu.Unlock()
 	s.bumpActivity()
 	if start.Hops > 0 {
@@ -273,15 +330,21 @@ func (s *Service) handleStart(ctx context.Context, req *soap.Request) (*soap.Env
 func (s *Service) upgradePassiveTask(ctx context.Context, t *task, start Start, cctx wscoord.CoordinationContext) {
 	s.mu.Lock()
 	needTargets := len(t.params.Targets) == 0
+	_, w0 := t.state.Mass()
 	if s.cfg.Value != nil && !t.state.Contributed() {
 		s.mu.Unlock()
 		value := s.cfg.Value()
 		s.mu.Lock()
+		// Re-baseline: a share absorbed between the unlock and relock is
+		// already in the ledger; only the contribution delta is new mass.
+		_, w0 = t.state.Mass()
 		t.state.Contribute(value)
 	}
 	if start.Root == s.cfg.Address {
 		t.state.ContributeAnchor()
 	}
+	_, w1 := t.state.Mass()
+	s.ledgerIn += w1 - w0
 	s.mu.Unlock()
 	if !needTargets {
 		return
@@ -347,10 +410,8 @@ func (s *Service) forwardStart(ctx context.Context, start Start, cctx wscoord.Co
 		return
 	}
 	sent, failed := soap.Fanout(ctx, s.cfg.Caller, env, targets)
-	s.mu.Lock()
-	s.stats.StartsForwarded += int64(sent)
-	s.stats.SendErrors += int64(len(failed))
-	s.mu.Unlock()
+	s.stats.startsForwarded.Add(int64(sent))
+	s.stats.sendErrors.Add(int64(len(failed)))
 }
 
 // handleExchange absorbs an incoming push-sum share. A node that never saw
@@ -383,13 +444,14 @@ func (s *Service) handleExchange(ctx context.Context, req *soap.Request) (*soap.
 			t = existing
 		} else {
 			s.tasks[share.TaskID] = t
-			s.stats.PassiveJoins++
+			s.stats.passiveJoins.Inc()
 		}
 		s.mu.Unlock()
 	}
 	s.mu.Lock()
 	t.state.Absorb(share)
-	s.stats.SharesAbsorbed++
+	s.ledgerIn += share.Weight
+	s.stats.sharesAbsorbed.Inc()
 	s.mu.Unlock()
 	s.bumpActivity()
 	return nil, nil
@@ -417,7 +479,7 @@ func (s *Service) handleQuery(_ context.Context, req *soap.Request) (*soap.Envel
 		Rounds:    t.state.Rounds(),
 		Converged: t.state.Converged(t.params.Epsilon),
 	}
-	s.stats.QueriesServed++
+	s.stats.queriesServed.Inc()
 	s.mu.Unlock()
 	resp := soap.NewEnvelope()
 	if err := resp.SetAddressing(req.Addressing().Reply(ActionQueryResponse)); err != nil {
@@ -443,6 +505,15 @@ func (s *Service) Tick(ctx context.Context) {
 	}
 	var sends []outgoing
 	s.mu.Lock()
+	// Mass-conservation check at the round boundary: every share from
+	// earlier rounds has by now been sent (ledger out) or returned (ledger
+	// in), so the weight held across tasks must match the ledger balance.
+	var held float64
+	for _, t := range s.tasks {
+		_, w := t.state.Mass()
+		held += w
+	}
+	s.stats.massErr.Set(held - (s.ledgerIn - s.ledgerOut))
 	ids := make([]string, 0, len(s.tasks))
 	for id := range s.tasks {
 		ids = append(ids, id)
@@ -477,7 +548,9 @@ func (s *Service) Tick(ctx context.Context) {
 			continue
 		}
 		t.state.BeginRound()
+		s.stats.rounds.Inc()
 		shareSum, shareWeight := t.state.Split(len(targets))
+		s.ledgerOut += shareWeight * float64(len(targets))
 		sends = append(sends, outgoing{
 			taskID:  id,
 			cctx:    t.cctx,
@@ -500,9 +573,7 @@ func (s *Service) Tick(ctx context.Context) {
 			// even when peers are unreachable.
 			s.returnShares(out.taskID, out.share, len(failed))
 		}
-		s.mu.Lock()
-		s.stats.SharesSent += int64(sent)
-		s.mu.Unlock()
+		s.stats.sharesSent.Add(int64(sent))
 	}
 }
 
@@ -515,14 +586,13 @@ func (s *Service) returnShares(taskID string, share Share, n int) {
 		for i := 0; i < n; i++ {
 			t.state.Absorb(Share{Sum: share.Sum, Weight: share.Weight})
 		}
+		s.ledgerIn += share.Weight * float64(n)
 	}
-	s.stats.SendErrors += int64(n)
+	s.stats.sendErrors.Add(int64(n))
 }
 
 func (s *Service) addSendErrors(n int) {
-	s.mu.Lock()
-	s.stats.SendErrors += int64(n)
-	s.mu.Unlock()
+	s.stats.sendErrors.Add(int64(n))
 }
 
 // startLocalTask installs a task created by this node itself (the Querier's
@@ -538,12 +608,15 @@ func (s *Service) startLocalTask(taskID string, fn Func, cctx wscoord.Coordinati
 		s.mu.Unlock()
 		return
 	}
+	st := NewState(fn, value, root, passive)
 	s.tasks[taskID] = &task{
-		state:  NewState(fn, value, root, passive),
+		state:  st,
 		params: params,
 		cctx:   cctx,
 	}
-	s.stats.Started++
+	_, w := st.Mass()
+	s.ledgerIn += w
+	s.stats.started.Inc()
 	s.mu.Unlock()
 	// The node's own new task is traffic too: snap a backed-off exchange
 	// loop to base pace so the first push-sum round is not delayed by a

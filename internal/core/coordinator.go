@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wscoord"
 )
@@ -62,6 +63,29 @@ type CoordinatorStats struct {
 	Registrations int64
 	Activations   int64
 	Replications  int64
+}
+
+// coordCounters is the registry-backed form of CoordinatorStats plus the
+// operational series (prunes, live activities) Stats never carried. Stats()
+// reads these same counters, so the struct and the scraped metrics agree.
+type coordCounters struct {
+	subscribes     *metrics.Counter
+	registrations  *metrics.Counter
+	activations    *metrics.Counter
+	replications   *metrics.Counter
+	prunes         *metrics.Counter
+	liveActivities *metrics.Gauge
+}
+
+func newCoordCounters(reg *metrics.Registry) coordCounters {
+	return coordCounters{
+		subscribes:     reg.Counter("coord_subscribes_total"),
+		registrations:  reg.Counter("coord_registrations_total"),
+		activations:    reg.Counter("coord_activations_total"),
+		replications:   reg.Counter("coord_replications_total"),
+		prunes:         reg.Counter("coord_prunes_total"),
+		liveActivities: reg.Gauge("coord_live_activities"),
+	}
 }
 
 // TargetStrategy selects how the Coordinator assigns gossip targets to
@@ -132,6 +156,12 @@ type CoordinatorConfig struct {
 	// explicit one, so a pruning loop (Tick) can shed abandoned
 	// interactions. 0 keeps them eternal (the classic behaviour).
 	ActivityTTL time.Duration
+	// Metrics is the registry the coordinator resolves its counters from
+	// (coord_subscribes_total, coord_registrations_total,
+	// coord_activations_total, coord_replications_total, coord_prunes_total,
+	// coord_live_activities); Stats() reads the same series. Nil uses a
+	// private registry.
+	Metrics *metrics.Registry
 }
 
 // assignState is the balanced-assignment rotation for one protocol: a
@@ -155,7 +185,7 @@ type Coordinator struct {
 	subs   []Subscription
 	index  map[string]int          // endpoint -> position in subs
 	assign map[string]*assignState // protocol URI -> balanced rotation
-	stats  CoordinatorStats
+	stats  coordCounters
 }
 
 // NewCoordinator returns a coordinator serving at cfg.Address.
@@ -171,12 +201,17 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if registry == nil {
 		registry = defaultRegistry()
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		registry: registry,
 		rng:      rng,
 		index:    make(map[string]int),
 		assign:   make(map[string]*assignState),
+		stats:    newCoordCounters(reg),
 	}
 	c.wc = wscoord.NewCoordinator(wscoord.Config{
 		Address:              cfg.Address,
@@ -185,9 +220,8 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		Now:                  cfg.Now,
 		DefaultExpiresMillis: uint64(cfg.ActivityTTL / time.Millisecond),
 		OnCreate: func(act *wscoord.Activity) {
-			c.mu.Lock()
-			c.stats.Activations++
-			c.mu.Unlock()
+			c.stats.activations.Inc()
+			c.stats.liveActivities.Set(int64(c.LiveActivities()))
 			c.replicateActivity(act)
 		},
 	})
@@ -230,11 +264,25 @@ func (c *Coordinator) replicateActivity(act *wscoord.Activity) {
 // Tick runs one coordinator housekeeping round (activity expiry pruning) —
 // the loop shape core.Runner schedules, so a coordinator node's maintenance
 // self-clocks exactly like the gossip rounds.
-func (c *Coordinator) Tick(ctx context.Context) { c.wc.Tick(ctx) }
+func (c *Coordinator) Tick(ctx context.Context) {
+	_ = ctx
+	now := time.Now()
+	if c.cfg.Now != nil {
+		now = c.cfg.Now()
+	}
+	c.PruneExpired(now)
+}
 
 // PruneExpired removes expired activities at the given instant and returns
 // how many were removed.
-func (c *Coordinator) PruneExpired(now time.Time) int { return c.wc.PruneExpired(now) }
+func (c *Coordinator) PruneExpired(now time.Time) int {
+	removed := c.wc.PruneExpired(now)
+	if removed > 0 {
+		c.stats.prunes.Add(int64(removed))
+	}
+	c.stats.liveActivities.Set(int64(c.LiveActivities()))
+	return removed
+}
 
 // LiveActivities returns the number of live (unpruned) coordination
 // activities.
@@ -254,11 +302,15 @@ func (c *Coordinator) Handler() soap.Handler {
 	return d
 }
 
-// Stats returns a copy of the activity counters.
+// Stats returns a copy of the activity counters — a view over the same
+// registry series an operator scrapes.
 func (c *Coordinator) Stats() CoordinatorStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CoordinatorStats{
+		Subscribes:    c.stats.subscribes.Value(),
+		Registrations: c.stats.registrations.Value(),
+		Activations:   c.stats.activations.Value(),
+		Replications:  c.stats.replications.Value(),
+	}
 }
 
 // Subscribers returns a snapshot of the subscription list.
@@ -313,7 +365,7 @@ func (c *Coordinator) addSubscription(endpoint, role string, protocols []string,
 		Protocols: append([]string(nil), protocols...),
 	})
 	if countIt {
-		c.stats.Subscribes++
+		c.stats.subscribes.Inc()
 	}
 	return nil
 }
@@ -387,9 +439,8 @@ func (c *Coordinator) handleReplicateActivity(_ context.Context, req *soap.Reque
 		return nil, soap.NewFault(soap.CodeSender, err.Error())
 	}
 	c.wc.ImportActivity(body.Context)
-	c.mu.Lock()
-	c.stats.Replications++
-	c.mu.Unlock()
+	c.stats.replications.Inc()
+	c.stats.liveActivities.Set(int64(c.LiveActivities()))
 	return nil, nil
 }
 
@@ -401,9 +452,7 @@ func (c *Coordinator) handleReplicate(_ context.Context, req *soap.Request) (*so
 	if err := c.addSubscription(body.Endpoint, body.Role, body.Protocols, false); err != nil {
 		return nil, soap.NewFault(soap.CodeSender, err.Error())
 	}
-	c.mu.Lock()
-	c.stats.Replications++
-	c.mu.Unlock()
+	c.stats.replications.Inc()
 	return nil, nil
 }
 
@@ -428,7 +477,7 @@ func (c *Coordinator) registrationExtension(_ *wscoord.Activity, reg wscoord.Reg
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.stats.Registrations++
+	c.stats.registrations.Inc()
 	return ext(c, reg)
 }
 

@@ -6,8 +6,11 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"wsgossip/internal/clock"
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 	"wsgossip/internal/wscoord"
@@ -45,40 +48,69 @@ type DisseminatorStats struct {
 	PullServed int64
 }
 
-// counters is the live, lock-free form of DisseminatorStats: the fan-out
-// hot path bumps one atomic per target instead of taking the disseminator
-// mutex once per send.
+// counters is the live, lock-free form of DisseminatorStats. Every field is
+// a registry-resolved counter — the same atomic.Int64 underneath the old
+// private atomics, so the fan-out hot path still bumps one atomic per send
+// — and Stats() is now a view over the node's metric plane: the numbers an
+// operator scrapes from /metrics and the numbers Stats reports cannot
+// drift. The send and retransmit counters are children of per-protocol
+// labeled families, pre-resolved here so the hot path never touches a map.
 type counters struct {
-	received      atomic.Int64
-	delivered     atomic.Int64
-	duplicates    atomic.Int64
-	forwarded     atomic.Int64
-	registrations atomic.Int64
-	sendErrors    atomic.Int64
-	announced     atomic.Int64
-	fetched       atomic.Int64
-	served        atomic.Int64
-	digestsSent   atomic.Int64
-	repaired      atomic.Int64
-	pullsSent     atomic.Int64
-	pullServed    atomic.Int64
+	received      *metrics.Counter
+	delivered     *metrics.Counter
+	duplicates    *metrics.Counter
+	forwarded     *metrics.Counter // gossip_sends_total{protocol="push"}
+	registrations *metrics.Counter
+	sendErrors    *metrics.Counter
+	announced     *metrics.Counter // gossip_sends_total{protocol="lazypush"}
+	fetched       *metrics.Counter
+	served        *metrics.Counter // gossip_retransmits_total{protocol="lazypush"}
+	digestsSent   *metrics.Counter // gossip_sends_total{protocol="repair"}
+	repaired      *metrics.Counter // gossip_retransmits_total{protocol="repair"}
+	pullsSent     *metrics.Counter // gossip_sends_total{protocol="pull"}
+	pullServed    *metrics.Counter // gossip_retransmits_total{protocol="pull"}
+	failovers     *metrics.Counter // registrations served by a successor coordinator
+	fanoutSeconds *metrics.BucketHistogram
+}
+
+// newCounters resolves the gossip-layer series from reg.
+func newCounters(reg *metrics.Registry) counters {
+	sends := reg.CounterVec("gossip_sends_total", "protocol")
+	retransmits := reg.CounterVec("gossip_retransmits_total", "protocol")
+	return counters{
+		received:      reg.Counter("gossip_received_total"),
+		delivered:     reg.Counter("gossip_delivered_total"),
+		duplicates:    reg.Counter("gossip_duplicates_total"),
+		registrations: reg.Counter("gossip_registrations_total"),
+		sendErrors:    reg.Counter("gossip_send_errors_total"),
+		fetched:       reg.Counter("gossip_fetches_total"),
+		failovers:     reg.Counter("gossip_failover_registrations_total"),
+		forwarded:     sends.With("push"),
+		announced:     sends.With("lazypush"),
+		pullsSent:     sends.With("pull"),
+		digestsSent:   sends.With("repair"),
+		served:        retransmits.With("lazypush"),
+		pullServed:    retransmits.With("pull"),
+		repaired:      retransmits.With("repair"),
+		fanoutSeconds: reg.BucketHistogram("gossip_fanout_seconds", metrics.DefLatencyBuckets),
+	}
 }
 
 func (c *counters) snapshot() DisseminatorStats {
 	return DisseminatorStats{
-		Received:      c.received.Load(),
-		Delivered:     c.delivered.Load(),
-		Duplicates:    c.duplicates.Load(),
-		Forwarded:     c.forwarded.Load(),
-		Registrations: c.registrations.Load(),
-		SendErrors:    c.sendErrors.Load(),
-		Announced:     c.announced.Load(),
-		Fetched:       c.fetched.Load(),
-		Served:        c.served.Load(),
-		DigestsSent:   c.digestsSent.Load(),
-		Repaired:      c.repaired.Load(),
-		PullsSent:     c.pullsSent.Load(),
-		PullServed:    c.pullServed.Load(),
+		Received:      c.received.Value(),
+		Delivered:     c.delivered.Value(),
+		Duplicates:    c.duplicates.Value(),
+		Forwarded:     c.forwarded.Value(),
+		Registrations: c.registrations.Value(),
+		SendErrors:    c.sendErrors.Value(),
+		Announced:     c.announced.Value(),
+		Fetched:       c.fetched.Value(),
+		Served:        c.served.Value(),
+		DigestsSent:   c.digestsSent.Value(),
+		Repaired:      c.repaired.Value(),
+		PullsSent:     c.pullsSent.Value(),
+		PullServed:    c.pullServed.Value(),
 	}
 }
 
@@ -109,6 +141,15 @@ type DisseminatorConfig struct {
 	// StoreSize bounds the retained notification envelopes that serve
 	// lazy-push fetches (0 = 1024).
 	StoreSize int
+	// Metrics is the registry the gossip layer resolves its counters from;
+	// Stats() reads the same series. Nil uses a private registry, so the
+	// layer is always instrumented. Sharing one registry between several
+	// disseminators in a process merges their counts — give each node its
+	// own registry when per-node numbers matter.
+	Metrics *metrics.Registry
+	// Clock supplies timestamps for the fan-out latency histogram; on a
+	// virtual clock the histogram is deterministic. Nil uses wall time.
+	Clock clock.Clock
 }
 
 // interactionState caches the protocol and parameters the Coordinator
@@ -142,6 +183,7 @@ type Disseminator struct {
 	deferAnn     bool
 	pendingAnn   []pendingAnnounce
 	stats        counters
+	now          func() time.Duration
 }
 
 // pendingAnnounce is one lazy-push advertisement queued for the next
@@ -160,6 +202,14 @@ func NewDisseminator(cfg DisseminatorConfig) (*Disseminator, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
 	return &Disseminator{
 		cfg:          cfg,
 		register:     wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
@@ -168,6 +218,8 @@ func NewDisseminator(cfg DisseminatorConfig) (*Disseminator, error) {
 		interactions: make(map[string]*interactionState),
 		store:        newEnvelopeStore(cfg.StoreSize),
 		requested:    make(map[string]struct{}),
+		stats:        newCounters(reg),
+		now:          clk.Now,
 	}, nil
 }
 
@@ -187,11 +239,11 @@ func (d *Disseminator) Stats() DisseminatorStats {
 // adaptive Runner samples it each round — an unchanged count between two
 // fires means the interval was quiescent and the round period may back off.
 func (d *Disseminator) ActivityCount() uint64 {
-	return uint64(d.stats.received.Load()) +
-		uint64(d.stats.fetched.Load()) +
-		uint64(d.stats.served.Load()) +
-		uint64(d.stats.repaired.Load()) +
-		uint64(d.stats.pullServed.Load())
+	return uint64(d.stats.received.Value()) +
+		uint64(d.stats.fetched.Value()) +
+		uint64(d.stats.served.Value()) +
+		uint64(d.stats.repaired.Value()) +
+		uint64(d.stats.pullServed.Value())
 }
 
 // OnActivity registers fn to run whenever ActivityCount advances — the
@@ -370,6 +422,9 @@ func (d *Disseminator) registerProtocol(ctx context.Context, cctx wscoord.Coordi
 		retry := cctx
 		retry.RegistrationService.Address = successor
 		resp, err = d.register.Register(ctx, retry, protocol, d.cfg.Address)
+		if err == nil {
+			d.stats.failovers.Inc()
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: register interaction %s: %w", cctx.Identifier, err)
@@ -433,7 +488,9 @@ func (d *Disseminator) forward(ctx context.Context, env *soap.Envelope, gh Gossi
 // shared encode-once ladder (soap.Fanout), bumping sendErrors for failures
 // and returning the number of successful sends.
 func (d *Disseminator) fanout(ctx context.Context, env *soap.Envelope, targets []string) int {
+	start := d.now()
 	sent, failed := soap.Fanout(ctx, d.cfg.Caller, env, targets)
+	d.stats.fanoutSeconds.Observe((d.now() - start).Seconds())
 	if len(failed) > 0 {
 		d.stats.sendErrors.Add(int64(len(failed)))
 	}

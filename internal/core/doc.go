@@ -38,4 +38,9 @@
 //
 // The hot send paths run on the encode-once zero-copy wire machinery of
 // package soap (see DESIGN.md, "capture → store → splice → patch").
+//
+// Every role takes an optional Metrics registry (package metrics); nil
+// falls back to a private one, so instrumentation is unconditional. The
+// Stats() structs are read-side views over the same registry series an
+// operator scrapes through package obs (DESIGN.md, "Observability").
 package core

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wsgossip/internal/clock"
+	"wsgossip/internal/metrics"
 )
 
 // The paper's gossip services are autonomous: each peer fires its periodic
@@ -101,6 +102,13 @@ type RunnerConfig struct {
 
 	// Loops lists additional custom rounds.
 	Loops []Loop
+
+	// Metrics is the registry the runner resolves its per-loop series from:
+	// runner_fires_total{loop}, runner_tick_seconds{loop},
+	// runner_backoff_level{loop}, runner_wakes_total. FireCount reads the
+	// same counters, so the diagnostic and the scraped metric cannot drift.
+	// Nil uses a private registry; the runner is always instrumented.
+	Metrics *metrics.Registry
 }
 
 // Runner states.
@@ -129,7 +137,13 @@ type Runner struct {
 	pending []func() bool   // per-loop stop for the scheduled next fire
 	cur     []time.Duration // per-loop current base period (adaptive pacing)
 	lastAct []uint64        // per-loop Activity sample at the previous fire
-	fires   []int64         // per-loop completed-round count
+
+	// Per-loop series, pre-resolved at construction. fires is the single
+	// source of truth for FireCount AND the runner_fires_total metric.
+	fires   []*metrics.Counter
+	tickSec []*metrics.BucketHistogram
+	backoff []*metrics.Gauge
+	wakes   *metrics.Counter
 
 	// backedOff counts loops whose cur exceeds Period. Wake runs on every
 	// gossip intake; this lets it return without touching r.mu in the
@@ -141,7 +155,7 @@ type Runner struct {
 }
 
 // setCurLocked updates loop i's current base period and keeps the lock-free
-// backed-off count in sync. Callers hold r.mu.
+// backed-off count and the backoff-level gauge in sync. Callers hold r.mu.
 func (r *Runner) setCurLocked(i int, d time.Duration) {
 	was := r.cur[i] > r.loops[i].Period
 	r.cur[i] = d
@@ -152,6 +166,18 @@ func (r *Runner) setCurLocked(i int, d time.Duration) {
 			r.backedOff.Add(-1)
 		}
 	}
+	r.backoff[i].Set(backoffLevel(r.loops[i].Period, d))
+}
+
+// backoffLevel counts how many quiescent doublings separate cur from the
+// base period: 0 at base pace, 1 after the first doubling, and so on.
+func backoffLevel(period, cur time.Duration) int64 {
+	var level int64
+	for cur > period {
+		cur /= 2
+		level++
+	}
+	return level
 }
 
 // NewRunner validates the configuration and returns an idle Runner.
@@ -278,9 +304,22 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 	r.pending = make([]func() bool, len(loops))
 	r.cur = make([]time.Duration, len(loops))
 	r.lastAct = make([]uint64, len(loops))
-	r.fires = make([]int64, len(loops))
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	fireVec := reg.CounterVec("runner_fires_total", "loop")
+	tickVec := reg.BucketHistogramVec("runner_tick_seconds", metrics.DefLatencyBuckets, "loop")
+	backVec := reg.GaugeVec("runner_backoff_level", "loop")
+	r.fires = make([]*metrics.Counter, len(loops))
+	r.tickSec = make([]*metrics.BucketHistogram, len(loops))
+	r.backoff = make([]*metrics.Gauge, len(loops))
+	r.wakes = reg.Counter("runner_wakes_total")
 	for i, l := range loops {
 		r.cur[i] = l.Period
+		r.fires[i] = fireVec.With(l.Name)
+		r.tickSec[i] = tickVec.With(l.Name)
+		r.backoff[i] = backVec.With(l.Name)
 	}
 	return r, nil
 }
@@ -346,11 +385,15 @@ func (r *Runner) fire(ctx context.Context, i int) {
 		return
 	}
 	r.pending[i] = nil
-	r.fires[i]++
+	r.fires[i].Inc()
 	r.inflight.Add(1)
 	r.mu.Unlock()
 
+	// Tick duration through the runner's own clock: deterministic (and
+	// instantaneous) on clock.Virtual, wall time on clock.Real.
+	tickStart := r.clk.Now()
 	r.loops[i].Tick(ctx)
+	r.tickSec[i].Observe((r.clk.Now() - tickStart).Seconds())
 	r.inflight.Done()
 
 	r.mu.Lock()
@@ -413,6 +456,7 @@ func (r *Runner) Wake() {
 	if r.state != runnerRunning {
 		return
 	}
+	r.wakes.Inc()
 	ctx := r.ctx
 	for i := range r.loops {
 		l := r.loops[i]
@@ -433,17 +477,52 @@ func (r *Runner) Wake() {
 
 // FireCount returns how many rounds of the named loop have started. It is a
 // diagnostic for adaptive pacing: under quiescence an adaptive loop's count
-// grows logarithmically-then-capped rather than linearly.
+// grows logarithmically-then-capped rather than linearly. The count is read
+// from the runner_fires_total{loop} metric itself — there is no second
+// bookkeeping to drift from what an operator scrapes. Same-name loops share
+// one counter (the vector child is identity-stable), so the value is
+// already the sum over all of them.
 func (r *Runner) FireCount(name string) int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var n int64
 	for i, l := range r.loops {
 		if l.Name == name {
-			n += r.fires[i]
+			return r.fires[i].Value()
 		}
 	}
-	return n
+	return 0
+}
+
+// LoopState is one loop's live scheduling state, as reported by LoopStates.
+type LoopState struct {
+	// Name is the loop's diagnostic name.
+	Name string
+	// Period is the configured base interval.
+	Period time.Duration
+	// Current is the interval in effect now; above Period when quiescence
+	// backoff has stretched the loop.
+	Current time.Duration
+	// BackoffLevel counts the quiescent doublings applied (0 = base pace).
+	BackoffLevel int64
+	// Fires is the number of rounds started.
+	Fires int64
+}
+
+// LoopStates reports every loop's live scheduling state, in firing order:
+// the quiescent-backoff introspection the health endpoint serves. Same-name
+// loops report the same (shared) fire counter.
+func (r *Runner) LoopStates() []LoopState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LoopState, len(r.loops))
+	for i, l := range r.loops {
+		out[i] = LoopState{
+			Name:         l.Name,
+			Period:       l.Period,
+			Current:      r.cur[i],
+			BackoffLevel: backoffLevel(l.Period, r.cur[i]),
+			Fires:        r.fires[i].Value(),
+		}
+	}
+	return out
 }
 
 // Stop cancels the pending round timers, waits for in-flight rounds to

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/transport"
 )
 
@@ -85,6 +86,11 @@ type Config struct {
 	// state is O(MaxView) — the standard scalability device for very large
 	// memberships.
 	MaxView int
+	// Metrics is the registry the service resolves its series from
+	// (membership_view_size, membership_exchanges_total,
+	// membership_suspects_total, membership_evictions_total,
+	// membership_leaves_total). Nil uses a private registry.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) validate() error {
@@ -124,6 +130,27 @@ type Service struct {
 	// every mutation that can change the alive set.
 	alive      []string
 	aliveValid bool
+
+	stats svcCounters
+}
+
+// svcCounters is the membership layer's registry-resolved series.
+type svcCounters struct {
+	viewSize  *metrics.Gauge   // members known, excluding self
+	exchanges *metrics.Counter // view-exchange messages handled
+	suspects  *metrics.Counter // alive→suspect transitions
+	evictions *metrics.Counter // members evicted after RemoveAfter stalls
+	leaves    *metrics.Counter // explicit leave tombstones applied
+}
+
+func newSvcCounters(reg *metrics.Registry) svcCounters {
+	return svcCounters{
+		viewSize:  reg.Gauge("membership_view_size"),
+		exchanges: reg.Counter("membership_exchanges_total"),
+		suspects:  reg.Counter("membership_suspects_total"),
+		evictions: reg.Counter("membership_evictions_total"),
+		leaves:    reg.Counter("membership_leaves_total"),
+	}
 }
 
 // New validates cfg and returns a service containing only the local node.
@@ -135,6 +162,10 @@ func New(cfg Config) (*Service, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Service{
 		cfg:     cfg,
 		rng:     rng,
@@ -142,6 +173,7 @@ func New(cfg Config) (*Service, error) {
 		members: make(map[string]*Member),
 		left:    make(map[string]struct{}),
 		dead:    make(map[string]uint64),
+		stats:   newSvcCounters(reg),
 	}
 	return s, nil
 }
@@ -195,10 +227,12 @@ func (s *Service) Tick(ctx context.Context) {
 		case age >= s.cfg.RemoveAfter:
 			s.dead[addr] = m.Heartbeat
 			delete(s.members, addr)
+			s.stats.evictions.Inc()
 			s.invalidateAliveLocked()
 		case age >= s.cfg.SuspectAfter:
 			if m.State != StateSuspect {
 				m.State = StateSuspect
+				s.stats.suspects.Inc()
 				s.invalidateAliveLocked()
 			}
 		}
@@ -250,9 +284,12 @@ func (s *Service) alivePeersLocked() []string {
 }
 
 // invalidateAliveLocked drops the cached alive snapshot after a mutation.
+// Every view mutation funnels through here, so it doubles as the update
+// point for the view-size gauge.
 func (s *Service) invalidateAliveLocked() {
 	s.aliveValid = false
 	s.alive = nil
+	s.stats.viewSize.Set(int64(len(s.members)))
 }
 
 func (s *Service) encodeViewLocked() ([]byte, error) {
@@ -270,6 +307,7 @@ func (s *Service) handleExchange(ctx context.Context, msg transport.Message) err
 		return fmt.Errorf("membership: decode exchange: %w", err)
 	}
 	s.mu.Lock()
+	s.stats.exchanges.Inc()
 	_, knewSender := s.members[msg.From]
 	now := s.cfg.Clock.Now()
 	for _, e := range em.Entries {
@@ -304,6 +342,7 @@ func (s *Service) handleLeave(_ context.Context, msg transport.Message) error {
 	for _, e := range em.Entries {
 		s.left[e.Addr] = struct{}{}
 		delete(s.members, e.Addr)
+		s.stats.leaves.Inc()
 	}
 	s.invalidateAliveLocked()
 	return nil

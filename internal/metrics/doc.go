@@ -1,8 +1,29 @@
-// Package metrics provides the small, dependency-free instrumentation layer
-// used by the experiment harness: counters, gauges, and quantile histograms.
-// All types are safe for concurrent use.
+// Package metrics is the node-wide instrumentation plane: dependency-free
+// counters, gauges, histograms, labeled vectors, and a Registry with
+// Prometheus text exposition. All types are safe for concurrent use and
+// the hot-path write operations (Counter.Inc, Gauge.Set, FloatGauge.Set,
+// BucketHistogram.Observe) are lock-free.
 //
-// Key types: Counter, Gauge, Histogram (with Quantile readout), and
-// Registry for named lookup. The experiment tables (internal/experiments)
-// are built from these readouts.
+// Two histogram variants cover the two usage regimes. Histogram keeps
+// every sample and answers exact quantiles — right for bounded runs such
+// as experiments and tests. BucketHistogram lands observations in fixed
+// (typically exponential) buckets, so memory stays O(buckets) over an
+// unbounded production run; quantiles are bucket-resolution estimates.
+// Both satisfy Observer, so instrumentation points accept either.
+//
+// CounterVec, GaugeVec, and BucketHistogramVec address children by an
+// ordered tuple of label values (e.g. protocol={push,pull,aggregate}).
+// With is identity-stable, so hot paths resolve their child once at
+// construction and pay only one atomic op per event.
+//
+// Registry names the metrics of one node (or one simulated cluster):
+// every instrumented layer resolves its series from the registry it is
+// configured with, Snapshot renders a sorted human-readable dump with
+// p50/p95/max for histograms, and WritePrometheus serves the text
+// exposition format behind a /metrics endpoint.
+//
+// Timer observes elapsed seconds into an Observer through an injected
+// time source: production wires clock.Real's Now, virtual-time scenarios
+// wire clock.Virtual's, which makes latency histograms byte-for-byte
+// deterministic in tests.
 package metrics

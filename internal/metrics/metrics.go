@@ -1,12 +1,11 @@
 package metrics
 
 import (
-	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing counter.
@@ -23,7 +22,7 @@ func (c *Counter) Add(delta int64) { c.v.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a settable instantaneous value.
+// Gauge is a settable instantaneous integer value.
 type Gauge struct {
 	v atomic.Int64
 }
@@ -37,14 +36,61 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram records float64 observations and reports quantiles. It keeps all
-// samples; experiments are bounded so memory stays modest, and exactness
-// beats approximation when validating protocol behaviour.
+// FloatGauge is a settable instantaneous float64 value (e.g. a
+// mass-conservation error). It is lock-free: the value is stored as raw
+// float64 bits in one atomic word.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Observer is anything float64 observations can be recorded into; both
+// histogram variants satisfy it, so instrumentation can take either.
+type Observer interface {
+	Observe(v float64)
+}
+
+// Timer observes elapsed durations, in seconds, into an Observer. The time
+// source is injected — production timers run on clock.Real's Now, while
+// virtual-time deployments hand in clock.Virtual's, which makes latency
+// histograms fully deterministic in scenario tests.
+type Timer struct {
+	now func() time.Duration
+	obs Observer
+}
+
+// NewTimer returns a timer reading now and recording into obs. A Timer with
+// a nil now or obs is inert: Start returns a no-op stop function.
+func NewTimer(now func() time.Duration, obs Observer) Timer {
+	return Timer{now: now, obs: obs}
+}
+
+// Start begins one measurement and returns the function that completes it:
+// calling the returned stop observes the elapsed seconds since Start.
+func (t Timer) Start() (stop func()) {
+	if t.now == nil || t.obs == nil {
+		return func() {}
+	}
+	start := t.now()
+	return func() { t.obs.Observe((t.now() - start).Seconds()) }
+}
+
+// Histogram records float64 observations exactly and reports precise
+// quantiles. It keeps every sample, so memory grows with the observation
+// count: experiments and bounded test runs use it where exactness beats
+// approximation; unbounded production series belong in BucketHistogram.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 }
+
+var _ Observer = (*Histogram)(nil)
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
@@ -88,9 +134,20 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) using nearest-rank on the
 // sorted samples, or 0 with no samples.
+//
+// Sorting happens lazily, in place, under h.mu — the same lock Observe
+// takes — so there is no window where a concurrent Observe can see a
+// half-sorted slice or clear the sorted flag mid-sort. The flag only
+// avoids re-sorting across consecutive read calls; an Observe between two
+// Quantile calls clears it and the next read pays one sort again.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked is Quantile's body for callers already holding h.mu.
+func (h *Histogram) quantileLocked(q float64) float64 {
 	n := len(h.samples)
 	if n == 0 {
 		return 0
@@ -148,76 +205,4 @@ func (h *Histogram) Reset() {
 	defer h.mu.Unlock()
 	h.samples = h.samples[:0]
 	h.sorted = false
-}
-
-// Registry is a named collection of metrics, used per experiment run.
-type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-}
-
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
-	}
-}
-
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
-	}
-	return c
-}
-
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
-	}
-	return g
-}
-
-// Histogram returns the named histogram, creating it on first use.
-func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		h = &Histogram{}
-		r.histograms[name] = h
-	}
-	return h
-}
-
-// Snapshot renders every metric as "name=value" lines, sorted by name.
-func (r *Registry) Snapshot() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var lines []string
-	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s=%d", name, c.Value()))
-	}
-	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s=%d", name, g.Value()))
-	}
-	for name, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("%s_count=%d", name, h.Count()))
-		lines = append(lines, fmt.Sprintf("%s_mean=%.3f", name, h.Mean()))
-	}
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
 }

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Labeled metric vectors: one named family whose children are addressed by
+// an ordered tuple of label values (e.g. protocol={push,pull,aggregate}).
+// With is identity-stable — the same label values always return the same
+// child — so hot paths resolve their child once at construction time and
+// then pay only the child's atomic op per event, never a map lookup.
+
+// labelKey joins label values into the child-map key. 0x1f (ASCII unit
+// separator) cannot collide with printable label values.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// vec is the shared child-table machinery behind the typed vectors.
+type vec[T any] struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	kids   map[string]*T
+	mk     func() *T
+}
+
+func newVec[T any](name string, labels []string, mk func() *T) *vec[T] {
+	return &vec[T]{name: name, labels: labels, kids: make(map[string]*T), mk: mk}
+}
+
+// with returns the child for the given label values, creating it on first
+// use. Arity must match the declared label names.
+func (v *vec[T]) with(values []string) *T {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: vector %s has labels %v, got %d values",
+			v.name, v.labels, len(values)))
+	}
+	key := labelKey(values)
+	v.mu.RLock()
+	kid, ok := v.kids[key]
+	v.mu.RUnlock()
+	if ok {
+		return kid
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if kid, ok = v.kids[key]; ok {
+		return kid
+	}
+	kid = v.mk()
+	v.kids[key] = kid
+	return kid
+}
+
+// snapshot returns the children keyed by their joined label values.
+func (v *vec[T]) snapshot() map[string]*T {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*T, len(v.kids))
+	for k, kid := range v.kids {
+		out[k] = kid
+	}
+	return out
+}
+
+// CounterVec is a family of counters addressed by label values.
+type CounterVec struct {
+	v *vec[Counter]
+}
+
+// With returns the counter for the given label values, creating it on
+// first use; identical values always return the identical counter.
+func (c *CounterVec) With(values ...string) *Counter { return c.v.with(values) }
+
+// Labels returns the declared label names.
+func (c *CounterVec) Labels() []string { return append([]string(nil), c.v.labels...) }
+
+// GaugeVec is a family of gauges addressed by label values.
+type GaugeVec struct {
+	v *vec[Gauge]
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use; identical values always return the identical gauge.
+func (g *GaugeVec) With(values ...string) *Gauge { return g.v.with(values) }
+
+// Labels returns the declared label names.
+func (g *GaugeVec) Labels() []string { return append([]string(nil), g.v.labels...) }
+
+// BucketHistogramVec is a family of bounded bucket histograms addressed by
+// label values; every child shares the vector's bucket layout.
+type BucketHistogramVec struct {
+	v      *vec[BucketHistogram]
+	bounds []float64
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use; identical values always return the identical histogram.
+func (h *BucketHistogramVec) With(values ...string) *BucketHistogram { return h.v.with(values) }
+
+// Labels returns the declared label names.
+func (h *BucketHistogramVec) Labels() []string { return append([]string(nil), h.v.labels...) }

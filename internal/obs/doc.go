@@ -1,0 +1,11 @@
+// Package obs is the node-facing observability surface: it serves the
+// metrics registry every middleware layer writes into as Prometheus text
+// exposition on GET /metrics, and a JSON health/introspection document —
+// node identity, live activity count, peer-view snapshot, and per-loop
+// runner scheduling state — on GET /healthz.
+//
+// The endpoints can run standalone (Handler, behind a dedicated
+// -metrics-addr binding) or be mounted in front of an existing HTTP handler
+// (Mount), sharing the SOAP endpoint's listener so a node exposes exactly
+// one port.
+package obs

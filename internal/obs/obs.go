@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"wsgossip/internal/core"
+	"wsgossip/internal/metrics"
+)
+
+// LoopState is the JSON form of one runner loop's introspection row.
+type LoopState struct {
+	Name string `json:"name"`
+	// Period is the configured base interval; Current is the interval in
+	// effect now (above Period while quiescence backoff is applied). Both
+	// are Go duration strings.
+	Period       string `json:"period"`
+	Current      string `json:"current"`
+	BackoffLevel int64  `json:"backoffLevel"`
+	Fires        int64  `json:"fires"`
+}
+
+// Health is the /healthz introspection document: who the node is, how busy
+// it is, who it can see, and what its round scheduler is doing.
+type Health struct {
+	Node       string      `json:"node"`
+	Role       string      `json:"role,omitempty"`
+	Activities uint64      `json:"activities"`
+	Peers      []string    `json:"peers,omitempty"`
+	Loops      []LoopState `json:"loops,omitempty"`
+}
+
+// LoopsFrom converts a Runner's introspection rows to their JSON form.
+func LoopsFrom(states []core.LoopState) []LoopState {
+	out := make([]LoopState, len(states))
+	for i, st := range states {
+		out[i] = LoopState{
+			Name:         st.Name,
+			Period:       st.Period.String(),
+			Current:      st.Current.String(),
+			BackoffLevel: st.BackoffLevel,
+			Fires:        st.Fires,
+		}
+	}
+	return out
+}
+
+// Handler serves GET /metrics as Prometheus 0.0.4 text exposition from reg
+// and GET /healthz as the JSON document health returns. health may be nil,
+// in which case /healthz answers an empty document.
+func Handler(reg *metrics.Registry, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var doc Health
+		if health != nil {
+			doc = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	return mux
+}
+
+// Mount attaches the observability endpoints beside an existing handler:
+// /metrics and /healthz are answered here, everything else falls through to
+// app. This is how a node serves scrapes on the same binding its SOAP
+// endpoint listens on.
+func Mount(app http.Handler, reg *metrics.Registry, health func() Health) http.Handler {
+	o := Handler(reg, health)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" ||
+			strings.HasPrefix(r.URL.Path, "/metrics/") || strings.HasPrefix(r.URL.Path, "/healthz/") {
+			o.ServeHTTP(w, r)
+			return
+		}
+		app.ServeHTTP(w, r)
+	})
+}

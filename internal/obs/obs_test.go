@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wsgossip/internal/clock"
+	"wsgossip/internal/core"
+	"wsgossip/internal/metrics"
+)
+
+func testHealth() Health {
+	return Health{
+		Node:       "http://node-a/",
+		Role:       "disseminator",
+		Activities: 3,
+		Peers:      []string{"http://node-b/"},
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("gossip_received_total").Add(7)
+	srv := httptest.NewServer(Handler(reg, testHealth))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q, want Prometheus 0.0.4 text", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "gossip_received_total 7") {
+		t.Fatalf("exposition missing counter:\n%s", body)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := httptest.NewServer(Handler(reg, testHealth))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var doc Health
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Node != "http://node-a/" || doc.Role != "disseminator" || doc.Activities != 3 {
+		t.Fatalf("health document = %+v", doc)
+	}
+	if len(doc.Peers) != 1 || doc.Peers[0] != "http://node-b/" {
+		t.Fatalf("peers = %v", doc.Peers)
+	}
+}
+
+func TestMethodFiltering(t *testing.T) {
+	srv := httptest.NewServer(Handler(metrics.NewRegistry(), nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/healthz"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s status = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestMountFallsThrough(t *testing.T) {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	reg := metrics.NewRegistry()
+	srv := httptest.NewServer(Mount(app, reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics through Mount status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/anything-else")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("fallthrough status = %d, want the app's 418", resp.StatusCode)
+	}
+}
+
+// TestLoopsFromRunner checks the health document carries real runner
+// introspection.
+func TestLoopsFromRunner(t *testing.T) {
+	v := clock.NewVirtual()
+	r, err := core.NewRunner(core.RunnerConfig{
+		Clock: v,
+		Loops: []core.Loop{{
+			Name:   "round",
+			Period: 10 * time.Millisecond,
+			Tick:   func(context.Context) {},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	v.Advance(50 * time.Millisecond)
+
+	loops := LoopsFrom(r.LoopStates())
+	if len(loops) != 1 || loops[0].Name != "round" || loops[0].Period != "10ms" {
+		t.Fatalf("loops = %+v", loops)
+	}
+	if loops[0].Fires == 0 {
+		t.Fatal("fires not carried through")
+	}
+}

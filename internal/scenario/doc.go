@@ -17,6 +17,13 @@
 // aggregation, including under loss. Everything passes
 // go test -race -count=5 with byte-identical schedules.
 //
+// The chaos scenarios (chaos_test.go) additionally assert on the metrics
+// plane itself: a healed network bisection must show up as a repair
+// retransmit spike that subsides, a slow node's tick cost must be visible
+// in its tick-duration histogram and nobody else's, and a rogue sender
+// replaying captured envelopes must be isolated by exactly the victim's
+// duplicate counter.
+//
 // The package is test-only: its fabric (virtBus) and cluster builders live
 // in _test files.
 package scenario

@@ -16,6 +16,7 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
 )
 
 type eventBody struct {
@@ -34,6 +35,9 @@ type cluster struct {
 	dissems []*core.Disseminator
 	apps    []*core.CollectingApp
 	runners []*core.Runner
+	// regs holds one metrics registry per node, so scenario assertions can
+	// attribute counters to individual nodes.
+	regs []*metrics.Registry
 }
 
 // clusterConfig selects the deployment shape for one scenario.
@@ -47,6 +51,10 @@ type clusterConfig struct {
 	announceEvery time.Duration
 	minDelay      time.Duration
 	maxDelay      time.Duration
+	// nodeClock, when set, overrides node i's Runner clock (the straggler
+	// scenario wraps the shared virtual clock in a skewing one). Nil or a
+	// nil return keeps the shared clock.
+	nodeClock func(i int, shared *clock.Virtual) clock.Clock
 }
 
 func newCluster(t *testing.T, cfg clusterConfig) *cluster {
@@ -79,11 +87,14 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 	for i := 0; i < cfg.n; i++ {
 		addr := fmt.Sprintf("mem://node%03d", i)
 		app := core.NewCollectingApp()
+		reg := metrics.NewRegistry()
 		d, err := core.NewDisseminator(core.DisseminatorConfig{
 			Address: addr,
-			Caller:  bus,
+			Caller:  &nodeCaller{bus: bus, from: addr},
 			App:     app,
 			RNG:     rand.New(rand.NewSource(cfg.seed*31 + int64(i))),
+			Clock:   clk,
+			Metrics: reg,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -92,9 +103,16 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 		if err := core.SubscribeClient(ctx, bus, "mem://coordinator", addr, core.RoleDisseminator); err != nil {
 			t.Fatal(err)
 		}
+		var runClock clock.Clock = clk
+		if cfg.nodeClock != nil {
+			if c := cfg.nodeClock(i, clk); c != nil {
+				runClock = c
+			}
+		}
 		r, err := core.NewRunner(core.RunnerConfig{
-			Clock:         clk,
+			Clock:         runClock,
 			RNG:           rand.New(rand.NewSource(cfg.seed*977 + int64(i))),
+			Metrics:       reg,
 			Disseminator:  d,
 			PullEvery:     cfg.pullEvery,
 			RepairEvery:   cfg.repairEvery,
@@ -111,6 +129,7 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 		c.dissems = append(c.dissems, d)
 		c.apps = append(c.apps, app)
 		c.runners = append(c.runners, r)
+		c.regs = append(c.regs, reg)
 	}
 	var err error
 	c.init, err = core.NewInitiator(core.InitiatorConfig{

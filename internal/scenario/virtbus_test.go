@@ -29,6 +29,10 @@ type virtBus struct {
 	loss     float64
 	minDelay time.Duration
 	maxDelay time.Duration
+	// partition, when set, blocks one-way traffic for which it returns
+	// true. It only sees a sender when the message was sent through a
+	// nodeCaller (which stamps its origin); unstamped sends pass "".
+	partition func(from, to string) bool
 
 	sent, dropped, delivered int
 }
@@ -71,6 +75,15 @@ func (b *virtBus) SetLoss(p float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.loss = p
+}
+
+// SetPartition installs (or, with nil, heals) a link-level partition over
+// the one-way gossip path. The control plane (Call) stays connected: the
+// coordinator is not the component under stress.
+func (b *virtBus) SetPartition(p func(from, to string) bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partition = p
 }
 
 // Stats returns (sent, dropped, delivered) one-way message counts.
@@ -118,13 +131,23 @@ func (b *virtBus) Send(ctx context.Context, to string, env *soap.Envelope) error
 }
 
 // SendEncoded implements the encode-once fan-out path.
-func (b *virtBus) SendEncoded(_ context.Context, to string, data []byte) error {
+func (b *virtBus) SendEncoded(ctx context.Context, to string, data []byte) error {
+	return b.sendEncodedFrom(ctx, "", to, data)
+}
+
+// sendEncodedFrom is SendEncoded with a sender identity, so an installed
+// partition can rule on the (from, to) link.
+func (b *virtBus) sendEncodedFrom(_ context.Context, from, to string, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.handlers[to] == nil {
 		return fmt.Errorf("virtbus: unknown endpoint %s", to)
 	}
 	b.sent++
+	if b.partition != nil && b.partition(from, to) {
+		b.dropped++
+		return nil
+	}
 	if b.down[to] || b.rng.Float64() < b.loss {
 		b.dropped++
 		return nil
@@ -155,4 +178,33 @@ func (b *virtBus) SendEncoded(_ context.Context, to string, data []byte) error {
 		_, _ = h.HandleSOAP(context.Background(), &soap.Request{Envelope: decoded, Remote: "virtbus"})
 	})
 	return nil
+}
+
+// nodeCaller binds a bus to one node's address so one-way sends carry their
+// origin — the hook partition rules need. Request-response calls delegate
+// unstamped (the control plane ignores partitions anyway).
+type nodeCaller struct {
+	bus  *virtBus
+	from string
+}
+
+var (
+	_ soap.Caller        = (*nodeCaller)(nil)
+	_ soap.EncodedSender = (*nodeCaller)(nil)
+)
+
+func (c *nodeCaller) Call(ctx context.Context, to string, env *soap.Envelope) (*soap.Envelope, error) {
+	return c.bus.Call(ctx, to, env)
+}
+
+func (c *nodeCaller) Send(ctx context.Context, to string, env *soap.Envelope) error {
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	return c.bus.sendEncodedFrom(ctx, c.from, to, data)
+}
+
+func (c *nodeCaller) SendEncoded(ctx context.Context, to string, data []byte) error {
+	return c.bus.sendEncodedFrom(ctx, c.from, to, data)
 }

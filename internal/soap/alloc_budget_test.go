@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+
+	"wsgossip/internal/metrics"
 )
 
 // Allocation-budget regression guard. BENCH_04 drove the canonical decode
@@ -67,4 +69,50 @@ func TestDecodeAllocBudget(t *testing.T) {
 	}
 	t.Logf("decode %.1f allocs/op (budget %.0f), encode %.1f allocs/op (budget %.0f)",
 		decodeAllocs, budget.DecodeMaxAllocs, encodeAllocs, budget.EncodeMaxAllocs)
+}
+
+// TestDecodeAllocBudgetInstrumented re-runs the decode/encode budgets with
+// wire metrics installed: instrumentation is all atomic ops, so it must fit
+// the SAME budgets, and the per-op delta versus the uninstrumented path
+// must stay within one alloc.
+func TestDecodeAllocBudgetInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	budget := loadAllocBudget(t, "testdata/alloc_budget.json")
+	env := benchEnvelope(t, 1<<10)
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	InstallWireMetrics(metrics.NewRegistry())
+	defer InstallWireMetrics(nil)
+	instrumented := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if instrumented > budget.DecodeMaxAllocs {
+		t.Errorf("instrumented Decode(1KiB) = %.1f allocs/op, budget %.0f", instrumented, budget.DecodeMaxAllocs)
+	}
+	if instrumented-bare > 1 {
+		t.Errorf("instrumentation added %.1f allocs/op to Decode (bare %.1f, instrumented %.1f), budget 1",
+			instrumented-bare, bare, instrumented)
+	}
+	encodeAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := env.Encode(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encodeAllocs > budget.EncodeMaxAllocs {
+		t.Errorf("instrumented Encode(1KiB) = %.1f allocs/op, budget %.0f", encodeAllocs, budget.EncodeMaxAllocs)
+	}
+	t.Logf("decode bare %.1f vs instrumented %.1f allocs/op; encode instrumented %.1f",
+		bare, instrumented, encodeAllocs)
 }

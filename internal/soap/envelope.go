@@ -228,9 +228,14 @@ func (e *Envelope) DecodeBody(v any) error {
 // splicing run through the original encoding/xml serializer.
 func (e *Envelope) Encode() ([]byte, error) {
 	if out, ok := encodeSplice(e); ok {
+		countBytesOut(len(out))
 		return out, nil
 	}
-	return e.encodeLegacy()
+	out, err := e.encodeLegacy()
+	if err == nil {
+		countBytesOut(len(out))
+	}
+	return out, err
 }
 
 // Decode parses a serialized envelope through a three-rung ladder. The
@@ -243,11 +248,13 @@ func (e *Envelope) Encode() ([]byte, error) {
 // be modified afterwards.
 func Decode(data []byte) (*Envelope, error) {
 	if env, ok := decodeScan(data); ok {
+		countDecode(rungScanner, len(data))
 		return env, nil
 	}
 	if !bytes.Contains(data, wirePrefixDecl) {
 		env, err := decodeZeroCopy(data)
 		if err == nil {
+			countDecode(rungZeroCopy, len(data))
 			return env, nil
 		}
 		if !errors.Is(err, errNotSelfContained) {
@@ -256,7 +263,11 @@ func Decode(data []byte) (*Envelope, error) {
 			return nil, err
 		}
 	}
-	return decodeLegacy(data)
+	env, err := decodeLegacy(data)
+	if err == nil {
+		countDecode(rungLegacy, len(data))
+	}
+	return env, err
 }
 
 // wirePrefixDecl gates the zero-copy path: documents declaring namespace

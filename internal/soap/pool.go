@@ -37,11 +37,14 @@ func getBytes(n int) []byte {
 		c = minBufBits
 	}
 	if c > maxBufBits {
+		countPoolGet(false)
 		return make([]byte, 0, n)
 	}
 	if v := bytePools[c-minBufBits].Get(); v != nil {
+		countPoolGet(true)
 		return (*(v.(*[]byte)))[:0]
 	}
+	countPoolGet(false)
 	return make([]byte, 0, n)
 }
 

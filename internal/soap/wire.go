@@ -487,7 +487,9 @@ func (t *WireTemplate) RenderTo(addr string) []byte {
 		out = append(out, addr...)
 	}
 	out = append(out, wireToClose...)
-	return append(out, t.post...)
+	out = append(out, t.post...)
+	countBytesOut(len(out))
+	return out
 }
 
 // Size returns the serialized size in bytes of a rendered message,
