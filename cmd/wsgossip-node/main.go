@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"wsgossip/internal/aggregate"
+	"wsgossip/internal/clock"
 	"wsgossip/internal/core"
+	"wsgossip/internal/delivery"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/membership"
 	"wsgossip/internal/metrics"
@@ -74,8 +76,19 @@ func run() error {
 		activityTTL = flag.Duration("activity-ttl", 0, "default expiry stamped on coordination activities, 0 = never (coordinator)")
 		pruneEvery  = flag.Duration("prune", 0, "activity-expiry pruning round interval, 0 disables (coordinator)")
 		metricsAddr = flag.String("metrics-addr", "", "extra listen address dedicated to /metrics and /healthz; they are always also served on -listen (server roles)")
+		deliver     = flag.Bool("delivery", false, "route outbound gossip through the failure-aware delivery plane: per-peer queues, retries with backoff, circuit breaking (disseminator, initiator)")
+		delTries    = flag.Int("delivery-attempts", 0, "per-message attempt budget on the delivery plane, 0 = default 4 (disseminator, initiator)")
+		delTimeout  = flag.Duration("delivery-timeout", 0, "per-attempt send timeout on the delivery plane, 0 = default 2s (disseminator, initiator)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that open a peer's circuit, 0 = default 5 (disseminator, initiator)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe, 0 = default 5s (disseminator, initiator)")
+		admitRate   = flag.Float64("admit-rate", 0, "inbound admission rate in requests/second: excess requests are shed with a retry-after fault senders honor, 0 disables (disseminator)")
+		admitBurst  = flag.Int("admit-burst", 0, "admission token-bucket depth, 0 = max(1, -admit-rate) (disseminator)")
 	)
 	flag.Parse()
+	df := deliveryFlags{
+		enabled: *deliver, attempts: *delTries, timeout: *delTimeout,
+		threshold: *brkThresh, cooldown: *brkCooldown,
+	}
 
 	client := soap.NewHTTPClient(&http.Client{Timeout: 10 * time.Second})
 	switch *role {
@@ -91,15 +104,62 @@ func run() error {
 			aggEvery: *aggEvery, value: *value, jitter: *jitter, seed: *seed,
 			members: *members, memberEvery: *memberEvery, quiescent: *quiescent,
 			metricsAddr: *metricsAddr,
+			delivery:   df,
+			admitRate:  *admitRate,
+			admitBurst: *admitBurst,
 		}
 		return runSubscriber(cfg, client)
 	case "initiator":
 		if *coordinator == "" {
 			return fmt.Errorf("-coordinator is required for role initiator")
 		}
-		return runInitiator(*coordinator, *message, *count, client)
+		return runInitiator(*coordinator, *message, *count, client, df)
 	default:
 		return fmt.Errorf("unknown role %q (want coordinator, disseminator, consumer, or initiator)", *role)
+	}
+}
+
+// deliveryFlags carries the -delivery* flag values to the roles that build a
+// failure-aware outbound plane. Zero fields fall back to delivery.Config
+// defaults.
+type deliveryFlags struct {
+	enabled   bool
+	attempts  int
+	timeout   time.Duration
+	threshold int
+	cooldown  time.Duration
+}
+
+// newPlane wraps caller in a delivery.Plane configured from the flags.
+// onDown, when non-nil, runs on each closed → open circuit transition.
+func (f deliveryFlags) newPlane(caller soap.Caller, clk clock.Clock, rng *rand.Rand, reg *metrics.Registry, onDown func(addr string)) *delivery.Plane {
+	return delivery.NewPlane(delivery.Config{
+		Caller:           caller,
+		Clock:            clk,
+		RNG:              rng,
+		Metrics:          reg,
+		MaxAttempts:      f.attempts,
+		AttemptTimeout:   f.timeout,
+		BreakerThreshold: f.threshold,
+		BreakerCooldown:  f.cooldown,
+		OnPeerDown:       onDown,
+	})
+}
+
+// drainPlane waits until the plane's queues and in-flight window are empty,
+// so a short-lived role does not exit with retries still pending. Returns
+// false when the timeout expired with work outstanding.
+func drainPlane(p *delivery.Plane, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := p.Stats()
+		if st.Queued == 0 && st.Inflight == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -243,6 +303,9 @@ type subscriberConfig struct {
 	memberEvery                       time.Duration
 	quiescent                         time.Duration
 	metricsAddr                       string
+	delivery                          deliveryFlags
+	admitRate                         float64
+	admitBurst                        int
 }
 
 // runSubscriber builds the node's middleware stack and — for disseminators —
@@ -256,6 +319,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 	soap.InstallWireMetrics(reg)
 	var d *core.Disseminator
 	var msvc *membership.Service
+	var plane *delivery.Plane
 	var handler soap.Handler
 	subscribedRole := core.RoleConsumer
 	// Consumers can only take notifications; disseminators extend this
@@ -298,6 +362,29 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			ep.RegisterActions(dispatcher)
 			dcfg.Peers = msvc
 		}
+		// The failure-aware delivery plane wraps the data plane only: notify
+		// fan-out, pull, repair, and push-sum sends get per-peer queues,
+		// retries, and circuit breaking. Membership exchanges stay on the
+		// raw binding — the heartbeat protocol is itself the failure
+		// detector and must observe the real link, not a retried view of it.
+		// An opening circuit feeds back into that detector via Suspect, and
+		// sampling skips open-circuit peers until their half-open probe.
+		if cfg.delivery.enabled {
+			plane = cfg.delivery.newPlane(client, clock.NewReal(),
+				rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr)+4)), reg,
+				func(peer string) {
+					if msvc != nil {
+						msvc.Suspect(peer)
+					}
+					log.Printf("[%s] delivery: circuit opened for %s", cfg.role, peer)
+				})
+			defer plane.Close()
+			dcfg.Caller = plane
+			if msvc != nil {
+				dcfg.Peers = plane.FilterView(msvc)
+			}
+			log.Printf("[%s] delivery plane on: per-peer queues, retries, circuit breaking", cfg.role)
+		}
 		var err error
 		d, err = core.NewDisseminator(dcfg)
 		if err != nil {
@@ -332,7 +419,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			}
 			svc, err := aggregate.NewService(aggregate.ServiceConfig{
 				Address: addr,
-				Caller:  client,
+				Caller:  dcfg.Caller,
 				Value:   func() float64 { return cfg.value },
 				RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 2)),
 				Metrics: reg,
@@ -347,6 +434,24 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 		}
 		subscribeProtocols = protocols
 		handler = dispatcher
+		// Inbound overload shedding: past -admit-rate requests/second the
+		// node answers with a retry-after fault instead of decoding and
+		// processing — senders running a delivery plane defer that queue and
+		// retry after the hint. Membership exchanges are exempt: shedding
+		// the failure detector under load would read as node death.
+		if cfg.admitRate > 0 {
+			gate := delivery.NewGate(delivery.GateConfig{
+				Clock:   clock.NewReal(),
+				Rate:    cfg.admitRate,
+				Burst:   cfg.admitBurst,
+				Metrics: reg,
+				Exempt: func(action string) bool {
+					return action == membership.ActionExchange || action == membership.ActionLeave
+				},
+			})
+			handler = soap.Chain(dispatcher, gate.Middleware())
+			log.Printf("[%s] admission gate on: %.0f req/s", cfg.role, cfg.admitRate)
+		}
 		if cfg.pull > 0 || cfg.repair > 0 || cfg.announce > 0 || rcfg.Aggregator != nil || msvc != nil {
 			runner, err = core.NewRunner(rcfg)
 			if err != nil {
@@ -435,6 +540,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 		if runner != nil {
 			h.Loops = obs.LoopsFrom(runner.LoopStates())
 		}
+		h.Delivery = obs.DeliveryFrom(plane)
 		return h
 	}
 	log.Printf("%s serving at %s (listen %s)", cfg.role, addr, cfg.listen)
@@ -452,11 +558,22 @@ func scheduleSeed(seed int64, addr string) int64 {
 	return int64(h.Sum64())
 }
 
-func runInitiator(coordinator, message string, count int, client *soap.HTTPClient) error {
+func runInitiator(coordinator, message string, count int, client *soap.HTTPClient, df deliveryFlags) error {
+	const initAddr = "urn:wsgossip:initiator"
+	reg := metrics.NewRegistry()
+	var caller soap.Caller = client
+	var plane *delivery.Plane
+	if df.enabled {
+		plane = df.newPlane(client, clock.NewReal(),
+			rand.New(rand.NewSource(scheduleSeed(0, initAddr))), reg, nil)
+		defer plane.Close()
+		caller = plane
+	}
 	init, err := core.NewInitiator(core.InitiatorConfig{
-		Address:    "urn:wsgossip:initiator",
-		Caller:     client,
+		Address:    initAddr,
+		Caller:     caller,
 		Activation: coordinator,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return err
@@ -479,6 +596,19 @@ func runInitiator(coordinator, message string, count int, client *soap.HTTPClien
 			return err
 		}
 		log.Printf("notified %d targets (message %s)", sent, msgID)
+	}
+	if plane != nil {
+		// A plane Send returning nil may mean "queued for retry": hold the
+		// process open until the queues drain so no accepted notification is
+		// abandoned by exit.
+		if !drainPlane(plane, 30*time.Second) {
+			st := plane.Stats()
+			log.Printf("delivery: exiting with %d message(s) undelivered (%d open circuit(s))",
+				st.Queued+st.Inflight, st.OpenCircuits)
+		}
+		if retries := reg.Counter("delivery_retries_total").Value(); retries > 0 {
+			log.Printf("delivery: %d retried attempt(s) during fan-out", retries)
+		}
 	}
 	return nil
 }

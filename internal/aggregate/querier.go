@@ -128,7 +128,8 @@ func (q *Querier) StartAggregation(ctx context.Context, fn Func) (*Task, error) 
 		if err != nil {
 			return nil, err
 		}
-		sent, _ := soap.Fanout(ctx, q.cfg.Caller, env, params.Targets)
+		sent, failed := soap.Fanout(ctx, q.cfg.Caller, env, params.Targets)
+		q.svc.stats.sendErrors.Add(int64(len(failed)))
 		if sent == 0 {
 			return nil, fmt.Errorf("aggregate: start reached none of %d targets", len(params.Targets))
 		}

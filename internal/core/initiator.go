@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"wsgossip/internal/metrics"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/wsa"
 	"wsgossip/internal/wscoord"
@@ -42,6 +43,10 @@ type InitiatorConfig struct {
 	// RNG drives live-view sampling; nil falls back to a fixed seed. Unused
 	// when Peers is nil.
 	RNG *rand.Rand
+	// Metrics, when set, records notification fan-out failures under
+	// gossip_send_errors_total (sharing the disseminator's family when the
+	// registry is shared). Nil means unobserved.
+	Metrics *metrics.Registry
 }
 
 // Initiator is the one role whose application code changes (paper,
@@ -51,6 +56,7 @@ type Initiator struct {
 	cfg        InitiatorConfig
 	activation *wscoord.ActivationClient
 	register   *wscoord.RegistrationClient
+	sendErrors *metrics.Counter
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -65,10 +71,15 @@ func NewInitiator(cfg InitiatorConfig) (*Initiator, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	return &Initiator{
 		cfg:        cfg,
 		activation: wscoord.NewActivationClient(cfg.Caller, cfg.Address),
 		register:   wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
+		sendErrors: reg.Counter("gossip_send_errors_total"),
 		rng:        rng,
 	}, nil
 }
@@ -116,7 +127,8 @@ func (i *Initiator) Notify(ctx context.Context, inter *Interaction, body any) (w
 		return msgID, 0, err
 	}
 	targets := i.seedTargets(inter)
-	sent, _ := soap.Fanout(ctx, i.cfg.Caller, env, targets)
+	sent, failed := soap.Fanout(ctx, i.cfg.Caller, env, targets)
+	i.sendErrors.Add(int64(len(failed)))
 	if len(targets) > 0 && sent == 0 {
 		return msgID, 0, fmt.Errorf("core: notification reached none of %d targets", len(targets))
 	}

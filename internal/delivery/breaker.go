@@ -1,0 +1,46 @@
+package delivery
+
+import "time"
+
+// breaker is one peer's circuit state. It has no lock of its own: every
+// field is guarded by the owning Plane's mutex, and every timestamp is an
+// offset on the plane's clock.
+//
+// The state machine is the classic three-state breaker with a lazy
+// half-open: closed → (threshold consecutive transport failures) → open →
+// (cooldown elapses, next traffic becomes the single probe) → half-open →
+// closed on probe success, back to open on probe failure. "Lazy" means no
+// timer flips the state — openUntil is compared against the clock whenever
+// traffic wants through, so an idle open circuit costs nothing and the
+// probe is always a real message, never a synthetic ping.
+type breaker struct {
+	open      bool
+	probing   bool // a half-open probe is in flight
+	fails     int  // consecutive transport failures while closed
+	openUntil time.Duration
+}
+
+// probeDue reports whether the cooldown has elapsed and no probe is in
+// flight: the next message may be admitted as the half-open probe.
+func (b *breaker) probeDue(now time.Duration) bool {
+	return b.open && !b.probing && now >= b.openUntil
+}
+
+// state names for introspection.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// label returns the human-readable state name.
+func (b *breaker) label() string {
+	switch {
+	case b.probing:
+		return breakerHalfOpen
+	case b.open:
+		return breakerOpen
+	default:
+		return breakerClosed
+	}
+}

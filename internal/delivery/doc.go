@@ -1,0 +1,46 @@
+// Package delivery is the failure-aware outbound plane between the gossip
+// roles and the SOAP binding: the explicit policy layer between "fire" and
+// "forget". The paper's dissemination model treats a lost send as something
+// epidemic redundancy will repair; under production load a node also needs
+// bounded buffering, bounded retry, and a way to stop hammering peers that
+// are down or drowning. Plane supplies exactly that, as a transparent
+// soap.Caller wrapper, so every existing fan-out — gossip
+// forward/announce/repair/pull, aggregation floods, membership exchanges —
+// routes through it unchanged.
+//
+// Per peer, a Plane keeps a bounded FIFO queue with a capped in-flight
+// window, attempts each message with a per-attempt timeout, retries
+// transient failures on jittered exponential backoff up to a per-message
+// attempt budget, and runs a circuit breaker: consecutive transport
+// failures open the circuit (fast-failing fresh sends so epidemic
+// redundancy reroutes while queued messages wait), a cooldown later one
+// half-open probe decides between closing and re-opening. A receiver that
+// sheds load with a retry-after fault (soap.NewOverloadedFault, produced
+// by Gate) defers the peer's whole queue for the hinted duration instead
+// of counting toward the breaker — an overloaded peer is alive, just busy.
+//
+// Every policy timer rides the shared clock.Clock, so the full retry /
+// backoff / breaker / deferral state machine is deterministic under
+// clock.Virtual — the chaos scenarios in internal/scenario drive it
+// through flapping links and saturated receivers and assert exact metric
+// counts.
+//
+// Key types:
+//
+//   - Plane — the outbound plane; implements soap.Caller and
+//     soap.EncodedSender. FilterView demotes open-circuit peers from peer
+//     sampling; OnPeerDown reports breaker trips to the membership layer
+//     (repeated delivery failure → suspect).
+//   - Gate — the inbound half: a token-bucket admission gate, exposed as
+//     soap.Middleware, that sheds excess requests with a Receiver fault
+//     carrying the retry-after hint Plane honors.
+//
+// Instrumentation (via the node's metrics.Registry): delivery_attempts_total,
+// delivery_retries_total, delivery_attempt_failures_total{kind},
+// delivery_drops_total{reason}, delivery_deferrals_total,
+// delivery_queue_depth, delivery_inflight, delivery_breaker_open,
+// delivery_breaker_transitions_total{to}, delivery_attempt_seconds, and on
+// the gate delivery_shed_total plus shed_requests_total{result}. All
+// series are pre-resolved at construction, so the families are visible at
+// boot and the hot path never touches a registry map.
+package delivery

@@ -1,0 +1,602 @@
+package delivery
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"wsgossip/internal/clock"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wsa"
+)
+
+// scriptedCaller is a Caller whose per-target outcomes are scripted: each
+// attempt pops the next error from the target's queue (empty queue =
+// success). Successful deliveries are recorded in order.
+type scriptedCaller struct {
+	mu        sync.Mutex
+	outcomes  map[string][]error
+	delivered map[string][]*soap.Envelope
+	attempts  map[string]int
+}
+
+func newScripted() *scriptedCaller {
+	return &scriptedCaller{
+		outcomes:  make(map[string][]error),
+		delivered: make(map[string][]*soap.Envelope),
+		attempts:  make(map[string]int),
+	}
+}
+
+func (c *scriptedCaller) script(to string, errs ...error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.outcomes[to] = append(c.outcomes[to], errs...)
+}
+
+func (c *scriptedCaller) pop(to string, env *soap.Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.attempts[to]++
+	if q := c.outcomes[to]; len(q) > 0 {
+		err := q[0]
+		c.outcomes[to] = q[1:]
+		if err != nil {
+			return err
+		}
+	}
+	c.delivered[to] = append(c.delivered[to], env)
+	return nil
+}
+
+func (c *scriptedCaller) attemptCount(to string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts[to]
+}
+
+func (c *scriptedCaller) deliveredCount(to string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.delivered[to])
+}
+
+func (c *scriptedCaller) Call(_ context.Context, to string, env *soap.Envelope) (*soap.Envelope, error) {
+	return nil, c.pop(to, env)
+}
+
+func (c *scriptedCaller) Send(_ context.Context, to string, env *soap.Envelope) error {
+	return c.pop(to, env)
+}
+
+// encodedScripted adds the EncodedSender path: attempts pop the same
+// script, successful sends decode and record the envelope.
+type encodedScripted struct{ scriptedCaller }
+
+func (c *encodedScripted) SendEncoded(_ context.Context, to string, data []byte) error {
+	env, err := soap.Decode(data)
+	if err != nil {
+		return err
+	}
+	return c.pop(to, env.Clone())
+}
+
+var (
+	_ soap.Caller        = (*scriptedCaller)(nil)
+	_ soap.EncodedSender = (*encodedScripted)(nil)
+)
+
+type note struct {
+	XMLName struct{} `xml:"urn:test Note"`
+	Text    string   `xml:"Text"`
+}
+
+func testEnv(t *testing.T, text string) *soap.Envelope {
+	t.Helper()
+	env := soap.NewEnvelope()
+	if err := env.SetAddressing(wsa.Headers{Action: "urn:test/notify", MessageID: wsa.NewMessageID()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SetBody(note{Text: text}); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func testConfig(caller soap.Caller, clk clock.Clock, reg *metrics.Registry) Config {
+	return Config{
+		Caller:           caller,
+		Clock:            clk,
+		RNG:              rand.New(rand.NewSource(42)),
+		Metrics:          reg,
+		QueueCap:         4,
+		MaxInflight:      1,
+		AttemptTimeout:   time.Second,
+		MaxAttempts:      3,
+		BackoffBase:      100 * time.Millisecond,
+		BackoffMax:       time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  2 * time.Second,
+	}
+}
+
+var errConnRefused = errors.New("dial: connection refused")
+
+func counterValue(reg *metrics.Registry, family, label, value string) int64 {
+	return reg.CounterVec(family, label).With(value).Value()
+}
+
+func TestPlaneSendSuccessInline(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	p := NewPlane(testConfig(caller, clk, reg))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got := caller.deliveredCount("urn:peer"); got != 1 {
+		t.Fatalf("delivered = %d, want 1", got)
+	}
+	if got := reg.Counter("delivery_attempts_total").Value(); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+	if got := reg.Counter("delivery_retries_total").Value(); got != 0 {
+		t.Fatalf("retries = %d, want 0", got)
+	}
+}
+
+func TestPlaneRetriesTransientFailure(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", errConnRefused) // first attempt fails, second succeeds
+	p := NewPlane(testConfig(caller, clk, reg))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatalf("send: %v (the plane should own the retry)", err)
+	}
+	if got := caller.deliveredCount("urn:peer"); got != 0 {
+		t.Fatalf("delivered before backoff = %d", got)
+	}
+	// Jittered backoff is within [base/2, base]: one base advance covers it.
+	clk.Advance(100 * time.Millisecond)
+	if got := caller.deliveredCount("urn:peer"); got != 1 {
+		t.Fatalf("delivered after backoff = %d, want 1", got)
+	}
+	if got := reg.Counter("delivery_retries_total").Value(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+	if got := counterValue(reg, "delivery_attempt_failures_total", "kind", "transport"); got != 1 {
+		t.Fatalf("transport failures = %d, want 1", got)
+	}
+}
+
+func TestPlaneAttemptBudget(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", errConnRefused, errConnRefused, errConnRefused, errConnRefused)
+	p := NewPlane(testConfig(caller, clk, reg)) // MaxAttempts: 3
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Drive well past every backoff: the message must stop at 3 attempts.
+	for i := 0; i < 20; i++ {
+		clk.Advance(time.Second)
+	}
+	if got := caller.attemptCount("urn:peer"); got != 3 {
+		t.Fatalf("attempts = %d, want exactly the budget of 3", got)
+	}
+	if got := counterValue(reg, "delivery_drops_total", "reason", "budget"); got != 1 {
+		t.Fatalf("budget drops = %d, want 1", got)
+	}
+	if got := reg.Counter("delivery_retries_total").Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if got := reg.Gauge("delivery_queue_depth").Value(); got != 0 {
+		t.Fatalf("queue depth = %d, want 0 after drop", got)
+	}
+}
+
+func TestPlaneBreakerOpensAndProbes(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	// 3 transport failures trip the threshold; the 4th attempt (the probe)
+	// succeeds.
+	caller.script("urn:peer", errConnRefused, errConnRefused, errConnRefused)
+	cfg := testConfig(caller, clk, reg)
+	cfg.MaxAttempts = 5
+	var downs []string
+	cfg.OnPeerDown = func(addr string) { downs = append(downs, addr) }
+	p := NewPlane(cfg)
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	clk.Advance(100 * time.Millisecond) // attempt 2
+	clk.Advance(200 * time.Millisecond) // attempt 3 → breaker opens
+	if got := counterValue(reg, "delivery_breaker_transitions_total", "to", "open"); got != 1 {
+		t.Fatalf("open transitions = %d, want 1", got)
+	}
+	if len(downs) != 1 || downs[0] != "urn:peer" {
+		t.Fatalf("OnPeerDown calls = %v, want [urn:peer]", downs)
+	}
+	if got := reg.Gauge("delivery_breaker_open").Value(); got != 1 {
+		t.Fatalf("open gauge = %d, want 1", got)
+	}
+
+	// Fresh sends fast-fail while the circuit is open.
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "y")); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("send while open = %v, want ErrCircuitOpen", err)
+	}
+	if got := counterValue(reg, "delivery_drops_total", "reason", "circuit_open"); got != 1 {
+		t.Fatalf("circuit drops = %d, want 1", got)
+	}
+
+	// After the cooldown the queued message is the half-open probe; its
+	// success closes the circuit.
+	clk.Advance(2 * time.Second)
+	if got := caller.deliveredCount("urn:peer"); got != 1 {
+		t.Fatalf("delivered after probe = %d, want 1", got)
+	}
+	if got := counterValue(reg, "delivery_breaker_transitions_total", "to", "closed"); got != 1 {
+		t.Fatalf("closed transitions = %d, want 1", got)
+	}
+	if got := reg.Gauge("delivery_breaker_open").Value(); got != 0 {
+		t.Fatalf("open gauge = %d, want 0 after recovery", got)
+	}
+	// And the peer accepts traffic again.
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "z")); err != nil {
+		t.Fatalf("send after recovery: %v", err)
+	}
+	if got := caller.deliveredCount("urn:peer"); got != 2 {
+		t.Fatalf("delivered = %d, want 2", got)
+	}
+}
+
+func TestPlaneFailedProbeReopens(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer",
+		errConnRefused, errConnRefused, errConnRefused, // trip
+		errConnRefused) // failed probe
+	cfg := testConfig(caller, clk, reg)
+	cfg.MaxAttempts = 10
+	p := NewPlane(cfg)
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	clk.Advance(200 * time.Millisecond) // breaker open
+	clk.Advance(2 * time.Second)        // probe fires, fails → re-open
+	if got := reg.Gauge("delivery_breaker_open").Value(); got != 1 {
+		t.Fatalf("open gauge = %d, want 1 after failed probe", got)
+	}
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "y")); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("send = %v, want ErrCircuitOpen (cooldown restarted)", err)
+	}
+	// Second cooldown, successful probe.
+	clk.Advance(2 * time.Second)
+	if got := caller.deliveredCount("urn:peer"); got != 1 {
+		t.Fatalf("delivered = %d, want 1", got)
+	}
+}
+
+func TestPlaneShedDefersQueue(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", soap.NewOverloadedFault("busy", 500*time.Millisecond))
+	p := NewPlane(testConfig(caller, clk, reg))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "m1")); err != nil {
+		t.Fatalf("shed send: %v (plane should defer, not fail)", err)
+	}
+	// The peer is deferred: a second message queues behind the first.
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "m2")); err != nil {
+		t.Fatalf("queued send: %v", err)
+	}
+	if got := caller.attemptCount("urn:peer"); got != 1 {
+		t.Fatalf("attempts during deferral = %d, want 1", got)
+	}
+	if got := reg.Counter("delivery_deferrals_total").Value(); got != 1 {
+		t.Fatalf("deferrals = %d, want 1", got)
+	}
+	// A shed is not a transport failure: the breaker must stay closed.
+	if got := counterValue(reg, "delivery_breaker_transitions_total", "to", "open"); got != 0 {
+		t.Fatalf("breaker opened on shed: %d transitions", got)
+	}
+
+	clk.Advance(500 * time.Millisecond)
+	if got := caller.deliveredCount("urn:peer"); got != 2 {
+		t.Fatalf("delivered after deferral = %d, want 2", got)
+	}
+	// m1 was re-attempted (1 retry); m2's first attempt is not a retry.
+	if got := reg.Counter("delivery_retries_total").Value(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+	if got := counterValue(reg, "delivery_attempt_failures_total", "kind", "shed"); got != 1 {
+		t.Fatalf("shed failures = %d, want 1", got)
+	}
+}
+
+func TestPlaneQueueBound(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", soap.NewOverloadedFault("busy", time.Second))
+	cfg := testConfig(caller, clk, reg)
+	cfg.QueueCap = 2
+	p := NewPlane(cfg)
+
+	// First send is shed and requeued (queue: 1). One more fits (2), the
+	// next must be refused.
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "m1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "m2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "m3")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("send = %v, want ErrQueueFull", err)
+	}
+	if got := counterValue(reg, "delivery_drops_total", "reason", "queue_full"); got != 1 {
+		t.Fatalf("queue_full drops = %d, want 1", got)
+	}
+	if got := reg.Gauge("delivery_queue_depth").Value(); got != 2 {
+		t.Fatalf("queue depth = %d, want 2", got)
+	}
+}
+
+func TestPlaneFIFOAcrossRetry(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := newScripted() // plain Caller: envelopes delivered in order
+	caller.script("urn:peer", errConnRefused)
+	p := NewPlane(testConfig(caller, clk, nil))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "second")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	caller.mu.Lock()
+	defer caller.mu.Unlock()
+	if len(caller.delivered["urn:peer"]) != 2 {
+		t.Fatalf("delivered = %d, want 2", len(caller.delivered["urn:peer"]))
+	}
+	var texts []string
+	for _, env := range caller.delivered["urn:peer"] {
+		var n note
+		if err := env.DecodeBody(&n); err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, n.Text)
+	}
+	if texts[0] != "first" || texts[1] != "second" {
+		t.Fatalf("delivery order = %v, want [first second]", texts)
+	}
+}
+
+// TestPlaneClonesQueuedEnvelope: a queued envelope must be immune to
+// caller-side mutation after Send returns (retention requires Clone).
+func TestPlaneClonesQueuedEnvelope(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := newScripted()
+	caller.script("urn:peer", soap.NewOverloadedFault("busy", 100*time.Millisecond))
+	p := NewPlane(testConfig(caller, clk, nil))
+
+	env := testEnv(t, "original")
+	if err := p.Send(context.Background(), "urn:peer", env); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SetBody(note{Text: "mutated"}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(100 * time.Millisecond)
+	caller.mu.Lock()
+	defer caller.mu.Unlock()
+	if len(caller.delivered["urn:peer"]) != 1 {
+		t.Fatalf("delivered = %d, want 1", len(caller.delivered["urn:peer"]))
+	}
+	var n note
+	if err := caller.delivered["urn:peer"][0].DecodeBody(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Text != "original" {
+		t.Fatalf("delivered %q, want the pre-mutation clone", n.Text)
+	}
+}
+
+func TestPlaneEncodedSenderRetriesSameBytes(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := &encodedScripted{*newScripted()}
+	caller.script("urn:peer", errConnRefused)
+	p := NewPlane(testConfig(caller, clk, reg))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "enc")); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	caller.mu.Lock()
+	defer caller.mu.Unlock()
+	if len(caller.delivered["urn:peer"]) != 1 {
+		t.Fatalf("delivered = %d, want 1", len(caller.delivered["urn:peer"]))
+	}
+	var n note
+	if err := caller.delivered["urn:peer"][0].DecodeBody(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Text != "enc" {
+		t.Fatalf("delivered %q after encoded retry", n.Text)
+	}
+}
+
+func TestPlaneSenderFaultDropsMessageNotPeer(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", soap.NewFault(soap.CodeSender, "bad bytes"))
+	p := NewPlane(testConfig(caller, clk, reg))
+
+	err := p.Send(context.Background(), "urn:peer", testEnv(t, "x"))
+	if !soap.IsSenderFault(err) {
+		t.Fatalf("err = %v, want the sender fault surfaced", err)
+	}
+	clk.Advance(10 * time.Second)
+	if got := caller.attemptCount("urn:peer"); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry of poisoned bytes)", got)
+	}
+	if got := counterValue(reg, "delivery_drops_total", "reason", "sender_fault"); got != 1 {
+		t.Fatalf("sender_fault drops = %d, want 1", got)
+	}
+	// The peer itself is healthy: next send flows.
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "ok")); err != nil {
+		t.Fatalf("send after sender fault: %v", err)
+	}
+}
+
+func TestPlaneCallThroughBreaker(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", errConnRefused, errConnRefused, errConnRefused)
+	cfg := testConfig(caller, clk, reg)
+	cfg.MaxAttempts = 1 // sends don't retry; failures come from calls too
+	p := NewPlane(cfg)
+
+	for i := 0; i < 3; i++ {
+		if _, err := p.Call(context.Background(), "urn:peer", testEnv(t, "q")); err == nil {
+			t.Fatal("scripted call succeeded")
+		}
+	}
+	if _, err := p.Call(context.Background(), "urn:peer", testEnv(t, "q")); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call while open = %v, want ErrCircuitOpen", err)
+	}
+	clk.Advance(2 * time.Second)
+	// Due circuit: the next call is the probe and closes it on success.
+	if _, err := p.Call(context.Background(), "urn:peer", testEnv(t, "q")); err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+	if got := counterValue(reg, "delivery_breaker_transitions_total", "to", "closed"); got != 1 {
+		t.Fatalf("closed transitions = %d, want 1", got)
+	}
+}
+
+func TestPlaneFilterViewDemotesOpenCircuits(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := newScripted()
+	caller.script("urn:b", errConnRefused, errConnRefused, errConnRefused)
+	cfg := testConfig(caller, clk, nil)
+	cfg.MaxAttempts = 1
+	p := NewPlane(cfg)
+
+	view := p.FilterView(gossip.NewStaticPeers([]string{"urn:a", "urn:b", "urn:c"}))
+	rng := rand.New(rand.NewSource(7))
+
+	// Trip urn:b's breaker: three failed sends, each past the previous
+	// failure's backoff window so it is attempted (not queued).
+	for i := 0; i < 3; i++ {
+		_ = p.Send(context.Background(), "urn:b", testEnv(t, "x"))
+		clk.Advance(200 * time.Millisecond)
+	}
+	got := view.SelectPeers(rng, -1, "")
+	if len(got) != 2 {
+		t.Fatalf("peers while urn:b open = %v, want urn:a and urn:c", got)
+	}
+	for _, a := range got {
+		if a == "urn:b" {
+			t.Fatalf("open-circuit peer sampled: %v", got)
+		}
+	}
+
+	// Once the cooldown elapses the peer is probe-due and sampled again,
+	// so regular traffic performs the probe.
+	clk.Advance(2 * time.Second)
+	got = view.SelectPeers(rng, -1, "")
+	if len(got) != 3 {
+		t.Fatalf("peers after cooldown = %v, want all three", got)
+	}
+}
+
+func TestPlaneStatesAndStats(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := newScripted()
+	caller.script("urn:peer", soap.NewOverloadedFault("busy", time.Second))
+	p := NewPlane(testConfig(caller, clk, nil))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	states := p.States()
+	if len(states) != 1 || states[0].Addr != "urn:peer" {
+		t.Fatalf("states = %+v", states)
+	}
+	if states[0].Queued != 1 || states[0].DeferredFor != time.Second {
+		t.Fatalf("state = %+v, want queued 1, deferred 1s", states[0])
+	}
+	st := p.Stats()
+	if st.Peers != 1 || st.Queued != 1 || st.Deferred != 1 || st.OpenCircuits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPlaneClose(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", soap.NewOverloadedFault("busy", time.Second))
+	p := NewPlane(testConfig(caller, clk, reg))
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close = %v, want ErrClosed", err)
+	}
+	if got := counterValue(reg, "delivery_drops_total", "reason", "closed"); got != 2 {
+		t.Fatalf("closed drops = %d, want 2 (1 queued + 1 refused)", got)
+	}
+	clk.Advance(10 * time.Second)
+	if got := caller.attemptCount("urn:peer"); got != 1 {
+		t.Fatalf("attempts after close = %d, want 1", got)
+	}
+}
+
+// TestPlaneDeterministic pins the full schedule: two identical runs on
+// fresh virtual clocks produce identical metric snapshots.
+func TestPlaneDeterministic(t *testing.T) {
+	run := func() string {
+		clk := clock.NewVirtual()
+		reg := metrics.NewRegistry()
+		caller := newScripted()
+		caller.script("urn:p1", errConnRefused, errConnRefused)
+		caller.script("urn:p2", soap.NewOverloadedFault("busy", 300*time.Millisecond))
+		p := NewPlane(testConfig(caller, clk, reg))
+		for i := 0; i < 3; i++ {
+			_ = p.Send(context.Background(), "urn:p1", testEnv(t, "a"))
+			_ = p.Send(context.Background(), "urn:p2", testEnv(t, "b"))
+		}
+		for i := 0; i < 50; i++ {
+			clk.Advance(100 * time.Millisecond)
+		}
+		return reg.Snapshot()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("runs diverged:\n--- run 1\n%s\n--- run 2\n%s", first, second)
+	}
+}

@@ -1,0 +1,52 @@
+package delivery
+
+import (
+	"math/rand"
+
+	"wsgossip/internal/gossip"
+)
+
+// FilterView wraps a peer provider so sampling demotes unhealthy peers:
+// addresses whose circuit is open (and not yet due for a probe) are
+// excluded before the draw, steering gossip fan-out toward peers that can
+// actually receive it. A circuit due for its half-open probe counts as
+// healthy again, so regular traffic performs the probe and a recovered
+// peer rejoins the overlay without a dedicated pinger. Deferred
+// (overloaded-but-alive) peers stay eligible — their queue absorbs the
+// pacing.
+func (p *Plane) FilterView(inner gossip.PeerProvider) gossip.PeerProvider {
+	return &filteredView{plane: p, inner: inner}
+}
+
+type filteredView struct {
+	plane *Plane
+	inner gossip.PeerProvider
+}
+
+var _ gossip.PeerProvider = (*filteredView)(nil)
+
+// SelectPeers draws up to n healthy peers: the inner provider's full
+// eligible set, minus open circuits, re-sampled uniformly.
+func (v *filteredView) SelectPeers(rng *rand.Rand, n int, exclude string) []string {
+	all := v.inner.SelectPeers(rng, -1, exclude)
+	healthy := make([]string, 0, len(all))
+	for _, addr := range all {
+		if v.plane.admissible(addr) {
+			healthy = append(healthy, addr)
+		}
+	}
+	return gossip.SamplePeers(rng, healthy, n, "")
+}
+
+// admissible reports whether sends to addr are currently worth issuing:
+// true unless the peer's circuit is open with its cooldown still running
+// or its probe already in flight.
+func (p *Plane) admissible(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps, ok := p.peers[addr]
+	if !ok || !ps.br.open {
+		return true
+	}
+	return ps.br.probeDue(p.cfg.Clock.Now())
+}

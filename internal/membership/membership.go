@@ -406,6 +406,25 @@ func (s *Service) evictRandomLocked() {
 	s.invalidateAliveLocked()
 }
 
+// Suspect demotes a member to StateSuspect on external evidence of failure
+// — typically the delivery plane opening the peer's circuit after repeated
+// transport errors. A suspect is excluded from fan-out sampling but stays
+// in the view: a later heartbeat advance (the peer gossiping again)
+// restores it to alive, and the usual RemoveAfter aging evicts it if it
+// never does. Unknown or already-suspect addresses are a no-op, so the
+// hook is idempotent and safe to call from failure paths.
+func (s *Service) Suspect(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[addr]
+	if !ok || m.State == StateSuspect {
+		return
+	}
+	m.State = StateSuspect
+	s.stats.suspects.Inc()
+	s.invalidateAliveLocked()
+}
+
 // Alive returns the addresses currently considered alive (excluding self).
 func (s *Service) Alive() []string {
 	s.mu.Lock()

@@ -350,3 +350,63 @@ func TestMaxViewBoundsState(t *testing.T) {
 		t.Fatalf("partial-view union covers only %d/%d nodes", len(union), n)
 	}
 }
+
+func TestSuspectDemotesAndHeartbeatRestores(t *testing.T) {
+	c := newMemCluster(t, 3, 9)
+	ctx := context.Background()
+	c.services[1].Join(ctx, []string{"m000"})
+	c.services[2].Join(ctx, []string{"m000"})
+	c.net.Run()
+	c.tick(ctx, 4, 50*time.Millisecond)
+
+	s := c.services[0]
+	if got := len(s.Alive()); got != 2 {
+		t.Fatalf("alive = %d, want 2 before suspicion", got)
+	}
+
+	s.Suspect("m001")
+	alive := s.Alive()
+	if len(alive) != 1 || alive[0] != "m002" {
+		t.Fatalf("alive after Suspect = %v, want [m002]", alive)
+	}
+	for _, m := range s.Members() {
+		if m.Addr == "m001" && m.State != StateSuspect {
+			t.Fatalf("m001 state = %v, want suspect", m.State)
+		}
+	}
+	before := s.stats.suspects.Value()
+	s.Suspect("m001") // already suspect: idempotent
+	s.Suspect("mXXX") // unknown: no-op
+	if got := s.stats.suspects.Value(); got != before {
+		t.Fatalf("suspects counter = %d, want unchanged %d", got, before)
+	}
+
+	// The suspect keeps gossiping: its heartbeat advance restores it.
+	c.tick(ctx, 4, 50*time.Millisecond)
+	if got := len(s.Alive()); got != 2 {
+		t.Fatalf("alive = %d, want 2 after the peer's heartbeat recovers it", got)
+	}
+}
+
+func TestSuspectEvictedWhenSilent(t *testing.T) {
+	c := newMemCluster(t, 2, 11)
+	ctx := context.Background()
+	c.services[1].Join(ctx, []string{"m000"})
+	c.net.Run()
+	c.tick(ctx, 2, 50*time.Millisecond)
+
+	s := c.services[0]
+	if got := len(s.Alive()); got != 1 {
+		t.Fatalf("alive = %d, want 1", got)
+	}
+	s.Suspect("m001")
+	// Only m000 ticks from here: m001 never refreshes, so RemoveAfter (1s)
+	// aging evicts the suspect.
+	for r := 0; r < 25; r++ {
+		s.Tick(ctx)
+		c.net.RunFor(50 * time.Millisecond)
+	}
+	if got := s.Size(); got != 0 {
+		t.Fatalf("view size = %d, want 0 after the silent suspect ages out", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"wsgossip/internal/core"
+	"wsgossip/internal/delivery"
 	"wsgossip/internal/metrics"
 )
 
@@ -21,14 +22,45 @@ type LoopState struct {
 	Fires        int64  `json:"fires"`
 }
 
+// Delivery is the /healthz view of the outbound delivery plane: the
+// cross-peer totals plus one posture row per tracked peer (backlog,
+// in-flight attempts, circuit state, remaining retry-after deferral).
+type Delivery struct {
+	Peers        int                  `json:"peers"`
+	Queued       int                  `json:"queued"`
+	Inflight     int                  `json:"inflight"`
+	OpenCircuits int                  `json:"openCircuits"`
+	Deferred     int                  `json:"deferred"`
+	PerPeer      []delivery.PeerState `json:"perPeer,omitempty"`
+}
+
 // Health is the /healthz introspection document: who the node is, how busy
-// it is, who it can see, and what its round scheduler is doing.
+// it is, who it can see, what its round scheduler is doing, and how its
+// outbound delivery plane is coping.
 type Health struct {
 	Node       string      `json:"node"`
 	Role       string      `json:"role,omitempty"`
 	Activities uint64      `json:"activities"`
 	Peers      []string    `json:"peers,omitempty"`
 	Loops      []LoopState `json:"loops,omitempty"`
+	Delivery   *Delivery   `json:"delivery,omitempty"`
+}
+
+// DeliveryFrom snapshots a delivery plane into its Health section. A nil
+// plane (delivery disabled) yields nil, which the JSON encoding omits.
+func DeliveryFrom(p *delivery.Plane) *Delivery {
+	if p == nil {
+		return nil
+	}
+	st := p.Stats()
+	return &Delivery{
+		Peers:        st.Peers,
+		Queued:       st.Queued,
+		Inflight:     st.Inflight,
+		OpenCircuits: st.OpenCircuits,
+		Deferred:     st.Deferred,
+		PerPeer:      p.States(),
+	}
 }
 
 // LoopsFrom converts a Runner's introspection rows to their JSON form.

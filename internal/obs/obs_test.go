@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"encoding/xml"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,7 +13,9 @@ import (
 
 	"wsgossip/internal/clock"
 	"wsgossip/internal/core"
+	"wsgossip/internal/delivery"
 	"wsgossip/internal/metrics"
+	"wsgossip/internal/soap"
 )
 
 func testHealth() Health {
@@ -143,5 +146,58 @@ func TestLoopsFromRunner(t *testing.T) {
 	}
 	if loops[0].Fires == 0 {
 		t.Fatal("fires not carried through")
+	}
+}
+
+// okCaller acknowledges every send; it exists to give the delivery plane a
+// peer row to report.
+type okCaller struct{}
+
+func (okCaller) Call(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+	return nil, nil
+}
+func (okCaller) Send(context.Context, string, *soap.Envelope) error { return nil }
+
+// TestDeliverySection checks the health document carries real delivery-plane
+// posture end to end through the JSON encoding.
+func TestDeliverySection(t *testing.T) {
+	if DeliveryFrom(nil) != nil {
+		t.Fatal("nil plane must yield a nil (omitted) delivery section")
+	}
+	v := clock.NewVirtual()
+	p := delivery.NewPlane(delivery.Config{Caller: okCaller{}, Clock: v})
+	defer p.Close()
+	env := soap.NewEnvelope()
+	if err := env.SetBody(struct {
+		XMLName xml.Name `xml:"urn:t x"`
+	}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(context.Background(), "urn:peer", env); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(Handler(metrics.NewRegistry(), func() Health {
+		return Health{Node: "n", Delivery: DeliveryFrom(p)}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc Health
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Delivery == nil {
+		t.Fatal("delivery section missing")
+	}
+	if doc.Delivery.Peers != 1 || len(doc.Delivery.PerPeer) != 1 {
+		t.Fatalf("delivery = %+v", doc.Delivery)
+	}
+	pp := doc.Delivery.PerPeer[0]
+	if pp.Addr != "urn:peer" || pp.Breaker != "closed" {
+		t.Fatalf("per-peer row = %+v", pp)
 	}
 }

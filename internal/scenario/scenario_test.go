@@ -14,9 +14,11 @@ import (
 	"wsgossip/internal/aggregate"
 	"wsgossip/internal/clock"
 	"wsgossip/internal/core"
+	"wsgossip/internal/delivery"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/metrics"
+	"wsgossip/internal/soap"
 )
 
 type eventBody struct {
@@ -38,6 +40,14 @@ type cluster struct {
 	// regs holds one metrics registry per node, so scenario assertions can
 	// attribute counters to individual nodes.
 	regs []*metrics.Registry
+	// planes holds each node's delivery plane when clusterConfig.plane is
+	// set (indexed like dissems), plus the initiator's. Nil entries mean
+	// that sender goes to the bus directly.
+	planes    []*delivery.Plane
+	initPlane *delivery.Plane
+	// initReg is the initiator's own metrics registry (the initiator is not
+	// a cluster node but its plane's counters matter to delivery accounting).
+	initReg *metrics.Registry
 }
 
 // clusterConfig selects the deployment shape for one scenario.
@@ -55,6 +65,11 @@ type clusterConfig struct {
 	// scenario wraps the shared virtual clock in a skewing one). Nil or a
 	// nil return keeps the shared clock.
 	nodeClock func(i int, shared *clock.Virtual) clock.Clock
+	// plane, when set, wraps each sender's caller in a delivery plane built
+	// from the returned config — Caller, Clock, Metrics, and RNG are filled
+	// in per node; a nil return leaves that sender on the raw bus. It is
+	// called once per node and once with i == -1 for the initiator.
+	plane func(i int) *delivery.Config
 }
 
 func newCluster(t *testing.T, cfg clusterConfig) *cluster {
@@ -88,9 +103,25 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 		addr := fmt.Sprintf("mem://node%03d", i)
 		app := core.NewCollectingApp()
 		reg := metrics.NewRegistry()
+		var caller soap.Caller = &nodeCaller{bus: bus, from: addr}
+		var plane *delivery.Plane
+		if cfg.plane != nil {
+			if pc := cfg.plane(i); pc != nil {
+				filled := *pc
+				filled.Caller = caller
+				filled.Clock = clk
+				filled.Metrics = reg
+				if filled.RNG == nil {
+					filled.RNG = rand.New(rand.NewSource(cfg.seed*7919 + int64(i)))
+				}
+				plane = delivery.NewPlane(filled)
+				caller = plane
+			}
+		}
+		c.planes = append(c.planes, plane)
 		d, err := core.NewDisseminator(core.DisseminatorConfig{
 			Address: addr,
-			Caller:  &nodeCaller{bus: bus, from: addr},
+			Caller:  caller,
 			App:     app,
 			RNG:     rand.New(rand.NewSource(cfg.seed*31 + int64(i))),
 			Clock:   clk,
@@ -131,11 +162,27 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 		c.runners = append(c.runners, r)
 		c.regs = append(c.regs, reg)
 	}
+	c.initReg = metrics.NewRegistry()
+	var initCaller soap.Caller = bus
+	if cfg.plane != nil {
+		if pc := cfg.plane(-1); pc != nil {
+			filled := *pc
+			filled.Caller = bus
+			filled.Clock = clk
+			filled.Metrics = c.initReg
+			if filled.RNG == nil {
+				filled.RNG = rand.New(rand.NewSource(cfg.seed*7919 - 1))
+			}
+			c.initPlane = delivery.NewPlane(filled)
+			initCaller = c.initPlane
+		}
+	}
 	var err error
 	c.init, err = core.NewInitiator(core.InitiatorConfig{
 		Address:    "mem://initiator",
-		Caller:     bus,
+		Caller:     initCaller,
 		Activation: "mem://coordinator",
+		Metrics:    c.initReg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +190,14 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 	t.Cleanup(func() {
 		for _, r := range c.runners {
 			r.Stop()
+		}
+		for _, p := range c.planes {
+			if p != nil {
+				p.Close()
+			}
+		}
+		if c.initPlane != nil {
+			c.initPlane.Close()
 		}
 	})
 	return c

@@ -33,8 +33,19 @@ type virtBus struct {
 	// true. It only sees a sender when the message was sent through a
 	// nodeCaller (which stamps its origin); unstamped sends pass "".
 	partition func(from, to string) bool
+	// refuse, when set, fails matching one-way sends synchronously with a
+	// connection-refused transport error — the signal a sender's delivery
+	// plane retries and eventually circuit-breaks on, as opposed to
+	// partition/loss, which swallow the message after a successful send.
+	refuse func(from, to string) bool
+	// sync, when true, delivers one-way sends inline (no link delay) and
+	// returns the handler's error to the sender — the behaviour of a
+	// synchronous HTTP binding, where a shedding receiver's retry-after
+	// fault comes back as the POST response. The bus mutex is released
+	// during delivery so handlers may send onward.
+	sync bool
 
-	sent, dropped, delivered int
+	sent, dropped, delivered, refused int
 }
 
 var (
@@ -86,11 +97,34 @@ func (b *virtBus) SetPartition(p func(from, to string) bool) {
 	b.partition = p
 }
 
+// SetRefuse installs (or, with nil, heals) a link-level connection fault:
+// matching one-way sends fail synchronously back to the sender.
+func (b *virtBus) SetRefuse(f func(from, to string) bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refuse = f
+}
+
+// SetSync switches one-way delivery between the default delayed/lossy mode
+// and the synchronous fault-propagating mode.
+func (b *virtBus) SetSync(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sync = on
+}
+
 // Stats returns (sent, dropped, delivered) one-way message counts.
 func (b *virtBus) Stats() (sent, dropped, delivered int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.sent, b.dropped, b.delivered
+}
+
+// Refused returns how many one-way sends the refuse hook failed.
+func (b *virtBus) Refused() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.refused
 }
 
 // Call is the reliable, synchronous control plane (Activation,
@@ -136,14 +170,19 @@ func (b *virtBus) SendEncoded(ctx context.Context, to string, data []byte) error
 }
 
 // sendEncodedFrom is SendEncoded with a sender identity, so an installed
-// partition can rule on the (from, to) link.
+// partition or refuse hook can rule on the (from, to) link.
 func (b *virtBus) sendEncodedFrom(_ context.Context, from, to string, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.handlers[to] == nil {
+	h := b.handlers[to]
+	if h == nil {
 		return fmt.Errorf("virtbus: unknown endpoint %s", to)
 	}
 	b.sent++
+	if b.refuse != nil && b.refuse(from, to) {
+		b.refused++
+		return fmt.Errorf("virtbus: connection refused: %s -> %s", from, to)
+	}
 	if b.partition != nil && b.partition(from, to) {
 		b.dropped++
 		return nil
@@ -151,6 +190,17 @@ func (b *virtBus) sendEncodedFrom(_ context.Context, from, to string, data []byt
 	if b.down[to] || b.rng.Float64() < b.loss {
 		b.dropped++
 		return nil
+	}
+	if b.sync {
+		decoded, err := soap.Decode(data)
+		if err != nil {
+			return err
+		}
+		b.delivered++
+		b.mu.Unlock()
+		defer b.mu.Lock() // re-balance the deferred Unlock above
+		_, err = h.HandleSOAP(context.Background(), &soap.Request{Envelope: decoded, Remote: "virtbus"})
+		return err
 	}
 	delay := b.minDelay
 	if span := b.maxDelay - b.minDelay; span > 0 {

@@ -247,6 +247,10 @@ func (e *Envelope) Encode() ([]byte, error) {
 // is a verbatim slice of data, which the envelope keeps alive and must not
 // be modified afterwards.
 func Decode(data []byte) (*Envelope, error) {
+	if len(data) > maxEnvelopeBytes {
+		countDecodeError(true)
+		return nil, fmt.Errorf("soap: envelope of %d bytes exceeds the %d-byte cap", len(data), maxEnvelopeBytes)
+	}
 	if env, ok := decodeScan(data); ok {
 		countDecode(rungScanner, len(data))
 		return env, nil
@@ -260,12 +264,15 @@ func Decode(data []byte) (*Envelope, error) {
 		if !errors.Is(err, errNotSelfContained) {
 			// Genuinely malformed input fails the same way on both paths;
 			// keep the cheap error instead of parsing twice.
+			countDecodeError(false)
 			return nil, err
 		}
 	}
 	env, err := decodeLegacy(data)
 	if err == nil {
 		countDecode(rungLegacy, len(data))
+	} else {
+		countDecodeError(false)
 	}
 	return env, err
 }

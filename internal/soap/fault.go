@@ -4,6 +4,7 @@ import (
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // SOAP 1.2 fault code values.
@@ -18,6 +19,13 @@ type Fault struct {
 	Code    FaultCode   `xml:"Code"`
 	Reason  FaultReason `xml:"Reason"`
 	Detail  string      `xml:"Detail,omitempty"`
+	// RetryAfterMillis, when > 0, is an overload back-off hint: the sender
+	// should not retry — and should defer further traffic to — this endpoint
+	// for the given number of milliseconds. It is this middleware's fault
+	// extension for explicit load shedding (the HTTP binding mirrors it as a
+	// 503 with a Retry-After header); senders honor it through the delivery
+	// plane's per-peer deferral.
+	RetryAfterMillis int64 `xml:"RetryAfterMillis,omitempty"`
 }
 
 // FaultCode carries the machine-readable fault classification.
@@ -40,6 +48,47 @@ func (f *Fault) Error() string {
 // NewFault constructs a fault with the given code value and reason.
 func NewFault(code, reason string) *Fault {
 	return &Fault{Code: FaultCode{Value: code}, Reason: FaultReason{Text: reason}}
+}
+
+// NewOverloadedFault constructs the Receiver fault an admission gate sheds
+// load with: the reason explains the refusal and retryAfter tells the sender
+// how long to defer this endpoint (rounded up to a whole millisecond so a
+// positive hint never serializes as zero).
+func NewOverloadedFault(reason string, retryAfter time.Duration) *Fault {
+	f := NewFault(CodeReceiver, reason)
+	if retryAfter > 0 {
+		millis := int64((retryAfter + time.Millisecond - 1) / time.Millisecond)
+		f.RetryAfterMillis = millis
+	}
+	return f
+}
+
+// RetryAfter returns the overload back-off hint carried by the fault, and
+// whether one is present.
+func (f *Fault) RetryAfter() (time.Duration, bool) {
+	if f.RetryAfterMillis <= 0 {
+		return 0, false
+	}
+	return time.Duration(f.RetryAfterMillis) * time.Millisecond, true
+}
+
+// RetryAfterHint extracts an overload back-off hint from any error: a
+// *Fault carrying one yields (hint, true), everything else (0, false).
+// Delivery policies use it to tell "the receiver asked me to back off"
+// apart from ordinary failures.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var f *Fault
+	if !errors.As(err, &f) {
+		return 0, false
+	}
+	return f.RetryAfter()
+}
+
+// IsSenderFault reports whether err is a SOAP fault blaming the sender —
+// a permanent, non-retryable failure (the same bytes will fault again).
+func IsSenderFault(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.Code.Value == CodeSender
 }
 
 // FaultEnvelope wraps a fault into a complete envelope.

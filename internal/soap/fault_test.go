@@ -2,8 +2,10 @@ package soap
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFaultError(t *testing.T) {
@@ -45,6 +47,74 @@ func TestFaultFromNonFault(t *testing.T) {
 	}
 	if f := FaultFrom(nil); f != nil {
 		t.Fatal("nil envelope produced a fault")
+	}
+}
+
+func TestOverloadedFaultRoundTrip(t *testing.T) {
+	f := NewOverloadedFault("admission queue full", 1500*time.Millisecond)
+	if f.Code.Value != CodeReceiver {
+		t.Fatalf("code = %q, want Receiver", f.Code.Value)
+	}
+	env, err := FaultEnvelope(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FaultFrom(decoded)
+	if got == nil {
+		t.Fatal("fault lost on the wire")
+	}
+	after, ok := got.RetryAfter()
+	if !ok || after != 1500*time.Millisecond {
+		t.Fatalf("hint after round trip = (%v, %v), want (1.5s, true)", after, ok)
+	}
+}
+
+func TestOverloadedFaultRoundsUp(t *testing.T) {
+	// A sub-millisecond hint must never serialize as "no hint".
+	if f := NewOverloadedFault("x", 1); f.RetryAfterMillis != 1 {
+		t.Fatalf("RetryAfterMillis = %d, want 1", f.RetryAfterMillis)
+	}
+	if f := NewOverloadedFault("x", 0); f.RetryAfterMillis != 0 {
+		t.Fatalf("zero hint serialized as %d", f.RetryAfterMillis)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	shed := NewOverloadedFault("busy", time.Second)
+	if d, ok := RetryAfterHint(fmt.Errorf("send peer-1: %w", shed)); !ok || d != time.Second {
+		t.Fatalf("wrapped hint = (%v, %v), want (1s, true)", d, ok)
+	}
+	if _, ok := RetryAfterHint(errors.New("plain")); ok {
+		t.Fatal("plain error produced a hint")
+	}
+	if _, ok := RetryAfterHint(NewFault(CodeReceiver, "down")); ok {
+		t.Fatal("hintless fault produced a hint")
+	}
+	if _, ok := RetryAfterHint(nil); ok {
+		t.Fatal("nil error produced a hint")
+	}
+}
+
+func TestIsSenderFault(t *testing.T) {
+	if !IsSenderFault(NewFault(CodeSender, "bad bytes")) {
+		t.Fatal("sender fault not recognized")
+	}
+	if !IsSenderFault(fmt.Errorf("send: %w", NewFault(CodeSender, "bad"))) {
+		t.Fatal("wrapped sender fault not recognized")
+	}
+	if IsSenderFault(NewFault(CodeReceiver, "down")) {
+		t.Fatal("receiver fault classified as sender")
+	}
+	if IsSenderFault(errors.New("plain")) || IsSenderFault(nil) {
+		t.Fatal("non-fault classified as sender fault")
 	}
 }
 

@@ -1,0 +1,250 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wsgossip/internal/metrics"
+)
+
+// Inbound hardening: a misbehaving sender — oversized, truncated, or
+// garbage bytes — must always get a clean Sender fault and a counter
+// bump, never a hang, a partial read, or an unclassified 500.
+
+func postRecorded(t *testing.T, body string, contentLength int64) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(body))
+	req.ContentLength = contentLength
+	rec := httptest.NewRecorder()
+	NewHTTPServer(echoHandler()).ServeHTTP(rec, req)
+	return rec
+}
+
+func faultFromRecorder(t *testing.T, rec *httptest.ResponseRecorder) *Fault {
+	t.Helper()
+	env, err := Decode(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("response body is not an envelope: %v", err)
+	}
+	f := FaultFrom(env)
+	if f == nil {
+		t.Fatalf("response is not a fault: %s", rec.Body.String())
+	}
+	return f
+}
+
+func TestHTTPRejectsDeclaredOversize(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	rec := postRecorded(t, "irrelevant", maxEnvelopeBytes+1)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if f := faultFromRecorder(t, rec); f.Code.Value != CodeSender {
+		t.Fatalf("fault code = %q, want Sender", f.Code.Value)
+	}
+	if got := reg.CounterVec("soap_inbound_rejects_total", "reason").With("oversize").Value(); got != 1 {
+		t.Fatalf("oversize rejects = %d, want 1", got)
+	}
+}
+
+func TestHTTPRejectsTruncatedBody(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	// Declared length of 100 bytes, body ends after 5: the exact read must
+	// surface the short body as a Sender fault, not block for more bytes.
+	rec := postRecorded(t, "short", 100)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if f := faultFromRecorder(t, rec); f.Code.Value != CodeSender {
+		t.Fatalf("fault code = %q, want Sender", f.Code.Value)
+	}
+	if got := reg.CounterVec("soap_inbound_rejects_total", "reason").With("truncated").Value(); got != 1 {
+		t.Fatalf("truncated rejects = %d, want 1", got)
+	}
+}
+
+func TestHTTPRejectsUndeclaredOversize(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	body := bytes.NewReader(make([]byte, maxEnvelopeBytes+4096))
+	req := httptest.NewRequest(http.MethodPost, "/", body)
+	req.ContentLength = -1
+	rec := httptest.NewRecorder()
+	NewHTTPServer(echoHandler()).ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if got := reg.CounterVec("soap_inbound_rejects_total", "reason").With("oversize").Value(); got != 1 {
+		t.Fatalf("oversize rejects = %d, want 1", got)
+	}
+}
+
+func TestHTTPReadErrorReject(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	req := httptest.NewRequest(http.MethodPost, "/", errReader{errors.New("conn reset")})
+	req.ContentLength = -1
+	rec := httptest.NewRecorder()
+	NewHTTPServer(echoHandler()).ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if got := reg.CounterVec("soap_inbound_rejects_total", "reason").With("read").Value(); got != 1 {
+		t.Fatalf("read rejects = %d, want 1", got)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+func TestDecodeOversize(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	if _, err := Decode(make([]byte, maxEnvelopeBytes+1)); err == nil {
+		t.Fatal("oversized envelope decoded")
+	}
+	if got := reg.CounterVec("soap_decode_errors_total", "reason").With("oversize").Value(); got != 1 {
+		t.Fatalf("oversize decode errors = %d, want 1", got)
+	}
+}
+
+func TestDecodeMalformedCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	for _, data := range [][]byte{
+		[]byte("not xml at all"),
+		[]byte(`<s:Envelope xmlns:s="http://www.w3.org/2003/05/soap-envelope"><s:Body>`), // truncated mid-document
+	} {
+		if _, err := Decode(data); err == nil {
+			t.Fatalf("malformed input decoded: %q", data)
+		}
+	}
+	if got := reg.CounterVec("soap_decode_errors_total", "reason").With("malformed").Value(); got != 2 {
+		t.Fatalf("malformed decode errors = %d, want 2", got)
+	}
+}
+
+// Overload shedding contract over the HTTP binding: a fault carrying a
+// retry-after hint maps to 503 + Retry-After on the server and comes back
+// out of the client as a *Fault whose hint survives the wire.
+
+func TestHTTPSheddingStatusAndHeader(t *testing.T) {
+	h := HandlerFunc(func(context.Context, *Request) (*Envelope, error) {
+		return nil, NewOverloadedFault("admission queue full", 1500*time.Millisecond)
+	})
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(mustEncodeEnv(t)))
+	rec := httptest.NewRecorder()
+	NewHTTPServer(h).ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q (1500ms rounded up)", got, "2")
+	}
+	f := faultFromRecorder(t, rec)
+	after, ok := f.RetryAfter()
+	if !ok || after != 1500*time.Millisecond {
+		t.Fatalf("decoded hint = (%v, %v), want (1.5s, true)", after, ok)
+	}
+}
+
+func mustEncodeEnv(t *testing.T) string {
+	t.Helper()
+	env := NewEnvelope()
+	if err := env.SetBody(testBody{Value: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestHTTPClientSeesRetryAfterHint(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPServer(HandlerFunc(func(context.Context, *Request) (*Envelope, error) {
+		return nil, NewOverloadedFault("shedding", 250*time.Millisecond)
+	})))
+	defer srv.Close()
+	client := NewHTTPClient(srv.Client())
+
+	env := newCallEnv(t, srv.URL, "urn:x", testBody{Value: "v"})
+	err := client.Send(context.Background(), srv.URL, env)
+	if err == nil {
+		t.Fatal("shed send succeeded")
+	}
+	after, ok := RetryAfterHint(err)
+	if !ok || after != 250*time.Millisecond {
+		t.Fatalf("hint = (%v, %v), want (250ms, true) from %v", after, ok, err)
+	}
+	if IsSenderFault(err) {
+		t.Fatal("overload fault classified as sender fault")
+	}
+}
+
+func TestHTTPSenderFaultIs400(t *testing.T) {
+	srv := httptest.NewServer(NewHTTPServer(HandlerFunc(func(context.Context, *Request) (*Envelope, error) {
+		return nil, NewFault(CodeSender, "bad payload")
+	})))
+	defer srv.Close()
+	client := NewHTTPClient(srv.Client())
+
+	env := newCallEnv(t, srv.URL, "urn:x", testBody{Value: "v"})
+	err := client.Send(context.Background(), srv.URL, env)
+	if !IsSenderFault(err) {
+		t.Fatalf("err = %v, want sender fault", err)
+	}
+	if err := client.Send(context.Background(), srv.URL, env); err == nil {
+		t.Fatal("second send of the same bytes succeeded")
+	}
+	// And the raw status the binding chose:
+	resp, err := srv.Client().Post(srv.URL, ContentType, strings.NewReader(mustEncodeEnv(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// The rejects must also land when the fault envelope itself round-trips
+// through Decode on the sender side (client fault extraction path).
+func TestHTTPServerRejectCountsAreDistinct(t *testing.T) {
+	reg := metrics.NewRegistry()
+	InstallWireMetrics(reg)
+	defer InstallWireMetrics(nil)
+
+	postRecorded(t, "x", maxEnvelopeBytes+1) // oversize
+	postRecorded(t, "x", 50)                 // truncated
+	joined := reg.Snapshot()
+	for _, want := range []string{
+		`soap_inbound_rejects_total{reason="oversize"}=1`,
+		`soap_inbound_rejects_total{reason="truncated"}=1`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("snapshot missing %s:\n%s", want, joined)
+		}
+	}
+}

@@ -7,11 +7,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
-// maxEnvelopeBytes bounds inbound message size (defense against unbounded
-// reads; gossip notifications are small).
-const maxEnvelopeBytes = 8 << 20
+// MaxEnvelopeBytes is the wire-level cap on a single SOAP envelope: the
+// HTTP binding rejects larger request bodies with a Sender fault before
+// reading them in, and Decode refuses larger buffers on every binding
+// (defense against unbounded reads; gossip notifications are small).
+const MaxEnvelopeBytes = 8 << 20
+
+// maxEnvelopeBytes is the package-internal shorthand for the cap.
+const maxEnvelopeBytes = MaxEnvelopeBytes
 
 // HTTPServer adapts a Handler to the SOAP 1.2 HTTP binding.
 type HTTPServer struct {
@@ -26,19 +33,37 @@ func NewHTTPServer(h Handler) *HTTPServer {
 }
 
 // ServeHTTP implements the SOAP 1.2 request-response and one-way MEPs:
-// a nil handler response yields 202 Accepted, a fault yields 500. The
-// request body is read into a pooled buffer that the decoded envelope
-// aliases for the duration of the exchange; by the time the buffer is
-// recycled the handler has returned and any response has been serialized
-// (copying whatever blocks it shared), so no pooled memory escapes.
+// a nil handler response yields 202 Accepted, a fault yields the status
+// writeFault maps it to. Misbehaving senders — an oversized (declared or
+// actual) body, a body shorter than its Content-Length, a mid-body read
+// error — are rejected with a Sender fault and a reject counter bump
+// before any decode work. The request body is read into a pooled buffer
+// that the decoded envelope aliases for the duration of the exchange; by
+// the time the buffer is recycled the handler has returned and any
+// response has been serialized (copying whatever blocks it shared), so no
+// pooled memory escapes.
 func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "soap endpoint requires POST", http.StatusMethodNotAllowed)
 		return
 	}
+	if r.ContentLength > maxEnvelopeBytes {
+		countInboundReject(rejectOversize)
+		writeFault(w, NewFault(CodeSender, fmt.Sprintf(
+			"declared body of %d bytes exceeds the %d-byte envelope cap", r.ContentLength, maxEnvelopeBytes)))
+		return
+	}
 	data, err := readRequestBody(r)
 	if err != nil {
-		http.Error(w, "read request: "+err.Error(), http.StatusBadRequest)
+		switch {
+		case errors.Is(err, errBodyOversize):
+			countInboundReject(rejectOversize)
+		case errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF):
+			countInboundReject(rejectTruncated)
+		default:
+			countInboundReject(rejectRead)
+		}
+		writeFault(w, NewFault(CodeSender, "read request: "+err.Error()))
 		return
 	}
 	defer putBytes(data)
@@ -67,10 +92,17 @@ func (s *HTTPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(out)
 }
 
+// errBodyOversize reports a chunked request body that kept producing bytes
+// past the envelope cap.
+var errBodyOversize = errors.New("request body exceeds the envelope size cap")
+
 // readRequestBody reads the request body into a pooled buffer: one
 // exactly-sized read when Content-Length is declared, a doubling read
-// through the pool otherwise. Reads are capped at maxEnvelopeBytes, like
-// the LimitReader this replaces. The caller recycles with putBytes.
+// through the pool otherwise. A body shorter than its declared length
+// surfaces as io.ErrUnexpectedEOF (or io.EOF when empty); an undeclared
+// body still producing bytes at maxEnvelopeBytes surfaces as
+// errBodyOversize — neither ever blocks past the bytes actually sent or
+// reads past the cap. The caller recycles with putBytes.
 func readRequestBody(r *http.Request) ([]byte, error) {
 	if n := r.ContentLength; n >= 0 && n <= maxEnvelopeBytes {
 		buf := getBytes(int(n))[:n]
@@ -88,7 +120,17 @@ func readRequestBody(r *http.Request) ([]byte, error) {
 	for {
 		if total == len(buf) {
 			if total >= maxEnvelopeBytes {
-				return buf[:total], nil // truncate at the cap: Decode will reject
+				// At the cap: the body is oversized unless it ends here.
+				var probe [1]byte
+				n, err := r.Body.Read(probe[:])
+				if n == 0 && err == io.EOF {
+					return buf[:total], nil
+				}
+				putBytes(buf)
+				if n > 0 || err == nil {
+					return nil, errBodyOversize
+				}
+				return nil, err
 			}
 			bigger := getBytes(2 * len(buf))
 			bigger = bigger[:min(cap(bigger), maxEnvelopeBytes)]
@@ -108,6 +150,10 @@ func readRequestBody(r *http.Request) ([]byte, error) {
 	}
 }
 
+// writeFault serializes f and maps it onto the HTTP binding's status
+// space: a fault carrying a retry-after hint is 503 with the hint
+// mirrored as a Retry-After header (whole seconds, rounded up), a Sender
+// fault is 400, everything else 500.
 func writeFault(w http.ResponseWriter, f *Fault) {
 	env, err := FaultEnvelope(f)
 	if err != nil {
@@ -119,8 +165,16 @@ func writeFault(w http.ResponseWriter, f *Fault) {
 		http.Error(w, f.Error(), http.StatusInternalServerError)
 		return
 	}
+	status := http.StatusInternalServerError
+	if after, ok := f.RetryAfter(); ok {
+		status = http.StatusServiceUnavailable
+		secs := int64((after + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	} else if f.Code.Value == CodeSender {
+		status = http.StatusBadRequest
+	}
 	w.Header().Set("Content-Type", ContentType+"; charset=utf-8")
-	w.WriteHeader(http.StatusInternalServerError)
+	w.WriteHeader(status)
 	_, _ = w.Write(out)
 }
 

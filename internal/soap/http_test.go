@@ -129,8 +129,8 @@ func TestHTTPRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("status = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (Sender fault)", resp.StatusCode)
 	}
 }
 
@@ -211,10 +211,25 @@ func TestMemBusFault(t *testing.T) {
 }
 
 // TestReadRequestBodyCap: without a declared Content-Length the pooled
-// doubling read must truncate at exactly maxEnvelopeBytes, like the
-// LimitReader it replaced — never at a pool size class beyond it.
+// doubling read stops at exactly maxEnvelopeBytes — a body still producing
+// bytes there is an explicit oversize error, never a silent truncation or
+// a read past the cap.
 func TestReadRequestBodyCap(t *testing.T) {
 	body := bytes.NewReader(make([]byte, maxEnvelopeBytes+1<<20))
+	req := httptest.NewRequest(http.MethodPost, "/", struct{ io.Reader }{body})
+	req.ContentLength = -1
+	if _, err := readRequestBody(req); !errors.Is(err, errBodyOversize) {
+		t.Fatalf("err = %v, want errBodyOversize", err)
+	}
+	if rest := body.Len(); rest != 1<<20-1 {
+		t.Fatalf("read past the cap: %d unread bytes remain, want %d", rest, 1<<20-1)
+	}
+}
+
+// TestReadRequestBodyAtCap: a body of exactly maxEnvelopeBytes with no
+// declared length is legal — the cap probe must see EOF and accept it.
+func TestReadRequestBodyAtCap(t *testing.T) {
+	body := bytes.NewReader(make([]byte, maxEnvelopeBytes))
 	req := httptest.NewRequest(http.MethodPost, "/", struct{ io.Reader }{body})
 	req.ContentLength = -1
 	data, err := readRequestBody(req)
@@ -222,7 +237,7 @@ func TestReadRequestBodyCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(data) != maxEnvelopeBytes {
-		t.Fatalf("read %d bytes, want truncation at %d", len(data), maxEnvelopeBytes)
+		t.Fatalf("read %d bytes, want %d", len(data), maxEnvelopeBytes)
 	}
 	putBytes(data)
 }

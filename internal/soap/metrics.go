@@ -25,6 +25,11 @@ type wireMetrics struct {
 	bytesIn        *metrics.Counter // serialized bytes entering Decode
 	bytesOut       *metrics.Counter // serialized bytes produced for sending
 	envelopeSize   *metrics.BucketHistogram
+	decodeOversize *metrics.Counter // Decode rejected: envelope over the size cap
+	decodeBad      *metrics.Counter // Decode rejected: malformed on every rung
+	rejectOversize *metrics.Counter // HTTP inbound rejected before decode: oversized
+	rejectTruncate *metrics.Counter // HTTP inbound rejected before decode: truncated body
+	rejectRead     *metrics.Counter // HTTP inbound rejected before decode: read error
 }
 
 var wireM atomic.Pointer[wireMetrics]
@@ -44,6 +49,8 @@ func InstallWireMetrics(reg *metrics.Registry) {
 	}
 	rung := reg.CounterVec("soap_decode_total", "rung")
 	pool := reg.CounterVec("soap_pool_gets_total", "result")
+	decErr := reg.CounterVec("soap_decode_errors_total", "reason")
+	reject := reg.CounterVec("soap_inbound_rejects_total", "reason")
 	wireM.Store(&wireMetrics{
 		decodeScanner:  rung.With("scanner"),
 		decodeZeroCopy: rung.With("zerocopy"),
@@ -53,6 +60,11 @@ func InstallWireMetrics(reg *metrics.Registry) {
 		bytesIn:        reg.Counter("soap_bytes_in_total"),
 		bytesOut:       reg.Counter("soap_bytes_out_total"),
 		envelopeSize:   reg.BucketHistogram("soap_envelope_bytes", metrics.DefSizeBuckets),
+		decodeOversize: decErr.With("oversize"),
+		decodeBad:      decErr.With("malformed"),
+		rejectOversize: reject.With("oversize"),
+		rejectTruncate: reject.With("truncated"),
+		rejectRead:     reject.With("read"),
 	})
 }
 
@@ -99,5 +111,43 @@ func countPoolGet(hit bool) {
 func countBytesOut(n int) {
 	if m := wireM.Load(); m != nil {
 		m.bytesOut.Add(int64(n))
+	}
+}
+
+// countDecodeError records one rejected Decode input: oversize is the size
+// cap, anything else is malformed bytes (a truncated or corrupt envelope).
+func countDecodeError(oversize bool) {
+	m := wireM.Load()
+	if m == nil {
+		return
+	}
+	if oversize {
+		m.decodeOversize.Inc()
+	} else {
+		m.decodeBad.Inc()
+	}
+}
+
+// Inbound-reject reasons for countInboundReject.
+const (
+	rejectOversize = iota
+	rejectTruncated
+	rejectRead
+)
+
+// countInboundReject records one inbound message the HTTP binding refused
+// before decoding (misbehaving or byte-mangling sender).
+func countInboundReject(reason int) {
+	m := wireM.Load()
+	if m == nil {
+		return
+	}
+	switch reason {
+	case rejectOversize:
+		m.rejectOversize.Inc()
+	case rejectTruncated:
+		m.rejectTruncate.Inc()
+	default:
+		m.rejectRead.Inc()
 	}
 }

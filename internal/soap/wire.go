@@ -530,13 +530,18 @@ func SendBytes(ctx context.Context, caller Caller, to string, data []byte) error
 // blocks captured from documents with prefixed namespace declarations —
 // take the per-target encode the fan-out paths ran before the encode-once
 // wire path. Returns the successful send count and the targets that failed
-// (nil when none did). Every multi-target send in the stack — gossip
+// (nil when none did). A ctx cancelled mid-fanout stops issuing new sends;
+// the not-yet-attempted targets are reported as failed so the caller's
+// accounting stays exact. Every multi-target send in the stack — gossip
 // forward/announce/repair/pull and the aggregation floods and exchange
 // rounds — goes through here.
 func Fanout(ctx context.Context, caller Caller, env *Envelope, targets []string) (sent int, failed []string) {
 	if es, ok := caller.(EncodedSender); ok {
 		if tmpl, err := env.EncodeTemplate(); err == nil {
-			for _, target := range targets {
+			for i, target := range targets {
+				if ctx.Err() != nil {
+					return sent, append(failed, targets[i:]...)
+				}
 				if err := es.SendEncoded(ctx, target, tmpl.RenderTo(target)); err != nil {
 					failed = append(failed, target)
 					continue
@@ -547,7 +552,10 @@ func Fanout(ctx context.Context, caller Caller, env *Envelope, targets []string)
 		}
 	}
 	a := env.Addressing()
-	for _, target := range targets {
+	for i, target := range targets {
+		if ctx.Err() != nil {
+			return sent, append(failed, targets[i:]...)
+		}
 		out := env.Snapshot()
 		a.To = target
 		if err := out.SetAddressing(a); err != nil {

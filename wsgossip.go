@@ -33,6 +33,7 @@ import (
 
 	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
+	"wsgossip/internal/delivery"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/membership"
 	"wsgossip/internal/soap"
@@ -147,6 +148,52 @@ func NewMembershipSOAPEndpoint(addr string, caller soap.Caller) *MembershipSOAPE
 // NewRunner returns a self-clocking round engine for a node's periodic
 // gossip loops.
 func NewRunner(cfg RunnerConfig) (*Runner, error) { return core.NewRunner(cfg) }
+
+// Failure-aware delivery layer (internal/delivery): a plane of per-peer
+// outbound queues with retry/backoff and circuit breaking that slots
+// between any role and its binding, plus a token-bucket admission gate
+// for the inbound path. Wrap the node's Caller in a DeliveryPlane and
+// every fan-out inherits the failure handling; wrap its dispatcher in an
+// AdmissionGate middleware and overload is shed with retry-after hints
+// the senders' planes honor.
+type (
+	// DeliveryPlane is the failure-aware outbound plane. It implements the
+	// same Caller contract as the bindings, so it is installed by wrapping:
+	// DisseminatorConfig.Caller = plane. Use its FilterView to make peer
+	// sampling skip open-circuit targets.
+	DeliveryPlane = delivery.Plane
+	// DeliveryConfig configures a DeliveryPlane.
+	DeliveryConfig = delivery.Config
+	// DeliveryPeerState is one peer's queue/breaker snapshot.
+	DeliveryPeerState = delivery.PeerState
+	// DeliveryStats aggregates a plane's live state across peers.
+	DeliveryStats = delivery.Stats
+	// AdmissionGate is the inbound token-bucket overload gate.
+	AdmissionGate = delivery.Gate
+	// AdmissionGateConfig configures an AdmissionGate.
+	AdmissionGateConfig = delivery.GateConfig
+)
+
+// Delivery-plane fast-failure sentinels: a Send returning one of these
+// means the plane refused responsibility and epidemic redundancy should
+// route around the peer.
+var (
+	// ErrDeliveryQueueFull reports a peer whose bounded queue is at capacity.
+	ErrDeliveryQueueFull = delivery.ErrQueueFull
+	// ErrDeliveryCircuitOpen reports a peer whose circuit is open.
+	ErrDeliveryCircuitOpen = delivery.ErrCircuitOpen
+	// ErrDeliveryBudgetExhausted reports a message that spent its attempt
+	// budget without landing.
+	ErrDeliveryBudgetExhausted = delivery.ErrBudgetExhausted
+)
+
+// NewDeliveryPlane returns a failure-aware outbound delivery plane over
+// cfg.Caller.
+func NewDeliveryPlane(cfg DeliveryConfig) *DeliveryPlane { return delivery.NewPlane(cfg) }
+
+// NewAdmissionGate returns an inbound admission gate; install it with
+// soap.Chain(handler, gate.Middleware()).
+func NewAdmissionGate(cfg AdmissionGateConfig) *AdmissionGate { return delivery.NewGate(cfg) }
 
 // Aggregation subsystem types (internal/aggregate).
 type (
