@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
+	"wsgossip/internal/experiments"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/membership"
 	"wsgossip/internal/metrics"
@@ -104,10 +106,16 @@ func run() error {
 		maxRounds = flag.Int("rounds", 0, "aggregate mode round cap (0 = 2x analytic prediction + 10)")
 		dumpReg   = flag.Bool("metrics", false, "dump the run's metrics-registry snapshot at end of run")
 		minCov    = flag.Float64("min-coverage", 0, "coverage budget: exit non-zero when the run's coverage falls below this fraction, 0 disables")
+		expName   = flag.String("exp", "", "large-N scaling experiment: coverage (E1-style point) or churn (E9-style point); uses the memory-diet harness, N=10^5..10^6 is the design target")
+		maxRSSMB  = flag.Int("max-rss-mb", 0, "memory budget for -exp runs: exit non-zero when peak RSS (VmHWM) exceeds this many MiB, 0 disables")
 	)
 	flag.Parse()
 	if *minCov < 0 || *minCov > 1 {
 		return fmt.Errorf("min-coverage must be in [0,1]")
+	}
+
+	if *expName != "" {
+		return runExp(*expName, *n, *fanout, *hops, *loss, *crash, *seed, *events, *minCov, *maxRSSMB)
 	}
 
 	if *mode == "aggregate" {
@@ -282,6 +290,94 @@ func finish(reg *metrics.Registry, dump bool, coverage, minCov float64) error {
 	return nil
 }
 
+// runExp routes the -exp large-N scaling modes. These are the E1/E9 curves
+// re-run at populations the table experiments cannot touch (10^5..10^6
+// nodes): the experiments.Scale harness puts every node on the memory diet
+// (compact RNG state, shared rumor-ID index, bitset seen-sets) so the run
+// fits in single-digit GiB, and the report ends with the process's heap and
+// peak-RSS numbers so regressions in per-node footprint are visible — and
+// enforceable via -max-rss-mb.
+func runExp(name string, n, fanout, hops int, loss, churn float64, seed int64, events int, minCov float64, maxRSSMB int) error {
+	opt := experiments.ScaleOptions{
+		N: n, Fanout: fanout, Hops: hops, Events: events,
+		Loss: loss, Churn: churn, Seed: seed,
+	}
+	var coverage float64
+	switch name {
+	case "coverage":
+		s, err := experiments.ScaleCoverage(opt)
+		if err != nil {
+			return err
+		}
+		coverage = s.Coverage
+		fmt.Printf("wsgossip-sim exp=coverage: N=%d f=%d r=%d loss=%.2f seed=%d events=%d\n",
+			s.N, s.Fanout, s.Hops, s.Loss, seed, s.Events)
+		fmt.Printf("  coverage:                 %.4f (analytic %.4f)\n", s.Coverage, s.Analytic)
+		fmt.Printf("  delivery latency ms:      p50=%.2f p99=%.2f max=%.2f depth=%d\n", s.P50, s.P99, s.MaxMs, s.MaxDepth)
+		fmt.Printf("  payload forwards:         %.2f per node\n", s.MsgsPerNode)
+		fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", s.Sent, s.Delivered, s.Dropped, s.Bytes)
+		fmt.Printf("  virtual time:             %.2fms\n", s.VirtualMs)
+	case "churn":
+		if opt.Churn == 0 {
+			opt.Churn = 0.2 // -crash carries the churned-out fraction; default to a meaningful one
+		}
+		s, err := experiments.ScaleChurn(opt)
+		if err != nil {
+			return err
+		}
+		coverage = s.PostCoverage
+		fmt.Printf("wsgossip-sim exp=churn: N=%d (-%d departed) f=%d r=%d loss=%.2f seed=%d\n",
+			s.N, s.Departed, s.Fanout, s.Hops, s.Loss, seed)
+		fmt.Printf("  pre-churn coverage:       %.4f of full population\n", s.PreCoverage)
+		fmt.Printf("  post-churn coverage:      %.4f of %d survivors (analytic %.4f at eff-loss %.2f)\n",
+			s.PostCoverage, s.Alive, s.Analytic, s.EffLoss)
+		fmt.Printf("  pending after depart:     %d timers\n", s.PendingAfterDepart)
+		fmt.Printf("  network: sent=%d delivered=%d dropped=%d\n", s.Sent, s.Delivered, s.Dropped)
+		fmt.Printf("  virtual time:             %.2fms\n", s.VirtualMs)
+	default:
+		return fmt.Errorf("unknown exp %q (want coverage or churn)", name)
+	}
+	peakMB := memReport()
+	if maxRSSMB > 0 && peakMB > 0 && peakMB > maxRSSMB {
+		return fmt.Errorf("peak RSS %d MiB exceeds budget %d MiB", peakMB, maxRSSMB)
+	}
+	if minCov > 0 && coverage < minCov {
+		return fmt.Errorf("coverage %.4f below budget %.4f", coverage, minCov)
+	}
+	return nil
+}
+
+// memReport prints the process's heap profile and (on Linux) peak RSS, and
+// returns the peak RSS in MiB (0 when unavailable). The numbers are
+// intentionally outside the deterministic summary: byte-identical simulation
+// output stays diffable across runs while the memory lines vary.
+func memReport() int {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const mib = 1 << 20
+	fmt.Printf("  mem: heap=%dMiB total-alloc=%dMiB sys=%dMiB gc=%d\n",
+		ms.HeapAlloc/mib, ms.TotalAlloc/mib, ms.Sys/mib, ms.NumGC)
+	peak := 0
+	if body, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "VmHWM:") || strings.HasPrefix(line, "VmRSS:") {
+				fields := strings.Fields(line)
+				if len(fields) >= 2 {
+					var kb int
+					if _, err := fmt.Sscanf(fields[1], "%d", &kb); err == nil {
+						fmt.Printf("  mem: %s %dMiB\n", strings.TrimSuffix(fields[0], ":"), kb/1024)
+						if fields[0] == "VmHWM:" {
+							peak = kb / 1024
+						}
+					}
+				}
+			}
+		}
+	}
+	return peak
+}
+
 // runChurn drives membership-driven dissemination under churn: every node's
 // gossip engine samples its live membership view (no static peer list
 // exists anywhere), a crash-fraction of nodes leaves mid-run, fresh nodes
@@ -405,7 +501,10 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int, dum
 		node := nodes[idx+1] // never the seed node
 		node.msvc.Leave(ctx)
 		node.runner.Stop()
-		net.Crash(node.addr)
+		// Leavers are gone for good: Depart (not Crash) drops traffic to them
+		// at enqueue, so the churned-out cohort does not keep filling the
+		// timer queue with deliveries that would only be dropped on arrival.
+		net.Depart(node.addr)
 		down[node.addr] = true
 	}
 	for i := 0; i < joiners; i++ {

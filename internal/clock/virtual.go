@@ -2,7 +2,9 @@ package clock
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,23 +24,57 @@ import (
 // Run, Barrier) is serialized internally; callbacks must not drive the clock
 // re-entrantly — that would deadlock, and a round firing mid-round is not a
 // meaningful timeline anyway.
+//
+// Internally the event queue is sharded: timers land in one of timerShards
+// independent heaps and the driver merges the shard heads at every pop, so
+// scheduling from many goroutines contends on 1/timerShards of the queue
+// while the firing order stays the exact global (deadline, seq) sequence a
+// single heap would produce. Fired and cancelled timers are recycled through
+// per-shard free lists, so steady-state timer churn (a core.Runner
+// rescheduling every round for a million nodes) does not allocate. Cancelled
+// timers keep their heap slot until popped or until a shard's dead fraction
+// exceeds half, at which point the shard compacts — Pending stays bounded
+// under cancel/reschedule churn (adaptive pacing's Wake storms).
 type Virtual struct {
 	runMu sync.Mutex // serializes drivers
 
-	mu    sync.Mutex // guards now, seq, queue
-	now   time.Duration
-	seq   int64
-	queue timerHeap
+	now    atomic.Int64 // current virtual time, as time.Duration
+	seq    atomic.Int64 // global schedule order; ties on deadline break by seq
+	rr     atomic.Uint32
+	shards [timerShards]timerShard
+
+	workers int // same-deadline batch parallelism; <=1 is strictly sequential
+	batch   batchState
 }
 
 var _ Clock = (*Virtual)(nil)
 
+// timerShards is the number of independent timer heaps. A power of two so
+// round-robin placement is a mask. 16 keeps the per-pop head merge cheap
+// while cutting scheduling contention and per-heap sift depth.
+const timerShards = 16
+
+// freeListCap bounds each shard's recycled-timer free list so a transient
+// million-timer spike does not pin its arena forever.
+const freeListCap = 4096
+
+// compactMinLen is the minimum shard heap length before lazy compaction is
+// considered; below it dead entries are cheaper to pop than to filter.
+const compactMinLen = 64
+
 // timer is one scheduled callback. A cancelled timer keeps its heap slot
-// with fn nil and is skipped when popped.
+// with fn nil and is skipped when popped; shards compact lazily when dead
+// entries dominate. Timers are recycled: gen is bumped on every recycle so
+// stale stop functions from a previous life cannot cancel the current one.
+// A timer is bound to one shard for all its lives — the stop function locks
+// that shard to synchronize with pops, pushes, and compaction.
 type timer struct {
-	at  time.Duration
-	seq int64
-	fn  func()
+	at     time.Duration
+	seq    int64
+	fn     func()
+	shard  int32
+	gen    uint32
+	inHeap bool
 }
 
 type timerHeap []*timer
@@ -61,43 +97,169 @@ func (h *timerHeap) Pop() any {
 	return t
 }
 
+// timerShard is one slice of the event queue. head caches h[0] so the
+// driver's merge scan reads one atomic pointer per shard instead of taking
+// every shard lock per pop.
+type timerShard struct {
+	mu   sync.Mutex
+	h    timerHeap
+	dead int // cancelled entries still occupying heap slots
+	head atomic.Pointer[timer]
+	free []*timer
+}
+
+// storeHeadLocked refreshes the cached head pointer after any heap mutation.
+func (s *timerShard) storeHeadLocked() {
+	if len(s.h) > 0 {
+		s.head.Store(s.h[0])
+	} else {
+		s.head.Store(nil)
+	}
+}
+
+// recycleLocked retires a timer that left the heap (fired, discarded, or
+// compacted away). The generation bump invalidates outstanding stop funcs.
+func (s *timerShard) recycleLocked(t *timer) {
+	t.gen++
+	t.fn = nil
+	t.inHeap = false
+	if len(s.free) < freeListCap {
+		s.free = append(s.free, t)
+	}
+}
+
+// maybeCompactLocked rebuilds the shard heap without its dead entries once
+// they outnumber the live ones and the heap is big enough to matter. This is
+// what bounds Pending under cancel-heavy workloads: a shard is never more
+// than half garbage (above compactMinLen).
+func (s *timerShard) maybeCompactLocked() {
+	if len(s.h) < compactMinLen || s.dead*2 <= len(s.h) {
+		return
+	}
+	live := s.h[:0]
+	for _, t := range s.h {
+		if t.fn != nil {
+			live = append(live, t)
+		} else {
+			s.recycleLocked(t)
+		}
+	}
+	// Zero the tail so evicted slots do not pin recycled timers.
+	for i := len(live); i < len(s.h); i++ {
+		s.h[i] = nil
+	}
+	s.h = live
+	s.dead = 0
+	heap.Init(&s.h)
+	s.storeHeadLocked()
+}
+
 // NewVirtual returns a virtual clock at time zero with no timers.
 func NewVirtual() *Virtual {
 	return &Virtual{}
 }
 
+// SetWorkers sets the bounded worker pool size for firing same-deadline
+// timer batches; n <= 1 (the default) fires every callback sequentially on
+// the driving goroutine. With n > 1, when two or more due timers share the
+// exact same deadline their callbacks run concurrently on up to n
+// goroutines. Determinism contract: such callbacks must be mutually
+// independent — they may not interact through shared state in an
+// order-dependent way — and in exchange every timer they schedule is
+// sequenced exactly as if the batch had run sequentially in (deadline, seq)
+// order, so the global firing order is identical to the sequential clock's.
+// Call before driving; switching while an Advance is in flight is not
+// supported.
+func (v *Virtual) SetWorkers(n int) {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	v.workers = n
+}
+
 // Now returns the current virtual time.
 func (v *Virtual) Now() time.Duration {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return time.Duration(v.now.Load())
+}
+
+// newTimer draws a timer from the chosen shard's free list (or allocates
+// one) and arms it. The timer is not yet in the shard heap and has no seq.
+// The returned gen is read under the shard lock and identifies this life of
+// the struct; it must be captured before the timer becomes poppable.
+func (v *Virtual) newTimer(at time.Duration, fn func()) (*timer, uint32) {
+	idx := int32(v.rr.Add(1) & (timerShards - 1))
+	s := &v.shards[idx]
+	s.mu.Lock()
+	var t *timer
+	if n := len(s.free); n > 0 {
+		t = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		t = &timer{shard: idx}
+	}
+	t.at = at
+	t.fn = fn
+	t.inHeap = false
+	gen := t.gen
+	s.mu.Unlock()
+	return t, gen
+}
+
+// push assigns the next global seq and inserts the timer into its shard. A
+// timer cancelled before the push (batch-deferred scheduling) still takes
+// its heap slot as a dead entry, exactly as a post-push cancel would.
+func (v *Virtual) push(t *timer) {
+	t.seq = v.seq.Add(1)
+	s := &v.shards[t.shard]
+	s.mu.Lock()
+	t.inHeap = true
+	if t.fn == nil {
+		s.dead++
+	}
+	heap.Push(&s.h, t)
+	s.storeHeadLocked()
+	s.mu.Unlock()
+}
+
+// stopFunc builds the cancellation closure for generation gen of t.
+func (v *Virtual) stopFunc(t *timer, gen uint32) func() bool {
+	s := &v.shards[t.shard]
+	return func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if t.gen != gen || t.fn == nil {
+			return false
+		}
+		t.fn = nil
+		if t.inHeap {
+			s.dead++
+			s.maybeCompactLocked()
+		}
+		return true
+	}
 }
 
 // AfterFunc schedules fn at now+d (d < 0 counts as 0). fn runs inside a
 // future Advance/RunUntil/Step call.
 func (v *Virtual) AfterFunc(d time.Duration, fn func()) func() bool {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	t := v.scheduleLocked(d, fn)
-	return func() bool {
-		v.mu.Lock()
-		defer v.mu.Unlock()
-		if t.fn == nil {
-			return false
-		}
-		t.fn = nil
-		return true
-	}
-}
-
-func (v *Virtual) scheduleLocked(d time.Duration, fn func()) *timer {
 	if d < 0 {
 		d = 0
 	}
-	v.seq++
-	t := &timer{at: v.now + d, seq: v.seq, fn: fn}
-	heap.Push(&v.queue, t)
-	return t
+	at := v.Now() + d
+	t, gen := v.newTimer(at, fn)
+	stop := v.stopFunc(t, gen)
+	if v.batch.active.Load() {
+		if ref := v.batch.slotOf(goid()); ref != nil {
+			// Scheduled from inside a parallel same-deadline batch: defer
+			// into the slot buffer; the driver flushes buffers in slot order
+			// after the batch joins, assigning seqs exactly as a sequential
+			// run of the batch would have.
+			*ref.cur = append(*ref.cur, t)
+			return stop
+		}
+	}
+	v.push(t)
+	return stop
 }
 
 // After returns a channel receiving the virtual fire time once, d from now.
@@ -165,10 +327,7 @@ func (vt *virtualTicker) Stop() {
 func (v *Virtual) Advance(d time.Duration) {
 	v.runMu.Lock()
 	defer v.runMu.Unlock()
-	v.mu.Lock()
-	target := v.now + d
-	v.mu.Unlock()
-	v.runUntilLocked(target)
+	v.runUntilLocked(v.Now() + d)
 }
 
 // RunUntil fires every timer with deadline <= t (including timers scheduled
@@ -183,41 +342,113 @@ func (v *Virtual) RunUntil(t time.Duration) {
 // runUntilLocked is RunUntil with runMu already held.
 func (v *Virtual) runUntilLocked(t time.Duration) {
 	for {
-		fn, ok := v.popDueLocked(t)
+		fn, ok := v.popDue(t, true)
 		if !ok {
 			return
 		}
-		if fn != nil {
-			fn()
+		if v.workers > 1 {
+			// Collect the rest of the deadline cohort; if the cohort has two
+			// or more members it runs on the worker pool.
+			if batch := v.popDeadlineCohort(fn); len(batch) > 1 {
+				v.runBatch(batch)
+				continue
+			}
 		}
+		fn()
 	}
 }
 
-// popDueLocked pops the next live timer with deadline <= t and advances now
-// to its deadline. When none remains it advances now to t (if later) and
-// reports false.
-func (v *Virtual) popDueLocked(t time.Duration) (func(), bool) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	for v.queue.Len() > 0 {
-		head := v.queue[0]
-		if head.fn == nil {
-			heap.Pop(&v.queue) // cancelled: discard
-			continue
+// popDeadlineCohort pops every already-queued live timer sharing the current
+// deadline (the one the just-popped first callback fired at) and returns the
+// full batch, first callback included, in (deadline, seq) order. Timers the
+// batch itself schedules at this same deadline are not part of the cohort:
+// they get later seqs, exactly as in a sequential run, and fire in the next
+// iteration.
+func (v *Virtual) popDeadlineCohort(first func()) []func() {
+	at := v.Now()
+	batch := []func(){first}
+	for {
+		fn, ok := v.popAt(at)
+		if !ok {
+			return batch
 		}
-		if head.at > t {
-			break
+		batch = append(batch, fn)
+	}
+}
+
+// popDue pops the next live timer with deadline <= t and advances now to its
+// deadline. When none remains it advances now to t (if later and advance is
+// set) and reports false.
+func (v *Virtual) popDue(t time.Duration, advance bool) (func(), bool) {
+	for {
+		best, idx := v.minHead()
+		if best == nil || best.at > t {
+			if advance && v.Now() < t {
+				v.now.Store(int64(t))
+			}
+			return nil, false
 		}
-		heap.Pop(&v.queue)
-		v.now = head.at
-		fn := head.fn
-		head.fn = nil
+		fn, ok := v.popVerified(best, idx)
+		if !ok {
+			continue // head moved or was a dead entry; rescan
+		}
+		v.now.Store(int64(best.at))
 		return fn, true
 	}
-	if v.now < t {
-		v.now = t
+}
+
+// popAt pops the next live timer with deadline exactly at; it never moves
+// the clock (the caller is already at that deadline).
+func (v *Virtual) popAt(at time.Duration) (func(), bool) {
+	for {
+		best, idx := v.minHead()
+		if best == nil || best.at != at {
+			return nil, false
+		}
+		fn, ok := v.popVerified(best, idx)
+		if !ok {
+			continue
+		}
+		return fn, true
 	}
-	return nil, false
+}
+
+// minHead scans the cached shard heads and returns the global minimum by
+// (deadline, seq), dead entries included — they are discarded at pop.
+func (v *Virtual) minHead() (*timer, int) {
+	var best *timer
+	idx := -1
+	for i := range v.shards {
+		h := v.shards[i].head.Load()
+		if h == nil {
+			continue
+		}
+		if best == nil || h.at < best.at || (h.at == best.at && h.seq < best.seq) {
+			best, idx = h, i
+		}
+	}
+	return best, idx
+}
+
+// popVerified pops want from shard idx if it is still that shard's head,
+// returning its callback. ok is false when the head changed under the scan
+// (rescan) or the entry was dead (discarded; rescan).
+func (v *Virtual) popVerified(want *timer, idx int) (func(), bool) {
+	s := &v.shards[idx]
+	s.mu.Lock()
+	if len(s.h) == 0 || s.h[0] != want {
+		s.mu.Unlock()
+		return nil, false
+	}
+	heap.Pop(&s.h)
+	s.storeHeadLocked()
+	fn := want.fn
+	if fn == nil {
+		s.dead--
+	}
+	s.recycleLocked(want)
+	s.mu.Unlock()
+	return fn, fn != nil
 }
 
 // Barrier fires every timer already due at the current virtual time and
@@ -232,20 +463,8 @@ func (v *Virtual) Barrier() {
 func (v *Virtual) Step() bool {
 	v.runMu.Lock()
 	defer v.runMu.Unlock()
-	v.mu.Lock()
-	var fn func()
-	for v.queue.Len() > 0 {
-		t := heap.Pop(&v.queue).(*timer)
-		if t.fn == nil {
-			continue
-		}
-		v.now = t.at
-		fn = t.fn
-		t.fn = nil
-		break
-	}
-	v.mu.Unlock()
-	if fn == nil {
+	fn, ok := v.popDue(1<<63-1, false)
+	if !ok {
 		return false
 	}
 	fn()
@@ -260,10 +479,101 @@ func (v *Virtual) Run() {
 	}
 }
 
-// Pending reports the number of scheduled timer slots, including cancelled
-// ones not yet discarded.
+// Pending reports the number of scheduled timer slots across all shards,
+// including cancelled ones not yet discarded or compacted away. Lazy
+// compaction keeps the dead share of any large shard below half, so Pending
+// stays within a small constant factor of the live timer count.
 func (v *Virtual) Pending() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.queue.Len()
+	n := 0
+	for i := range v.shards {
+		s := &v.shards[i]
+		s.mu.Lock()
+		n += len(s.h)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// batchState routes AfterFunc calls made from inside a parallel
+// same-deadline batch to the calling worker's slot buffer, keyed by
+// goroutine id. Only consulted while a batch is active.
+type batchState struct {
+	active atomic.Bool
+	mu     sync.Mutex
+	slots  map[uint64]*slotRef
+}
+
+// slotRef is one worker's view of where deferred timers go; cur is repointed
+// by the worker between slots and read only from that worker's goroutine.
+type slotRef struct {
+	cur *[]*timer
+}
+
+func (b *batchState) slotOf(id uint64) *slotRef {
+	b.mu.Lock()
+	ref := b.slots[id]
+	b.mu.Unlock()
+	return ref
+}
+
+// runBatch fires a same-deadline cohort on the bounded worker pool. Slot i
+// of deferred collects the timers callback i scheduled; after the join they
+// are flushed in slot order, reproducing the seq assignment of a sequential
+// run. Workers register their goroutine id so AfterFunc can find the active
+// slot buffer; scheduling from non-worker goroutines during the batch takes
+// the immediate path, exactly as it would have raced a sequential callback.
+func (v *Virtual) runBatch(batch []func()) {
+	deferred := make([][]*timer, len(batch))
+	v.batch.mu.Lock()
+	v.batch.slots = make(map[uint64]*slotRef, v.workers)
+	v.batch.mu.Unlock()
+	v.batch.active.Store(true)
+
+	w := v.workers
+	if w > len(batch) {
+		w = len(batch)
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			ref := &slotRef{}
+			id := goid()
+			v.batch.mu.Lock()
+			v.batch.slots[id] = ref
+			v.batch.mu.Unlock()
+			for slot := wk; slot < len(batch); slot += w {
+				ref.cur = &deferred[slot]
+				batch[slot]()
+			}
+			v.batch.mu.Lock()
+			delete(v.batch.slots, id)
+			v.batch.mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	v.batch.active.Store(false)
+	for _, buf := range deferred {
+		for _, t := range buf {
+			v.push(t)
+		}
+	}
+}
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header. Only used to route scheduling inside parallel batches; the
+// sequential clock never calls it.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Header: "goroutine <id> [...".
+	var id uint64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }

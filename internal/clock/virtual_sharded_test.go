@@ -1,0 +1,399 @@
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---- single-heap reference implementation ----
+//
+// refClock is the pre-sharding clock.Virtual, kept as the ordering oracle:
+// one mutex-guarded heap, (deadline, seq) order, cancelled timers keep their
+// slot until popped. The property test checks the sharded clock fires any
+// workload in the exact order this reference does.
+
+type refTimer struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type refHeap []*refTimer
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refTimer)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+type refClock struct {
+	mu    sync.Mutex
+	now   time.Duration
+	seq   int64
+	queue refHeap
+}
+
+func (r *refClock) Now() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.now
+}
+
+func (r *refClock) AfterFunc(d time.Duration, fn func()) func() bool {
+	if d < 0 {
+		d = 0
+	}
+	r.mu.Lock()
+	r.seq++
+	t := &refTimer{at: r.now + d, seq: r.seq, fn: fn}
+	heap.Push(&r.queue, t)
+	r.mu.Unlock()
+	return func() bool {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if t.fn == nil {
+			return false
+		}
+		t.fn = nil
+		return true
+	}
+}
+
+func (r *refClock) Advance(d time.Duration) {
+	r.mu.Lock()
+	target := r.now + d
+	for {
+		var fn func()
+		for len(r.queue) > 0 {
+			head := r.queue[0]
+			if head.fn == nil {
+				heap.Pop(&r.queue)
+				continue
+			}
+			if head.at > target {
+				break
+			}
+			heap.Pop(&r.queue)
+			r.now = head.at
+			fn = head.fn
+			break
+		}
+		if fn == nil {
+			if r.now < target {
+				r.now = target
+			}
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+		fn()
+		r.mu.Lock()
+	}
+}
+
+// schedClock is the common surface the property workload drives.
+type schedClock interface {
+	Now() time.Duration
+	AfterFunc(time.Duration, func()) func() bool
+}
+
+// splitmix64 gives the workload per-decision determinism without sharing an
+// ordered RNG stream between the two clock implementations.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// runOrderWorkload drives a cascading, cancel-heavy workload on c and
+// returns the observed firing log. Every decision (child count, delays,
+// cancellations) is a pure function of the firing timer's id, so two clocks
+// that fire in the same order perform the identical workload.
+func runOrderWorkload(seed uint64, c schedClock, advance func(time.Duration)) []string {
+	var (
+		mu    sync.Mutex
+		log   []string
+		stops = map[uint64]func() bool{}
+		next  uint64
+	)
+	var schedule func(parent uint64, d time.Duration)
+	schedule = func(parent uint64, d time.Duration) {
+		mu.Lock()
+		id := next
+		next++
+		mu.Unlock()
+		h := splitmix64(seed ^ splitmix64(id))
+		stop := c.AfterFunc(d, func() {
+			mu.Lock()
+			log = append(log, fmt.Sprintf("%d@%d", id, c.Now()))
+			mu.Unlock()
+			if id < 4000 {
+				for k := uint64(0); k < h%3; k++ {
+					hk := splitmix64(h ^ k)
+					schedule(id, time.Duration(hk%5000)*time.Microsecond)
+				}
+				// Zero-delay cascade at the current instant, sometimes.
+				if h%7 == 0 {
+					schedule(id, 0)
+				}
+			}
+			// Cancel an earlier timer's stop, by id — same target both runs.
+			if h%5 == 0 && id >= 8 {
+				mu.Lock()
+				victim := stops[splitmix64(h)%id]
+				mu.Unlock()
+				if victim != nil {
+					victim()
+				}
+			}
+		})
+		mu.Lock()
+		stops[id] = stop
+		mu.Unlock()
+	}
+	for i := 0; i < 300; i++ {
+		h := splitmix64(seed + uint64(i)*0x9e37)
+		schedule(0, time.Duration(h%20000)*time.Microsecond)
+	}
+	for i := 0; i < 64; i++ {
+		h := splitmix64(seed ^ (uint64(i) << 32))
+		advance(time.Duration(h%2500) * time.Microsecond)
+	}
+	advance(time.Hour) // drain the rest
+	return log
+}
+
+// TestShardedMatchesSingleHeapOrder is the tentpole property test: the
+// sharded clock must fire a cascading cancel-heavy workload in the exact
+// global (deadline, seq) order of the single-heap reference.
+func TestShardedMatchesSingleHeapOrder(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		ref := &refClock{}
+		refLog := runOrderWorkload(seed, ref, ref.Advance)
+		v := NewVirtual()
+		gotLog := runOrderWorkload(seed, v, v.Advance)
+		if len(refLog) != len(gotLog) {
+			t.Fatalf("seed %d: fired %d timers, reference fired %d", seed, len(gotLog), len(refLog))
+		}
+		for i := range refLog {
+			if refLog[i] != gotLog[i] {
+				t.Fatalf("seed %d: firing %d diverges: sharded %q, reference %q", seed, i, gotLog[i], refLog[i])
+			}
+		}
+		if len(refLog) < 300 {
+			t.Fatalf("seed %d: workload degenerate, only %d firings", seed, len(refLog))
+		}
+	}
+}
+
+// TestPendingBoundedUnderCancelChurn is the heap-bloat regression test: a
+// Wake-style cancel/reschedule storm must not accumulate dead heap slots.
+// Before lazy compaction, 100k cancelled one-shots left Pending ~= 100k.
+func TestPendingBoundedUnderCancelChurn(t *testing.T) {
+	v := NewVirtual()
+	const live = 100
+	for i := 0; i < live; i++ {
+		v.AfterFunc(time.Hour, func() {})
+	}
+	for i := 0; i < 100_000; i++ {
+		stop := v.AfterFunc(time.Minute, func() { t.Error("cancelled timer fired") })
+		if !stop() {
+			t.Fatalf("iteration %d: stop reported already-stopped", i)
+		}
+	}
+	// Per shard, compaction keeps dead <= len/2 once len >= compactMinLen,
+	// so the whole queue is bounded by 2*live + shards*compactMinLen.
+	bound := 2*live + timerShards*compactMinLen
+	if got := v.Pending(); got > bound {
+		t.Fatalf("Pending() = %d after cancel churn, want <= %d", got, bound)
+	}
+	v.Advance(2 * time.Hour)
+	if got := v.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+}
+
+// TestZeroDelayAtBarrierFiresSameAdvance pins the lost-wakeup audit: a
+// callback firing at exactly the Advance barrier that schedules a zero-delay
+// timer (deadline == barrier) must see it fire inside the same Advance.
+func TestZeroDelayAtBarrierFiresSameAdvance(t *testing.T) {
+	v := NewVirtual()
+	depth := 0
+	var cascade func()
+	cascade = func() {
+		depth++
+		if depth < 5 {
+			v.AfterFunc(0, cascade) // lands exactly on the barrier deadline
+		}
+	}
+	v.AfterFunc(10*time.Millisecond, cascade)
+	v.Advance(10 * time.Millisecond) // barrier == first deadline
+	if depth != 5 {
+		t.Fatalf("zero-delay chain at barrier: fired %d of 5 inside one Advance", depth)
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending() = %d, timers stranded past the barrier", v.Pending())
+	}
+	if v.Now() != 10*time.Millisecond {
+		t.Fatalf("Now() = %v, want 10ms", v.Now())
+	}
+}
+
+// TestRunUntilZeroDelayAtTarget is the RunUntil half of the lost-wakeup pin.
+func TestRunUntilZeroDelayAtTarget(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	v.AfterFunc(7*time.Millisecond, func() {
+		v.AfterFunc(0, func() { fired = true })
+	})
+	v.RunUntil(7 * time.Millisecond)
+	if !fired {
+		t.Fatal("zero-delay timer scheduled at the RunUntil target did not fire in the same call")
+	}
+}
+
+// TestStopAfterRecycleIsInert pins the generation guard: once a timer fires
+// and its struct is recycled for a new timer, the old stop function must not
+// cancel the new incarnation.
+func TestStopAfterRecycleIsInert(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AfterFunc(time.Millisecond, func() {})
+	v.Advance(time.Millisecond) // fires; struct returns to its shard free list
+	fired := 0
+	// Round-robin placement revisits every shard within timerShards
+	// schedules, so one of these reuses the fired timer's struct.
+	for i := 0; i < 2*timerShards; i++ {
+		v.AfterFunc(time.Millisecond, func() { fired++ })
+	}
+	if stop() {
+		t.Fatal("stale stop function reported stopping a recycled timer")
+	}
+	v.Advance(time.Millisecond)
+	if fired != 2*timerShards {
+		t.Fatalf("fired %d of %d timers: a stale stop cancelled a recycled one", fired, 2*timerShards)
+	}
+}
+
+// workerSimNode is one self-clocking node for the worker-pool determinism
+// test: private rng state, private history, rounds aligned so many nodes
+// share deadlines (forming parallel batches), occasional self-cancel and
+// reschedule to exercise the stop path from inside batches.
+type workerSimNode struct {
+	id      int
+	state   uint64
+	history []time.Duration
+	stop    func() bool
+}
+
+// runWorkerSim runs a heavily-colliding multi-round simulation and returns
+// each node's private firing history plus the final clock reading.
+func runWorkerSim(workers int) ([][]time.Duration, time.Duration) {
+	v := NewVirtual()
+	v.SetWorkers(workers)
+	const n = 96
+	nodes := make([]*workerSimNode, n)
+	quantum := time.Millisecond
+	var tick func(nd *workerSimNode)
+	tick = func(nd *workerSimNode) {
+		nd.history = append(nd.history, v.Now())
+		if len(nd.history) >= 40 {
+			return
+		}
+		nd.state = splitmix64(nd.state)
+		// Quantized delays: 1..4ms, so dozens of nodes collide per deadline.
+		d := time.Duration(1+nd.state%4) * quantum
+		nd.stop = v.AfterFunc(d, func() { tick(nd) })
+		if nd.state%9 == 0 {
+			// Cancel and reschedule — only this node's own timer.
+			nd.stop()
+			nd.state = splitmix64(nd.state)
+			nd.stop = v.AfterFunc(time.Duration(1+nd.state%4)*quantum, func() { tick(nd) })
+		}
+	}
+	for i := range nodes {
+		nd := &workerSimNode{id: i, state: splitmix64(uint64(i) + 0xabcdef)}
+		nodes[i] = nd
+		v.AfterFunc(time.Duration(1+nd.state%4)*quantum, func() { tick(nd) })
+	}
+	for v.Pending() > 0 {
+		v.Advance(5 * quantum)
+	}
+	out := make([][]time.Duration, n)
+	for i, nd := range nodes {
+		out[i] = nd.history
+	}
+	return out, v.Now()
+}
+
+// TestWorkerPoolDeterminism checks the worker-pool ordering contract: with
+// mutually independent same-deadline callbacks, a pooled run's trajectory is
+// identical to the sequential clock's. Run with -race -count=5.
+func TestWorkerPoolDeterminism(t *testing.T) {
+	seqHist, seqNow := runWorkerSim(1)
+	for _, workers := range []int{2, 4, 8} {
+		gotHist, gotNow := runWorkerSim(workers)
+		if gotNow != seqNow {
+			t.Fatalf("workers=%d: final Now %v, sequential %v", workers, gotNow, seqNow)
+		}
+		for i := range seqHist {
+			if len(gotHist[i]) != len(seqHist[i]) {
+				t.Fatalf("workers=%d node %d: %d firings, sequential %d", workers, i, len(gotHist[i]), len(seqHist[i]))
+			}
+			for j := range seqHist[i] {
+				if gotHist[i][j] != seqHist[i][j] {
+					t.Fatalf("workers=%d node %d firing %d: at %v, sequential %v", workers, i, j, gotHist[i][j], seqHist[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerPoolPreservesScheduleOrder checks, black-box, that timers
+// scheduled from inside a parallel batch are sequenced exactly as a
+// sequential run would: batch callbacks each schedule one echo at a common
+// later deadline, and the echoes (fired sequentially) must come out in the
+// batch's own (deadline, seq) order.
+func TestWorkerPoolPreservesScheduleOrder(t *testing.T) {
+	const n = 64
+	v := NewVirtual()
+	v.SetWorkers(8)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		v.AfterFunc(time.Millisecond, func() { // one 64-wide batch
+			v.AfterFunc(time.Millisecond, func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		})
+	}
+	v.Advance(time.Millisecond) // fire the batch on the pool
+	v.SetWorkers(1)             // echoes fire strictly sequentially
+	v.Advance(time.Millisecond)
+	if len(order) != n {
+		t.Fatalf("fired %d echoes, want %d", len(order), n)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("echo %d has id %d: deferred flush broke seq order (%v...)", i, id, order[:i+1])
+		}
+	}
+}

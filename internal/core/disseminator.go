@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,6 +151,12 @@ type DisseminatorConfig struct {
 	// Clock supplies timestamps for the fan-out latency histogram; on a
 	// virtual clock the histogram is deterministic. Nil uses wall time.
 	Clock clock.Clock
+	// Intern, when set, deduplicates the retained envelope clones that
+	// serve lazy-push fetches: nodes sharing one Interner (a simulated
+	// cluster) hold a single deep copy per (message, hop count) instead of
+	// one per store. Stored envelopes are only ever read via Snapshot, so
+	// sharing is safe. Nil keeps private per-store clones.
+	Intern *soap.Interner
 }
 
 // interactionState caches the protocol and parameters the Coordinator
@@ -332,7 +339,15 @@ func (d *Disseminator) intercept(ctx context.Context, req *soap.Request, app soa
 	// of gossip traffic, never get here), and copied outside d.mu so
 	// concurrent deliveries don't serialize behind a payload memcpy; the
 	// seen-set dedup above guarantees a single Put per message ID.
-	clone := req.Envelope.Clone()
+	var clone *soap.Envelope
+	if d.cfg.Intern != nil {
+		// The stored form varies only by message identity and remaining hop
+		// budget (forwarding decrements Hops before re-rendering), so that
+		// pair keys the shared clone across every store on this interner.
+		clone = d.cfg.Intern.Clone(gh.MessageID+"\x00"+strconv.Itoa(gh.Hops), req.Envelope)
+	} else {
+		clone = req.Envelope.Clone()
+	}
 	d.mu.Lock()
 	d.store.Put(gh.MessageID, clone)
 	state, known := d.interactions[gh.InteractionID]

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 
@@ -10,10 +9,14 @@ import (
 )
 
 // envelopeStore retains recent notification envelopes so a lazy-push node
-// can serve Fetch requests. FIFO eviction, bounded.
+// can serve Fetch requests. FIFO eviction, bounded. Entries are never
+// reordered, so insertion order lives in a slice-backed deque (ids[start:],
+// oldest first) instead of a linked list — at one store per simulated node
+// the per-entry list cells were measurable memory.
 type envelopeStore struct {
 	cap   int
-	order *list.List
+	ids   []string
+	start int
 	items map[string]*soap.Envelope
 }
 
@@ -23,7 +26,6 @@ func newEnvelopeStore(capacity int) *envelopeStore {
 	}
 	return &envelopeStore{
 		cap:   capacity,
-		order: list.New(),
 		items: make(map[string]*soap.Envelope),
 	}
 }
@@ -33,11 +35,15 @@ func (s *envelopeStore) Put(id string, env *soap.Envelope) {
 		return
 	}
 	s.items[id] = env
-	s.order.PushFront(id)
-	for s.order.Len() > s.cap {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.items, oldest.Value.(string))
+	s.ids = append(s.ids, id)
+	for len(s.items) > s.cap {
+		delete(s.items, s.ids[s.start])
+		s.ids[s.start] = ""
+		s.start++
+	}
+	if s.start > len(s.ids)/2 && s.start > 64 {
+		s.ids = append(s.ids[:0], s.ids[s.start:]...)
+		s.start = 0
 	}
 }
 
@@ -46,7 +52,17 @@ func (s *envelopeStore) Get(id string) (*soap.Envelope, bool) {
 	return env, ok
 }
 
-func (s *envelopeStore) Len() int { return s.order.Len() }
+func (s *envelopeStore) Len() int { return len(s.items) }
+
+// each calls fn for every stored ID, newest first, stopping when fn returns
+// false.
+func (s *envelopeStore) each(fn func(id string) bool) {
+	for i := len(s.ids) - 1; i >= s.start; i-- {
+		if !fn(s.ids[i]) {
+			return
+		}
+	}
+}
 
 // maxPendingAnnounces bounds the deferred-announcement queue. Beyond it new
 // advertisements are dropped (anti-entropy repair closes the residual gap),

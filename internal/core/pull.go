@@ -92,15 +92,19 @@ func (d *Disseminator) handlePullRequest(ctx context.Context, req *soap.Request)
 func (d *Disseminator) retransmitMissing(ctx context.Context, to string, have map[string]struct{}, max int) int64 {
 	d.mu.Lock()
 	var missing []*soap.Envelope
-	for el := d.store.order.Front(); el != nil && len(missing) < max; el = el.Next() {
-		id := el.Value.(string)
+	if max <= 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	d.store.each(func(id string) bool {
 		if _, ok := have[id]; ok {
-			continue
+			return true
 		}
 		if env, ok := d.store.Get(id); ok {
 			missing = append(missing, env.Snapshot())
 		}
-	}
+		return len(missing) < max
+	})
 	d.mu.Unlock()
 	var served int64
 	for _, env := range missing {

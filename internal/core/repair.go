@@ -68,10 +68,14 @@ func (d *Disseminator) TickRepair(ctx context.Context) {
 
 // storedIDsLocked lists up to n stored notification IDs, newest first.
 func (d *Disseminator) storedIDsLocked(n int) []string {
-	ids := make([]string, 0, n)
-	for el := d.store.order.Front(); el != nil && len(ids) < n; el = el.Next() {
-		ids = append(ids, el.Value.(string))
+	if n <= 0 {
+		return nil
 	}
+	ids := make([]string, 0, n)
+	d.store.each(func(id string) bool {
+		ids = append(ids, id)
+		return len(ids) < n
+	})
 	return ids
 }
 

@@ -137,6 +137,10 @@ type Runner struct {
 	pending []func() bool   // per-loop stop for the scheduled next fire
 	cur     []time.Duration // per-loop current base period (adaptive pacing)
 	lastAct []uint64        // per-loop Activity sample at the previous fire
+	fireFns []func()        // per-loop fire thunk, built once at Start: a
+	// round engine reschedules every fire, and at simulation scale a fresh
+	// closure per round is pure allocator churn (a Runner runs once, so the
+	// Start context never changes under a live loop)
 
 	// Per-loop series, pre-resolved at construction. fires is the single
 	// source of truth for FireCount AND the runner_fires_total metric.
@@ -361,14 +365,16 @@ func (r *Runner) Start(ctx context.Context) error {
 	for _, fn := range r.onStart {
 		fn()
 	}
+	r.fireFns = make([]func(), len(r.loops))
 	for i := range r.loops {
 		i := i
+		r.fireFns[i] = func() { r.fire(ctx, i) }
 		if l := r.loops[i]; l.MaxPeriod != 0 {
 			r.lastAct[i] = l.Activity()
 		}
 		// Initial phase in (0, Period]: uniform desynchronization.
 		phase := time.Duration(r.rng.Float64()*float64(r.loops[i].Period)) + 1
-		r.pending[i] = r.clk.AfterFunc(phase, func() { r.fire(ctx, i) })
+		r.pending[i] = r.clk.AfterFunc(phase, r.fireFns[i])
 	}
 	go func() {
 		<-ctx.Done()
@@ -417,7 +423,7 @@ func (r *Runner) fire(ctx context.Context, i int) {
 			r.setCurLocked(i, next)
 		}
 	}
-	r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), func() { r.fire(ctx, i) })
+	r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), r.fireFns[i])
 }
 
 // nextDelayLocked draws the next interval for loop i: the current base
@@ -457,7 +463,6 @@ func (r *Runner) Wake() {
 		return
 	}
 	r.wakes.Inc()
-	ctx := r.ctx
 	for i := range r.loops {
 		l := r.loops[i]
 		if l.MaxPeriod == 0 || r.cur[i] <= l.Period {
@@ -469,9 +474,8 @@ func (r *Runner) Wake() {
 			// activity itself and return to base pace.
 			continue
 		}
-		i := i
 		r.setCurLocked(i, l.Period)
-		r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), func() { r.fire(ctx, i) })
+		r.pending[i] = r.clk.AfterFunc(r.nextDelayLocked(i), r.fireFns[i])
 	}
 }
 

@@ -1,41 +1,101 @@
 package gossip
 
-import "container/list"
+// Both bounded collections here used to ride on container/list, which costs
+// one 48-byte heap node plus a pointer cell per entry. At simulation scales
+// (10^5-10^6 engines, each with a seen cache and a rumor store) that
+// overhead dominated per-node memory, so both are now slice-backed: the LRU
+// is an intrusive doubly-linked list over a contiguous arena addressed by
+// index, and the FIFO is a deque over a plain slice. Semantics are
+// unchanged.
+
+const noEntry = int32(-1)
 
 // seenCache is a bounded LRU set of rumor IDs used for duplicate
 // suppression. Bounding it is what makes long-running disseminators safe;
 // ablation A2 measures the duplicate-delivery cost of undersizing it.
 type seenCache struct {
 	cap   int
-	order *list.List
-	items map[string]*list.Element
+	items map[string]int32 // id -> arena index
+	arena []seenEntry
+	free  []int32
+	head  int32 // most recently used
+	tail  int32 // least recently used
+}
+
+type seenEntry struct {
+	id   string
+	prev int32
+	next int32
 }
 
 func newSeenCache(capacity int) *seenCache {
-	// The map grows on demand; preallocating the full capacity would cost
-	// megabytes per engine in large simulations.
-	hint := capacity
-	if hint > 1024 {
-		hint = 1024
-	}
+	// No size hint: a hint preallocates buckets up front, and at simulation
+	// scale (10^5..10^6 engines, most of which ever see a handful of rumors)
+	// even a modest hint per engine dominates resident memory. Incremental
+	// map growth costs only amortized rehashing on the nodes that get busy.
 	return &seenCache{
 		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, hint),
+		items: make(map[string]int32),
+		head:  noEntry,
+		tail:  noEntry,
+	}
+}
+
+// unlinkLocked detaches entry i from the recency list.
+func (c *seenCache) unlink(i int32) {
+	e := &c.arena[i]
+	if e.prev != noEntry {
+		c.arena[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != noEntry {
+		c.arena[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+// pushFront makes entry i the most recently used.
+func (c *seenCache) pushFront(i int32) {
+	e := &c.arena[i]
+	e.prev = noEntry
+	e.next = c.head
+	if c.head != noEntry {
+		c.arena[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == noEntry {
+		c.tail = i
 	}
 }
 
 // Add inserts id and reports whether it was not already present.
 func (c *seenCache) Add(id string) bool {
-	if el, ok := c.items[id]; ok {
-		c.order.MoveToFront(el)
+	if i, ok := c.items[id]; ok {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 		return false
 	}
-	c.items[id] = c.order.PushFront(id)
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(string))
+	var i int32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.arena[i] = seenEntry{id: id}
+	} else {
+		i = int32(len(c.arena))
+		c.arena = append(c.arena, seenEntry{id: id})
+	}
+	c.items[id] = i
+	c.pushFront(i)
+	for len(c.items) > c.cap {
+		oldest := c.tail
+		c.unlink(oldest)
+		delete(c.items, c.arena[oldest].id)
+		c.arena[oldest].id = "" // release the string
+		c.free = append(c.free, oldest)
 	}
 	return true
 }
@@ -47,25 +107,26 @@ func (c *seenCache) Contains(id string) bool {
 }
 
 // Len returns the number of cached IDs.
-func (c *seenCache) Len() int { return c.order.Len() }
+func (c *seenCache) Len() int { return len(c.items) }
 
 // rumorStore retains recent rumor bodies so the node can answer IWANT and
-// pull requests. It evicts in FIFO order.
+// pull requests. It evicts in FIFO order. Entries are never reordered, so
+// the order index is a deque: new IDs append at the end (newest), eviction
+// advances start past the oldest, and the slice compacts when the dead
+// prefix dominates.
 type rumorStore struct {
 	cap   int
-	order *list.List // of string (rumor IDs), front = newest
+	ids   []string // insertion order; ids[start:] live, oldest first
+	start int
 	items map[string]Rumor
 }
 
 func newRumorStore(capacity int) *rumorStore {
-	hint := capacity
-	if hint > 1024 {
-		hint = 1024
-	}
+	// Unhinted for the same reason as newSeenCache: per-engine resident
+	// memory at large simulated populations.
 	return &rumorStore{
 		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]Rumor, hint),
+		items: make(map[string]Rumor),
 	}
 }
 
@@ -79,11 +140,15 @@ func (s *rumorStore) Put(r Rumor) {
 		return
 	}
 	s.items[r.ID] = r
-	s.order.PushFront(r.ID)
-	for s.order.Len() > s.cap {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.items, oldest.Value.(string))
+	s.ids = append(s.ids, r.ID)
+	for len(s.items) > s.cap {
+		delete(s.items, s.ids[s.start])
+		s.ids[s.start] = ""
+		s.start++
+	}
+	if s.start > len(s.ids)/2 && s.start > 64 {
+		s.ids = append(s.ids[:0], s.ids[s.start:]...)
+		s.start = 0
 	}
 }
 
@@ -94,16 +159,16 @@ func (s *rumorStore) Get(id string) (Rumor, bool) {
 }
 
 // Len returns the number of stored rumors.
-func (s *rumorStore) Len() int { return s.order.Len() }
+func (s *rumorStore) Len() int { return len(s.items) }
 
 // RecentRefs returns up to n references to the most recent rumors.
 func (s *rumorStore) RecentRefs(n int) []RumorRef {
-	if n <= 0 || n > s.order.Len() {
-		n = s.order.Len()
+	if n <= 0 || n > len(s.items) {
+		n = len(s.items)
 	}
 	refs := make([]RumorRef, 0, n)
-	for el := s.order.Front(); el != nil && len(refs) < n; el = el.Next() {
-		id := el.Value.(string)
+	for i := len(s.ids) - 1; i >= s.start && len(refs) < n; i-- {
+		id := s.ids[i]
 		refs = append(refs, RumorRef{ID: id, Hops: s.items[id].Hops})
 	}
 	return refs
@@ -113,8 +178,8 @@ func (s *rumorStore) RecentRefs(n int) []RumorRef {
 // newest first, capped at limit.
 func (s *rumorStore) MissingFrom(have map[string]struct{}, limit int) []Rumor {
 	var out []Rumor
-	for el := s.order.Front(); el != nil && len(out) < limit; el = el.Next() {
-		id := el.Value.(string)
+	for i := len(s.ids) - 1; i >= s.start && len(out) < limit; i-- {
+		id := s.ids[i]
 		if _, ok := have[id]; ok {
 			continue
 		}

@@ -43,6 +43,61 @@ func (p *StaticPeers) SelectPeers(rng *rand.Rand, n int, exclude string) []strin
 	return SamplePeers(rng, p.addrs, n, exclude)
 }
 
+// UniformPeers is a fixed peer set sampled without copying. StaticPeers
+// materializes an eligible-list copy per selection — fine when peer sets are
+// small, but at simulation scale (10^5..10^6 addresses, one selection per
+// forward) that is megabytes copied per message and dominates the run.
+// UniformPeers rejection-samples indices instead: O(fanout) per call, no
+// allocation beyond the result. Its draw sequence differs from StaticPeers,
+// so swapping providers changes seeded runs — it is for new harnesses, not a
+// drop-in replacement where byte-identical output matters.
+type UniformPeers struct {
+	addrs []string
+}
+
+var _ PeerProvider = (*UniformPeers)(nil)
+
+// NewUniformPeers copies addrs into a provider.
+func NewUniformPeers(addrs []string) *UniformPeers {
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return &UniformPeers{addrs: cp}
+}
+
+// Len returns the peer-set size.
+func (p *UniformPeers) Len() int { return len(p.addrs) }
+
+// SelectPeers draws up to n distinct peers uniformly without replacement by
+// index rejection. When n asks for a large share of the set (or all of it,
+// n < 0) it falls back to the shuffle-based sampler, where rejection would
+// thrash. No O(len) work happens on the fast path — not even an
+// eligibility count, which is why this scales where StaticPeers does not.
+func (p *UniformPeers) SelectPeers(rng *rand.Rand, n int, exclude string) []string {
+	if n < 0 || n*4 >= len(p.addrs) {
+		return SamplePeers(rng, p.addrs, n, exclude)
+	}
+	if n == 0 || len(p.addrs) == 0 {
+		return nil
+	}
+	// n*4 < len(addrs), so n distinct non-excluded picks always exist and
+	// each draw succeeds with probability > 1/2.
+	out := make([]string, 0, n)
+draw:
+	for len(out) < n {
+		a := p.addrs[rng.Intn(len(p.addrs))]
+		if a == exclude {
+			continue
+		}
+		for _, picked := range out {
+			if picked == a {
+				continue draw
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
 // SamplePeers draws up to n distinct addresses from addrs excluding exclude,
 // uniformly without replacement, via a partial Fisher-Yates shuffle. n < 0
 // returns all eligible addresses in shuffled order. addrs is not modified.

@@ -265,13 +265,16 @@ func (s *Service) Leave(ctx context.Context) {
 }
 
 // alivePeersLocked returns the sorted alive-address snapshot, rebuilding it
-// only after a view mutation. Callers must not retain or modify the slice
-// past the lock (samplers copy eligible entries before shuffling).
+// only after a view mutation. The snapshot's backing array is pooled —
+// rebuilds reuse it instead of allocating, which at heartbeat cadence across
+// a large simulated population is sustained allocator pressure — so callers
+// must not retain or read the slice past the lock (samplers copy eligible
+// entries before shuffling, under the lock).
 func (s *Service) alivePeersLocked() []string {
 	if s.aliveValid {
 		return s.alive
 	}
-	out := make([]string, 0, len(s.members))
+	out := s.alive[:0]
 	for addr, m := range s.members {
 		if m.State == StateAlive {
 			out = append(out, addr)
@@ -283,12 +286,12 @@ func (s *Service) alivePeersLocked() []string {
 	return out
 }
 
-// invalidateAliveLocked drops the cached alive snapshot after a mutation.
-// Every view mutation funnels through here, so it doubles as the update
-// point for the view-size gauge.
+// invalidateAliveLocked drops the cached alive snapshot after a mutation,
+// keeping its backing array for the next rebuild. Every view mutation
+// funnels through here, so it doubles as the update point for the view-size
+// gauge.
 func (s *Service) invalidateAliveLocked() {
 	s.aliveValid = false
-	s.alive = nil
 	s.stats.viewSize.Set(int64(len(s.members)))
 }
 
@@ -298,6 +301,11 @@ func (s *Service) encodeViewLocked() ([]byte, error) {
 	for _, m := range s.members {
 		entries = append(entries, entry{Addr: m.Addr, Heartbeat: m.Heartbeat})
 	}
+	// Sort the advertised view (self stays first). Receivers merge entries in
+	// wire order, and with a capped view each over-cap insert consumes an RNG
+	// draw to pick an eviction victim — map-order encoding would make the
+	// victim sequence, and hence the whole overlay, nondeterministic per run.
+	sort.Slice(entries[1:], func(i, j int) bool { return entries[1+i].Addr < entries[1+j].Addr })
 	return json.Marshal(exchangeMsg{Entries: entries})
 }
 
@@ -453,10 +461,11 @@ func (s *Service) Size() int {
 
 var _ gossip.PeerProvider = (*Service)(nil)
 
-// SelectPeers implements gossip.PeerProvider over the live view.
+// SelectPeers implements gossip.PeerProvider over the live view. Sampling
+// happens under the lock: the alive snapshot's backing array is pooled, so a
+// concurrent view mutation may rewrite it the moment the lock is released.
 func (s *Service) SelectPeers(rng *rand.Rand, n int, exclude string) []string {
 	s.mu.Lock()
-	peers := s.alivePeersLocked()
-	s.mu.Unlock()
-	return gossip.SamplePeers(rng, peers, n, exclude)
+	defer s.mu.Unlock()
+	return gossip.SamplePeers(rng, s.alivePeersLocked(), n, exclude)
 }

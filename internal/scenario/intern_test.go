@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScenarioInternedStores checks the cluster-wide envelope interner is
+// actually deduplicating: after a lossless push epidemic reaches all n
+// nodes, the n retained store copies must collapse to a handful of distinct
+// clones (one per hop-count value), with every other store hitting the
+// shared copy.
+func TestScenarioInternedStores(t *testing.T) {
+	const n = 48
+	c := newCluster(t, clusterConfig{n: n, seed: 17, repairEvery: 200 * time.Millisecond})
+	ctx := context.Background()
+	inter, err := c.init.StartInteraction(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.init.Notify(ctx, inter, eventBody{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.clk.Advance(200 * time.Millisecond)
+	if got := c.coverage(nil, 1); got != n {
+		t.Fatalf("push covered %d/%d", got, n)
+	}
+	hits, misses := c.intern.Stats()
+	if hits+misses < int64(n) {
+		t.Fatalf("interner saw %d retentions, want >= %d (every node stores the event)", hits+misses, n)
+	}
+	// The stored form varies only by remaining hop budget, so distinct
+	// clones are bounded by the hop count, not the population.
+	if misses > int64(inter.Params.Hops)+1 {
+		t.Fatalf("%d distinct clones for one event (hops=%d): interner not deduplicating", misses, inter.Params.Hops)
+	}
+	if hits < int64(n/2) {
+		t.Fatalf("only %d interner hits across %d nodes: stores are not sharing", hits, n)
+	}
+}

@@ -33,13 +33,14 @@ type memberNode struct {
 // subscribers, so every registration returns an empty target list and all
 // dissemination targets come from the membership overlay.
 type memberCluster struct {
-	t     *testing.T
-	clk   *clock.Virtual
-	bus   *virtBus
-	coord *core.Coordinator
-	seed  int64
-	nodes map[string]*memberNode
-	order []string // insertion-ordered addresses for deterministic asserts
+	t      *testing.T
+	clk    *clock.Virtual
+	bus    *virtBus
+	coord  *core.Coordinator
+	seed   int64
+	nodes  map[string]*memberNode
+	order  []string // insertion-ordered addresses for deterministic asserts
+	intern *soap.Interner
 }
 
 const (
@@ -55,7 +56,8 @@ func newMemberCluster(t *testing.T, seed int64) *memberCluster {
 	bus := newVirtBus(clk, seed, time.Millisecond, 5*time.Millisecond)
 	c := &memberCluster{
 		t: t, clk: clk, bus: bus, seed: seed,
-		nodes: make(map[string]*memberNode),
+		nodes:  make(map[string]*memberNode),
+		intern: soap.NewInterner(0),
 	}
 	c.coord = core.NewCoordinator(core.CoordinatorConfig{
 		Address: "mem://coordinator",
@@ -107,6 +109,7 @@ func (c *memberCluster) addNode(idx int, seeds []string) *memberNode {
 		App:     app,
 		RNG:     rand.New(rand.NewSource(c.seed*31 + int64(idx))),
 		Peers:   msvc,
+		Intern:  c.intern,
 	})
 	if err != nil {
 		c.t.Fatal(err)

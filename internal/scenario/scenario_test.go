@@ -48,6 +48,8 @@ type cluster struct {
 	// initReg is the initiator's own metrics registry (the initiator is not
 	// a cluster node but its plane's counters matter to delivery accounting).
 	initReg *metrics.Registry
+	// intern is the cluster-wide envelope interner every node's store shares.
+	intern *soap.Interner
 }
 
 // clusterConfig selects the deployment shape for one scenario.
@@ -98,6 +100,10 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 	c.coord = core.NewCoordinator(ccfg)
 	bus.Register("mem://coordinator", c.coord.Handler())
 
+	// One interner per cluster: every node's lazy/pull store shares a single
+	// deep clone of each gossiped notification instead of holding its own.
+	intern := soap.NewInterner(0)
+	c.intern = intern
 	ctx := context.Background()
 	for i := 0; i < cfg.n; i++ {
 		addr := fmt.Sprintf("mem://node%03d", i)
@@ -126,6 +132,7 @@ func newCluster(t *testing.T, cfg clusterConfig) *cluster {
 			RNG:     rand.New(rand.NewSource(cfg.seed*31 + int64(i))),
 			Clock:   clk,
 			Metrics: reg,
+			Intern:  intern,
 		})
 		if err != nil {
 			t.Fatal(err)

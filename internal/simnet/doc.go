@@ -16,4 +16,14 @@
 // one shared with core.Runner timers via NewOnClock, so thousands of
 // self-clocking nodes and their link latencies interleave on a single
 // deterministic timeline.
+//
+// Failure semantics distinguish transient from permanent absence. Crash is
+// transient: in-flight deliveries keep their timers and land if the node
+// Recovers before they arrive. Depart is permanent (a churn leave): messages
+// to a departed node are dropped at enqueue time, after consuming the same
+// loss and latency draws a live destination would have, so survivors' random
+// streams are unaffected while the timer queue carries no deliveries into
+// dead nodes — the property that lets churn runs scale to 10^5-10^6 nodes.
+// NewCompactRNG supplies a 16-byte splitmix64 rand.Rand for per-node state
+// at that scale (math/rand's default source is ~5 KiB per instance).
 package simnet

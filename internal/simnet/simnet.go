@@ -57,6 +57,7 @@ type Network struct {
 	rng       *rand.Rand
 	nodes     map[string]*Node
 	crashed   map[string]bool
+	departed  map[string]bool
 	slowdown  map[string]time.Duration
 	partition map[string]int // addr -> group id; absent means group 0
 	split     bool
@@ -83,6 +84,7 @@ func NewOnClock(cfg Config, clk *clock.Virtual) *Network {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		nodes:     make(map[string]*Node),
 		crashed:   make(map[string]bool),
+		departed:  make(map[string]bool),
 		slowdown:  make(map[string]time.Duration),
 		partition: make(map[string]int),
 		lossRate:  cfg.LossRate,
@@ -133,18 +135,42 @@ func (n *Network) Crash(addr string) {
 	n.crashed[addr] = true
 }
 
-// Recover clears the crash flag for addr.
+// Depart marks addr as permanently gone (a churn leave, as opposed to a
+// transient Crash). Like a crashed node it cannot send and receives nothing,
+// but the distinction matters for the event queue: messages addressed to a
+// departed node are dropped at enqueue time, before a delivery timer is
+// scheduled, so a large churned-out population does not fill the timer queue
+// with deliveries destined for dead nodes. The link RNG draws (loss, latency)
+// are still consumed, so runs with and without the enqueue-time drop see
+// identical random streams for the surviving traffic.
+func (n *Network) Depart(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[addr] = true
+	n.departed[addr] = true
+}
+
+// Recover clears the crash flag for addr. Recovering a departed node
+// re-admits it (rejoin as the same endpoint): both flags clear.
 func (n *Network) Recover(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.crashed, addr)
+	delete(n.departed, addr)
 }
 
-// Crashed reports whether addr is currently crashed.
+// Crashed reports whether addr is currently crashed (or departed).
 func (n *Network) Crashed(addr string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.crashed[addr]
+}
+
+// Departed reports whether addr has permanently left.
+func (n *Network) Departed(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.departed[addr]
 }
 
 // SetLossRate changes the global message loss probability.
@@ -248,6 +274,15 @@ func (n *Network) send(from string, msg transport.Message) error {
 	latency := n.cfg.MinLatency
 	if span := n.cfg.MaxLatency - n.cfg.MinLatency; span > 0 {
 		latency += time.Duration(n.rng.Int63n(int64(span) + 1))
+	}
+	if n.departed[msg.To] {
+		// Departed (vs transiently crashed) nodes never come back for this
+		// message: drop at enqueue instead of scheduling a delivery timer
+		// into a dead node. The loss and latency draws above have already
+		// been consumed, so the RNG stream seen by surviving traffic is
+		// identical to a run without the early drop.
+		n.stats.Dropped++
+		return nil
 	}
 	latency += n.cfg.ProcDelay + n.slowdown[msg.To]
 	msg.From = from

@@ -311,6 +311,126 @@ func TestLatencyBoundsProperty(t *testing.T) {
 	}
 }
 
+// TestDepartDropsAtEnqueue pins the churn bugfix: a message to a departed
+// node is dropped at send time — counted, but never scheduled as a delivery
+// timer — while a transiently crashed node still gets an in-flight delivery
+// that can land after Recover.
+func TestDepartDropsAtEnqueue(t *testing.T) {
+	net := New(lossless(1))
+	a := net.Node("a")
+	b := net.Node("b")
+	delivered := 0
+	b.SetHandler(func(context.Context, transport.Message) error {
+		delivered++
+		return nil
+	})
+	net.Depart("b")
+	if !net.Crashed("b") || !net.Departed("b") {
+		t.Fatal("departed node should report both Crashed and Departed")
+	}
+	if err := a.Send(context.Background(), transport.Message{To: "b"}); err != nil {
+		t.Fatalf("send to departed dest should be silent drop, got %v", err)
+	}
+	if got := net.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after send to departed node, want 0 (no delivery timer)", got)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Dropped != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want the enqueue-time drop counted", st)
+	}
+	net.Run()
+	if delivered != 0 {
+		t.Fatal("departed node received a message")
+	}
+
+	// Contrast: Crash keeps delivery-time semantics — the timer is scheduled
+	// and the message lands if the node recovers before it arrives.
+	net.Recover("b")
+	net.Crash("b")
+	_ = a.Send(context.Background(), transport.Message{To: "b"})
+	if net.Pending() == 0 {
+		t.Fatal("crashed (not departed) dest should still get a delivery timer")
+	}
+	net.Recover("b")
+	net.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered after crash+recover = %d, want 1", delivered)
+	}
+}
+
+// TestDepartPreservesRNGStream checks the determinism contract of the
+// enqueue-time drop: traffic between surviving nodes sees the same loss
+// pattern and the same per-message latency draws whether the unrelated
+// messages addressed to a dead node are dropped early (Depart) or carried to
+// their delivery time (Crash). Absolute virtual times may differ — the dead
+// deliveries no longer advance the clock — but the random stream feeding the
+// survivors must not shift.
+func TestDepartPreservesRNGStream(t *testing.T) {
+	run := func(depart bool) []time.Duration {
+		net := New(Config{Seed: 9, MinLatency: time.Millisecond, MaxLatency: 20 * time.Millisecond, LossRate: 0.3})
+		a := net.Node("a")
+		b := net.Node("b")
+		net.Node("gone")
+		var latencies []time.Duration
+		var sentAt time.Duration
+		b.SetHandler(func(context.Context, transport.Message) error {
+			latencies = append(latencies, net.Now()-sentAt)
+			return nil
+		})
+		if depart {
+			net.Depart("gone")
+		} else {
+			net.Crash("gone")
+		}
+		for i := 0; i < 50; i++ {
+			_ = a.Send(context.Background(), transport.Message{To: "gone"})
+			sentAt = net.Now()
+			_ = a.Send(context.Background(), transport.Message{To: "b"})
+			net.Run()
+			latencies = append(latencies, -1) // iteration marker: encodes the loss pattern
+		}
+		return latencies
+	}
+	crashLat := run(false)
+	departLat := run(true)
+	if len(crashLat) != len(departLat) {
+		t.Fatalf("survivor delivery pattern differs: crash %d entries, depart %d", len(crashLat), len(departLat))
+	}
+	for i := range crashLat {
+		if crashLat[i] != departLat[i] {
+			t.Fatalf("entry %d: %v with depart, %v with crash: RNG stream shifted", i, departLat[i], crashLat[i])
+		}
+	}
+}
+
+// TestCompactRNGDeterministic pins the scale-mode RNG: same seed, same
+// stream, and distinct seeds diverge.
+func TestCompactRNGDeterministic(t *testing.T) {
+	r1 := NewCompactRNG(77)
+	r2 := NewCompactRNG(77)
+	r3 := NewCompactRNG(78)
+	same3 := true
+	for i := 0; i < 1000; i++ {
+		a, b, c := r1.Uint64(), r2.Uint64(), r3.Uint64()
+		if a != b {
+			t.Fatalf("draw %d: same seed diverged", i)
+		}
+		if a != c {
+			same3 = false
+		}
+	}
+	if same3 {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// Int63n must stay in range (exercises the Int63 path).
+	r := NewCompactRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int63n(10); v < 0 || v >= 10 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
 func TestStatsBytes(t *testing.T) {
 	net := New(lossless(1))
 	a := net.Node("a")

@@ -1,0 +1,104 @@
+package soap
+
+import "sync"
+
+// Interner deduplicates stored envelope clones across many node stores. In a
+// simulated cluster every Disseminator's lazy/pull store holds its own deep
+// Clone of each gossiped notification; with N nodes that is N copies of
+// byte-identical header and body blocks. An Interner keyed by the caller's
+// identity string (message ID plus any mutating fields, e.g. hop count)
+// returns one shared clone instead, so N stores reference a single copy.
+//
+// Safety rests on the store-side read discipline: stored envelopes are never
+// mutated in place — readers take Snapshot() (copy-on-write block lists)
+// before re-addressing or editing, and Raw bytes are treated as immutable
+// package-wide. The interner is bounded: when full, the oldest key is
+// evicted FIFO, degrading gracefully to per-store clones for evicted keys.
+// Safe for concurrent use.
+type Interner struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*Envelope
+	keys  []string // insertion order; keys[start:] live
+	start int
+
+	hits   int64
+	misses int64
+}
+
+// DefaultInternerSize bounds an Interner created with capacity <= 0. Sized
+// to the working set of in-flight notifications, not the population.
+const DefaultInternerSize = 4096
+
+// NewInterner returns an interner holding at most capacity distinct keys.
+func NewInterner(capacity int) *Interner {
+	if capacity <= 0 {
+		capacity = DefaultInternerSize
+	}
+	return &Interner{
+		cap:   capacity,
+		items: make(map[string]*Envelope, min(capacity, 1024)),
+	}
+}
+
+// Clone returns a deep clone of env shared by every caller presenting the
+// same key. The caller must treat the result as immutable except through
+// Snapshot (the discipline all store paths already follow). key must
+// identify the envelope's content exactly: two envelopes whose stored form
+// differs (different hop budget, different body) must use different keys.
+func (in *Interner) Clone(key string, env *Envelope) *Envelope {
+	in.mu.Lock()
+	if e, ok := in.items[key]; ok {
+		in.hits++
+		in.mu.Unlock()
+		return e
+	}
+	in.misses++
+	in.mu.Unlock()
+
+	// Clone outside the lock: deep-copying blocks is the expensive part and
+	// contended stores would serialize on it. A racing double-clone for the
+	// same key is harmless — one wins the map, both are valid.
+	e := env.Clone()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if won, ok := in.items[key]; ok {
+		return won
+	}
+	in.items[key] = e
+	in.keys = append(in.keys, key)
+	for len(in.items) > in.cap {
+		delete(in.items, in.keys[in.start])
+		in.keys[in.start] = ""
+		in.start++
+	}
+	if in.start > len(in.keys)/2 && in.start > 64 {
+		in.keys = append(in.keys[:0], in.keys[in.start:]...)
+		in.start = 0
+	}
+	return e
+}
+
+// Stats returns the hit and miss counts since creation. In a healthy
+// N-node simulation hits approach (N-1) x misses: one clone per
+// notification, shared by every other store.
+func (in *Interner) Stats() (hits, misses int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits, in.misses
+}
+
+// Len returns the number of interned envelopes currently held.
+func (in *Interner) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.items)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

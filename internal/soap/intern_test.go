@@ -1,0 +1,97 @@
+package soap
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func internTestEnvelope(t *testing.T, body string) *Envelope {
+	t.Helper()
+	env := NewEnvelope()
+	env.Body.Blocks = append(env.Body.Blocks, Block{Raw: []byte("<x>" + body + "</x>")})
+	return env
+}
+
+func TestInternerSharesOneCloneAcrossKeys(t *testing.T) {
+	in := NewInterner(16)
+	env := internTestEnvelope(t, "payload")
+	a := in.Clone("m1#3", env)
+	b := in.Clone("m1#3", env)
+	if a != b {
+		t.Fatal("same key returned distinct clones")
+	}
+	if a == env {
+		t.Fatal("interner returned the original instead of a clone")
+	}
+	c := in.Clone("m1#2", env)
+	if c == a {
+		t.Fatal("different keys shared one clone")
+	}
+	hits, misses := in.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 2", hits, misses)
+	}
+}
+
+func TestInternerSharedCloneIsSnapshotSafe(t *testing.T) {
+	in := NewInterner(16)
+	env := internTestEnvelope(t, "shared")
+	shared := in.Clone("k", env)
+	snap := shared.Snapshot()
+	snap.Body.Blocks = append(snap.Body.Blocks, Block{Raw: []byte("<extra/>")})
+	again := in.Clone("k", env)
+	if len(again.Body.Blocks) != 1 {
+		t.Fatalf("mutating a snapshot leaked into the interned copy: %d body blocks", len(again.Body.Blocks))
+	}
+}
+
+func TestInternerBoundedFIFO(t *testing.T) {
+	in := NewInterner(8)
+	env := internTestEnvelope(t, "x")
+	for i := 0; i < 100; i++ {
+		in.Clone(fmt.Sprintf("k%d", i), env)
+	}
+	if got := in.Len(); got != 8 {
+		t.Fatalf("Len = %d, want capacity 8", got)
+	}
+	// Oldest keys evicted: re-cloning k0 is a miss, newest keys are hits.
+	_, missesBefore := in.Stats()
+	in.Clone("k0", env)
+	_, missesAfter := in.Stats()
+	if missesAfter != missesBefore+1 {
+		t.Fatal("evicted key was still interned")
+	}
+	hitsBefore, _ := in.Stats()
+	in.Clone("k99", env)
+	hitsAfter, _ := in.Stats()
+	if hitsAfter != hitsBefore+1 {
+		t.Fatal("recent key was evicted out of FIFO order")
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner(64)
+	env := internTestEnvelope(t, "c")
+	var wg sync.WaitGroup
+	results := make([]*Envelope, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := in.Clone("hot", env)
+				if g == 0 && i == 199 {
+					results[0] = e
+				}
+				results[g] = e
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(results); g++ {
+		if results[g] != results[0] {
+			t.Fatal("concurrent callers got distinct clones for one key")
+		}
+	}
+}

@@ -75,16 +75,20 @@ func TestWireMetricsBytesOutAndPool(t *testing.T) {
 	putBytes(out)
 
 	// A power-of-two size maps get and put onto the same class, so a
-	// recycled buffer is deterministically a hit on the next get.
+	// recycled buffer hits on the next get — except under the race
+	// detector, where sync.Pool deliberately drops a random fraction of
+	// puts and gets to flush out lifecycle bugs. Loop until a recycle
+	// lands instead of asserting that the first one does.
 	pool := reg.CounterVec("soap_pool_gets_total", "result")
-	b := getBytes(1 << 12)
-	putBytes(b[:0])
 	hitsBefore := pool.With("hit").Value()
-	b = getBytes(1 << 12)
-	putBytes(b[:0])
-	if got := pool.With("hit").Value(); got != hitsBefore+1 {
-		t.Fatalf("pool hits = %d, want %d (misses=%d)",
-			got, hitsBefore+1, pool.With("miss").Value())
+	hit := false
+	for attempt := 0; attempt < 100 && !hit; attempt++ {
+		b := getBytes(1 << 12)
+		putBytes(b[:0])
+		hit = pool.With("hit").Value() > hitsBefore
+	}
+	if !hit {
+		t.Fatalf("no pool hit in 100 put/get cycles (misses=%d)", pool.With("miss").Value())
 	}
 	// Every get was either a hit or a miss — no unrecorded outcomes.
 	total := pool.With("hit").Value() + pool.With("miss").Value()
