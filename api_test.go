@@ -301,3 +301,58 @@ func TestPublicAPIRunner(t *testing.T) {
 		t.Fatalf("estimate %.4f vs truth %.4f beyond 1%%", est, truth)
 	}
 }
+
+// apiRefuser fails every send with a connection error and answers no calls;
+// it stands in for a broken direct link in the prober test below.
+type apiRefuser struct{}
+
+func (apiRefuser) Call(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+	return nil, fmt.Errorf("refused")
+}
+func (apiRefuser) Send(context.Context, string, *soap.Envelope) error {
+	return fmt.Errorf("refused")
+}
+
+// TestPublicAPIFaultTolerance drives the asymmetric-failure surface through
+// the public package: a parsed fault plan applied to a fault table, and a
+// prober whose helperless round escalates to the down callback.
+func TestPublicAPIFaultTolerance(t *testing.T) {
+	plan, err := wsgossip.ParseFaultPlan("0ms refuse a->b name=oneway\n10ms heal oneway\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := wsgossip.NewFaultTable()
+	clk := clock.NewVirtual()
+	if err := plan.Schedule(clk, wsgossip.FaultApplier{Table: tbl}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(0)
+	if d := tbl.Check("a", "b"); d.Outcome.String() != "refuse" {
+		t.Fatalf("outcome = %v", d.Outcome)
+	}
+	if d := tbl.Check("b", "a"); d.Outcome.String() != "deliver" {
+		t.Fatalf("reverse direction = %v, want deliver (the fault is asymmetric)", d.Outcome)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if d := tbl.Check("a", "b"); d.Outcome.String() != "deliver" {
+		t.Fatalf("after heal = %v", d.Outcome)
+	}
+	if tbl.Counts()["oneway"] != 1 {
+		t.Fatalf("counts = %v", tbl.Counts())
+	}
+
+	var down []string
+	prober := wsgossip.NewProber(wsgossip.ProberConfig{
+		Self:   "urn:self",
+		Caller: apiRefuser{},
+		Clock:  clk,
+		OnDown: func(addr string) { down = append(down, addr) },
+	})
+	prober.Confirm("urn:peer") // no helpers: immediate confirmed-down
+	if len(down) != 1 || down[0] != "urn:peer" {
+		t.Fatalf("down = %v", down)
+	}
+	if st := prober.Stats(); st.NoHelpers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"wsgossip/internal/membership"
 	"wsgossip/internal/metrics"
 	"wsgossip/internal/obs"
+	"wsgossip/internal/probe"
 	"wsgossip/internal/soap"
 	"wsgossip/internal/transport"
 )
@@ -81,6 +82,8 @@ func run() error {
 		delTimeout  = flag.Duration("delivery-timeout", 0, "per-attempt send timeout on the delivery plane, 0 = default 2s (disseminator, initiator)")
 		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that open a peer's circuit, 0 = default 5 (disseminator, initiator)")
 		brkCooldown = flag.Duration("breaker-cooldown", 0, "open-circuit cooldown before a half-open probe, 0 = default 5s (disseminator, initiator)")
+		probeK      = flag.Int("probe-k", 3, "helpers asked to confirm a suspect indirectly before it is declared down; needs -delivery and -members, negative asks every helper, 0 disables indirect probing (disseminator)")
+		probeWait   = flag.Duration("probe-timeout", 0, "indirect-probe round deadline, 0 = default 2s (disseminator)")
 		admitRate   = flag.Float64("admit-rate", 0, "inbound admission rate in requests/second: excess requests are shed with a retry-after fault senders honor, 0 disables (disseminator)")
 		admitBurst  = flag.Int("admit-burst", 0, "admission token-bucket depth, 0 = max(1, -admit-rate) (disseminator)")
 	)
@@ -104,9 +107,11 @@ func run() error {
 			aggEvery: *aggEvery, value: *value, jitter: *jitter, seed: *seed,
 			members: *members, memberEvery: *memberEvery, quiescent: *quiescent,
 			metricsAddr: *metricsAddr,
-			delivery:   df,
-			admitRate:  *admitRate,
-			admitBurst: *admitBurst,
+			delivery:     df,
+			probeK:       *probeK,
+			probeTimeout: *probeWait,
+			admitRate:    *admitRate,
+			admitBurst:   *admitBurst,
 		}
 		return runSubscriber(cfg, client)
 	case "initiator":
@@ -131,8 +136,9 @@ type deliveryFlags struct {
 }
 
 // newPlane wraps caller in a delivery.Plane configured from the flags.
-// onDown, when non-nil, runs on each closed → open circuit transition.
-func (f deliveryFlags) newPlane(caller soap.Caller, clk clock.Clock, rng *rand.Rand, reg *metrics.Registry, onDown func(addr string)) *delivery.Plane {
+// onDown, when non-nil, runs on each closed → open circuit transition;
+// onUp on each open → closed recovery.
+func (f deliveryFlags) newPlane(caller soap.Caller, clk clock.Clock, rng *rand.Rand, reg *metrics.Registry, onDown, onUp func(addr string)) *delivery.Plane {
 	return delivery.NewPlane(delivery.Config{
 		Caller:           caller,
 		Clock:            clk,
@@ -143,6 +149,7 @@ func (f deliveryFlags) newPlane(caller soap.Caller, clk clock.Clock, rng *rand.R
 		BreakerThreshold: f.threshold,
 		BreakerCooldown:  f.cooldown,
 		OnPeerDown:       onDown,
+		OnPeerUp:         onUp,
 	})
 }
 
@@ -304,6 +311,8 @@ type subscriberConfig struct {
 	quiescent                         time.Duration
 	metricsAddr                       string
 	delivery                          deliveryFlags
+	probeK                            int
+	probeTimeout                      time.Duration
 	admitRate                         float64
 	admitBurst                        int
 }
@@ -320,6 +329,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 	var d *core.Disseminator
 	var msvc *membership.Service
 	var plane *delivery.Plane
+	var prober *probe.Prober
 	var handler soap.Handler
 	subscribedRole := core.RoleConsumer
 	// Consumers can only take notifications; disseminators extend this
@@ -369,15 +379,52 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 		// detector and must observe the real link, not a retried view of it.
 		// An opening circuit feeds back into that detector via Suspect, and
 		// sampling skips open-circuit peers until their half-open probe.
+		//
+		// With a live view and -probe-k, an opened circuit first asks K
+		// peers to reach the suspect indirectly (SWIM-style ping-req): a
+		// positive indirect ack means the fault is ours alone — the
+		// suspicion is averted and the link marked asymmetric-degraded;
+		// only a fully negative round escalates to Suspect. The probes ride
+		// the raw client for the same reason membership does.
 		if cfg.delivery.enabled {
-			plane = cfg.delivery.newPlane(client, clock.NewReal(),
-				rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr)+4)), reg,
-				func(peer string) {
-					if msvc != nil {
-						msvc.Suspect(peer)
-					}
-					log.Printf("[%s] delivery: circuit opened for %s", cfg.role, peer)
+			suspect := func(peer string) {
+				if msvc != nil {
+					msvc.Suspect(peer)
+				}
+				log.Printf("[%s] delivery: circuit opened for %s", cfg.role, peer)
+			}
+			onDown := suspect
+			var onUp func(string)
+			if msvc != nil && cfg.probeK != 0 {
+				prober = probe.New(probe.Config{
+					Self:    addr,
+					Caller:  client,
+					Clock:   clock.NewReal(),
+					Peers:   msvc,
+					K:       cfg.probeK,
+					Timeout: cfg.probeTimeout,
+					RNG:     rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 5)),
+					Metrics: reg,
+					OnDown: func(peer string) {
+						log.Printf("[%s] probe: no indirect path to %s; confirming down", cfg.role, peer)
+						if msvc != nil {
+							msvc.Suspect(peer)
+						}
+					},
+					OnAverted: func(peer string) {
+						log.Printf("[%s] probe: %s alive via indirect path; suspicion averted, link degraded", cfg.role, peer)
+					},
 				})
+				prober.RegisterActions(dispatcher)
+				onDown = func(peer string) {
+					log.Printf("[%s] delivery: circuit opened for %s; adjudicating indirectly", cfg.role, peer)
+					prober.Confirm(peer)
+				}
+				onUp = prober.ClearDegraded
+				log.Printf("[%s] indirect probing on: k=%d", cfg.role, cfg.probeK)
+			}
+			plane = cfg.delivery.newPlane(client, clock.NewReal(),
+				rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr)+4)), reg, onDown, onUp)
 			defer plane.Close()
 			dcfg.Caller = plane
 			if msvc != nil {
@@ -541,6 +588,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			h.Loops = obs.LoopsFrom(runner.LoopStates())
 		}
 		h.Delivery = obs.DeliveryFrom(plane)
+		h.Probe = obs.ProbeFrom(prober)
 		return h
 	}
 	log.Printf("%s serving at %s (listen %s)", cfg.role, addr, cfg.listen)
@@ -565,7 +613,7 @@ func runInitiator(coordinator, message string, count int, client *soap.HTTPClien
 	var plane *delivery.Plane
 	if df.enabled {
 		plane = df.newPlane(client, clock.NewReal(),
-			rand.New(rand.NewSource(scheduleSeed(0, initAddr))), reg, nil)
+			rand.New(rand.NewSource(scheduleSeed(0, initAddr))), reg, nil, nil)
 		defer plane.Close()
 		caller = plane
 	}

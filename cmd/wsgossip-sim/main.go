@@ -12,6 +12,15 @@
 // aggregation (count/sum/avg/min/max) and reports estimate accuracy,
 // convergence rounds vs the analytic variance-decay model, and — on lossy
 // links — how much conserved mass the network destroyed.
+//
+// Gossip and churn modes additionally accept -faults <file>, a fault plan
+// (see internal/faults.ParsePlan for the grammar) scheduled on the
+// simulation clock: directional cuts, connection-refused links, NAT'd
+// nodes, per-link loss and delay, and node crash/recover, all replayable
+// under the run's seed. The report then carries per-rule fault counters,
+// and the run exits non-zero if the table's totals disagree with the
+// network's fault-attributed stats — exact fault↔counter accounting is a
+// gate, not a printout.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/epidemic"
 	"wsgossip/internal/experiments"
+	"wsgossip/internal/faults"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/membership"
 	"wsgossip/internal/metrics"
@@ -108,10 +118,21 @@ func run() error {
 		minCov    = flag.Float64("min-coverage", 0, "coverage budget: exit non-zero when the run's coverage falls below this fraction, 0 disables")
 		expName   = flag.String("exp", "", "large-N scaling experiment: coverage (E1-style point) or churn (E9-style point); uses the memory-diet harness, N=10^5..10^6 is the design target")
 		maxRSSMB  = flag.Int("max-rss-mb", 0, "memory budget for -exp runs: exit non-zero when peak RSS (VmHWM) exceeds this many MiB, 0 disables")
+		faultPath = flag.String("faults", "", "fault plan file scheduled on the simulation clock (gossip and churn modes); events apply as virtual time advances, so plan times should land inside the run's horizon")
 	)
 	flag.Parse()
 	if *minCov < 0 || *minCov > 1 {
 		return fmt.Errorf("min-coverage must be in [0,1]")
+	}
+	var plan *faults.Plan
+	if *faultPath != "" {
+		if *expName != "" || *mode == "aggregate" {
+			return fmt.Errorf("-faults applies to gossip and churn modes only")
+		}
+		var err error
+		if plan, err = loadFaultPlan(*faultPath); err != nil {
+			return err
+		}
 	}
 
 	if *expName != "" {
@@ -122,7 +143,7 @@ func run() error {
 		return runAggregate(*n, *fanout, *aggName, *eps, *maxRounds, *loss, *seed, *dumpReg, *minCov)
 	}
 	if *mode == "churn" {
-		return runChurn(*n, *fanout, *loss, *crash, *seed, *ticks, *dumpReg, *minCov)
+		return runChurn(*n, *fanout, *loss, *crash, *seed, *ticks, *dumpReg, *minCov, plan)
 	}
 	if *mode != "gossip" {
 		return fmt.Errorf("unknown mode %q (want gossip, aggregate, or churn)", *mode)
@@ -145,6 +166,10 @@ func run() error {
 
 	reg := metrics.NewRegistry()
 	net := simnet.New(simnet.DefaultConfig(*seed))
+	ftbl, err := installFaults(net, plan)
+	if err != nil {
+		return err
+	}
 	addrs := make([]string, *n)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("n%05d", i)
@@ -263,6 +288,13 @@ func run() error {
 	fmt.Printf("  control msgs:             %d\n", total.IHaveSent+total.IWantSent+total.PullReqs+total.PullResps)
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
+	if ftbl != nil {
+		reg.Counter("net_fault_refused_total").Add(st.FaultRefused)
+		reg.Counter("net_fault_dropped_total").Add(st.FaultDropped)
+		if err := reportFaults(ftbl, st); err != nil {
+			return err
+		}
+	}
 	reg.Counter("gossip_forwarded_total").Add(total.Forwarded)
 	reg.Counter("gossip_duplicates_total").Add(total.Duplicates)
 	reg.Counter("net_sent_total").Add(st.Sent)
@@ -270,6 +302,65 @@ func run() error {
 	reg.Counter("net_dropped_total").Add(st.Dropped)
 	reg.Counter("net_bytes_total").Add(st.Bytes)
 	return finish(reg, *dumpReg, covSum/float64(len(ids)), *minCov)
+}
+
+// loadFaultPlan reads and parses a fault plan file.
+func loadFaultPlan(path string) (*faults.Plan, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := faults.ParsePlan(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return plan, nil
+}
+
+// installFaults puts a fresh fault table on the network and schedules the
+// plan's timeline on the simulation clock, binding crash/recover ops to the
+// fabric's node lifecycle. A nil plan installs nothing (and costs nothing:
+// without a table the network's RNG stream is byte-identical to pre-fault
+// builds).
+func installFaults(net *simnet.Network, plan *faults.Plan) (*faults.Table, error) {
+	if plan == nil {
+		return nil, nil
+	}
+	tbl := faults.NewTable()
+	net.SetFaults(tbl)
+	err := plan.Schedule(net.Clock(), faults.Applier{
+		Table:   tbl,
+		Crash:   net.Crash,
+		Recover: net.Recover,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// reportFaults prints the per-rule fault counters (sorted by rule name) and
+// enforces exact accounting: every refusal the table charged to a rule must
+// show up in the network's FaultRefused, and every cut/partition/link-loss
+// drop in FaultDropped. A mismatch means a consumer miscounted — that is a
+// bug in the harness, so the run fails rather than printing a wrong report.
+func reportFaults(tbl *faults.Table, st simnet.Stats) error {
+	counts := tbl.Counts()
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("  faults: refused=%d dropped=%d\n", st.FaultRefused, st.FaultDropped)
+	for _, name := range names {
+		fmt.Printf("    rule %-24s %d\n", name, counts[name])
+	}
+	tot := tbl.Totals()
+	if tot.Refused != st.FaultRefused || tot.Dropped+tot.Lost != st.FaultDropped {
+		return fmt.Errorf("fault accounting breach: table totals %+v vs network stats refused=%d dropped=%d",
+			tot, st.FaultRefused, st.FaultDropped)
+	}
+	return nil
 }
 
 // finish stamps the run's coverage into the registry, dumps the snapshot
@@ -383,7 +474,7 @@ func memReport() int {
 // exists anywhere), a crash-fraction of nodes leaves mid-run, fresh nodes
 // join, and a rumor published after the churn must still cover the final
 // population through view-driven push-pull rounds.
-func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int, dumpReg bool, minCov float64) error {
+func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int, dumpReg bool, minCov float64, plan *faults.Plan) error {
 	if n < 4 || fanout < 1 {
 		return fmt.Errorf("churn mode needs n >= 4 and fanout >= 1")
 	}
@@ -400,6 +491,10 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int, dum
 	reg := metrics.NewRegistry()
 	net := simnet.New(simnet.DefaultConfig(seed))
 	clk := net.Clock()
+	ftbl, err := installFaults(net, plan)
+	if err != nil {
+		return err
+	}
 
 	type churnNode struct {
 		addr   string
@@ -557,6 +652,13 @@ func runChurn(n, fanout int, loss, leaveFrac float64, seed int64, ticks int, dum
 	fmt.Printf("  post-churn coverage:      %d/%d alive (%d/%d joiners)\n", covered, alive, joinCovered, joiners)
 	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
 	fmt.Printf("  virtual time:             %v\n", net.Now())
+	if ftbl != nil {
+		reg.Counter("net_fault_refused_total").Add(st.FaultRefused)
+		reg.Counter("net_fault_dropped_total").Add(st.FaultDropped)
+		if err := reportFaults(ftbl, st); err != nil {
+			return err
+		}
+	}
 	reg.Counter("net_sent_total").Add(st.Sent)
 	reg.Counter("net_delivered_total").Add(st.Delivered)
 	reg.Counter("net_dropped_total").Add(st.Dropped)

@@ -69,8 +69,13 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// OnPeerDown, when set, runs (outside the plane's lock) each time a
 	// peer's circuit transitions closed → open — the hook the membership
-	// layer uses to mark the peer suspect.
+	// layer uses to mark the peer suspect (or, with an indirect prober
+	// interposed, to open a confirmation round first).
 	OnPeerDown func(addr string)
+	// OnPeerUp, when set, runs (outside the plane's lock) each time a
+	// peer's circuit transitions open → closed — the direct path works
+	// again, so probe-derived degraded marks can be cleared.
+	OnPeerUp func(addr string)
 }
 
 func (c *Config) withDefaults() Config {
@@ -242,32 +247,32 @@ func (p *Plane) Call(ctx context.Context, to string, env *soap.Envelope) (*soap.
 	cancel()
 	p.m.attemptSec.Observe((p.cfg.Clock.Now() - start).Seconds())
 
-	var down func()
+	var notify func()
 	p.mu.Lock()
 	ps.inflight--
 	p.m.inflight.Add(-1)
 	now = p.cfg.Clock.Now()
 	switch {
 	case err == nil:
-		p.noteSuccessLocked(ps)
+		notify = p.noteSuccessLocked(ps)
 	case soap.IsSenderFault(err):
 		p.m.failSender.Inc()
-		p.noteSuccessLocked(ps) // the peer answered; our request was bad
+		notify = p.noteSuccessLocked(ps) // the peer answered; our request was bad
 	default:
 		if hint, ok := soap.RetryAfterHint(err); ok {
 			p.m.failShed.Inc()
 			p.m.deferrals.Inc()
 			p.deferLocked(ps, now, hint)
-			p.noteSuccessLocked(ps) // overloaded ≠ down
+			notify = p.noteSuccessLocked(ps) // overloaded ≠ down
 		} else {
 			p.m.failTransport.Inc()
-			down = p.noteFailureLocked(ps, now)
+			notify = p.noteFailureLocked(ps, now)
 		}
 	}
 	p.schedulePumpLocked(ps, now)
 	p.mu.Unlock()
-	if down != nil {
-		down()
+	if notify != nil {
+		notify()
 	}
 	return resp, err
 }
@@ -316,10 +321,10 @@ func (p *Plane) submit(ctx context.Context, to string, it *item) error {
 	p.mu.Lock()
 	ps.inflight--
 	p.m.inflight.Add(-1)
-	ret, down := p.settleLocked(ps, it, err)
+	ret, notify := p.settleLocked(ps, it, err)
 	p.mu.Unlock()
-	if down != nil {
-		down()
+	if notify != nil {
+		notify()
 	}
 	return ret
 }
@@ -351,32 +356,33 @@ func (p *Plane) attempt(ctx context.Context, to string, it *item) error {
 // settleLocked classifies one attempt's outcome and updates the breaker,
 // deferral, and queue accordingly. It returns the error the submitter
 // should surface (nil when the plane keeps responsibility) and the
-// OnPeerDown hook to run after unlocking, if the circuit just opened.
-func (p *Plane) settleLocked(ps *peerState, it *item, err error) (ret error, down func()) {
+// OnPeerDown/OnPeerUp hook to run after unlocking, if the circuit just
+// transitioned.
+func (p *Plane) settleLocked(ps *peerState, it *item, err error) (ret error, notify func()) {
 	now := p.cfg.Clock.Now()
 	switch {
 	case err == nil:
-		p.noteSuccessLocked(ps)
+		notify = p.noteSuccessLocked(ps)
 		p.schedulePumpLocked(ps, now)
-		return nil, nil
+		return nil, notify
 	case soap.IsSenderFault(err):
 		// The receiver is alive and rejected these bytes for good: drop
 		// the message, never the peer.
 		p.m.failSender.Inc()
 		p.m.dropSender.Inc()
-		p.noteSuccessLocked(ps)
+		notify = p.noteSuccessLocked(ps)
 		p.schedulePumpLocked(ps, now)
-		return err, nil
+		return err, notify
 	default:
 		if hint, ok := soap.RetryAfterHint(err); ok {
 			p.m.failShed.Inc()
 			p.m.deferrals.Inc()
 			p.deferLocked(ps, now, hint)
-			p.noteSuccessLocked(ps)
+			notify = p.noteSuccessLocked(ps)
 			ret = p.requeueLocked(ps, it, now)
 		} else {
 			p.m.failTransport.Inc()
-			down = p.noteFailureLocked(ps, now)
+			notify = p.noteFailureLocked(ps, now)
 			ps.backoffUntil = now + p.backoffLocked(it.attempts)
 			ret = p.requeueLocked(ps, it, now)
 		}
@@ -384,7 +390,7 @@ func (p *Plane) settleLocked(ps *peerState, it *item, err error) (ret error, dow
 		// queue full): messages behind it must not be stranded — with the
 		// breaker open, fresh sends fast-fail and would never revive them.
 		p.schedulePumpLocked(ps, now)
-		return ret, down
+		return ret, notify
 	}
 }
 
@@ -426,15 +432,22 @@ func (p *Plane) enqueueLocked(ps *peerState, it *item, front bool) bool {
 }
 
 // noteSuccessLocked resets the peer's failure streak and closes an open
-// circuit (successful half-open probe, or a send that landed anyway).
-func (p *Plane) noteSuccessLocked(ps *peerState) {
+// circuit (successful half-open probe, or a send that landed anyway). It
+// returns the OnPeerUp hook to run after unlocking when the circuit just
+// closed.
+func (p *Plane) noteSuccessLocked(ps *peerState) (up func()) {
 	ps.br.fails = 0
 	if ps.br.open {
 		ps.br.open = false
 		ps.br.probing = false
 		p.m.transClosed.Inc()
 		p.m.breakerOpen.Add(-1)
+		if hook := p.cfg.OnPeerUp; hook != nil {
+			addr := ps.addr
+			return func() { hook(addr) }
+		}
 	}
+	return nil
 }
 
 // noteFailureLocked records a transport failure against the breaker and
@@ -525,7 +538,7 @@ func (p *Plane) schedulePumpLocked(ps *peerState, now time.Duration) {
 // — under clock.Virtual that is the Advance caller, which is what makes
 // the whole retry schedule deterministic.
 func (p *Plane) pump(addr string) {
-	var downs []func()
+	var notifies []func()
 	p.mu.Lock()
 	ps, ok := p.peers[addr]
 	if !ok {
@@ -562,17 +575,17 @@ func (p *Plane) pump(addr string) {
 		p.mu.Lock()
 		ps.inflight--
 		p.m.inflight.Add(-1)
-		_, down := p.settleLocked(ps, it, err)
-		if down != nil {
-			downs = append(downs, down)
+		_, notify := p.settleLocked(ps, it, err)
+		if notify != nil {
+			notifies = append(notifies, notify)
 		}
 		if err != nil {
 			break
 		}
 	}
 	p.mu.Unlock()
-	for _, down := range downs {
-		down()
+	for _, notify := range notifies {
+		notify()
 	}
 }
 

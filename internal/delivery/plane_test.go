@@ -262,6 +262,42 @@ func TestPlaneBreakerOpensAndProbes(t *testing.T) {
 	}
 }
 
+// TestPlaneOnPeerUpFiresOnClose pins the recovery hook: OnPeerUp runs
+// exactly once, on the open → closed transition, and never on ordinary
+// successes with a closed circuit.
+func TestPlaneOnPeerUpFiresOnClose(t *testing.T) {
+	clk := clock.NewVirtual()
+	reg := metrics.NewRegistry()
+	caller := newScripted()
+	caller.script("urn:peer", errConnRefused, errConnRefused, errConnRefused)
+	cfg := testConfig(caller, clk, reg)
+	cfg.MaxAttempts = 5
+	var downs, ups []string
+	cfg.OnPeerDown = func(addr string) { downs = append(downs, addr) }
+	cfg.OnPeerUp = func(addr string) { ups = append(ups, addr) }
+	p := NewPlane(cfg)
+
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "x")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	clk.Advance(100 * time.Millisecond) // attempt 2
+	clk.Advance(200 * time.Millisecond) // attempt 3 → breaker opens
+	if len(downs) != 1 || len(ups) != 0 {
+		t.Fatalf("after open: downs=%v ups=%v", downs, ups)
+	}
+	clk.Advance(2 * time.Second) // cooldown → half-open probe succeeds
+	if len(ups) != 1 || ups[0] != "urn:peer" {
+		t.Fatalf("OnPeerUp calls = %v, want [urn:peer]", ups)
+	}
+	// Further ordinary successes do not re-fire the hook.
+	if err := p.Send(context.Background(), "urn:peer", testEnv(t, "y")); err != nil {
+		t.Fatalf("send after recovery: %v", err)
+	}
+	if len(ups) != 1 {
+		t.Fatalf("OnPeerUp re-fired on plain success: %v", ups)
+	}
+}
+
 func TestPlaneFailedProbeReopens(t *testing.T) {
 	clk := clock.NewVirtual()
 	reg := metrics.NewRegistry()

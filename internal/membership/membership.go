@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 	"sync"
@@ -88,8 +89,9 @@ type Config struct {
 	MaxView int
 	// Metrics is the registry the service resolves its series from
 	// (membership_view_size, membership_exchanges_total,
-	// membership_suspects_total, membership_evictions_total,
-	// membership_leaves_total). Nil uses a private registry.
+	// membership_suspects_total, membership_suspect_unknown_total,
+	// membership_evictions_total, membership_leaves_total). Nil uses a
+	// private registry.
 	Metrics *metrics.Registry
 }
 
@@ -136,20 +138,22 @@ type Service struct {
 
 // svcCounters is the membership layer's registry-resolved series.
 type svcCounters struct {
-	viewSize  *metrics.Gauge   // members known, excluding self
-	exchanges *metrics.Counter // view-exchange messages handled
-	suspects  *metrics.Counter // alive→suspect transitions
-	evictions *metrics.Counter // members evicted after RemoveAfter stalls
-	leaves    *metrics.Counter // explicit leave tombstones applied
+	viewSize       *metrics.Gauge   // members known, excluding self
+	exchanges      *metrics.Counter // view-exchange messages handled
+	suspects       *metrics.Counter // alive→suspect transitions
+	suspectUnknown *metrics.Counter // Suspect calls naming an unknown member
+	evictions      *metrics.Counter // members evicted after RemoveAfter stalls
+	leaves         *metrics.Counter // explicit leave tombstones applied
 }
 
 func newSvcCounters(reg *metrics.Registry) svcCounters {
 	return svcCounters{
-		viewSize:  reg.Gauge("membership_view_size"),
-		exchanges: reg.Counter("membership_exchanges_total"),
-		suspects:  reg.Counter("membership_suspects_total"),
-		evictions: reg.Counter("membership_evictions_total"),
-		leaves:    reg.Counter("membership_leaves_total"),
+		viewSize:       reg.Gauge("membership_view_size"),
+		exchanges:      reg.Counter("membership_exchanges_total"),
+		suspects:       reg.Counter("membership_suspects_total"),
+		suspectUnknown: reg.Counter("membership_suspect_unknown_total"),
+		evictions:      reg.Counter("membership_evictions_total"),
+		leaves:         reg.Counter("membership_leaves_total"),
 	}
 }
 
@@ -419,19 +423,34 @@ func (s *Service) evictRandomLocked() {
 // transport errors. A suspect is excluded from fan-out sampling but stays
 // in the view: a later heartbeat advance (the peer gossiping again)
 // restores it to alive, and the usual RemoveAfter aging evicts it if it
-// never does. Unknown or already-suspect addresses are a no-op, so the
-// hook is idempotent and safe to call from failure paths.
+// never does. Already-suspect addresses are a no-op, so the hook is
+// idempotent and safe to call from failure paths. An UNKNOWN address is
+// also a no-op but is not silent: it usually means the failure detector
+// and the view disagree (an eviction raced the circuit opening, or a
+// wiring bug feeds the wrong address space), so it is counted as
+// membership_suspect_unknown_total and logged once per process.
 func (s *Service) Suspect(addr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.members[addr]
-	if !ok || m.State == StateSuspect {
+	if !ok {
+		s.stats.suspectUnknown.Inc()
+		suspectUnknownLogOnce.Do(func() {
+			log.Printf("membership: Suspect(%q): address not in view (counted in membership_suspect_unknown_total; logged once)", addr)
+		})
+		return
+	}
+	if m.State == StateSuspect {
 		return
 	}
 	m.State = StateSuspect
 	s.stats.suspects.Inc()
 	s.invalidateAliveLocked()
 }
+
+// suspectUnknownLogOnce gates the unknown-suspect log line to one per
+// process: the counter carries the volume, the log carries the alert.
+var suspectUnknownLogOnce sync.Once
 
 // Alive returns the addresses currently considered alive (excluding self).
 func (s *Service) Alive() []string {

@@ -375,10 +375,14 @@ func TestSuspectDemotesAndHeartbeatRestores(t *testing.T) {
 		}
 	}
 	before := s.stats.suspects.Value()
+	unknownBefore := s.stats.suspectUnknown.Value()
 	s.Suspect("m001") // already suspect: idempotent
-	s.Suspect("mXXX") // unknown: no-op
+	s.Suspect("mXXX") // unknown: no state change, but counted
 	if got := s.stats.suspects.Value(); got != before {
 		t.Fatalf("suspects counter = %d, want unchanged %d", got, before)
+	}
+	if got := s.stats.suspectUnknown.Value(); got != unknownBefore+1 {
+		t.Fatalf("suspect-unknown counter = %d, want %d", got, unknownBefore+1)
 	}
 
 	// The suspect keeps gossiping: its heartbeat advance restores it.

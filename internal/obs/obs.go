@@ -8,6 +8,7 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/delivery"
 	"wsgossip/internal/metrics"
+	"wsgossip/internal/probe"
 )
 
 // LoopState is the JSON form of one runner loop's introspection row.
@@ -34,6 +35,18 @@ type Delivery struct {
 	PerPeer      []delivery.PeerState `json:"perPeer,omitempty"`
 }
 
+// Probe is the /healthz view of the indirect-reachability prober: open
+// adjudication rounds, links currently marked asymmetric-degraded (an
+// indirect path confirmed the peer alive while the direct link failed),
+// and the lifetime verdict counts.
+type Probe struct {
+	Pending       int      `json:"pending"`
+	Degraded      []string `json:"degraded,omitempty"`
+	Averted       int64    `json:"averted"`
+	ConfirmedDown int64    `json:"confirmedDown"`
+	NoHelpers     int64    `json:"noHelpers"`
+}
+
 // Health is the /healthz introspection document: who the node is, how busy
 // it is, who it can see, what its round scheduler is doing, and how its
 // outbound delivery plane is coping.
@@ -44,6 +57,7 @@ type Health struct {
 	Peers      []string    `json:"peers,omitempty"`
 	Loops      []LoopState `json:"loops,omitempty"`
 	Delivery   *Delivery   `json:"delivery,omitempty"`
+	Probe      *Probe      `json:"probe,omitempty"`
 }
 
 // DeliveryFrom snapshots a delivery plane into its Health section. A nil
@@ -60,6 +74,22 @@ func DeliveryFrom(p *delivery.Plane) *Delivery {
 		OpenCircuits: st.OpenCircuits,
 		Deferred:     st.Deferred,
 		PerPeer:      p.States(),
+	}
+}
+
+// ProbeFrom snapshots a Prober into its Health section. A nil prober
+// (indirect probing disabled) yields nil, which the JSON encoding omits.
+func ProbeFrom(p *probe.Prober) *Probe {
+	if p == nil {
+		return nil
+	}
+	st := p.Stats()
+	return &Probe{
+		Pending:       st.Pending,
+		Degraded:      st.Degraded,
+		Averted:       st.Averted,
+		ConfirmedDown: st.ConfirmedDown,
+		NoHelpers:     st.NoHelpers,
 	}
 }
 

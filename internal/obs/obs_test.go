@@ -15,6 +15,7 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/delivery"
 	"wsgossip/internal/metrics"
+	"wsgossip/internal/probe"
 	"wsgossip/internal/soap"
 )
 
@@ -199,5 +200,46 @@ func TestDeliverySection(t *testing.T) {
 	pp := doc.Delivery.PerPeer[0]
 	if pp.Addr != "urn:peer" || pp.Breaker != "closed" {
 		t.Fatalf("per-peer row = %+v", pp)
+	}
+}
+
+// TestProbeSection checks the health document carries the indirect-probe
+// posture end to end through the JSON encoding.
+func TestProbeSection(t *testing.T) {
+	if ProbeFrom(nil) != nil {
+		t.Fatal("nil prober must yield a nil (omitted) probe section")
+	}
+	var downs []string
+	pr := probe.New(probe.Config{
+		Self:   "urn:self",
+		Caller: okCaller{},
+		Clock:  clock.NewVirtual(),
+		OnDown: func(addr string) { downs = append(downs, addr) },
+	})
+	// No peer provider: the round has no helpers, so OnDown fires
+	// immediately and the round lands in the NoHelpers bucket.
+	pr.Confirm("urn:peer")
+
+	srv := httptest.NewServer(Handler(metrics.NewRegistry(), func() Health {
+		return Health{Node: "n", Probe: ProbeFrom(pr)}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc Health
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Probe == nil {
+		t.Fatal("probe section missing")
+	}
+	if doc.Probe.NoHelpers != 1 || doc.Probe.ConfirmedDown != 0 || doc.Probe.Pending != 0 {
+		t.Fatalf("probe = %+v", doc.Probe)
+	}
+	if len(downs) != 1 || downs[0] != "urn:peer" {
+		t.Fatalf("downs = %v", downs)
 	}
 }

@@ -1,0 +1,229 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"wsgossip/internal/clock"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/metrics"
+	"wsgossip/internal/soap"
+)
+
+// probeNet is a synchronous in-memory fabric: Send dispatches straight into
+// the destination's dispatcher, with directional link cuts.
+type probeNet struct {
+	mu    sync.Mutex
+	nodes map[string]*soap.Dispatcher
+	cut   map[string]bool // "from|to"
+}
+
+func newProbeNet() *probeNet {
+	return &probeNet{nodes: map[string]*soap.Dispatcher{}, cut: map[string]bool{}}
+}
+
+func (n *probeNet) block(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[from+"|"+to] = true
+}
+
+type netCaller struct {
+	n    *probeNet
+	from string
+}
+
+func (c *netCaller) Call(context.Context, string, *soap.Envelope) (*soap.Envelope, error) {
+	return nil, errors.New("probe test: no request-response traffic expected")
+}
+
+func (c *netCaller) Send(ctx context.Context, to string, env *soap.Envelope) error {
+	c.n.mu.Lock()
+	blocked := c.n.cut[c.from+"|"+to]
+	d := c.n.nodes[to]
+	c.n.mu.Unlock()
+	if blocked || d == nil {
+		return fmt.Errorf("probe test: connection refused: %s -> %s", c.from, to)
+	}
+	_, err := d.HandleSOAP(ctx, &soap.Request{Envelope: env, Remote: c.from})
+	return err
+}
+
+// probeRig is one node: a prober with its dispatcher on the shared net.
+type probeRig struct {
+	p    *Prober
+	reg  *metrics.Registry
+	down []string
+	avrt []string
+}
+
+func newRig(t *testing.T, net *probeNet, clk clock.Clock, self string, peers []string, k int) *probeRig {
+	t.Helper()
+	rig := &probeRig{reg: metrics.NewRegistry()}
+	var pp gossip.PeerProvider
+	if peers != nil {
+		pp = gossip.NewStaticPeers(peers)
+	}
+	rig.p = New(Config{
+		Self:      self,
+		Caller:    &netCaller{n: net, from: self},
+		Clock:     clk,
+		Peers:     pp,
+		K:         k,
+		Timeout:   2 * time.Second,
+		RNG:       rand.New(rand.NewSource(int64(len(self)))),
+		Metrics:   rig.reg,
+		OnDown:    func(a string) { rig.down = append(rig.down, a) },
+		OnAverted: func(a string) { rig.avrt = append(rig.avrt, a) },
+	})
+	d := soap.NewDispatcher()
+	rig.p.RegisterActions(d)
+	net.mu.Lock()
+	net.nodes[self] = d
+	net.mu.Unlock()
+	return rig
+}
+
+// TestConfirmAverted: the direct link a->b is dead but helpers can reach b,
+// so the round resolves positively, marks b degraded, and never fires
+// OnDown — not even when the timeout window later elapses.
+func TestConfirmAverted(t *testing.T) {
+	net := newProbeNet()
+	clk := clock.NewVirtual()
+	all := []string{"a", "b", "h1", "h2"}
+	a := newRig(t, net, clk, "a", all, 0)
+	newRig(t, net, clk, "b", all, 0)
+	newRig(t, net, clk, "h1", all, 0)
+	newRig(t, net, clk, "h2", all, 0)
+	net.block("a", "b") // one-way: only our outbound path is dead
+
+	a.p.Confirm("b")
+
+	if len(a.avrt) != 1 || a.avrt[0] != "b" {
+		t.Fatalf("OnAverted calls = %v, want [b]", a.avrt)
+	}
+	if !a.p.IsDegraded("b") {
+		t.Fatal("b not marked degraded")
+	}
+	if got := a.reg.Counter("membership_suspicions_averted_total").Value(); got != 1 {
+		t.Fatalf("averted counter = %d, want 1", got)
+	}
+	if got := a.reg.CounterVec("delivery_indirect_probes_total", "result").With(ResultAverted).Value(); got != 1 {
+		t.Fatalf("averted rounds = %d, want 1", got)
+	}
+	// The stopped timeout must not resurrect the suspicion.
+	clk.Advance(5 * time.Second)
+	if len(a.down) != 0 {
+		t.Fatalf("OnDown fired after averted round: %v", a.down)
+	}
+	st := a.p.Stats()
+	if st.Pending != 0 || st.Averted != 1 || len(st.Degraded) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	a.p.ClearDegraded("b")
+	if a.p.IsDegraded("b") {
+		t.Fatal("ClearDegraded left b degraded")
+	}
+}
+
+// TestConfirmTimeout: nobody can reach b, so the round times out and
+// escalates to OnDown exactly once.
+func TestConfirmTimeout(t *testing.T) {
+	net := newProbeNet()
+	clk := clock.NewVirtual()
+	all := []string{"a", "b", "h1", "h2"}
+	a := newRig(t, net, clk, "a", all, 0)
+	newRig(t, net, clk, "b", all, 0)
+	newRig(t, net, clk, "h1", all, 0)
+	newRig(t, net, clk, "h2", all, 0)
+	net.block("a", "b")
+	net.block("h1", "b")
+	net.block("h2", "b")
+
+	a.p.Confirm("b")
+	if len(a.down) != 0 {
+		t.Fatalf("OnDown fired before the timeout: %v", a.down)
+	}
+	clk.Advance(2 * time.Second)
+	if len(a.down) != 1 || a.down[0] != "b" {
+		t.Fatalf("OnDown calls = %v, want [b]", a.down)
+	}
+	if a.p.IsDegraded("b") {
+		t.Fatal("timed-out target marked degraded")
+	}
+	if got := a.reg.CounterVec("delivery_indirect_probes_total", "result").With(ResultTimeout).Value(); got != 1 {
+		t.Fatalf("timeout rounds = %d, want 1", got)
+	}
+	// A late positive for the dead round must be ignored: re-run with the
+	// link healed and confirm a fresh round still works.
+	net.mu.Lock()
+	delete(net.cut, "h1|b")
+	delete(net.cut, "h2|b")
+	net.mu.Unlock()
+	a.p.Confirm("b")
+	if len(a.avrt) != 1 {
+		t.Fatalf("fresh round after timeout: averted = %v", a.avrt)
+	}
+}
+
+// TestConfirmNoHelpers: with no usable helper candidates the suspicion
+// proceeds immediately, preserving pre-probe behaviour.
+func TestConfirmNoHelpers(t *testing.T) {
+	net := newProbeNet()
+	clk := clock.NewVirtual()
+	// Peer view contains only self and the target — no third parties.
+	a := newRig(t, net, clk, "a", []string{"a", "b"}, 0)
+	newRig(t, net, clk, "b", []string{"a", "b"}, 0)
+
+	a.p.Confirm("b")
+	if len(a.down) != 1 || a.down[0] != "b" {
+		t.Fatalf("OnDown calls = %v, want [b]", a.down)
+	}
+	if got := a.reg.CounterVec("delivery_indirect_probes_total", "result").With(ResultNoHelpers).Value(); got != 1 {
+		t.Fatalf("no_helpers rounds = %d, want 1", got)
+	}
+
+	// Nil provider behaves the same.
+	c := newRig(t, net, clk, "c", nil, 0)
+	c.p.Confirm("b")
+	if len(c.down) != 1 {
+		t.Fatalf("nil-provider OnDown calls = %v", c.down)
+	}
+}
+
+// TestConfirmDedupAndK: repeated Confirms while a round is open do not
+// stack, and K caps the helper fan-out.
+func TestConfirmDedupAndK(t *testing.T) {
+	net := newProbeNet()
+	clk := clock.NewVirtual()
+	all := []string{"a", "b", "h1", "h2", "h3"}
+	a := newRig(t, net, clk, "a", all, 1)
+	newRig(t, net, clk, "b", all, 0)
+	for _, h := range []string{"h1", "h2", "h3"} {
+		newRig(t, net, clk, h, all, 0)
+	}
+	net.block("a", "b")
+	net.block("h1", "b")
+	net.block("h2", "b")
+	net.block("h3", "b")
+
+	a.p.Confirm("b")
+	a.p.Confirm("b") // open round: no second fan-out
+	msgs := a.reg.CounterVec("probe_messages_total", "type")
+	if got := msgs.With("ping_req").Value(); got != 1 {
+		t.Fatalf("ping_req count = %d, want 1 (K=1, deduped)", got)
+	}
+	if st := a.p.Stats(); st.Pending != 1 {
+		t.Fatalf("pending = %d, want 1", st.Pending)
+	}
+	clk.Advance(2 * time.Second)
+	if len(a.down) != 1 {
+		t.Fatalf("OnDown calls = %v, want exactly one", a.down)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wsgossip/internal/clock"
+	"wsgossip/internal/faults"
 	"wsgossip/internal/soap"
 )
 
@@ -26,18 +27,15 @@ type virtBus struct {
 	rng      *rand.Rand
 	handlers map[string]soap.Handler
 	down     map[string]bool
-	loss     float64
 	minDelay time.Duration
 	maxDelay time.Duration
-	// partition, when set, blocks one-way traffic for which it returns
-	// true. It only sees a sender when the message was sent through a
+	// faults rules on every one-way send: refuse rules fail matching sends
+	// synchronously with a connection-refused transport error (the signal a
+	// sender's delivery plane retries and eventually circuit-breaks on),
+	// while cut/partition/loss rules swallow the message after a successful
+	// send. Rules only see a sender when the message went through a
 	// nodeCaller (which stamps its origin); unstamped sends pass "".
-	partition func(from, to string) bool
-	// refuse, when set, fails matching one-way sends synchronously with a
-	// connection-refused transport error — the signal a sender's delivery
-	// plane retries and eventually circuit-breaks on, as opposed to
-	// partition/loss, which swallow the message after a successful send.
-	refuse func(from, to string) bool
+	faults *faults.Table
 	// sync, when true, delivers one-way sends inline (no link delay) and
 	// returns the handler's error to the sender — the behaviour of a
 	// synchronous HTTP binding, where a shedding receiver's retry-after
@@ -64,6 +62,7 @@ func newVirtBus(clk *clock.Virtual, seed int64, minDelay, maxDelay time.Duration
 		down:     make(map[string]bool),
 		minDelay: minDelay,
 		maxDelay: maxDelay,
+		faults:   faults.NewTable(),
 	}
 }
 
@@ -81,28 +80,33 @@ func (b *virtBus) Crash(addr string) {
 	b.down[addr] = true
 }
 
-// SetLoss changes the one-way message loss probability.
-func (b *virtBus) SetLoss(p float64) {
+// Recover clears a crash: addr receives traffic again. With Crash it forms
+// the churn surface a faults.Plan drives through its Applier.
+func (b *virtBus) Recover(addr string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.loss = p
+	delete(b.down, addr)
 }
+
+// Faults exposes the bus's fault table: the full directional rule set —
+// cuts, NAT, per-link loss and delay, named rules, fault plans — beyond
+// the predicate shorthands below.
+func (b *virtBus) Faults() *faults.Table { return b.faults }
+
+// SetLoss changes the one-way message loss probability.
+func (b *virtBus) SetLoss(p float64) { b.faults.SetLoss(p) }
 
 // SetPartition installs (or, with nil, heals) a link-level partition over
 // the one-way gossip path. The control plane (Call) stays connected: the
 // coordinator is not the component under stress.
 func (b *virtBus) SetPartition(p func(from, to string) bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.partition = p
+	b.faults.SetPartitionFunc(p)
 }
 
 // SetRefuse installs (or, with nil, heals) a link-level connection fault:
 // matching one-way sends fail synchronously back to the sender.
 func (b *virtBus) SetRefuse(f func(from, to string) bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.refuse = f
+	b.faults.SetRefuseFunc(f)
 }
 
 // SetSync switches one-way delivery between the default delayed/lossy mode
@@ -179,15 +183,19 @@ func (b *virtBus) sendEncodedFrom(_ context.Context, from, to string, data []byt
 		return fmt.Errorf("virtbus: unknown endpoint %s", to)
 	}
 	b.sent++
-	if b.refuse != nil && b.refuse(from, to) {
+	switch d := b.faults.Check(from, to); d.Outcome {
+	case faults.Refuse:
 		b.refused++
 		return fmt.Errorf("virtbus: connection refused: %s -> %s", from, to)
-	}
-	if b.partition != nil && b.partition(from, to) {
+	case faults.Drop:
 		b.dropped++
 		return nil
 	}
-	if b.down[to] || b.rng.Float64() < b.loss {
+	if b.down[to] {
+		b.dropped++
+		return nil
+	}
+	if b.faults.Lossy(from, to, b.rng) {
 		b.dropped++
 		return nil
 	}
@@ -206,6 +214,7 @@ func (b *virtBus) sendEncodedFrom(_ context.Context, from, to string, data []byt
 	if span := b.maxDelay - b.minDelay; span > 0 {
 		delay += time.Duration(b.rng.Int63n(int64(span) + 1))
 	}
+	delay += b.faults.ExtraDelay(from, to)
 	b.clk.AfterFunc(delay, func() {
 		b.mu.Lock()
 		h := b.handlers[to]

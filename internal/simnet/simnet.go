@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wsgossip/internal/clock"
+	"wsgossip/internal/faults"
 	"wsgossip/internal/transport"
 )
 
@@ -41,6 +42,12 @@ type Stats struct {
 	Delivered int64
 	Dropped   int64
 	Bytes     int64
+	// FaultRefused counts sends refused synchronously by the fault table
+	// (refuse rules and NAT) — the sender saw a connection error.
+	FaultRefused int64
+	// FaultDropped counts sends silently dropped by the fault table (cut,
+	// partition, and link-loss rules). Also included in Dropped.
+	FaultDropped int64
 }
 
 // Network is the simulated fabric. Scheduling rides on a clock.Virtual —
@@ -62,6 +69,7 @@ type Network struct {
 	partition map[string]int // addr -> group id; absent means group 0
 	split     bool
 	lossRate  float64
+	faults    *faults.Table
 	stats     Stats
 }
 
@@ -173,6 +181,24 @@ func (n *Network) Departed(addr string) bool {
 	return n.departed[addr]
 }
 
+// SetFaults installs (or, with nil, removes) a fault table consulted on
+// every send. A nil or inactive table leaves the network's behaviour and
+// seeded random stream exactly as before: the table's link-loss evaluation
+// costs one RNG draw per send only while a table is installed, so
+// no-faults runs stay byte-identical to pre-fault builds.
+func (n *Network) SetFaults(t *faults.Table) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = t
+}
+
+// Faults returns the installed fault table, or nil.
+func (n *Network) Faults() *faults.Table {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faults
+}
+
 // SetLossRate changes the global message loss probability.
 func (n *Network) SetLossRate(rate float64) {
 	n.mu.Lock()
@@ -267,7 +293,23 @@ func (n *Network) send(from string, msg transport.Message) error {
 	}
 	n.stats.Sent++
 	n.stats.Bytes += int64(len(msg.Body))
+	if n.faults != nil {
+		switch d := n.faults.Check(from, msg.To); d.Outcome {
+		case faults.Refuse:
+			n.stats.FaultRefused++
+			return fmt.Errorf("%w: connection refused: %s -> %s", transport.ErrUnreachable, from, msg.To)
+		case faults.Drop:
+			n.stats.FaultDropped++
+			n.stats.Dropped++
+			return nil
+		}
+	}
 	if !n.reachableLocked(from, msg.To) || n.rng.Float64() < n.lossRate {
+		n.stats.Dropped++
+		return nil
+	}
+	if n.faults != nil && n.faults.Lossy(from, msg.To, n.rng) {
+		n.stats.FaultDropped++
 		n.stats.Dropped++
 		return nil
 	}
@@ -285,6 +327,9 @@ func (n *Network) send(from string, msg transport.Message) error {
 		return nil
 	}
 	latency += n.cfg.ProcDelay + n.slowdown[msg.To]
+	if n.faults != nil {
+		latency += n.faults.ExtraDelay(from, msg.To)
+	}
 	msg.From = from
 	n.clk.AfterFunc(latency, func() {
 		n.deliver(dest, msg)

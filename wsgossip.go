@@ -35,7 +35,9 @@ import (
 	"wsgossip/internal/core"
 	"wsgossip/internal/delivery"
 	"wsgossip/internal/epidemic"
+	"wsgossip/internal/faults"
 	"wsgossip/internal/membership"
+	"wsgossip/internal/probe"
 	"wsgossip/internal/soap"
 )
 
@@ -194,6 +196,43 @@ func NewDeliveryPlane(cfg DeliveryConfig) *DeliveryPlane { return delivery.NewPl
 // NewAdmissionGate returns an inbound admission gate; install it with
 // soap.Chain(handler, gate.Middleware()).
 func NewAdmissionGate(cfg AdmissionGateConfig) *AdmissionGate { return delivery.NewGate(cfg) }
+
+// Asymmetric-failure tolerance (internal/probe, internal/faults). A
+// Prober adjudicates opened circuits before they become suspicions: it
+// asks K peers to reach the suspect indirectly (SWIM-style ping-req), and
+// a positive indirect ack averts the suspicion, marking the link
+// asymmetric-degraded instead of the peer dead. Wire it between a
+// DeliveryPlane and a MembershipService: DeliveryConfig.OnPeerDown =
+// prober.Confirm, ProberConfig.OnDown = membership.Suspect,
+// DeliveryConfig.OnPeerUp = prober.ClearDegraded. A FaultTable and a
+// FaultPlan inject the directional link faults (one-way cuts,
+// connection-refused links, NAT'd nodes, per-link loss and delay) that
+// make such probers necessary, replayable as a timed script.
+type (
+	// Prober confirms suspected peers through indirect paths.
+	Prober = probe.Prober
+	// ProberConfig configures a Prober.
+	ProberConfig = probe.Config
+	// ProberStats is a point-in-time snapshot of a Prober's verdicts.
+	ProberStats = probe.Stats
+	// FaultTable is a directional link-fault rule set consulted per send.
+	FaultTable = faults.Table
+	// FaultPlan is a declarative timeline of fault events.
+	FaultPlan = faults.Plan
+	// FaultApplier binds a FaultPlan to the fabric it drives.
+	FaultApplier = faults.Applier
+)
+
+// NewProber returns an indirect-reachability prober; register its SOAP
+// actions on the node's dispatcher with Prober.RegisterActions.
+func NewProber(cfg ProberConfig) *Prober { return probe.New(cfg) }
+
+// NewFaultTable returns an empty fault table.
+func NewFaultTable() *FaultTable { return faults.NewTable() }
+
+// ParseFaultPlan reads a fault plan from its textual form (see
+// internal/faults.ParsePlan for the grammar).
+func ParseFaultPlan(src string) (*FaultPlan, error) { return faults.ParsePlan(src) }
 
 // Aggregation subsystem types (internal/aggregate).
 type (
