@@ -69,6 +69,8 @@ func run() error {
 		announce    = flag.Duration("announce", 0, "deferred lazy-push announce interval, 0 announces on receipt (disseminator)")
 		aggEvery    = flag.Duration("aggregate", time.Second, "push-sum exchange interval when -value is set (disseminator)")
 		value       = flag.Float64("value", math.NaN(), "local measurement: joins aggregation interactions as a participant (disseminator)")
+		clusterQ    = flag.String("cluster-queries", "", "comma-separated continuous cluster queries as func:metric pairs (e.g. count:nodes,avg:load): runs this node as the querier restarting each query every -cluster-window; participants resolve the metric name against their local value sources, falling back to -value (disseminator)")
+		clusterWin  = flag.Duration("cluster-window", 10*time.Second, "epoch window for -cluster-queries; every node re-contributes at each window boundary so estimates track churn (disseminator)")
 		jitter      = flag.Float64("jitter", 0.1, "round jitter as a fraction of each period, in [0,1) (disseminator)")
 		seed        = flag.Int64("seed", 0, "round-schedule seed, 0 derives one from the address (disseminator)")
 		members     = flag.String("members", "", "comma-separated membership seed URLs: runs a live peer view that fan-outs sample instead of coordinator target lists (disseminator)")
@@ -105,8 +107,9 @@ func run() error {
 			role: *role, listen: *listen, public: *public, coordinator: *coordinator,
 			pull: *pull, repair: *repair, announce: *announce,
 			aggEvery: *aggEvery, value: *value, jitter: *jitter, seed: *seed,
+			clusterQueries: *clusterQ, clusterWindow: *clusterWin,
 			members: *members, memberEvery: *memberEvery, quiescent: *quiescent,
-			metricsAddr: *metricsAddr,
+			metricsAddr:  *metricsAddr,
 			delivery:     df,
 			probeK:       *probeK,
 			probeTimeout: *probeWait,
@@ -304,6 +307,8 @@ type subscriberConfig struct {
 	role, listen, public, coordinator string
 	pull, repair, announce, aggEvery  time.Duration
 	value                             float64
+	clusterQueries                    string
+	clusterWindow                     time.Duration
 	jitter                            float64
 	seed                              int64
 	members                           string
@@ -336,6 +341,7 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 	// below with what their stack actually serves.
 	subscribeProtocols := []string{core.ProtocolPushGossip}
 	var runner *core.Runner
+	var window *aggregate.Window
 	if cfg.role == "disseminator" {
 		dispatcher := soap.NewDispatcher()
 		dcfg := core.DisseminatorConfig{
@@ -457,7 +463,56 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 			rcfg.Membership = msvc
 			rcfg.MembershipEvery = cfg.memberEvery
 		}
-		if !math.IsNaN(cfg.value) {
+		if cfg.clusterQueries != "" {
+			queries, err := parseClusterQueries(cfg.clusterQueries)
+			if err != nil {
+				return err
+			}
+			if cfg.aggEvery <= 0 {
+				return fmt.Errorf("-cluster-queries requires a positive -aggregate interval")
+			}
+			if cfg.clusterWindow < 4*cfg.aggEvery {
+				// An epoch needs several exchange rounds to mix before the
+				// boundary freezes it, or every frozen estimate is garbage.
+				return fmt.Errorf("-cluster-window %v is too short for -aggregate %v (want at least 4 rounds per window)",
+					cfg.clusterWindow, cfg.aggEvery)
+			}
+			var valueFn func() float64
+			if !math.IsNaN(cfg.value) {
+				valueFn = func() float64 { return cfg.value }
+			}
+			// This node is the querier: it activates each query once and
+			// re-seeds the anchor weight every window. Participants need no
+			// flag at all — the start flood tells them the window and metric,
+			// and the Unix-epoch wall clock gives every node the same epoch
+			// index without coordination.
+			q, err := aggregate.NewQuerier(aggregate.QuerierConfig{
+				Address:    addr,
+				Caller:     dcfg.Caller,
+				Activation: cfg.coordinator,
+				Value:      valueFn,
+				RNG:        rand.New(rand.NewSource(scheduleSeed(cfg.seed, addr) + 2)),
+				Metrics:    reg,
+				Clock:      clock.NewWall(),
+			})
+			if err != nil {
+				return err
+			}
+			q.RegisterActions(dispatcher)
+			window, err = aggregate.NewWindow(aggregate.WindowConfig{
+				Querier: q,
+				Window:  cfg.clusterWindow,
+				Queries: queries,
+			})
+			if err != nil {
+				return err
+			}
+			rcfg.Aggregator = window
+			rcfg.AggregateEvery = cfg.aggEvery
+			protocols = append(protocols, core.ProtocolAggregate)
+			log.Printf("[%s] continuous cluster queries: %s (window %v, exchanges every %v)",
+				cfg.role, cfg.clusterQueries, cfg.clusterWindow, cfg.aggEvery)
+		} else if !math.IsNaN(cfg.value) {
 			if cfg.aggEvery <= 0 {
 				// An advertised aggregation participant that never runs
 				// exchange rounds parks every share it absorbs: the
@@ -589,10 +644,38 @@ func runSubscriber(cfg subscriberConfig, client *soap.HTTPClient) error {
 		}
 		h.Delivery = obs.DeliveryFrom(plane)
 		h.Probe = obs.ProbeFrom(prober)
+		h.Cluster = obs.ClusterFrom(window)
 		return h
 	}
 	log.Printf("%s serving at %s (listen %s)", cfg.role, addr, cfg.listen)
 	return serve(cfg.listen, handler, reg, health, cfg.metricsAddr)
+}
+
+// parseClusterQueries reads the -cluster-queries spec: comma-separated
+// func:metric pairs, e.g. "count:nodes,avg:load". The function names are the
+// aggregate functions (count, sum, avg, min, max); the metric labels the
+// query and selects each participant's local value source.
+func parseClusterQueries(spec string) ([]aggregate.ContinuousQuery, error) {
+	var out []aggregate.ContinuousQuery
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fnName, metric, ok := strings.Cut(part, ":")
+		if !ok || strings.TrimSpace(metric) == "" {
+			return nil, fmt.Errorf("-cluster-queries entry %q: want func:metric (e.g. count:nodes)", part)
+		}
+		fn, err := aggregate.ParseFunc(strings.TrimSpace(fnName))
+		if err != nil {
+			return nil, fmt.Errorf("-cluster-queries entry %q: %w", part, err)
+		}
+		out = append(out, aggregate.ContinuousQuery{Name: strings.TrimSpace(metric), Func: fn})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cluster-queries is empty")
+	}
+	return out, nil
 }
 
 // scheduleSeed derives a per-node seed so peers' round schedules

@@ -114,6 +114,8 @@ func run() error {
 		aggName   = flag.String("agg", "avg", "aggregate mode function: count, sum, avg, min, max")
 		eps       = flag.Float64("eps", 1e-4, "aggregate mode convergence threshold")
 		maxRounds = flag.Int("rounds", 0, "aggregate mode round cap (0 = 2x analytic prediction + 10)")
+		epochs    = flag.Int("epochs", 0, "aggregate mode: run this many continuous epoch windows (acked, loss-tolerant exchange); 0 = legacy one-shot convergence run")
+		window    = flag.Duration("window", 500*time.Millisecond, "aggregate mode epoch window length (with -epochs)")
 		dumpReg   = flag.Bool("metrics", false, "dump the run's metrics-registry snapshot at end of run")
 		minCov    = flag.Float64("min-coverage", 0, "coverage budget: exit non-zero when the run's coverage falls below this fraction, 0 disables")
 		expName   = flag.String("exp", "", "large-N scaling experiment: coverage (E1-style point) or churn (E9-style point); uses the memory-diet harness, N=10^5..10^6 is the design target")
@@ -126,8 +128,8 @@ func run() error {
 	}
 	var plan *faults.Plan
 	if *faultPath != "" {
-		if *expName != "" || *mode == "aggregate" {
-			return fmt.Errorf("-faults applies to gossip and churn modes only")
+		if *expName != "" || (*mode == "aggregate" && *epochs == 0) {
+			return fmt.Errorf("-faults applies to gossip, churn, and windowed aggregate (-epochs) modes")
 		}
 		var err error
 		if plan, err = loadFaultPlan(*faultPath); err != nil {
@@ -140,6 +142,9 @@ func run() error {
 	}
 
 	if *mode == "aggregate" {
+		if *epochs > 0 {
+			return runWindowedAggregate(*n, *fanout, *aggName, *loss, *seed, *dumpReg, *minCov, *epochs, *window, plan)
+		}
 		return runAggregate(*n, *fanout, *aggName, *eps, *maxRounds, *loss, *seed, *dumpReg, *minCov)
 	}
 	if *mode == "churn" {
@@ -796,4 +801,175 @@ func runAggregate(n, fanout int, fnName string, eps float64, maxRounds int, loss
 	// Coverage in aggregate mode is the fraction of nodes holding a defined
 	// estimate at the end of the run.
 	return finish(reg, dumpReg, float64(defined)/float64(n), minCov)
+}
+
+// runWindowedAggregate drives the continuous, epoch-windowed form of
+// aggregate mode: every node runs the acked loss-tolerant exchange, push-sum
+// restarts at each multiple of -window, and each closed epoch is reported as
+// it freezes. The conservation contract is enforced, not just printed: any
+// node whose mass-error residual leaves exact zero at any sampled instant
+// fails the run with a non-zero exit — this is the CI smoke gate for the
+// loss-tolerance claim.
+func runWindowedAggregate(n, fanout int, fnName string, loss float64, seed int64, dumpReg bool, minCov float64, epochs int, window time.Duration, plan *faults.Plan) error {
+	fn, err := aggregate.ParseFunc(fnName)
+	if err != nil {
+		return err
+	}
+	if n < 2 || fanout < 1 {
+		return fmt.Errorf("aggregate mode needs n >= 2 and fanout >= 1")
+	}
+	if loss < 0 || loss >= 1 {
+		return fmt.Errorf("loss must be in [0,1)")
+	}
+	if window < 4*roundPeriod {
+		return fmt.Errorf("window %v too short: epochs need several %v rounds to mix", window, roundPeriod)
+	}
+
+	reg := metrics.NewRegistry()
+	net := simnet.New(simnet.DefaultConfig(seed))
+	ftbl, err := installFaults(net, plan)
+	if err != nil {
+		return err
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("n%05d", i)
+	}
+	peers := gossip.NewStaticPeers(addrs)
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]*aggregate.SimNode, n)
+	var truthSum, truthMin, truthMax float64
+	truthMin, truthMax = math.Inf(1), math.Inf(-1)
+	for i := range addrs {
+		v := rng.Float64() * 1000
+		truthSum += v
+		truthMin = math.Min(truthMin, v)
+		truthMax = math.Max(truthMax, v)
+		node, err := aggregate.NewSimNode(aggregate.SimNodeConfig{
+			Endpoint: net.Node(addrs[i]),
+			Peers:    peers,
+			Fanout:   fanout,
+			TaskID:   "sim",
+			Func:     fn,
+			Value:    v,
+			Root:     i == 0,
+			RNG:      rand.New(rand.NewSource(seed*6151 + int64(i))),
+			Window:   window,
+			Clock:    net,
+		})
+		if err != nil {
+			return err
+		}
+		mux := transport.NewMux()
+		node.Register(mux)
+		mux.Bind(net.Node(addrs[i]))
+		nodes[i] = node
+	}
+	net.SetLossRate(loss)
+	var truth float64
+	switch fn {
+	case aggregate.FuncCount:
+		truth = float64(n)
+	case aggregate.FuncSum:
+		truth = truthSum
+	case aggregate.FuncAvg:
+		truth = truthSum / float64(n)
+	case aggregate.FuncMin:
+		truth = truthMin
+	case aggregate.FuncMax:
+		truth = truthMax
+	}
+
+	runners, err := startRunners(net, addrs, seed, reg, func(i int) func(context.Context) {
+		return nodes[i].Tick
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wsgossip-sim aggregate (windowed): N=%d f=%d fn=%s epochs=%d window=%v loss=%.2f seed=%d faults=%v\n",
+		n, fanout, fn, epochs, window, loss, seed, ftbl != nil)
+
+	// Sample the conservation residual every round on every node; the gate
+	// is exact zero at every instant, which is what the acked exchange
+	// guarantees no matter what the fault plan does to the links.
+	massViolations := 0
+	var worstMassErr float64
+	sampleMass := func() {
+		for _, node := range nodes {
+			if e := node.MassError(); e != 0 {
+				massViolations++
+				worstMassErr = math.Max(worstMassErr, math.Abs(e))
+			}
+		}
+	}
+	for e := 1; e <= epochs; e++ {
+		// Run to just past this epoch's closing boundary so every node has
+		// rolled and frozen it (runner jitter keeps ticks within one period
+		// of the boundary).
+		target := time.Duration(e)*window + 2*roundPeriod
+		for net.Now() < target {
+			net.RunFor(roundPeriod)
+			sampleMass()
+		}
+		defined := 0
+		var worstErr float64
+		for _, node := range nodes {
+			fr, ok := node.Frozen()
+			if !ok || fr.Epoch != uint64(e) || !fr.Defined {
+				continue
+			}
+			defined++
+			worstErr = math.Max(worstErr, math.Abs(fr.Estimate-truth)/math.Max(math.Abs(truth), 1e-12))
+		}
+		fmt.Printf("  epoch %d: estimates %d/%d defined, worst rel err %.3e\n", e, defined, n, worstErr)
+		reg.FloatGauge("aggregate_worst_rel_error").Set(worstErr)
+	}
+	stopRunners(runners)
+	net.Run() // drain in-flight shares and acks from the final rounds
+	sampleMass()
+
+	var stats aggregate.SimNodeStats
+	for _, node := range nodes {
+		st := node.SimStats()
+		stats.SharesSent += st.SharesSent
+		stats.SharesAbsorbed += st.SharesAbsorbed
+		stats.Duplicates += st.Duplicates
+		stats.Stale += st.Stale
+		stats.Commits += st.Commits
+		stats.Retries += st.Retries
+		stats.Recovered += st.Recovered
+		stats.UnackedDiscarded += st.UnackedDiscarded
+	}
+	st := net.Stats()
+	fmt.Printf("  exchange: sent=%d absorbed=%d committed=%d retried=%d dup=%d stale=%d recovered=%d retired=%d\n",
+		stats.SharesSent, stats.SharesAbsorbed, stats.Commits, stats.Retries,
+		stats.Duplicates, stats.Stale, stats.Recovered, stats.UnackedDiscarded)
+	fmt.Printf("  mass error: %d violation(s), worst %g (gate: exactly 0 everywhere, always)\n",
+		massViolations, worstMassErr)
+	fmt.Printf("  network: sent=%d delivered=%d dropped=%d bytes=%d\n", st.Sent, st.Delivered, st.Dropped, st.Bytes)
+	fmt.Printf("  virtual time:             %v\n", net.Now())
+	if ftbl != nil {
+		reg.Counter("net_fault_refused_total").Add(st.FaultRefused)
+		reg.Counter("net_fault_dropped_total").Add(st.FaultDropped)
+		if err := reportFaults(ftbl, st); err != nil {
+			return err
+		}
+	}
+	reg.Counter("net_sent_total").Add(st.Sent)
+	reg.Counter("net_delivered_total").Add(st.Delivered)
+	reg.Counter("net_dropped_total").Add(st.Dropped)
+	reg.FloatGauge("aggregate_mass_error").Set(worstMassErr)
+	if massViolations > 0 {
+		return fmt.Errorf("mass conservation violated %d time(s), worst residual %g: the acked exchange must hold aggregate_mass_error at exactly 0 under loss",
+			massViolations, worstMassErr)
+	}
+	// Coverage is the fraction of nodes whose final epoch froze with a
+	// defined estimate.
+	finalDefined := 0
+	for _, node := range nodes {
+		if fr, ok := node.Frozen(); ok && fr.Epoch == uint64(epochs) && fr.Defined {
+			finalDefined++
+		}
+	}
+	return finish(reg, dumpReg, float64(finalDefined)/float64(n), minCov)
 }

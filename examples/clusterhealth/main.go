@@ -1,0 +1,213 @@
+// Cluster health demo: continuous queries over epoch-windowed push-sum.
+//
+// A Querier drives three continuous queries — node count, average load, and
+// peak load — through an AggregateWindow: every node restarts push-sum at
+// each 500ms window boundary on the shared clock, so the frozen estimate of
+// the last closed epoch is never more than one window stale and churn is
+// absorbed at the next boundary. Eight services join mid-window and the
+// demo shows exactly when the count re-tracks: the epoch they joined still
+// freezes the old population (joiners relay passively), the one after
+// counts them. The closing act prints the same estimates as the /healthz
+// "cluster" section every wsgossip-node serves when run with
+// -cluster-queries.
+//
+//	go run ./examples/clusterhealth
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"wsgossip"
+	"wsgossip/internal/clock"
+	"wsgossip/internal/gossip"
+	"wsgossip/internal/obs"
+	"wsgossip/internal/soap"
+)
+
+const (
+	window        = 500 * time.Millisecond // epoch length
+	exchangeEvery = 25 * time.Millisecond  // each node's push-sum round period
+	initial       = 24                     // services at activation
+	joiners       = 8                      // services joining mid-window
+)
+
+// view is the demo's stand-in for the membership plane: a mutable peer set
+// every node samples its exchange targets from, so nodes that join after
+// the coordinator handed out target lists still receive shares. A real
+// deployment points AggregateServiceConfig.Peers at a MembershipService.
+type view struct {
+	mu    sync.Mutex
+	addrs []string
+}
+
+func (v *view) SelectPeers(rng *rand.Rand, n int, exclude string) []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return gossip.SamplePeers(rng, v.addrs, n, exclude)
+}
+
+func (v *view) add(addr string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.addrs = append(v.addrs, addr)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterhealth:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+	vc := clock.NewVirtual()
+	peers := &view{}
+	var runners []*wsgossip.Runner
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+	startRunner := func(svc interface{ Tick(context.Context) }, seed int64) error {
+		r, err := wsgossip.NewRunner(wsgossip.RunnerConfig{
+			Clock:          vc,
+			RNG:            rand.New(rand.NewSource(seed)),
+			Aggregator:     svc,
+			AggregateEvery: exchangeEvery,
+			JitterFrac:     0.2,
+		})
+		if err != nil {
+			return err
+		}
+		if err := r.Start(ctx); err != nil {
+			return err
+		}
+		runners = append(runners, r)
+		return nil
+	}
+
+	coordinator := wsgossip.NewCoordinator(wsgossip.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(1)),
+	})
+	bus.Register("mem://coordinator", coordinator.Handler())
+
+	// Each service exposes a named "load" source (ContinuousQuery metrics
+	// resolve against Values) plus a default Value the count query falls
+	// back to. Loads are 20..20+n so the expected avg/max are obvious.
+	addService := func(i int) error {
+		addr := fmt.Sprintf("mem://service%02d", i)
+		load := 20 + float64(i)
+		svc, err := wsgossip.NewAggregateService(wsgossip.AggregateServiceConfig{
+			Address: addr,
+			Caller:  bus,
+			Value:   func() float64 { return load },
+			Values:  map[string]func() float64{"load": func() float64 { return load }},
+			RNG:     rand.New(rand.NewSource(int64(i) + 10)),
+			Clock:   vc,
+			Peers:   peers,
+		})
+		if err != nil {
+			return err
+		}
+		bus.Register(addr, svc.Handler())
+		if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", addr,
+			wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+			return err
+		}
+		peers.add(addr)
+		return startRunner(svc, int64(i)+1000)
+	}
+	for i := 0; i < initial; i++ {
+		if err := addService(i); err != nil {
+			return err
+		}
+	}
+
+	// The Querier is the root: it activates each query once and re-seeds
+	// the anchor weight every epoch. It holds no load of its own, so the
+	// count query counts exactly the contributing services.
+	querier, err := wsgossip.NewQuerier(wsgossip.QuerierConfig{
+		Address:    "mem://querier",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+		RNG:        rand.New(rand.NewSource(7)),
+		Clock:      vc,
+		Peers:      peers,
+	})
+	if err != nil {
+		return err
+	}
+	bus.Register("mem://querier", querier.Handler())
+	if err := wsgossip.Subscribe(ctx, bus, "mem://coordinator", "mem://querier",
+		wsgossip.RoleDisseminator, wsgossip.ProtocolAggregate); err != nil {
+		return err
+	}
+	peers.add("mem://querier")
+	win, err := wsgossip.NewAggregateWindow(wsgossip.AggregateWindowConfig{
+		Querier: querier,
+		Window:  window,
+		Queries: []wsgossip.ContinuousQuery{
+			{Name: "nodes", Func: wsgossip.FuncCount},
+			{Name: "load", Func: wsgossip.FuncAvg},
+			{Name: "load-peak", Func: wsgossip.FuncMax},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := startRunner(win, 999); err != nil {
+		return err
+	}
+
+	advance := func(d time.Duration) {
+		for t := time.Duration(0); t < d; t += exchangeEvery {
+			vc.Advance(exchangeEvery)
+		}
+	}
+	show := func(when string) {
+		log.Printf("%s:", when)
+		for _, est := range win.Estimates() {
+			log.Printf("  %-5s(%-9s) epoch %d frozen: %8.3f (defined=%v)  live: %8.3f",
+				est.Function, est.Query, est.FrozenEpoch, est.Estimate, est.Defined, est.Live)
+		}
+	}
+
+	// Two full windows: epoch 2 is closed, every query has a stable frozen
+	// estimate of the 24-service population.
+	advance(2*window + exchangeEvery)
+	show(fmt.Sprintf("t=%v, %d services", vc.Now(), initial))
+
+	// Eight services join mid-window. They absorb and relay shares
+	// immediately but contribute only from the next epoch boundary on, so
+	// the epoch in progress still freezes the population it started with.
+	for i := initial; i < initial+joiners; i++ {
+		if err := addService(i); err != nil {
+			return err
+		}
+	}
+	log.Printf("t=%v: %d services joined mid-window", vc.Now(), joiners)
+	advance(window)
+	show(fmt.Sprintf("t=%v, epoch the join landed in (joiners still passive)", vc.Now()))
+	advance(window)
+	show(fmt.Sprintf("t=%v, one boundary later (joiners counted)", vc.Now()))
+
+	// This is exactly what a wsgossip-node run with -cluster-queries
+	// serves as the "cluster" section of GET /healthz.
+	doc := obs.Health{Node: "mem://querier", Role: "querier", Cluster: obs.ClusterFrom(win)}
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nGET /healthz →\n%s\n", body)
+	return nil
+}

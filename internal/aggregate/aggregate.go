@@ -53,6 +53,12 @@ type Start struct {
 	Root string `xml:"Root"`
 	// Hops is the remaining flood budget for re-forwarding the start.
 	Hops int `xml:"Hops"`
+	// WindowMillis, when positive, marks the task continuous: push-sum
+	// restarts every window, and exchanges ride the acked protocol.
+	WindowMillis int64 `xml:"WindowMillis,omitempty"`
+	// Metric names the local value source a continuous task samples each
+	// epoch (resolved against ServiceConfig.Values, falling back to Value).
+	Metric string `xml:"Metric,omitempty"`
 }
 
 // Share is one push-sum exchange: a (sum, weight) mass transfer plus the
@@ -70,6 +76,17 @@ type Share struct {
 	HasExtremes bool    `xml:"HasExtremes"`
 	Min         float64 `xml:"Min,omitempty"`
 	Max         float64 `xml:"Max,omitempty"`
+	// Continuous-mode fields. WindowMillis > 0 marks the share as part of
+	// an epoch-windowed task; it carries everything a node that never saw
+	// the start needs to join: the window, the epoch, the anchor address,
+	// and the metric name. Seq is the sender's per-task sequence number —
+	// the receiver dedups on (From, Seq) so a retried share is absorbed
+	// exactly once, and the ack quotes it back.
+	WindowMillis int64  `xml:"WindowMillis,omitempty"`
+	Epoch        uint64 `xml:"Epoch,omitempty"`
+	Seq          uint64 `xml:"Seq,omitempty"`
+	Root         string `xml:"Root,omitempty"`
+	Metric       string `xml:"Metric,omitempty"`
 }
 
 // Query requests a participant's current estimate.

@@ -1,0 +1,553 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Hand-rolled codec for the simulator exchange wire format. The encoder
+// emits plain JSON (field order fixed, minimal escaping) and the decoder is
+// a strict single-purpose parser, so the per-exchange hot path stays within
+// an allocation budget instead of paying encoding/json's reflection. The
+// contract, enforced by FuzzSimShareCodec differentially: whenever
+// decodeSimShare accepts an input, encoding/json accepts it too and decodes
+// the same values; and append→decode round-trips every encodable share
+// exactly. The decoder may reject inputs encoding/json would accept — the
+// wire only ever carries this encoder's output.
+
+// appendJSONString appends s as a JSON string literal, escaping exactly the
+// characters RFC 8259 requires (quote, backslash, control bytes).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			dst = append(dst, '\\', '"')
+		case c == '\\':
+			dst = append(dst, '\\', '\\')
+		case c < 0x20:
+			switch c {
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				const hex = "0123456789abcdef"
+				dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+			}
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}
+
+// appendFloat appends f in the shortest round-trippable form. Non-finite
+// values are not representable in JSON; the protocol never produces them.
+func appendFloat(dst []byte, f float64) []byte {
+	return strconv.AppendFloat(dst, f, 'g', -1, 64)
+}
+
+// appendSimShare encodes sh onto dst.
+func appendSimShare(dst []byte, sh *simShare) []byte {
+	dst = append(dst, `{"task":`...)
+	dst = appendJSONString(dst, sh.Task)
+	dst = append(dst, `,"fn":`...)
+	dst = appendJSONString(dst, sh.Function)
+	dst = append(dst, `,"s":`...)
+	dst = appendFloat(dst, sh.Sum)
+	dst = append(dst, `,"w":`...)
+	dst = appendFloat(dst, sh.Weight)
+	if sh.HasExtremes {
+		dst = append(dst, `,"he":true,"min":`...)
+		dst = appendFloat(dst, sh.Min)
+		dst = append(dst, `,"max":`...)
+		dst = appendFloat(dst, sh.Max)
+	}
+	if sh.Epoch != 0 {
+		dst = append(dst, `,"e":`...)
+		dst = strconv.AppendUint(dst, sh.Epoch, 10)
+	}
+	if sh.Seq != 0 {
+		dst = append(dst, `,"q":`...)
+		dst = strconv.AppendUint(dst, sh.Seq, 10)
+	}
+	return append(dst, '}')
+}
+
+// appendSimAck encodes an exchange ack onto dst.
+func appendSimAck(dst []byte, a *simAck) []byte {
+	dst = append(dst, `{"task":`...)
+	dst = appendJSONString(dst, a.Task)
+	dst = append(dst, `,"e":`...)
+	dst = strconv.AppendUint(dst, a.Epoch, 10)
+	dst = append(dst, `,"q":`...)
+	return append(strconv.AppendUint(dst, a.Seq, 10), '}')
+}
+
+// simDecoder is a minimal JSON scanner over one message body.
+type simDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *simDecoder) errf(format string, args ...any) error {
+	return fmt.Errorf("aggregate: sim codec at %d: %s", d.pos, fmt.Sprintf(format, args...))
+}
+
+func (d *simDecoder) skipWS() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (d *simDecoder) expect(c byte) error {
+	d.skipWS()
+	if d.pos >= len(d.data) || d.data[d.pos] != c {
+		return d.errf("expected %q", string(c))
+	}
+	d.pos++
+	return nil
+}
+
+// str decodes a JSON string literal, handling the full escape set
+// (including \uXXXX with surrogate pairs) the way encoding/json does.
+func (d *simDecoder) str() (string, error) {
+	d.skipWS()
+	if d.pos >= len(d.data) || d.data[d.pos] != '"' {
+		return "", d.errf("expected string")
+	}
+	d.pos++
+	start := d.pos
+	// Fast path: no escapes, no control bytes. Invalid UTF-8 is rejected
+	// (stricter than encoding/json's U+FFFD substitution — the dual-success
+	// agreement the fuzzer enforces only requires our accepts to be a
+	// value-identical subset of encoding/json's).
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		if c == '"' {
+			s := string(d.data[start:d.pos])
+			d.pos++
+			if !utf8.ValidString(s) {
+				return "", d.errf("invalid UTF-8 in string")
+			}
+			return s, nil
+		}
+		if c == '\\' || c < 0x20 {
+			break
+		}
+		d.pos++
+	}
+	// Slow path with escapes.
+	buf := append([]byte(nil), d.data[start:d.pos]...)
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		switch {
+		case c == '"':
+			d.pos++
+			if !utf8.Valid(buf) {
+				return "", d.errf("invalid UTF-8 in string")
+			}
+			return string(buf), nil
+		case c < 0x20:
+			return "", d.errf("control byte in string")
+		case c == '\\':
+			d.pos++
+			if d.pos >= len(d.data) {
+				return "", d.errf("truncated escape")
+			}
+			e := d.data[d.pos]
+			d.pos++
+			switch e {
+			case '"', '\\', '/':
+				buf = append(buf, e)
+			case 'b':
+				buf = append(buf, '\b')
+			case 'f':
+				buf = append(buf, '\f')
+			case 'n':
+				buf = append(buf, '\n')
+			case 'r':
+				buf = append(buf, '\r')
+			case 't':
+				buf = append(buf, '\t')
+			case 'u':
+				r, err := d.uescape()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					// A high surrogate may pair with a following \u escape;
+					// anything else becomes U+FFFD, as encoding/json does.
+					r2 := unicode_replacement
+					if d.pos+1 < len(d.data) && d.data[d.pos] == '\\' && d.data[d.pos+1] == 'u' {
+						save := d.pos
+						d.pos += 2
+						lo, err := d.uescape()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(r, lo); dec != unicode_replacement {
+							r2 = dec
+						} else {
+							d.pos = save
+						}
+					}
+					if r2 == unicode_replacement {
+						buf = utf8.AppendRune(buf, unicode_replacement)
+						continue
+					}
+					buf = utf8.AppendRune(buf, r2)
+					continue
+				}
+				buf = utf8.AppendRune(buf, r)
+			default:
+				return "", d.errf("bad escape %q", string(e))
+			}
+		default:
+			buf = append(buf, c)
+			d.pos++
+		}
+	}
+	return "", d.errf("unterminated string")
+}
+
+const unicode_replacement = '�'
+
+func (d *simDecoder) uescape() (rune, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, d.errf("truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := d.data[d.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, d.errf("bad \\u escape")
+		}
+	}
+	d.pos += 4
+	return r, nil
+}
+
+// numToken scans one JSON number token and returns its text.
+func (d *simDecoder) numToken() (string, error) {
+	d.skipWS()
+	start := d.pos
+	if d.pos < len(d.data) && d.data[d.pos] == '-' {
+		d.pos++
+	}
+	digits := 0
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		if c >= '0' && c <= '9' {
+			digits++
+			d.pos++
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+			d.pos++
+			continue
+		}
+		break
+	}
+	if digits == 0 {
+		return "", d.errf("expected number")
+	}
+	tok := string(d.data[start:d.pos])
+	// Reject shapes encoding/json rejects so dual-success agreement holds:
+	// leading zeros, bare dots, dangling exponents.
+	if _, err := strconv.ParseFloat(tok, 64); err != nil {
+		return "", d.errf("bad number %q", tok)
+	}
+	if !jsonNumberShape(tok) {
+		return "", d.errf("bad number %q", tok)
+	}
+	return tok, nil
+}
+
+// jsonNumberShape reports whether tok matches RFC 8259 number grammar
+// (ParseFloat is laxer: it accepts "0x1p4", ".5", "1.", "+1").
+func jsonNumberShape(tok string) bool {
+	i := 0
+	if i < len(tok) && tok[i] == '-' {
+		i++
+	}
+	// int part: 0 | [1-9][0-9]*
+	if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+		return false
+	}
+	if tok[i] == '0' {
+		i++
+	} else {
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(tok) && tok[i] == '.' {
+		i++
+		if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(tok) && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		if i >= len(tok) || tok[i] < '0' || tok[i] > '9' {
+			return false
+		}
+		for i < len(tok) && tok[i] >= '0' && tok[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(tok)
+}
+
+func (d *simDecoder) float() (float64, error) {
+	tok, err := d.numToken()
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(tok, 64)
+	if err != nil || math.IsInf(f, 0) {
+		return 0, d.errf("bad float %q", tok)
+	}
+	return f, nil
+}
+
+func (d *simDecoder) uint() (uint64, error) {
+	tok, err := d.numToken()
+	if err != nil {
+		return 0, err
+	}
+	u, err := strconv.ParseUint(tok, 10, 64)
+	if err != nil {
+		return 0, d.errf("bad uint %q", tok)
+	}
+	return u, nil
+}
+
+func (d *simDecoder) bool() (bool, error) {
+	d.skipWS()
+	rest := d.data[d.pos:]
+	if len(rest) >= 4 && string(rest[:4]) == "true" {
+		d.pos += 4
+		return true, nil
+	}
+	if len(rest) >= 5 && string(rest[:5]) == "false" {
+		d.pos += 5
+		return false, nil
+	}
+	return false, d.errf("expected bool")
+}
+
+// skipValue skips one JSON value of any shape (unknown fields).
+func (d *simDecoder) skipValue() error {
+	d.skipWS()
+	if d.pos >= len(d.data) {
+		return d.errf("expected value")
+	}
+	switch c := d.data[d.pos]; {
+	case c == '"':
+		_, err := d.str()
+		return err
+	case c == '{':
+		d.pos++
+		d.skipWS()
+		if d.pos < len(d.data) && d.data[d.pos] == '}' {
+			d.pos++
+			return nil
+		}
+		for {
+			if _, err := d.str(); err != nil {
+				return err
+			}
+			if err := d.expect(':'); err != nil {
+				return err
+			}
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+			d.skipWS()
+			if d.pos >= len(d.data) {
+				return d.errf("unterminated object")
+			}
+			if d.data[d.pos] == ',' {
+				d.pos++
+				continue
+			}
+			if d.data[d.pos] == '}' {
+				d.pos++
+				return nil
+			}
+			return d.errf("bad object")
+		}
+	case c == '[':
+		d.pos++
+		d.skipWS()
+		if d.pos < len(d.data) && d.data[d.pos] == ']' {
+			d.pos++
+			return nil
+		}
+		for {
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+			d.skipWS()
+			if d.pos >= len(d.data) {
+				return d.errf("unterminated array")
+			}
+			if d.data[d.pos] == ',' {
+				d.pos++
+				continue
+			}
+			if d.data[d.pos] == ']' {
+				d.pos++
+				return nil
+			}
+			return d.errf("bad array")
+		}
+	case c == 't' || c == 'f':
+		_, err := d.bool()
+		return err
+	case c == 'n':
+		if d.pos+4 <= len(d.data) && string(d.data[d.pos:d.pos+4]) == "null" {
+			d.pos += 4
+			return nil
+		}
+		return d.errf("bad literal")
+	default:
+		_, err := d.numToken()
+		return err
+	}
+}
+
+// object walks one JSON object, calling field for each key. field must
+// consume the value.
+func (d *simDecoder) object(field func(key string) error) error {
+	if err := d.expect('{'); err != nil {
+		return err
+	}
+	d.skipWS()
+	if d.pos < len(d.data) && d.data[d.pos] == '}' {
+		d.pos++
+		return d.end()
+	}
+	for {
+		key, err := d.str()
+		if err != nil {
+			return err
+		}
+		if err := d.expect(':'); err != nil {
+			return err
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+		d.skipWS()
+		if d.pos >= len(d.data) {
+			return d.errf("unterminated object")
+		}
+		switch d.data[d.pos] {
+		case ',':
+			d.pos++
+		case '}':
+			d.pos++
+			return d.end()
+		default:
+			return d.errf("bad object")
+		}
+	}
+}
+
+// end requires only trailing whitespace after the top-level value.
+func (d *simDecoder) end() error {
+	d.skipWS()
+	if d.pos != len(d.data) {
+		return d.errf("trailing data")
+	}
+	return nil
+}
+
+// decodeSimShare parses one exchange body into sh (reset first). Field
+// names match case-insensitively because encoding/json's do — the fuzzed
+// dual-success contract requires identical values whenever both decoders
+// accept (testdata/fuzz/FuzzSimShareCodec/689a9db499f1d7d5 is the shrunk
+// counterexample from the exact-match version of this switch).
+func decodeSimShare(data []byte, sh *simShare) error {
+	*sh = simShare{}
+	d := simDecoder{data: data}
+	return d.object(func(key string) error {
+		var err error
+		switch {
+		case strings.EqualFold(key, "task"):
+			sh.Task, err = d.str()
+		case strings.EqualFold(key, "fn"):
+			sh.Function, err = d.str()
+		case strings.EqualFold(key, "s"):
+			sh.Sum, err = d.float()
+		case strings.EqualFold(key, "w"):
+			sh.Weight, err = d.float()
+		case strings.EqualFold(key, "he"):
+			sh.HasExtremes, err = d.bool()
+		case strings.EqualFold(key, "min"):
+			sh.Min, err = d.float()
+		case strings.EqualFold(key, "max"):
+			sh.Max, err = d.float()
+		case strings.EqualFold(key, "e"):
+			sh.Epoch, err = d.uint()
+		case strings.EqualFold(key, "q"):
+			sh.Seq, err = d.uint()
+		default:
+			err = d.skipValue()
+		}
+		return err
+	})
+}
+
+// decodeSimAck parses one exchange-ack body into a (reset first).
+func decodeSimAck(data []byte, a *simAck) error {
+	*a = simAck{}
+	d := simDecoder{data: data}
+	return d.object(func(key string) error {
+		var err error
+		switch {
+		case strings.EqualFold(key, "task"):
+			a.Task, err = d.str()
+		case strings.EqualFold(key, "e"):
+			a.Epoch, err = d.uint()
+		case strings.EqualFold(key, "q"):
+			a.Seq, err = d.uint()
+		default:
+			err = d.skipValue()
+		}
+		return err
+	})
+}

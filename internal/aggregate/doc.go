@@ -19,6 +19,9 @@
 //     assigned overlay, and collects the converged estimate.
 //   - A SimNode is the transport-level participant for simulator-scale runs
 //     (cmd/wsgossip-sim -mode aggregate).
+//   - A Window turns one-shot queries into continuous ones: driven as the
+//     querier's Runner loop, it keeps every configured query
+//     (ContinuousQuery) fresh by restarting push-sum each epoch.
 //
 // Exchange rounds fire from a core.Runner (RunnerConfig.Aggregator); with
 // QuiescentMax set the exchange loop backs off exponentially once every
@@ -30,4 +33,21 @@
 // every estimate sᵢ/wᵢ converges to Σs/Σw. The analytic convergence rate
 // lives in internal/epidemic (PushSumContraction and friends); experiment
 // e10 cross-checks the implementation against it.
+//
+// Continuous tasks extend both halves of that story. Time is cut into
+// epochs on a shared clock (EpochAt: epoch k occupies [(k-1)·w, k·w)):
+// crossing a boundary freezes the closing epoch's estimate — the stable
+// value consumers read — and re-contributes the node's live local value
+// into fresh state, so the estimate tracks churn window by window. A node
+// that joins mid-window relays passively until the next boundary and only
+// then contributes (contributeFrom), never retroactively. And because a
+// long-lived query meets real loss, the continuous exchange is
+// pairwise-atomic: a sent share stays in the sender's outstanding ledger
+// until the receiver's ack commits it, absorb+ack is idempotent under
+// (sender, seq) dedup, and only a synchronous first-send failure may
+// recover mass locally (a retry failure never does — an earlier attempt
+// may have been delivered). The aggregate_mass_error gauge is evaluated at
+// every commit point and reads exactly zero at every observable instant;
+// the property-based suite in internal/scenario holds it there under
+// generated loss/churn/partition schedules.
 package aggregate

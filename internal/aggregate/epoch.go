@@ -1,0 +1,104 @@
+package aggregate
+
+import (
+	"encoding/xml"
+	"math"
+	"time"
+
+	"wsgossip/internal/core"
+)
+
+// Continuous (epoch-windowed) aggregation: instead of converging once and
+// stopping, a continuous task restarts push-sum every window. Epoch identity
+// is a pure function of the shared clock, so every participant rolls into
+// the same epoch without coordinator traffic, and each epoch's mass is
+// accounted for independently — when an epoch closes, its outstanding
+// unacked shares, its dedup state, and its conservation ledger retire as a
+// unit, so nothing ambiguous leaks into the live estimate.
+
+// ActionExchangeAck acknowledges custody transfer of one continuous-mode
+// exchange share. The sender keeps a transferred share's mass in its
+// outstanding ledger until this ack arrives; only then is the transfer
+// committed.
+const ActionExchangeAck = core.Namespace + ":aggregate:exchangeAck"
+
+// EpochAt returns the 1-based epoch index at time now for the given window
+// length. Index 0 is reserved for "not yet in any epoch", so a node that
+// has never rolled is distinguishable from one in the first window.
+func EpochAt(now, window time.Duration) uint64 {
+	if window <= 0 {
+		return 0
+	}
+	if now < 0 {
+		now = 0
+	}
+	return uint64(now/window) + 1
+}
+
+// ExchangeAck is the wire body confirming one continuous exchange share.
+type ExchangeAck struct {
+	XMLName xml.Name `xml:"urn:wsgossip:2008 AggregateExchangeAck"`
+	TaskID  string   `xml:"TaskID"`
+	// From is the acking node's address.
+	From string `xml:"From"`
+	// Epoch is the acker's current epoch. A sender seeing an ack from a
+	// later epoch rolls forward immediately — epochs spread epidemically,
+	// the clock is only the local trigger.
+	Epoch uint64 `xml:"Epoch"`
+	// Seq identifies the acknowledged share (per-task sender sequence).
+	Seq uint64 `xml:"Seq"`
+}
+
+// massSnapTol is the relative tolerance below which a task's ledger balance
+// is treated as float residue and snapped to exactly zero. The ledger and
+// the push-sum state apply the same share values through different
+// expression trees, so sub-ulp drift accumulates; real conservation bugs
+// (a lost share's worth of mass) sit many orders of magnitude above this.
+const massSnapTol = 1e-9
+
+// ledger is one task's conservation account. Mass held by the push-sum
+// state plus mass split off but not yet acknowledged (outstanding) must
+// equal everything that entered local custody (in) minus everything whose
+// transfer was committed (out). The aggregate_mass_error gauge is the sum
+// of these balances across tasks, re-evaluated at every commit point.
+type ledger struct {
+	in          float64
+	out         float64
+	outstanding float64
+}
+
+// balance returns the task's conservation error given the weight its state
+// currently holds, with sub-ulp residue snapped to exactly zero.
+func (l *ledger) balance(held float64) float64 {
+	bal := (held + l.outstanding) - (l.in - l.out)
+	scale := math.Max(1, math.Abs(l.in)+math.Abs(l.out))
+	if math.Abs(bal) <= massSnapTol*scale {
+		return 0
+	}
+	return bal
+}
+
+// EpochEstimate is one closed epoch's final local estimate — the stable
+// value consumers read while the next epoch is still mixing.
+type EpochEstimate struct {
+	// Epoch is the closed epoch's index.
+	Epoch uint64
+	// Estimate is the final local estimate; Defined reports whether the
+	// node held enough weight for it to mean anything.
+	Estimate float64
+	Defined  bool
+	// Weight is the weight held when the epoch closed.
+	Weight float64
+	// Rounds is how many exchange rounds the node ran in the epoch.
+	Rounds int
+	// ClosedAt is the clock offset at which the epoch was retired locally.
+	ClosedAt time.Duration
+}
+
+// suspectTries is the per-target timeout, measured in exchange rounds: a
+// target whose oldest unacked share has been retried this many times is
+// excluded from new share fan-out for the rest of the epoch. The pending
+// share itself keeps being retried — if the target heals, the ack commits
+// the transfer; if not, the epoch boundary recovers the mass by retiring
+// the epoch.
+const suspectTries = 3

@@ -1,0 +1,199 @@
+package aggregate
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"wsgossip/internal/soap"
+	"wsgossip/internal/wscoord"
+)
+
+// fuzzableXML reports whether s survives an XML encode/decode unchanged:
+// valid UTF-8, no control characters (XML 1.0 cannot carry them), and no
+// carriage returns (normalized to newlines by the parser).
+func fuzzableXML(s string) bool {
+	if !utf8.ValidString(s) {
+		return false
+	}
+	for _, r := range s {
+		if r < 0x20 && r != '\t' && r != '\n' {
+			return false
+		}
+		if r == 0xFFFE || r == 0xFFFF {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzExchangeRoundTrip drives the full continuous-exchange wire cycle for
+// arbitrary share payloads: build the SOAP message (epoch ID, weight, mass,
+// window, seq), encode it, re-decode it through the scanner path, and
+// require the extracted Share to be field-exact. This is the codec contract
+// the acked exchange's retries depend on — a retried share must carry
+// byte-identical semantics or dedup and commit break.
+func FuzzExchangeRoundTrip(f *testing.F) {
+	f.Add("task-1", "mem://a", "load", "mem://root", "avg", 1.5, 0.25, -3.0, 7.0, true, uint64(3), uint64(41), int64(5000))
+	f.Add("t", "", "", "", "count", 0.0, 0.0, 0.0, 0.0, false, uint64(0), uint64(0), int64(0))
+	f.Add("epoch&window <q>", "mem://ünïcødé", "lag", "mem://r", "max", -0.0, 1e-300, math.MaxFloat64, -math.MaxFloat64, true, uint64(math.MaxUint64), uint64(1), int64(1))
+	f.Fuzz(func(t *testing.T, taskID, from, metric, root, fn string,
+		sum, weight, min, max float64, hasExtremes bool,
+		epoch, seq uint64, windowMillis int64) {
+		for _, s := range []string{taskID, from, metric, root, fn} {
+			if !fuzzableXML(s) {
+				return
+			}
+		}
+		for _, v := range []float64{sum, weight, min, max} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		in := Share{
+			TaskID:       taskID,
+			Function:     fn,
+			From:         from,
+			Sum:          sum,
+			Weight:       weight,
+			HasExtremes:  hasExtremes,
+			Min:          min,
+			Max:          max,
+			WindowMillis: windowMillis,
+			Epoch:        epoch,
+			Seq:          seq,
+			Root:         root,
+			Metric:       metric,
+		}
+		cctx := wscoord.CoordinationContext{
+			Identifier:          "urn:fuzz:task",
+			CoordinationType:    "urn:fuzz:type",
+			RegistrationService: wscoord.ServiceRef{Address: "mem://reg"},
+		}
+		env, err := buildMessage(ActionExchange, cctx, in)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		data, err := env.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		decoded, err := soap.Decode(data)
+		if err != nil {
+			t.Fatalf("scanner decode: %v\nwire: %q", err, data)
+		}
+		var out Share
+		if err := decoded.DecodeBody(&out); err != nil {
+			t.Fatalf("decode body: %v\nwire: %q", err, data)
+		}
+		out.XMLName = in.XMLName
+		if out != in {
+			t.Fatalf("share round trip mismatch:\n in: %+v\nout: %+v\nwire: %q", in, out, data)
+		}
+	})
+}
+
+// FuzzSimShareCodec is the differential contract for the hand-rolled
+// simulator codec: whenever decodeSimShare accepts an input, encoding/json
+// must accept it too and decode the identical values; and every accepted
+// share must survive append → decode unchanged. (The hand decoder may
+// reject inputs encoding/json would take — the wire only ever carries the
+// hand encoder's output.) The same bytes are also driven through the ack
+// codec under the same contract.
+func FuzzSimShareCodec(f *testing.F) {
+	f.Add([]byte(`{"task":"t1","fn":"avg","s":1.5,"w":0.5}`))
+	f.Add([]byte(`{"task":"t","fn":"max","s":0,"w":0,"he":true,"min":-1e-9,"max":2.75,"e":3,"q":17}`))
+	f.Add([]byte(`{"task":"escA\n\"x\"","fn":"count","s":-0,"w":1e300,"e":18446744073709551615,"q":1}`))
+	f.Add([]byte(`{"task":"surrogate 😀 pair","fn":"sum","s":2,"w":3,"unknown":[{"a":1},null,true,"x"]}`))
+	f.Add([]byte(` { "task" : "ws" , "fn" : "avg" , "s" : 1e2 , "w" : 0.125 } `))
+	f.Add([]byte(`{"task":"a","e":2,"q":9}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var hand simShare
+		if err := decodeSimShare(data, &hand); err == nil {
+			var std simShare
+			if jerr := json.Unmarshal(data, &std); jerr != nil {
+				t.Fatalf("hand decoder accepted what encoding/json rejects (%v):\n%q", jerr, data)
+			}
+			if hand != std {
+				t.Fatalf("value divergence:\nhand: %+v\n std: %+v\ninput: %q", hand, std, data)
+			}
+			// Identity holds for canonical shares: the encoder omits
+			// min/max when HasExtremes is false, because the protocol
+			// ignores (and never sends) extremes without the flag.
+			canon := hand
+			if !canon.HasExtremes {
+				canon.Min, canon.Max = 0, 0
+			}
+			wire := appendSimShare(nil, &canon)
+			var again simShare
+			if err := decodeSimShare(wire, &again); err != nil {
+				t.Fatalf("re-decode of own encoding failed: %v\nwire: %q", err, wire)
+			}
+			if again != canon {
+				t.Fatalf("encode/decode not identity:\nfirst: %+v\nagain: %+v\nwire: %q", canon, again, wire)
+			}
+		}
+		var ack simAck
+		if err := decodeSimAck(data, &ack); err == nil {
+			var std simAck
+			if jerr := json.Unmarshal(data, &std); jerr != nil {
+				t.Fatalf("ack decoder accepted what encoding/json rejects (%v):\n%q", jerr, data)
+			}
+			if ack != std {
+				t.Fatalf("ack value divergence:\nhand: %+v\n std: %+v\ninput: %q", ack, std, data)
+			}
+			wire := appendSimAck(nil, &ack)
+			var again simAck
+			if err := decodeSimAck(wire, &again); err != nil {
+				t.Fatalf("ack re-decode failed: %v\nwire: %q", err, wire)
+			}
+			if again != ack {
+				t.Fatalf("ack encode/decode not identity: %+v vs %+v", ack, again)
+			}
+		}
+	})
+}
+
+// TestSimShareCodecRejects pins decoder strictness on shapes that must not
+// be silently accepted.
+func TestSimShareCodecRejects(t *testing.T) {
+	bad := []string{
+		``,
+		`null`,
+		`[]`,
+		`{"task":"x"} trailing`,
+		`{"task":1}`,
+		`{"s":"1"}`,
+		`{"e":-1}`,
+		`{"e":1.5}`,
+		`{"q":18446744073709551616}`, // uint64 overflow
+		`{"s":01}`,                   // leading zero
+		`{"s":.5}`,                   // bare fraction
+		`{"s":1.}`,                   // dangling dot
+		`{"s":1e}`,                   // dangling exponent
+		`{"s":1e999}`,                // float overflow
+		`{"task":"` + string([]byte{0xff}) + `"}`, // invalid UTF-8
+		`{"task":"unterminated`,
+		`{"task":}`,
+		`{1:2}`,
+	}
+	for _, in := range bad {
+		var sh simShare
+		if err := decodeSimShare([]byte(in), &sh); err == nil {
+			t.Errorf("decodeSimShare accepted %q", in)
+		}
+	}
+	// strings.Repeat guards against decoder stack depth issues on deep
+	// nesting in skipped unknown fields.
+	deep := `{"task":"x","fn":"avg","s":1,"w":1,"junk":` +
+		strings.Repeat("[", 64) + strings.Repeat("]", 64) + `}`
+	var sh simShare
+	if err := decodeSimShare([]byte(deep), &sh); err != nil {
+		t.Errorf("decodeSimShare rejected deep unknown array: %v", err)
+	}
+	if sh.Task != "x" || sh.Sum != 1 {
+		t.Errorf("deep-skip decode mangled fields: %+v", sh)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"wsgossip/internal/clock"
 	"wsgossip/internal/core"
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/metrics"
@@ -33,6 +35,13 @@ type QuerierConfig struct {
 	// Metrics is forwarded to the querier's embedded participant Service;
 	// nil uses a private registry.
 	Metrics *metrics.Registry
+	// Clock, Values, and Peers are forwarded to the embedded Service: the
+	// shared clock continuous epochs derive from, the named local value
+	// sources continuous queries sample, and the live peer view exchange
+	// targets are drawn from (see ServiceConfig).
+	Clock  clock.Clock
+	Values map[string]func() float64
+	Peers  core.PeerView
 }
 
 // Querier is the aggregation counterpart of the Initiator role: the one
@@ -77,6 +86,9 @@ func NewQuerier(cfg QuerierConfig) (*Querier, error) {
 		Value:   cfg.Value,
 		RNG:     rng,
 		Metrics: cfg.Metrics,
+		Clock:   cfg.Clock,
+		Values:  cfg.Values,
+		Peers:   cfg.Peers,
 	})
 	if err != nil {
 		return nil, err
@@ -97,6 +109,11 @@ func (q *Querier) Address() string { return q.cfg.Address }
 // Handler returns the querier's SOAP handler (it participates in exchanges
 // like any aggregation service).
 func (q *Querier) Handler() soap.Handler { return q.svc.Handler() }
+
+// RegisterActions installs the querier's aggregation actions on an existing
+// dispatcher, for stacks that colocate the querier with other services
+// (e.g. a Disseminator) on one endpoint.
+func (q *Querier) RegisterActions(d *soap.Dispatcher) { q.svc.RegisterActions(d) }
 
 // StartAggregation activates an aggregation interaction for fn, registers
 // the querier (obtaining fanout, epsilon, round budget, and targets), seeds
@@ -137,8 +154,61 @@ func (q *Querier) StartAggregation(ctx context.Context, fn Func) (*Task, error) 
 	return &Task{ID: cctx.Identifier, Func: fn, Params: params, Context: cctx}, nil
 }
 
+// StartContinuous activates an epoch-windowed aggregation: like
+// StartAggregation, but the task never converges-and-stops — every node
+// restarts push-sum at each window boundary on the shared clock, so the
+// estimate tracks churn. name selects the participants' local value source
+// (ServiceConfig.Values) and labels the query for consumers. The querier
+// is the root: it re-seeds the anchor weight every epoch.
+func (q *Querier) StartContinuous(ctx context.Context, name string, fn Func, window time.Duration) (*Task, error) {
+	if _, err := ParseFunc(string(fn)); err != nil {
+		return nil, err
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("aggregate: continuous aggregation requires a positive window, got %v", window)
+	}
+	cctx, err := q.activation.Create(ctx, q.cfg.Activation, core.CoordinationTypeGossip)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: activate interaction: %w", err)
+	}
+	params, err := q.svc.registerTask(ctx, cctx)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: register querier: %w", err)
+	}
+	q.svc.startContinuousLocal(cctx.Identifier, fn, cctx, params, window, name)
+	start := Start{
+		TaskID:       cctx.Identifier,
+		Function:     string(fn),
+		Root:         q.cfg.Address,
+		Hops:         params.Hops,
+		WindowMillis: window.Milliseconds(),
+		Metric:       name,
+	}
+	if len(params.Targets) > 0 {
+		env, err := buildMessage(ActionStart, cctx, start)
+		if err != nil {
+			return nil, err
+		}
+		sent, failed := soap.Fanout(ctx, q.cfg.Caller, env, params.Targets)
+		q.svc.stats.sendErrors.Add(int64(len(failed)))
+		if sent == 0 {
+			return nil, fmt.Errorf("aggregate: start reached none of %d targets", len(params.Targets))
+		}
+	}
+	return &Task{ID: cctx.Identifier, Func: fn, Params: params, Context: cctx}, nil
+}
+
 // Tick runs one of the querier's own exchange rounds.
 func (q *Querier) Tick(ctx context.Context) { q.svc.Tick(ctx) }
+
+// EpochOf returns the querier's live epoch for a continuous task.
+func (q *Querier) EpochOf(taskID string) uint64 { return q.svc.EpochOf(taskID) }
+
+// FrozenEstimate returns the querier's last closed-epoch estimate for a
+// continuous task.
+func (q *Querier) FrozenEstimate(taskID string) (EpochEstimate, bool) {
+	return q.svc.FrozenEstimate(taskID)
+}
 
 // ActivityCount is the querier participant's monotonic traffic counter
 // (see Service.ActivityCount); it lets an adaptive Runner pace the

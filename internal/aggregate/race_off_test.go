@@ -1,0 +1,5 @@
+//go:build !race
+
+package aggregate
+
+const raceEnabled = false

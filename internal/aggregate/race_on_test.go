@@ -1,0 +1,7 @@
+//go:build race
+
+package aggregate
+
+// raceEnabled gates allocation-budget assertions: race instrumentation
+// changes allocation behaviour, so budgets are only meaningful without it.
+const raceEnabled = true

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wsgossip/internal/clock"
 	"wsgossip/internal/core"
 	"wsgossip/internal/metrics"
 	"wsgossip/internal/soap"
@@ -38,6 +39,25 @@ type ServiceStats struct {
 	// SendErrors counts failed sends (mass in unsent shares is returned
 	// to local state, preserving conservation).
 	SendErrors int64
+	// Epochs counts continuous-task epoch rolls.
+	Epochs int64
+	// AcksSent counts exchange acks sent for absorbed or stale shares.
+	AcksSent int64
+	// Commits counts outstanding shares whose transfer an ack committed.
+	Commits int64
+	// Retries counts re-sends of unacked outstanding shares.
+	Retries int64
+	// Recovered counts shares whose mass was reclaimed after a synchronous
+	// send refusal (the only mid-epoch recovery: the share is known unsent).
+	Recovered int64
+	// StaleShares counts shares from already-retired epochs (acked but not
+	// absorbed).
+	StaleShares int64
+	// DuplicateShares counts retried shares deduplicated on (From, Seq).
+	DuplicateShares int64
+	// UnackedDropped counts outstanding shares discarded with their epoch
+	// at a roll — the per-target-timeout mass recovery path.
+	UnackedDropped int64
 }
 
 // ServiceConfig configures an aggregation Service.
@@ -62,6 +82,17 @@ type ServiceConfig struct {
 	// aggregate_mass_error gauge). Nil uses a private registry; Stats()
 	// reads the same counters either way.
 	Metrics *metrics.Registry
+	// Clock is the shared time source continuous tasks derive their epoch
+	// index from. Nil falls back to the Unix-epoch wall clock (clock.NewWall),
+	// which is fine for real deployments — all nodes resolve the same epoch
+	// index from synchronized machine clocks — but makes continuous tasks
+	// nondeterministic in virtual-time tests; pass the test clock there.
+	Clock clock.Clock
+	// Values resolves named local value sources for continuous queries
+	// (e.g. "load" → a load sampler). A metric with no entry falls back to
+	// Value. Value sources are read under the service lock and must be
+	// fast and must not call back into the service.
+	Values map[string]func() float64
 }
 
 // task is one aggregation interaction this node participates in.
@@ -69,6 +100,14 @@ type task struct {
 	state  *State
 	params core.AggregateParameters
 	cctx   wscoord.CoordinationContext
+	// led is the task's conservation account (see ledger). For one-shot
+	// tasks out is charged when a share is handed to the fan-out (the
+	// legacy fire-and-forget contract); for continuous tasks a split share
+	// sits in outstanding until its ack commits the transfer.
+	led ledger
+	// cont holds the epoch-windowed state for continuous tasks; nil for
+	// classic one-shot aggregations.
+	cont *contState
 }
 
 // Service is the aggregation participant role: application code supplies
@@ -83,17 +122,9 @@ type Service struct {
 
 	mu    sync.Mutex
 	rng   *rand.Rand
+	clk   clock.Clock
 	tasks map[string]*task
 	stats aggCounters
-	// ledgerIn/ledgerOut is a weight ledger independent of the push-sum
-	// states: weight entering this node (contributions, anchor seeds,
-	// absorbed and returned shares) and weight leaving it (split shares
-	// handed to the fan-out). The held weight across all tasks must equal
-	// in − out up to float rounding; the aggregate_mass_error gauge exposes
-	// the deviation so a conservation bug is visible on a dashboard instead
-	// of only as a skewed estimate. Guarded by mu.
-	ledgerIn  float64
-	ledgerOut float64
 }
 
 // aggCounters is the aggregation layer's registry-resolved series;
@@ -108,6 +139,15 @@ type aggCounters struct {
 	sendErrors      *metrics.Counter
 	rounds          *metrics.Counter
 	massErr         *metrics.FloatGauge
+	// Continuous-mode series.
+	epochs    *metrics.Counter
+	acksSent  *metrics.Counter
+	commits   *metrics.Counter
+	retries   *metrics.Counter
+	recovered *metrics.Counter
+	stale     *metrics.Counter
+	dups      *metrics.Counter
+	unacked   *metrics.Counter
 }
 
 func newAggCounters(reg *metrics.Registry) aggCounters {
@@ -121,6 +161,14 @@ func newAggCounters(reg *metrics.Registry) aggCounters {
 		sendErrors:      reg.Counter("aggregate_send_errors_total"),
 		rounds:          reg.Counter("aggregate_rounds_total"),
 		massErr:         reg.FloatGauge("aggregate_mass_error"),
+		epochs:          reg.Counter("aggregate_epochs_total"),
+		acksSent:        reg.Counter("aggregate_acks_sent_total"),
+		commits:         reg.Counter("aggregate_exchange_commits_total"),
+		retries:         reg.Counter("aggregate_exchange_retries_total"),
+		recovered:       reg.Counter("aggregate_shares_recovered_total"),
+		stale:           reg.Counter("aggregate_stale_shares_total"),
+		dups:            reg.Counter("aggregate_duplicate_shares_total"),
+		unacked:         reg.Counter("aggregate_unacked_discarded_total"),
 	}
 }
 
@@ -137,10 +185,19 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		// Unix-epoch anchored, NOT a zero-value Real: the zero value's
+		// year-1 epoch saturates Now at the Duration maximum, and not a
+		// construction-time epoch either — peers constructed at different
+		// moments must still agree on which continuous epoch is open.
+		clk = clock.NewWall()
+	}
 	return &Service{
 		cfg:      cfg,
 		register: wscoord.NewRegistrationClient(cfg.Caller, cfg.Address),
 		rng:      rng,
+		clk:      clk,
 		tasks:    make(map[string]*task),
 		stats:    newAggCounters(reg),
 	}, nil
@@ -160,6 +217,14 @@ func (s *Service) Stats() ServiceStats {
 		StartsForwarded: s.stats.startsForwarded.Value(),
 		QueriesServed:   s.stats.queriesServed.Value(),
 		SendErrors:      s.stats.sendErrors.Value(),
+		Epochs:          s.stats.epochs.Value(),
+		AcksSent:        s.stats.acksSent.Value(),
+		Commits:         s.stats.commits.Value(),
+		Retries:         s.stats.retries.Value(),
+		Recovered:       s.stats.recovered.Value(),
+		StaleShares:     s.stats.stale.Value(),
+		DuplicateShares: s.stats.dups.Value(),
+		UnackedDropped:  s.stats.unacked.Value(),
 	}
 }
 
@@ -207,7 +272,22 @@ func (s *Service) Handler() soap.Handler {
 func (s *Service) RegisterActions(d *soap.Dispatcher) {
 	d.Register(ActionStart, soap.HandlerFunc(s.handleStart))
 	d.Register(ActionExchange, soap.HandlerFunc(s.handleExchange))
+	d.Register(ActionExchangeAck, soap.HandlerFunc(s.handleExchangeAck))
 	d.Register(ActionQuery, soap.HandlerFunc(s.handleQuery))
+}
+
+// evalMassLocked re-evaluates the aggregate_mass_error gauge from the
+// per-task ledgers. It runs at every commit point — contribution, split,
+// absorb, ack commit, recovery, epoch roll — so the gauge can never show a
+// stale or phantom value mid-round: mass that is merely in flight sits in a
+// task's outstanding account and balances to zero. Caller holds s.mu.
+func (s *Service) evalMassLocked() {
+	var err float64
+	for _, t := range s.tasks {
+		_, w := t.state.Mass()
+		err += t.led.balance(w)
+	}
+	s.stats.massErr.Set(err)
 }
 
 // Tasks returns the IDs of the tasks the node participates in, sorted.
@@ -311,10 +391,22 @@ func (s *Service) handleStart(ctx context.Context, req *soap.Request) (*soap.Env
 		s.mu.Unlock()
 		return nil, nil
 	}
-	s.tasks[start.TaskID] = &task{state: st, params: params, cctx: cctx}
-	_, w := st.Mass()
-	s.ledgerIn += w
+	t := &task{state: st, params: params, cctx: cctx}
+	if start.WindowMillis > 0 {
+		// A continuous start: the state built above is discarded in favour
+		// of an epoch roll, which contributes the local value into the
+		// current epoch and seeds the anchor if this node is the root.
+		t.state = NewState(fn, 0, false, true)
+		t.cont = newContState(start, s.cfg.Address)
+		now := s.clk.Now()
+		s.rollTaskLocked(t, EpochAt(now, t.cont.window), now)
+	} else {
+		_, w := st.Mass()
+		t.led.in += w
+	}
+	s.tasks[start.TaskID] = t
 	s.stats.started.Inc()
+	s.evalMassLocked()
 	s.mu.Unlock()
 	s.bumpActivity()
 	if start.Hops > 0 {
@@ -330,21 +422,36 @@ func (s *Service) handleStart(ctx context.Context, req *soap.Request) (*soap.Env
 func (s *Service) upgradePassiveTask(ctx context.Context, t *task, start Start, cctx wscoord.CoordinationContext) {
 	s.mu.Lock()
 	needTargets := len(t.params.Targets) == 0
-	_, w0 := t.state.Mass()
-	if s.cfg.Value != nil && !t.state.Contributed() {
-		s.mu.Unlock()
-		value := s.cfg.Value()
-		s.mu.Lock()
-		// Re-baseline: a share absorbed between the unlock and relock is
-		// already in the ledger; only the contribution delta is new mass.
-		_, w0 = t.state.Mass()
-		t.state.Contribute(value)
+	if t.cont != nil {
+		// Continuous task that joined through a share: the start only
+		// confirms what the share already carried. The node begins
+		// contributing at the next epoch boundary (set by the passive
+		// join), never retroactively mid-window.
+		if t.cont.root == "" {
+			t.cont.root = start.Root
+		}
+		if t.cont.metric == "" {
+			t.cont.metric = start.Metric
+		}
+	} else {
+		_, w0 := t.state.Mass()
+		if s.cfg.Value != nil && !t.state.Contributed() {
+			s.mu.Unlock()
+			value := s.cfg.Value()
+			s.mu.Lock()
+			// Re-baseline: a share absorbed between the unlock and relock
+			// is already in the ledger; only the contribution delta is new
+			// mass.
+			_, w0 = t.state.Mass()
+			t.state.Contribute(value)
+		}
+		if start.Root == s.cfg.Address {
+			t.state.ContributeAnchor()
+		}
+		_, w1 := t.state.Mass()
+		t.led.in += w1 - w0
+		s.evalMassLocked()
 	}
-	if start.Root == s.cfg.Address {
-		t.state.ContributeAnchor()
-	}
-	_, w1 := t.state.Mass()
-	s.ledgerIn += w1 - w0
 	s.mu.Unlock()
 	if !needTargets {
 		return
@@ -422,6 +529,9 @@ func (s *Service) handleExchange(ctx context.Context, req *soap.Request) (*soap.
 	if err := req.Envelope.DecodeBody(&share); err != nil {
 		return nil, soap.NewFault(soap.CodeSender, "malformed AggregateShare: "+err.Error())
 	}
+	if share.WindowMillis > 0 {
+		return s.handleContinuousShare(ctx, req, share)
+	}
 	s.mu.Lock()
 	t, known := s.tasks[share.TaskID]
 	s.mu.Unlock()
@@ -450,8 +560,9 @@ func (s *Service) handleExchange(ctx context.Context, req *soap.Request) (*soap.
 	}
 	s.mu.Lock()
 	t.state.Absorb(share)
-	s.ledgerIn += share.Weight
+	t.led.in += share.Weight
 	s.stats.sharesAbsorbed.Inc()
+	s.evalMassLocked()
 	s.mu.Unlock()
 	s.bumpActivity()
 	return nil, nil
@@ -504,16 +615,8 @@ func (s *Service) Tick(ctx context.Context) {
 		targets []string
 	}
 	var sends []outgoing
+	var contSends []contSend
 	s.mu.Lock()
-	// Mass-conservation check at the round boundary: every share from
-	// earlier rounds has by now been sent (ledger out) or returned (ledger
-	// in), so the weight held across tasks must match the ledger balance.
-	var held float64
-	for _, t := range s.tasks {
-		_, w := t.state.Mass()
-		held += w
-	}
-	s.stats.massErr.Set(held - (s.ledgerIn - s.ledgerOut))
 	ids := make([]string, 0, len(s.tasks))
 	for id := range s.tasks {
 		ids = append(ids, id)
@@ -521,6 +624,10 @@ func (s *Service) Tick(ctx context.Context) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		t := s.tasks[id]
+		if t.cont != nil {
+			contSends = append(contSends, s.tickContinuousLocked(t, id)...)
+			continue
+		}
 		fanout := t.params.Fanout
 		if fanout <= 0 {
 			// A passive joiner whose registration failed has no parameters;
@@ -550,7 +657,10 @@ func (s *Service) Tick(ctx context.Context) {
 		t.state.BeginRound()
 		s.stats.rounds.Inc()
 		shareSum, shareWeight := t.state.Split(len(targets))
-		s.ledgerOut += shareWeight * float64(len(targets))
+		// One-shot contract: the fan-out takes responsibility at split, so
+		// the transfer is committed (out) immediately; failures come back
+		// synchronously and are re-absorbed by returnShares.
+		t.led.out += shareWeight * float64(len(targets))
 		sends = append(sends, outgoing{
 			taskID:  id,
 			cctx:    t.cctx,
@@ -558,6 +668,7 @@ func (s *Service) Tick(ctx context.Context) {
 			targets: targets,
 		})
 	}
+	s.evalMassLocked()
 	s.mu.Unlock()
 	for _, out := range sends {
 		// Every target of a round receives the same share, so the exchange
@@ -575,6 +686,7 @@ func (s *Service) Tick(ctx context.Context) {
 		}
 		s.stats.sharesSent.Add(int64(sent))
 	}
+	s.sendContinuous(ctx, contSends)
 }
 
 // returnShares re-absorbs n undeliverable copies of a share and counts the
@@ -586,7 +698,8 @@ func (s *Service) returnShares(taskID string, share Share, n int) {
 		for i := 0; i < n; i++ {
 			t.state.Absorb(Share{Sum: share.Sum, Weight: share.Weight})
 		}
-		s.ledgerIn += share.Weight * float64(n)
+		t.led.in += share.Weight * float64(n)
+		s.evalMassLocked()
 	}
 	s.stats.sendErrors.Add(int64(n))
 }
@@ -609,14 +722,16 @@ func (s *Service) startLocalTask(taskID string, fn Func, cctx wscoord.Coordinati
 		return
 	}
 	st := NewState(fn, value, root, passive)
-	s.tasks[taskID] = &task{
+	t := &task{
 		state:  st,
 		params: params,
 		cctx:   cctx,
 	}
 	_, w := st.Mass()
-	s.ledgerIn += w
+	t.led.in += w
+	s.tasks[taskID] = t
 	s.stats.started.Inc()
+	s.evalMassLocked()
 	s.mu.Unlock()
 	// The node's own new task is traffic too: snap a backed-off exchange
 	// loop to base pace so the first push-sum round is not delayed by a

@@ -2,9 +2,10 @@ package aggregate
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sort"
+	"time"
 
 	"wsgossip/internal/gossip"
 	"wsgossip/internal/transport"
@@ -15,11 +16,17 @@ import (
 // cmd/wsgossip-sim drive aggregation over the deterministic simulator at
 // scales (and loss rates) the SOAP harness does not reach, mirroring how
 // the dissemination engine has both a SOAP binding and a simnet binding.
+// With a Window configured it runs the epoch-windowed, acked exchange of
+// the continuous plane instead of one-shot fire-and-forget.
 
-// Wire action for simulator push-sum exchanges.
-const ActionSimExchange = "urn:wsgossip:aggregate:exchange"
+// Wire actions for simulator push-sum exchanges and their acks.
+const (
+	ActionSimExchange    = "urn:wsgossip:aggregate:exchange"
+	ActionSimExchangeAck = "urn:wsgossip:aggregate:exchange-ack"
+)
 
 // simShare is the simulator wire format (JSON, like the gossip engine's).
+// Epoch and Seq are zero on the legacy one-shot path.
 type simShare struct {
 	Task        string  `json:"task"`
 	Function    string  `json:"fn"`
@@ -28,6 +35,53 @@ type simShare struct {
 	HasExtremes bool    `json:"he,omitempty"`
 	Min         float64 `json:"min,omitempty"`
 	Max         float64 `json:"max,omitempty"`
+	Epoch       uint64  `json:"e,omitempty"`
+	Seq         uint64  `json:"q,omitempty"`
+}
+
+// simAck acknowledges one absorbed (or retired) share. Epoch is the
+// receiver's live epoch, which may roll the sender forward.
+type simAck struct {
+	Task  string `json:"task"`
+	Epoch uint64 `json:"e"`
+	Seq   uint64 `json:"q"`
+}
+
+// simPending is one outstanding windowed transfer awaiting its ack.
+type simPending struct {
+	to    string
+	share Share
+	tries int
+}
+
+// SimNodeStats counts one simulator node's windowed-exchange events.
+type SimNodeStats struct {
+	// Epochs is how many epoch rolls the node has performed.
+	Epochs int64
+	// SharesSent counts shares handed to the network without a synchronous
+	// refusal (first sends and retries alike).
+	SharesSent int64
+	// SharesAbsorbed counts shares merged into local mass.
+	SharesAbsorbed int64
+	// Duplicates counts re-deliveries dropped by (sender, seq) dedup.
+	Duplicates int64
+	// Stale counts shares from retired epochs (acked, not absorbed).
+	Stale int64
+	// AcksSent counts acknowledgements handed to the network.
+	AcksSent int64
+	// Commits counts pending shares settled by an ack.
+	Commits int64
+	// Retries counts re-sends of still-unacked shares.
+	Retries int64
+	// Recovered counts shares reclaimed after a synchronous first-send
+	// refusal (the only case where mid-epoch recovery is sound).
+	Recovered int64
+	// UnackedDiscarded counts pending shares retired wholesale at epoch
+	// boundaries.
+	UnackedDiscarded int64
+	// SendErrors counts synchronous send refusals that did not recover mass
+	// (retries and acks).
+	SendErrors int64
 }
 
 // SimNodeConfig configures a simulator aggregation node.
@@ -48,6 +102,13 @@ type SimNodeConfig struct {
 	Root bool
 	// RNG drives peer selection; nil falls back to a fixed seed.
 	RNG *rand.Rand
+	// Window enables the epoch-windowed continuous mode: push-sum restarts
+	// at every multiple of Window on Clock, and exchanges become acked and
+	// loss-tolerant. Zero keeps the legacy one-shot fire-and-forget mode.
+	Window time.Duration
+	// Clock supplies the shared time epochs derive from. Required when
+	// Window is set.
+	Clock transport.Clock
 }
 
 // SimNode is one simulator participant. All calls arrive from the
@@ -56,7 +117,23 @@ type SimNode struct {
 	cfg   SimNodeConfig
 	rng   *rand.Rand
 	state *State
+
+	// Windowed-mode machinery; zero-valued and unused in legacy mode.
+	epoch          uint64
+	contributeFrom uint64
+	nextSeq        uint64
+	led            ledger
+	pending        map[uint64]*simPending
+	seen           map[string]map[uint64]struct{}
+	frozen         *EpochEstimate
+	contributed    float64
+	stats          SimNodeStats
 }
+
+// encodeCap sizes encode buffers so a typical share fits in one allocation.
+// Bodies cannot be pooled or reused: the simulator holds the slice until
+// the (possibly much later) delivery timer fires.
+const encodeCap = 160
 
 // NewSimNode validates cfg and returns a node with its initial state.
 func NewSimNode(cfg SimNodeConfig) (*SimNode, error) {
@@ -69,47 +146,134 @@ func NewSimNode(cfg SimNodeConfig) (*SimNode, error) {
 	if _, err := ParseFunc(string(cfg.Func)); err != nil {
 		return nil, err
 	}
+	if cfg.Window > 0 && cfg.Clock == nil {
+		return nil, fmt.Errorf("aggregate: windowed sim node requires a clock")
+	}
 	rng := cfg.RNG
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
-	return &SimNode{
-		cfg:   cfg,
-		rng:   rng,
-		state: NewState(cfg.Func, cfg.Value, cfg.Root, false),
-	}, nil
+	n := &SimNode{cfg: cfg, rng: rng}
+	if cfg.Window > 0 {
+		// Passive until the first roll. A node created mid-window is
+		// absorbed at the NEXT epoch boundary: it relays and holds mass for
+		// the in-progress epoch but contributes its own value only from the
+		// first epoch that starts after it exists — the same deferral the
+		// SOAP continuous plane applies to passive joiners, so a joiner
+		// never retroactively pollutes an epoch it did not fully live.
+		n.contributeFrom = EpochAt(cfg.Clock.Now(), cfg.Window)
+		if cfg.Clock.Now()%cfg.Window != 0 {
+			n.contributeFrom++
+		}
+		n.state = NewState(cfg.Func, 0, false, true)
+		n.pending = make(map[uint64]*simPending)
+		n.seen = make(map[string]map[uint64]struct{})
+	} else {
+		n.state = NewState(cfg.Func, cfg.Value, cfg.Root, false)
+	}
+	return n, nil
 }
 
-// Register installs the node's wire action on the mux.
+// Register installs the node's wire actions on the mux.
 func (n *SimNode) Register(mux *transport.Mux) {
 	mux.Handle(ActionSimExchange, n.handleExchange)
+	mux.Handle(ActionSimExchangeAck, n.handleAck)
 }
 
 // State exposes the node's push-sum state (estimates, mass, convergence).
 func (n *SimNode) State() *State { return n.state }
 
-// Tick runs one push-sum round: split the mass into fanout+1 shares and
-// send fanout of them to sampled peers.
+// Epoch returns the live epoch (0 = legacy mode or not yet rolled).
+func (n *SimNode) Epoch() uint64 { return n.epoch }
+
+// Frozen returns the last closed epoch's final estimate.
+func (n *SimNode) Frozen() (EpochEstimate, bool) {
+	if n.frozen == nil {
+		return EpochEstimate{}, false
+	}
+	return *n.frozen, true
+}
+
+// Outstanding returns the unacked split weight awaiting commit.
+func (n *SimNode) Outstanding() float64 { return n.led.outstanding }
+
+// Contributed returns the weight this node injected into the live epoch.
+func (n *SimNode) Contributed() float64 { return n.contributed }
+
+// SimStats returns the windowed-exchange counters.
+func (n *SimNode) SimStats() SimNodeStats { return n.stats }
+
+// MassError returns the node's conservation residual: held plus outstanding
+// weight minus the ledger's net injections, snapped to exactly zero within
+// float tolerance. Under the acked exchange it must be zero at every commit
+// point regardless of loss — the windowed chaos gates assert exactly that.
+func (n *SimNode) MassError() float64 {
+	_, w := n.state.Mass()
+	return n.led.balance(w)
+}
+
+// roll retires the live epoch and enters epoch k, mirroring the Service's
+// rollTaskLocked: freeze the closing estimate, discard the old epoch's
+// pending/dedup/ledger state as a unit, then re-contribute the local value
+// (and anchor weight if root) into the fresh state.
+func (n *SimNode) roll(k uint64, now time.Duration) {
+	if k <= n.epoch {
+		return
+	}
+	if n.epoch != 0 {
+		est, ok := n.state.Estimate()
+		_, w := n.state.Mass()
+		n.frozen = &EpochEstimate{
+			Epoch:    n.epoch,
+			Estimate: est,
+			Defined:  ok,
+			Weight:   w,
+			Rounds:   n.state.Rounds(),
+			ClosedAt: now,
+		}
+	}
+	n.stats.UnackedDiscarded += int64(len(n.pending))
+	n.pending = make(map[uint64]*simPending)
+	n.seen = make(map[string]map[uint64]struct{})
+	n.led = ledger{}
+	n.epoch = k
+	if k >= n.contributeFrom {
+		n.state = NewState(n.cfg.Func, n.cfg.Value, n.cfg.Root, false)
+	} else {
+		// Still inside the epoch the node joined mid-window: relay only.
+		n.state = NewState(n.cfg.Func, 0, false, true)
+	}
+	_, w := n.state.Mass()
+	n.led.in += w
+	n.contributed = w
+	n.stats.Epochs++
+}
+
+// Tick runs one push-sum round. In legacy mode: split and fire-and-forget.
+// In windowed mode: roll the epoch when the clock crosses a boundary, retry
+// unacked shares, then split fresh acked shares for sampled peers.
 func (n *SimNode) Tick(ctx context.Context) {
+	if n.cfg.Window > 0 {
+		n.tickWindowed(ctx)
+		return
+	}
 	n.state.BeginRound()
 	peers := n.cfg.Peers.SelectPeers(n.rng, n.cfg.Fanout, n.cfg.Endpoint.Addr())
 	if len(peers) == 0 {
 		return
 	}
 	shareSum, shareWeight := n.state.Split(len(peers))
-	min, max := n.state.min, n.state.max
-	body, err := json.Marshal(simShare{
+	sh := simShare{
 		Task:        n.cfg.TaskID,
 		Function:    string(n.cfg.Func),
 		Sum:         shareSum,
 		Weight:      shareWeight,
 		HasExtremes: n.state.hasExtremes,
-		Min:         min,
-		Max:         max,
-	})
-	if err != nil {
-		return
+		Min:         n.state.min,
+		Max:         n.state.max,
 	}
+	// One body shared by the whole fanout; never mutated after encode.
+	body := appendSimShare(make([]byte, 0, encodeCap), &sh)
 	for _, p := range peers {
 		msg := transport.Message{To: p, Action: ActionSimExchange, Body: body}
 		if err := n.cfg.Endpoint.Send(ctx, msg); err != nil {
@@ -122,20 +286,188 @@ func (n *SimNode) Tick(ctx context.Context) {
 	}
 }
 
-func (n *SimNode) handleExchange(_ context.Context, msg transport.Message) error {
-	var sh simShare
-	if err := json.Unmarshal(msg.Body, &sh); err != nil {
-		return err
+func (n *SimNode) tickWindowed(ctx context.Context) {
+	now := n.cfg.Clock.Now()
+	if k := EpochAt(now, n.cfg.Window); k > n.epoch {
+		n.roll(k, now)
 	}
-	if sh.Task != n.cfg.TaskID {
-		return nil
+	// Retry outstanding shares in seq order (determinism). Receivers dedup
+	// on (sender, seq), so a share whose copy already arrived is absorbed
+	// once and simply re-acked; a refused retry proves nothing and must not
+	// recover mass.
+	if len(n.pending) > 0 {
+		seqs := make([]uint64, 0, len(n.pending))
+		for q := range n.pending {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, q := range seqs {
+			p := n.pending[q]
+			p.tries++
+			n.stats.Retries++
+			if err := n.sendShare(ctx, p.to, &p.share); err != nil {
+				n.stats.SendErrors++
+				continue
+			}
+			n.stats.SharesSent++
+		}
 	}
-	n.state.Absorb(Share{
+	peers := n.cfg.Peers.SelectPeers(n.rng, n.cfg.Fanout, n.cfg.Endpoint.Addr())
+	if len(n.pending) > 0 {
+		suspect := make(map[string]bool)
+		for _, p := range n.pending {
+			if p.tries >= suspectTries {
+				suspect[p.to] = true
+			}
+		}
+		if len(suspect) > 0 {
+			kept := peers[:0]
+			for _, p := range peers {
+				if !suspect[p] {
+					kept = append(kept, p)
+				}
+			}
+			peers = kept
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	n.state.BeginRound()
+	shareSum, shareWeight := n.state.Split(len(peers))
+	for _, p := range peers {
+		n.nextSeq++
+		sh := n.state.share(n.cfg.TaskID, n.cfg.Endpoint.Addr(), shareSum, shareWeight)
+		sh.Epoch = n.epoch
+		sh.Seq = n.nextSeq
+		n.pending[sh.Seq] = &simPending{to: p, share: sh}
+		// Charged per share, not batched, so each commit or recovery
+		// cancels its own entry term-for-term.
+		n.led.outstanding += shareWeight
+		if err := n.sendShare(ctx, p, &sh); err != nil {
+			// A refused *first* send proves the share never left this node:
+			// reclaim it. (Retries never recover — see above.)
+			delete(n.pending, sh.Seq)
+			n.state.Absorb(Share{
+				Sum:         sh.Sum,
+				Weight:      sh.Weight,
+				HasExtremes: sh.HasExtremes,
+				Min:         sh.Min,
+				Max:         sh.Max,
+			})
+			n.led.outstanding -= sh.Weight
+			n.stats.Recovered++
+			continue
+		}
+		n.stats.SharesSent++
+	}
+}
+
+// sendShare encodes and sends one windowed share.
+func (n *SimNode) sendShare(ctx context.Context, to string, sh *Share) error {
+	wire := simShare{
+		Task:        n.cfg.TaskID,
+		Function:    string(n.cfg.Func),
 		Sum:         sh.Sum,
 		Weight:      sh.Weight,
 		HasExtremes: sh.HasExtremes,
 		Min:         sh.Min,
 		Max:         sh.Max,
-	})
+		Epoch:       sh.Epoch,
+		Seq:         sh.Seq,
+	}
+	body := appendSimShare(make([]byte, 0, encodeCap), &wire)
+	return n.cfg.Endpoint.Send(ctx, transport.Message{To: to, Action: ActionSimExchange, Body: body})
+}
+
+func (n *SimNode) handleExchange(ctx context.Context, msg transport.Message) error {
+	var sh simShare
+	if err := decodeSimShare(msg.Body, &sh); err != nil {
+		return err
+	}
+	if sh.Task != n.cfg.TaskID {
+		return nil
+	}
+	if n.cfg.Window == 0 {
+		n.state.Absorb(Share{
+			Sum:         sh.Sum,
+			Weight:      sh.Weight,
+			HasExtremes: sh.HasExtremes,
+			Min:         sh.Min,
+			Max:         sh.Max,
+		})
+		return nil
+	}
+	now := n.cfg.Clock.Now()
+	k := EpochAt(now, n.cfg.Window)
+	if sh.Epoch > k {
+		k = sh.Epoch
+	}
+	if k > n.epoch {
+		n.roll(k, now)
+	}
+	switch {
+	case sh.Epoch == n.epoch:
+		m := n.seen[msg.From]
+		if m == nil {
+			m = make(map[uint64]struct{})
+			n.seen[msg.From] = m
+		}
+		if _, dup := m[sh.Seq]; dup {
+			n.stats.Duplicates++
+		} else {
+			m[sh.Seq] = struct{}{}
+			n.state.Absorb(Share{
+				Sum:         sh.Sum,
+				Weight:      sh.Weight,
+				HasExtremes: sh.HasExtremes,
+				Min:         sh.Min,
+				Max:         sh.Max,
+			})
+			n.led.in += sh.Weight
+			n.stats.SharesAbsorbed++
+		}
+	default:
+		// sh.Epoch < n.epoch: the sender is still in a retired epoch. Ack
+		// without absorbing — that epoch's mass died everywhere, and the
+		// ack both stops the retries and rolls the sender forward.
+		n.stats.Stale++
+	}
+	if msg.From == "" || msg.From == n.cfg.Endpoint.Addr() {
+		return nil
+	}
+	ack := simAck{Task: n.cfg.TaskID, Epoch: n.epoch, Seq: sh.Seq}
+	body := appendSimAck(make([]byte, 0, 64), &ack)
+	if err := n.cfg.Endpoint.Send(ctx, transport.Message{To: msg.From, Action: ActionSimExchangeAck, Body: body}); err != nil {
+		n.stats.SendErrors++
+		return nil
+	}
+	n.stats.AcksSent++
+	return nil
+}
+
+// handleAck commits one outstanding transfer at the moment its ack arrives
+// — the commit point where MassError is defined to be zero. An ack from a
+// later epoch also rolls this node forward.
+func (n *SimNode) handleAck(_ context.Context, msg transport.Message) error {
+	if n.cfg.Window == 0 {
+		return nil
+	}
+	var ack simAck
+	if err := decodeSimAck(msg.Body, &ack); err != nil {
+		return err
+	}
+	if ack.Task != n.cfg.TaskID {
+		return nil
+	}
+	if p, ok := n.pending[ack.Seq]; ok {
+		delete(n.pending, ack.Seq)
+		n.led.outstanding -= p.share.Weight
+		n.led.out += p.share.Weight
+		n.stats.Commits++
+	}
+	if ack.Epoch > n.epoch {
+		n.roll(ack.Epoch, n.cfg.Clock.Now())
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package clock
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -244,5 +245,26 @@ func TestRealCancel(t *testing.T) {
 	}
 	if fired.Load() {
 		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestWallSharedEpochBase(t *testing.T) {
+	// Two wall clocks constructed at different moments must report the
+	// same offset: protocol state derived from Now()/window (continuous
+	// aggregation epochs) has to resolve identically on every node.
+	a := NewWall()
+	time.Sleep(2 * time.Millisecond)
+	b := NewWall()
+	if diff := (a.Now() - b.Now()).Abs(); diff > time.Second {
+		t.Fatalf("wall clocks disagree by %v; epoch must be shared, not construction time", diff)
+	}
+	now := a.Now()
+	// Regression: a zero-value Real's year-1 epoch saturates Now at the
+	// Duration maximum, turning every derived epoch index into garbage.
+	if now >= math.MaxInt64/2 {
+		t.Fatalf("wall Now %d is saturated", now)
+	}
+	if got, want := now, time.Since(time.Unix(0, 0)); (got - want).Abs() > time.Minute {
+		t.Fatalf("wall Now %v is not anchored at the Unix epoch (want ~%v)", got, want)
 	}
 }

@@ -18,6 +18,19 @@ func NewReal() *Real {
 	return &Real{epoch: time.Now()}
 }
 
+// NewWall returns a wall clock anchored at the Unix epoch, so Now is the
+// same offset in every process whose machine clock is synchronized. This is
+// the clock for protocol state that must agree across nodes — continuous
+// aggregation derives its epoch index from Now()/window, and two nodes with
+// construction-time epochs would disagree on which epoch is open.
+//
+// A zero-value Real is NOT a substitute: its epoch is the zero time.Time
+// (year 1), Now saturates time.Duration at its maximum, and every derived
+// epoch index is garbage.
+func NewWall() *Real {
+	return &Real{epoch: time.Unix(0, 0)}
+}
+
 // Now returns the elapsed wall time since the epoch.
 func (r *Real) Now() time.Duration { return time.Since(r.epoch) }
 

@@ -7,22 +7,22 @@ import "wsgossip/internal/metrics"
 // would make cardinality grow with the overlay; per-peer detail is served
 // by Plane.States for the health endpoint instead.
 type planeMetrics struct {
-	attempts      *metrics.Counter // delivery_attempts_total
-	retries       *metrics.Counter // delivery_retries_total
-	failTransport *metrics.Counter // delivery_attempt_failures_total{kind="transport"}
-	failShed      *metrics.Counter // delivery_attempt_failures_total{kind="shed"}
-	failSender    *metrics.Counter // delivery_attempt_failures_total{kind="sender_fault"}
-	dropQueueFull *metrics.Counter // delivery_drops_total{reason="queue_full"}
-	dropCircuit   *metrics.Counter // delivery_drops_total{reason="circuit_open"}
-	dropBudget    *metrics.Counter // delivery_drops_total{reason="budget"}
-	dropSender    *metrics.Counter // delivery_drops_total{reason="sender_fault"}
-	dropClosed    *metrics.Counter // delivery_drops_total{reason="closed"}
-	deferrals     *metrics.Counter // delivery_deferrals_total
-	queueDepth    *metrics.Gauge   // delivery_queue_depth (all peers)
-	inflight      *metrics.Gauge   // delivery_inflight (all peers)
-	breakerOpen   *metrics.Gauge   // delivery_breaker_open (open circuits)
-	transOpen     *metrics.Counter // delivery_breaker_transitions_total{to="open"}
-	transClosed   *metrics.Counter // delivery_breaker_transitions_total{to="closed"}
+	attempts      *metrics.Counter         // delivery_attempts_total
+	retries       *metrics.Counter         // delivery_retries_total
+	failTransport *metrics.Counter         // delivery_attempt_failures_total{kind="transport"}
+	failShed      *metrics.Counter         // delivery_attempt_failures_total{kind="shed"}
+	failSender    *metrics.Counter         // delivery_attempt_failures_total{kind="sender_fault"}
+	dropQueueFull *metrics.Counter         // delivery_drops_total{reason="queue_full"}
+	dropCircuit   *metrics.Counter         // delivery_drops_total{reason="circuit_open"}
+	dropBudget    *metrics.Counter         // delivery_drops_total{reason="budget"}
+	dropSender    *metrics.Counter         // delivery_drops_total{reason="sender_fault"}
+	dropClosed    *metrics.Counter         // delivery_drops_total{reason="closed"}
+	deferrals     *metrics.Counter         // delivery_deferrals_total
+	queueDepth    *metrics.Gauge           // delivery_queue_depth (all peers)
+	inflight      *metrics.Gauge           // delivery_inflight (all peers)
+	breakerOpen   *metrics.Gauge           // delivery_breaker_open (open circuits)
+	transOpen     *metrics.Counter         // delivery_breaker_transitions_total{to="open"}
+	transClosed   *metrics.Counter         // delivery_breaker_transitions_total{to="closed"}
 	attemptSec    *metrics.BucketHistogram // delivery_attempt_seconds
 }
 

@@ -1,0 +1,128 @@
+package delivery
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"wsgossip/internal/clock"
+	"wsgossip/internal/metrics"
+)
+
+// settleRecorder captures settlement callbacks and asserts exactly-once.
+type settleRecorder struct {
+	mu    sync.Mutex
+	calls []error
+}
+
+func (r *settleRecorder) settle(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, err)
+}
+
+func (r *settleRecorder) snapshot() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.calls...)
+}
+
+func encodedEnv(t *testing.T, text string) []byte {
+	t.Helper()
+	data, err := testEnv(t, text).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestNotifySettlesNilOnInlineSuccess(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := &encodedScripted{*newScripted()}
+	p := NewPlane(testConfig(caller, clk, metrics.NewRegistry()))
+	var rec settleRecorder
+
+	if err := p.SendEncodedNotify(context.Background(), "urn:peer", encodedEnv(t, "x"), rec.settle); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got := rec.snapshot(); len(got) != 1 || got[0] != nil {
+		t.Fatalf("settle calls = %v, want exactly one nil", got)
+	}
+}
+
+func TestNotifySettlesOnceAfterRetries(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := &encodedScripted{*newScripted()}
+	caller.script("urn:peer", errConnRefused) // first attempt fails, retry lands
+	p := NewPlane(testConfig(caller, clk, metrics.NewRegistry()))
+	var rec settleRecorder
+
+	if err := p.SendEncodedNotify(context.Background(), "urn:peer", encodedEnv(t, "x"), rec.settle); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("settled before the retry resolved: %v", got)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if got := rec.snapshot(); len(got) != 1 || got[0] != nil {
+		t.Fatalf("settle calls = %v, want exactly one nil after the retry", got)
+	}
+}
+
+func TestNotifySettlesBudgetExhaustion(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := &encodedScripted{*newScripted()}
+	caller.script("urn:peer", errConnRefused, errConnRefused, errConnRefused)
+	p := NewPlane(testConfig(caller, clk, metrics.NewRegistry())) // MaxAttempts: 3
+	var rec settleRecorder
+
+	if err := p.SendEncodedNotify(context.Background(), "urn:peer", encodedEnv(t, "x"), rec.settle); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		clk.Advance(time.Second)
+	}
+	got := rec.snapshot()
+	if len(got) != 1 || !errors.Is(got[0], ErrBudgetExhausted) {
+		t.Fatalf("settle calls = %v, want exactly one ErrBudgetExhausted", got)
+	}
+}
+
+func TestNotifyFastFailSettlesAndReturns(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := &encodedScripted{*newScripted()}
+	p := NewPlane(testConfig(caller, clk, metrics.NewRegistry()))
+	p.Close()
+	var rec settleRecorder
+
+	err := p.SendEncodedNotify(context.Background(), "urn:peer", encodedEnv(t, "x"), rec.settle)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed plane = %v, want ErrClosed", err)
+	}
+	got := rec.snapshot()
+	if len(got) != 1 || !errors.Is(got[0], ErrClosed) {
+		t.Fatalf("settle calls = %v, want exactly one ErrClosed", got)
+	}
+}
+
+func TestNotifyCloseSettlesQueuedBacklog(t *testing.T) {
+	clk := clock.NewVirtual()
+	caller := &encodedScripted{*newScripted()}
+	caller.script("urn:peer", errConnRefused) // park the message in backoff
+	p := NewPlane(testConfig(caller, clk, metrics.NewRegistry()))
+	var rec settleRecorder
+
+	if err := p.SendEncodedNotify(context.Background(), "urn:peer", encodedEnv(t, "x"), rec.settle); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Fatalf("settled while queued: %v", got)
+	}
+	p.Close()
+	got := rec.snapshot()
+	if len(got) != 1 || !errors.Is(got[0], ErrClosed) {
+		t.Fatalf("settle calls = %v, want exactly one ErrClosed", got)
+	}
+}

@@ -47,7 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	for _, want := range []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3"} {
+	for _, want := range []string{"e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing from registry", want)
 		}
@@ -364,6 +364,29 @@ func TestE9ChurnShape(t *testing.T) {
 		}
 		if cov := cellFloat(t, tab, i, 2); cov < 0.95 {
 			t.Fatalf("%s coverage = %v", phase, cov)
+		}
+	}
+}
+
+func TestE12WindowSizingShape(t *testing.T) {
+	tables, err := E12WindowSizing(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, fanout := range []string{"1", "2", "4", "8"} {
+		if got := mustCell(t, tab, i, 0); got != fanout {
+			t.Fatalf("row %d fanout = %q", i, got)
+		}
+		// The ablation varies share sizing; conservation may not.
+		if got := mustCell(t, tab, i, 2); got != "0" {
+			t.Fatalf("fanout %s mass_err_max = %q, want exactly 0", fanout, got)
+		}
+		if rel := cellFloat(t, tab, i, 1); rel > 0.05 {
+			t.Fatalf("fanout %s worst_rel_err = %v", fanout, rel)
 		}
 	}
 }

@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"e9", "dissemination under membership churn", E9Churn},
 		{"e10", "aggregation accuracy and convergence vs N", E10Aggregation},
 		{"e11", "receiver-bound fan-in: per-delivery decode cost", E11FanIn},
+		{"e12", "ablation: windowed exchange share sizing under loss", E12WindowSizing},
 		{"a1", "ablation: gossip styles", A1Styles},
 		{"a2", "ablation: seen-cache sizing", A2DedupCache},
 		{"a3", "ablation: coordinator target assignment", A3TargetAssignment},

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strings"
 
+	"wsgossip/internal/aggregate"
 	"wsgossip/internal/core"
 	"wsgossip/internal/delivery"
 	"wsgossip/internal/metrics"
@@ -47,9 +48,18 @@ type Probe struct {
 	NoHelpers     int64    `json:"noHelpers"`
 }
 
+// Cluster is the /healthz view of the continuous-query plane: one row per
+// windowed query with the last closed epoch's stable estimate and the
+// still-mixing live one. The frozen estimates are at most one window plus
+// one exchange round stale.
+type Cluster struct {
+	Queries []aggregate.ClusterEstimate `json:"queries"`
+}
+
 // Health is the /healthz introspection document: who the node is, how busy
-// it is, who it can see, what its round scheduler is doing, and how its
-// outbound delivery plane is coping.
+// it is, who it can see, what its round scheduler is doing, how its
+// outbound delivery plane is coping, and what the cluster looks like
+// through its continuous queries.
 type Health struct {
 	Node       string      `json:"node"`
 	Role       string      `json:"role,omitempty"`
@@ -58,6 +68,7 @@ type Health struct {
 	Loops      []LoopState `json:"loops,omitempty"`
 	Delivery   *Delivery   `json:"delivery,omitempty"`
 	Probe      *Probe      `json:"probe,omitempty"`
+	Cluster    *Cluster    `json:"cluster,omitempty"`
 }
 
 // DeliveryFrom snapshots a delivery plane into its Health section. A nil
@@ -91,6 +102,16 @@ func ProbeFrom(p *probe.Prober) *Probe {
 		ConfirmedDown: st.ConfirmedDown,
 		NoHelpers:     st.NoHelpers,
 	}
+}
+
+// ClusterFrom snapshots a continuous-query Window into its Health section.
+// A nil window (continuous queries disabled) yields nil, which the JSON
+// encoding omits.
+func ClusterFrom(w *aggregate.Window) *Cluster {
+	if w == nil {
+		return nil
+	}
+	return &Cluster{Queries: w.Estimates()}
 }
 
 // LoopsFrom converts a Runner's introspection rows to their JSON form.

@@ -11,6 +11,11 @@ import (
 	"testing"
 	"time"
 
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wsgossip/internal/aggregate"
 	"wsgossip/internal/clock"
 	"wsgossip/internal/core"
 	"wsgossip/internal/delivery"
@@ -241,5 +246,103 @@ func TestProbeSection(t *testing.T) {
 	}
 	if len(downs) != 1 || downs[0] != "urn:peer" {
 		t.Fatalf("downs = %v", downs)
+	}
+}
+
+// TestClusterSection checks the health document carries the continuous-query
+// estimates end to end through the JSON encoding: a three-node continuous
+// count over the in-memory bus, run past one epoch boundary so the frozen
+// estimate is populated.
+func TestClusterSection(t *testing.T) {
+	if ClusterFrom(nil) != nil {
+		t.Fatal("nil window must yield a nil (omitted) cluster section")
+	}
+	ctx := context.Background()
+	bus := soap.NewMemBus()
+	clk := clock.NewVirtual()
+	coord := core.NewCoordinator(core.CoordinatorConfig{
+		Address: "mem://coordinator",
+		RNG:     rand.New(rand.NewSource(5)),
+	})
+	bus.Register("mem://coordinator", coord.Handler())
+	var services []*aggregate.Service
+	for i := 0; i < 3; i++ {
+		addr := fmt.Sprintf("mem://obs-agg%d", i)
+		svc, err := aggregate.NewService(aggregate.ServiceConfig{
+			Address: addr,
+			Caller:  bus,
+			Clock:   clk,
+			Values:  map[string]func() float64{"ones": func() float64 { return 1 }},
+			RNG:     rand.New(rand.NewSource(100 + int64(i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.Register(addr, svc.Handler())
+		services = append(services, svc)
+		if err := core.SubscribeClient(ctx, bus, "mem://coordinator", addr,
+			core.RoleDisseminator, core.ProtocolAggregate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := aggregate.NewQuerier(aggregate.QuerierConfig{
+		Address:    "mem://obs-querier",
+		Caller:     bus,
+		Activation: "mem://coordinator",
+		Clock:      clk,
+		Values:     map[string]func() float64{"ones": func() float64 { return 1 }},
+		RNG:        rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("mem://obs-querier", q.Handler())
+	if err := core.SubscribeClient(ctx, bus, "mem://coordinator", "mem://obs-querier",
+		core.RoleDisseminator, core.ProtocolAggregate); err != nil {
+		t.Fatal(err)
+	}
+	window, err := aggregate.NewWindow(aggregate.WindowConfig{
+		Querier: q,
+		Window:  200 * time.Millisecond,
+		Queries: []aggregate.ContinuousQuery{{Name: "ones", Func: aggregate.FuncCount}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run past the first epoch boundary so a frozen estimate exists.
+	for i := 0; i < 25; i++ {
+		clk.Advance(20 * time.Millisecond)
+		for _, svc := range services {
+			svc.Tick(ctx)
+		}
+		window.Tick(ctx)
+	}
+
+	srv := httptest.NewServer(Handler(metrics.NewRegistry(), func() Health {
+		return Health{Node: "n", Cluster: ClusterFrom(window)}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc Health
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Cluster == nil || len(doc.Cluster.Queries) != 1 {
+		t.Fatalf("cluster section = %+v", doc.Cluster)
+	}
+	ce := doc.Cluster.Queries[0]
+	if ce.Query != "ones" || ce.Function != "count" {
+		t.Fatalf("query row = %+v", ce)
+	}
+	if !ce.Defined || ce.FrozenEpoch == 0 {
+		t.Fatalf("no frozen estimate in health doc: %+v", ce)
+	}
+	// 3 services + the querier's own anchor participant.
+	if math.Abs(ce.Estimate-4) > 0.05 {
+		t.Fatalf("cluster count = %v, want about 4", ce.Estimate)
 	}
 }

@@ -254,6 +254,17 @@ type (
 	AggregationTask = aggregate.Task
 	// AggregateQueryResult is a peer's answer to an estimate query.
 	AggregateQueryResult = aggregate.QueryResult
+	// ContinuousQuery declares one cluster quantity an AggregateWindow
+	// keeps fresh (a metric name plus the aggregate function over it).
+	ContinuousQuery = aggregate.ContinuousQuery
+	// AggregateWindow is the continuous-query controller: it restarts
+	// push-sum every window on the shared clock so estimates track churn.
+	AggregateWindow = aggregate.Window
+	// AggregateWindowConfig configures an AggregateWindow.
+	AggregateWindowConfig = aggregate.WindowConfig
+	// ClusterEstimate is one continuous query's health view: the last
+	// closed epoch's stable estimate plus the still-mixing live one.
+	ClusterEstimate = aggregate.ClusterEstimate
 )
 
 // NewAggregateService returns an aggregation participant.
@@ -263,6 +274,12 @@ func NewAggregateService(cfg AggregateServiceConfig) (*AggregateService, error) 
 
 // NewQuerier returns an aggregation Querier.
 func NewQuerier(cfg QuerierConfig) (*Querier, error) { return aggregate.NewQuerier(cfg) }
+
+// NewAggregateWindow returns a continuous-query controller driving the
+// configured queries as epoch-windowed aggregations.
+func NewAggregateWindow(cfg AggregateWindowConfig) (*AggregateWindow, error) {
+	return aggregate.NewWindow(cfg)
+}
 
 // NewCoordinator returns a WS-Gossip Coordinator.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator { return core.NewCoordinator(cfg) }
